@@ -1,0 +1,56 @@
+//! One benchmark per paper table and figure: each measures the end-to-end
+//! cost of regenerating that experiment (trace reuse included), and — as a
+//! side effect — exercises exactly the code paths the `repro` binary uses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oscache_core::Repro;
+
+const SCALE: f64 = 0.05;
+
+macro_rules! experiment_bench {
+    ($fn_name:ident, $method:ident, $label:literal) => {
+        fn $fn_name(c: &mut Criterion) {
+            c.bench_function($label, |b| {
+                b.iter_batched(
+                    || Repro::new(SCALE),
+                    |mut r| {
+                        let out = r.$method();
+                        criterion::black_box(format!("{out}"))
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
+        }
+    };
+}
+
+experiment_bench!(bench_table1, table1, "table1_workload_characteristics");
+experiment_bench!(bench_table2, table2, "table2_miss_breakdown");
+experiment_bench!(bench_table3, table3, "table3_block_op_characteristics");
+experiment_bench!(bench_table4, table4, "table4_deferred_copy");
+experiment_bench!(bench_table5, table5, "table5_coherence_breakdown");
+experiment_bench!(bench_fig1, figure1, "figure1_blockop_overheads");
+experiment_bench!(bench_fig2, figure2, "figure2_block_schemes");
+experiment_bench!(bench_fig3, figure3, "figure3_execution_time");
+experiment_bench!(bench_fig4, figure4, "figure4_coherence_opts");
+experiment_bench!(bench_fig5, figure5, "figure5_hotspot_prefetch");
+experiment_bench!(bench_fig6, figure6, "figure6_cache_size_sweep");
+experiment_bench!(bench_fig7, figure7, "figure7_line_size_sweep");
+
+fn shorter(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+criterion_group! {
+    name = benches;
+    config = {
+        let mut c = Criterion::default().sample_size(10);
+        c = c.measurement_time(std::time::Duration::from_secs(4));
+        let _ = shorter(&mut c);
+        c
+    };
+    targets = bench_table1, bench_table2, bench_table3, bench_table4,
+        bench_table5, bench_fig1, bench_fig2, bench_fig3, bench_fig4,
+        bench_fig5, bench_fig6, bench_fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Simulator throughput: events replayed per second, per workload and per
+//! block-operation scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oscache_core::{Geometry, System};
+use oscache_memsys::{Machine, MachineConfig};
+use oscache_workloads::{build, BuildOptions, Workload};
+
+const SCALE: f64 = 0.05;
+
+fn bench_workload_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("replay_base");
+    g.sample_size(10);
+    for w in Workload::all() {
+        let trace = build(
+            w,
+            BuildOptions {
+                scale: SCALE,
+                ..Default::default()
+            },
+        );
+        g.throughput(Throughput::Elements(trace.total_events() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &trace, |b, t| {
+            b.iter(|| Machine::new(MachineConfig::base(), t).run())
+        });
+    }
+    g.finish();
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let trace = build(
+        Workload::Trfd4,
+        BuildOptions {
+            scale: SCALE,
+            ..Default::default()
+        },
+    );
+    let mut g = c.benchmark_group("replay_schemes");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(trace.total_events() as u64));
+    for sys in [
+        System::Base,
+        System::BlkPref,
+        System::BlkBypass,
+        System::BlkByPref,
+        System::BlkDma,
+    ] {
+        let cfg = Geometry::default().machine_config(&sys.spec());
+        g.bench_with_input(BenchmarkId::from_parameter(sys.label()), &cfg, |b, cfg| {
+            b.iter(|| Machine::new(cfg.clone(), &trace).run())
+        });
+    }
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generate");
+    g.sample_size(10);
+    for w in Workload::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, &w| {
+            b.iter(|| {
+                build(
+                    w,
+                    BuildOptions {
+                        scale: SCALE,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_workload_replay,
+    bench_schemes,
+    bench_trace_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! # oscache-bench
+//!
+//! The benchmark harness of the reproduction:
+//!
+//! * the `repro` binary regenerates every table and figure of the paper
+//!   (`cargo run --release -p oscache-bench --bin repro -- [--scale S]
+//!   [experiment..]`);
+//! * `benches/throughput.rs` measures simulator and generator throughput;
+//! * `benches/experiments.rs` has one Criterion benchmark per table/figure;
+//! * `benches/ablations.rs` sweeps the design choices DESIGN.md calls out
+//!   (write-buffer depths, prefetch distance, update policy, deferred
+//!   copying).

@@ -1,0 +1,505 @@
+//! Experiment driver: builds workload traces, runs systems (with caching),
+//! and produces every table and figure of the paper.
+
+use crate::config::{Geometry, System, SystemSpec};
+use crate::metrics::{
+    BlockOpOverhead, CoherenceBreakdown, MissBreakdown, OsTimeBreakdown, WorkloadMetrics,
+};
+use crate::sim::{run_spec, RunResult};
+use crate::{deferred, paperref};
+use oscache_trace::Trace;
+use oscache_workloads::{build, BuildOptions, Workload};
+use std::collections::HashMap;
+
+/// Builds traces and caches simulation runs for the reproduction.
+///
+/// # Examples
+///
+/// ```
+/// use oscache_core::Repro;
+///
+/// let mut repro = Repro::new(0.05); // reduced trace scale
+/// let table2 = repro.table2();
+/// let shares = table2.rows[0];
+/// let sum = shares.block_op_pct + shares.coherence_pct + shares.other_pct;
+/// assert!((sum - 100.0).abs() < 0.01);
+/// ```
+pub struct Repro {
+    /// Trace scale (1.0 = full size; smaller for quick runs).
+    pub scale: f64,
+    /// Workload seed.
+    pub seed: u64,
+    traces: HashMap<&'static str, Trace>,
+    runs: HashMap<String, RunResult>,
+}
+
+impl Repro {
+    /// Creates a driver at the given trace scale.
+    pub fn new(scale: f64) -> Self {
+        Repro {
+            scale,
+            seed: BuildOptions::default().seed,
+            traces: HashMap::new(),
+            runs: HashMap::new(),
+        }
+    }
+
+    /// The (cached) trace of a workload.
+    pub fn trace(&mut self, w: Workload) -> &Trace {
+        let scale = self.scale;
+        let seed = self.seed;
+        self.traces.entry(w.name()).or_insert_with(|| {
+            build(
+                w,
+                BuildOptions {
+                    scale,
+                    seed,
+                    ..Default::default()
+                },
+            )
+        })
+    }
+
+    /// Runs (or retrieves) a simulation of `system` on `w`.
+    pub fn run(&mut self, w: Workload, system: System) -> &RunResult {
+        self.run_spec(w, system.spec(), Geometry::default(), system.label())
+    }
+
+    /// Runs (or retrieves) an arbitrary spec/geometry point. `tag` must
+    /// uniquely identify the spec+geometry combination.
+    pub fn run_spec(
+        &mut self,
+        w: Workload,
+        spec: SystemSpec,
+        geometry: Geometry,
+        tag: &str,
+    ) -> &RunResult {
+        let key = format!("{}/{}/{:?}", w.name(), tag, geometry);
+        if !self.runs.contains_key(&key) {
+            let trace = self.trace(w).clone();
+            let result = run_spec(&trace, spec, geometry);
+            self.runs.insert(key.clone(), result);
+        }
+        &self.runs[&key]
+    }
+
+    // ---- tables ----------------------------------------------------------
+
+    /// Table 1: workload characteristics under `Base`.
+    pub fn table1(&mut self) -> Table1 {
+        let rows = Workload::all().map(|w| {
+            let r = self.run(w, System::Base);
+            WorkloadMetrics::from_stats(&r.stats)
+        });
+        Table1 { rows }
+    }
+
+    /// Table 2: OS read-miss breakdown under `Base`.
+    pub fn table2(&mut self) -> Table2 {
+        let rows = Workload::all().map(|w| {
+            let r = self.run(w, System::Base);
+            MissBreakdown::from_stats(&r.stats)
+        });
+        Table2 { rows }
+    }
+
+    /// Table 3: block-operation characteristics (`Base` probes plus a
+    /// `Blk_Bypass` probe run for the reuse rows).
+    pub fn table3(&mut self) -> Table3 {
+        let mut cols = Vec::new();
+        for w in Workload::all() {
+            let base = self.run(w, System::Base).stats.total();
+            let total_misses = base.l1d_read_misses.total().max(1) as f64;
+            let src_cached =
+                100.0 * base.blk_src_lines_cached as f64 / base.blk_src_lines.max(1) as f64;
+            let dst_owned = 100.0 * base.blk_dst_l2_owned as f64 / base.blk_dst_lines.max(1) as f64;
+            let dst_shared =
+                100.0 * base.blk_dst_l2_shared as f64 / base.blk_dst_lines.max(1) as f64;
+            let ops = base.blk_size_buckets.iter().sum::<u64>().max(1) as f64;
+            let displ_in = 100.0 * base.displ_inside as f64 / total_misses;
+            let displ_out = 100.0 * base.displ_outside as f64 / total_misses;
+            let bypass = self.run(w, System::BlkBypass).stats.total();
+            let base_total = total_misses;
+            let reuse_in = 100.0 * bypass.reuse_inside as f64 / base_total;
+            let reuse_out = 100.0 * bypass.reuse_outside as f64 / base_total;
+            cols.push(Table3Col {
+                src_cached_pct: src_cached,
+                dst_owned_pct: dst_owned,
+                dst_shared_pct: dst_shared,
+                page_pct: 100.0 * base.blk_size_buckets[0] as f64 / ops,
+                med_pct: 100.0 * base.blk_size_buckets[1] as f64 / ops,
+                small_pct: 100.0 * base.blk_size_buckets[2] as f64 / ops,
+                displ_in_pct: displ_in,
+                displ_out_pct: displ_out,
+                reuse_in_pct: reuse_in,
+                reuse_out_pct: reuse_out,
+            });
+        }
+        Table3 {
+            cols: cols.try_into().expect("four workloads"),
+        }
+    }
+
+    /// Table 4: the deferred-copy study.
+    pub fn table4(&mut self) -> Table4 {
+        let mut cols = Vec::new();
+        for w in Workload::all() {
+            let counts = deferred::analyze(self.trace(w));
+            let base = self
+                .run(w, System::Base)
+                .stats
+                .total()
+                .l1d_read_misses
+                .total();
+            let mut spec = System::Base.spec();
+            spec.deferred_copy = true;
+            let defer = self
+                .run_spec(w, spec, Geometry::default(), "Base+Deferred")
+                .stats
+                .total()
+                .l1d_read_misses
+                .total();
+            let eliminated = 100.0 * base.saturating_sub(defer) as f64 / base.max(1) as f64;
+            cols.push(Table4Col {
+                small_pct: counts.small_pct(),
+                readonly_pct: counts.readonly_pct(),
+                eliminated_pct: eliminated,
+            });
+        }
+        Table4 {
+            cols: cols.try_into().expect("four workloads"),
+        }
+    }
+
+    /// Table 5: coherence-miss breakdown under `Base`.
+    pub fn table5(&mut self) -> Table5 {
+        let rows = Workload::all().map(|w| {
+            let r = self.run(w, System::Base);
+            CoherenceBreakdown::from_stats(&r.stats)
+        });
+        Table5 { rows }
+    }
+
+    // ---- figures ----------------------------------------------------------
+
+    /// Figure 1: block-operation overhead components under `Base`.
+    pub fn figure1(&mut self) -> Figure1 {
+        let cols = Workload::all().map(|w| {
+            let r = self.run(w, System::Base);
+            BlockOpOverhead::from_stats(&r.stats)
+        });
+        Figure1 { cols }
+    }
+
+    /// Figure 2: normalized OS data misses under the block-operation
+    /// schemes.
+    pub fn figure2(&mut self) -> MissFigure {
+        self.miss_figure(
+            "Figure 2",
+            &[
+                System::Base,
+                System::BlkPref,
+                System::BlkBypass,
+                System::BlkByPref,
+                System::BlkDma,
+            ],
+            MissSplit::BlockOp,
+        )
+    }
+
+    /// Figure 3: normalized OS execution time under all systems.
+    pub fn figure3(&mut self) -> Figure3 {
+        let systems = System::all();
+        let mut cells = Vec::new();
+        for w in Workload::all() {
+            let base_total = {
+                let r = self.run(w, System::Base);
+                OsTimeBreakdown::from_stats(&r.stats).total().max(1)
+            };
+            let mut col = Vec::new();
+            for sys in systems {
+                let r = self.run(w, sys);
+                let b = OsTimeBreakdown::from_stats(&r.stats);
+                col.push((b, base_total));
+            }
+            cells.push(col);
+        }
+        Figure3 { systems, cells }
+    }
+
+    /// Figure 4: normalized OS misses under the coherence optimizations.
+    pub fn figure4(&mut self) -> MissFigure {
+        self.miss_figure(
+            "Figure 4",
+            &[
+                System::Base,
+                System::BlkDma,
+                System::BCohReloc,
+                System::BCohRelUp,
+            ],
+            MissSplit::Coherence,
+        )
+    }
+
+    /// Figure 5: normalized OS misses with hot-spot prefetching.
+    pub fn figure5(&mut self) -> MissFigure {
+        self.miss_figure(
+            "Figure 5",
+            &[
+                System::Base,
+                System::BlkDma,
+                System::BCohRelUp,
+                System::BCPref,
+            ],
+            MissSplit::None,
+        )
+    }
+
+    fn miss_figure(
+        &mut self,
+        name: &'static str,
+        systems: &[System],
+        split: MissSplit,
+    ) -> MissFigure {
+        let mut rows = Vec::new();
+        for &sys in systems {
+            let mut cells = Vec::new();
+            for w in Workload::all() {
+                let base = self.run(w, System::Base).stats.total().os_read_misses();
+                let t = self.run(w, sys).stats.total();
+                let total = t.os_read_misses();
+                let split_part = match split {
+                    MissSplit::BlockOp => t.os_miss_blockop,
+                    MissSplit::Coherence => t.os_miss_coherence.iter().sum(),
+                    MissSplit::None => 0,
+                };
+                cells.push(MissCell {
+                    normalized: total as f64 / base.max(1) as f64,
+                    split_normalized: split_part as f64 / base.max(1) as f64,
+                });
+            }
+            rows.push((sys.label().to_string(), cells));
+        }
+        MissFigure {
+            name,
+            split_label: match split {
+                MissSplit::BlockOp => "block-op",
+                MissSplit::Coherence => "coherence",
+                MissSplit::None => "",
+            },
+            rows,
+        }
+    }
+
+    /// Figures 6/7: normalized OS execution time across a geometry sweep.
+    /// `sweep` yields (label, geometry) points.
+    pub fn geometry_figure(
+        &mut self,
+        name: &'static str,
+        sweep: &[(String, Geometry)],
+    ) -> GeometryFigure {
+        let systems = [System::Base, System::BlkDma, System::BCPref];
+        let mut rows = Vec::new();
+        for (label, geom) in sweep {
+            let mut cells = Vec::new();
+            for w in Workload::all() {
+                // Normalize to Base at the same geometry (as the paper does).
+                let base = {
+                    let tag = format!("Base@{label}");
+                    let r = self.run_spec(w, System::Base.spec(), *geom, &tag);
+                    OsTimeBreakdown::from_stats(&r.stats).total().max(1)
+                };
+                let mut point = Vec::new();
+                for sys in systems {
+                    let tag = format!("{}@{label}", sys.label());
+                    let r = self.run_spec(w, sys.spec(), *geom, &tag);
+                    let t = OsTimeBreakdown::from_stats(&r.stats).total();
+                    point.push(t as f64 / base as f64);
+                }
+                cells.push(point);
+            }
+            rows.push((label.clone(), cells));
+        }
+        GeometryFigure {
+            name,
+            systems: systems.map(|s| s.label()),
+            rows,
+        }
+    }
+
+    /// Figure 6: the L1D size sweep (16/32/64 KB, 16-B lines).
+    pub fn figure6(&mut self) -> GeometryFigure {
+        let sweep: Vec<(String, Geometry)> = [16u32, 32, 64]
+            .iter()
+            .map(|&kb| {
+                (
+                    format!("{kb}KB"),
+                    Geometry {
+                        l1d_size: kb * 1024,
+                        ..Geometry::default()
+                    },
+                )
+            })
+            .collect();
+        self.geometry_figure("Figure 6", &sweep)
+    }
+
+    /// Figure 7: the L1 line-size sweep (16/32/64 B, 32-KB cache, 64-B L2
+    /// lines as in the paper).
+    pub fn figure7(&mut self) -> GeometryFigure {
+        let sweep: Vec<(String, Geometry)> = [16u32, 32, 64]
+            .iter()
+            .map(|&b| {
+                (
+                    format!("{b}B"),
+                    Geometry {
+                        l1_line: b,
+                        l2_line: 64,
+                        ..Geometry::default()
+                    },
+                )
+            })
+            .collect();
+        self.geometry_figure("Figure 7", &sweep)
+    }
+}
+
+#[derive(Clone, Copy)]
+enum MissSplit {
+    BlockOp,
+    Coherence,
+    None,
+}
+
+// ---- table/figure data types ---------------------------------------------
+
+/// Table 1 data.
+pub struct Table1 {
+    /// One metrics row per workload.
+    pub rows: [WorkloadMetrics; 4],
+}
+
+/// Table 2 data.
+pub struct Table2 {
+    /// One breakdown per workload.
+    pub rows: [MissBreakdown; 4],
+}
+
+/// One Table 3 workload column.
+#[derive(Clone, Copy, Debug)]
+pub struct Table3Col {
+    /// Source lines already in the L1D at op start (%).
+    pub src_cached_pct: f64,
+    /// Destination lines in the local L2, owned (%).
+    pub dst_owned_pct: f64,
+    /// Destination lines in the local L2, shared (%).
+    pub dst_shared_pct: f64,
+    /// Page-sized blocks (%).
+    pub page_pct: f64,
+    /// 1–4 KB blocks (%).
+    pub med_pct: f64,
+    /// Sub-1 KB blocks (%).
+    pub small_pct: f64,
+    /// Inside displacement misses / total data misses (%).
+    pub displ_in_pct: f64,
+    /// Outside displacement misses / total data misses (%).
+    pub displ_out_pct: f64,
+    /// Inside reuses / total data misses (%).
+    pub reuse_in_pct: f64,
+    /// Outside reuses / total data misses (%).
+    pub reuse_out_pct: f64,
+}
+
+/// Table 3 data.
+pub struct Table3 {
+    /// One column per workload.
+    pub cols: [Table3Col; 4],
+}
+
+/// One Table 4 workload column.
+#[derive(Clone, Copy, Debug)]
+pub struct Table4Col {
+    /// Small copies / all copies (%).
+    pub small_pct: f64,
+    /// Read-only small copies / small copies (%).
+    pub readonly_pct: f64,
+    /// Misses eliminated by deferred copying (%).
+    pub eliminated_pct: f64,
+}
+
+/// Table 4 data.
+pub struct Table4 {
+    /// One column per workload.
+    pub cols: [Table4Col; 4],
+}
+
+/// Table 5 data.
+pub struct Table5 {
+    /// One coherence breakdown per workload.
+    pub rows: [CoherenceBreakdown; 4],
+}
+
+/// Figure 1 data.
+pub struct Figure1 {
+    /// One overhead decomposition per workload.
+    pub cols: [BlockOpOverhead; 4],
+}
+
+/// A cell of a normalized-miss figure.
+#[derive(Clone, Copy, Debug)]
+pub struct MissCell {
+    /// OS read misses normalized to `Base`.
+    pub normalized: f64,
+    /// The highlighted sub-category, normalized to `Base`.
+    pub split_normalized: f64,
+}
+
+/// Figures 2, 4, and 5.
+pub struct MissFigure {
+    /// Figure name.
+    pub name: &'static str,
+    /// Sub-category label ("block-op", "coherence", or empty).
+    pub split_label: &'static str,
+    /// `(system label, per-workload cells)` rows.
+    pub rows: Vec<(String, Vec<MissCell>)>,
+}
+
+/// Figure 3 data: per workload, per system, the OS time decomposition and
+/// the workload's `Base` total for normalization.
+pub struct Figure3 {
+    /// Systems in bar order.
+    pub systems: [System; 8],
+    /// `cells[workload][system]` = (breakdown, base total).
+    pub cells: Vec<Vec<(OsTimeBreakdown, u64)>>,
+}
+
+impl Figure3 {
+    /// Normalized OS time of one (workload, system) cell.
+    pub fn normalized(&self, workload: usize, system: usize) -> f64 {
+        let (b, base) = &self.cells[workload][system];
+        b.total() as f64 / *base as f64
+    }
+
+    /// Average normalized OS time of a system across workloads.
+    pub fn average(&self, system: usize) -> f64 {
+        (0..self.cells.len())
+            .map(|w| self.normalized(w, system))
+            .sum::<f64>()
+            / self.cells.len() as f64
+    }
+}
+
+/// Figures 6 and 7.
+pub struct GeometryFigure {
+    /// Figure name.
+    pub name: &'static str,
+    /// System labels (Base, Blk_Dma, BCPref).
+    pub systems: [&'static str; 3],
+    /// `(sweep label, cells[workload][system])` rows.
+    pub rows: Vec<(String, Vec<Vec<f64>>)>,
+}
+
+/// Convenience: the paper's workload labels.
+pub fn workload_labels() -> [&'static str; 4] {
+    paperref::WORKLOADS
+}

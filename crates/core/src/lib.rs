@@ -1,0 +1,29 @@
+//! # oscache-core
+//!
+//! The paper's contribution layer: system configurations
+//! ([`System`]/[`SystemSpec`]), automated trace analysis ([`analysis`]),
+//! software-optimization passes ([`transform`], [`deferred`]), the
+//! simulation driver ([`run_system`]/[`run_spec`]), and the derived
+//! metrics behind every table and figure ([`metrics`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod config;
+pub mod deferred;
+pub mod experiments;
+pub mod metrics;
+pub mod paperref;
+mod report;
+mod scorecard;
+mod sim;
+pub mod transform;
+
+pub use config::{Geometry, System, SystemSpec, UpdatePolicy};
+pub use experiments::Repro;
+pub use metrics::{
+    BlockOpOverhead, CoherenceBreakdown, MissBreakdown, OsTimeBreakdown, WorkloadMetrics,
+};
+pub use scorecard::{Check, Scorecard};
+pub use sim::{run_spec, run_system, RunResult};

@@ -1,0 +1,266 @@
+//! Derived metrics: the quantities the paper's tables and figures report,
+//! computed from raw [`SimStats`].
+
+use oscache_memsys::{CpuStats, SimStats};
+use oscache_trace::CoherenceCategory;
+
+/// Table 1's per-workload characteristics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadMetrics {
+    /// User time, % of total.
+    pub user_time_pct: f64,
+    /// Idle time, % of total.
+    pub idle_time_pct: f64,
+    /// Operating-system time, % of total.
+    pub os_time_pct: f64,
+    /// Stall time due to OS data accesses (read miss + write buffer +
+    /// partially-hidden prefetch), % of total.
+    pub os_dstall_pct: f64,
+    /// Read-miss rate in the primary data cache, % (reads only, §3).
+    pub dmiss_rate_pct: f64,
+    /// OS data reads as % of all data reads.
+    pub os_dreads_pct: f64,
+    /// OS data misses as % of all data misses.
+    pub os_dmisses_pct: f64,
+}
+
+impl WorkloadMetrics {
+    /// Computes the Table 1 row from a simulation.
+    pub fn from_stats(stats: &SimStats) -> Self {
+        let t = stats.total();
+        let total = t.accounted_cycles().max(1) as f64;
+        let user = (t.exec_cycles.user
+            + t.imiss_cycles.user
+            + t.dread_cycles.user
+            + t.dwrite_cycles.user
+            + t.pref_cycles.user
+            + t.sync_cycles.user) as f64;
+        let os = (t.exec_cycles.os
+            + t.imiss_cycles.os
+            + t.dread_cycles.os
+            + t.dwrite_cycles.os
+            + t.pref_cycles.os
+            + t.sync_cycles.os) as f64;
+        let idle = t.idle_cycles as f64;
+        let os_dstall = (t.dread_cycles.os + t.dwrite_cycles.os + t.pref_cycles.os) as f64;
+        let reads = t.dreads.total().max(1) as f64;
+        let misses = t.l1d_read_misses.total().max(1) as f64;
+        WorkloadMetrics {
+            user_time_pct: 100.0 * user / total,
+            idle_time_pct: 100.0 * idle / total,
+            os_time_pct: 100.0 * os / total,
+            os_dstall_pct: 100.0 * os_dstall / total,
+            dmiss_rate_pct: 100.0 * misses / reads,
+            os_dreads_pct: 100.0 * t.dreads.os as f64 / reads,
+            os_dmisses_pct: 100.0 * t.l1d_read_misses.os as f64 / misses,
+        }
+    }
+}
+
+/// Table 2's OS read-miss breakdown (percentages of OS read misses).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MissBreakdown {
+    /// Misses during block operations, %.
+    pub block_op_pct: f64,
+    /// Coherence misses, %.
+    pub coherence_pct: f64,
+    /// Everything else, %.
+    pub other_pct: f64,
+    /// Absolute OS read-miss count.
+    pub total: u64,
+}
+
+impl MissBreakdown {
+    /// Computes the Table 2 column from a simulation.
+    pub fn from_stats(stats: &SimStats) -> Self {
+        let t = stats.total();
+        let coh: u64 = t.os_miss_coherence.iter().sum();
+        let total = t.os_read_misses();
+        let d = total.max(1) as f64;
+        MissBreakdown {
+            block_op_pct: 100.0 * t.os_miss_blockop as f64 / d,
+            coherence_pct: 100.0 * coh as f64 / d,
+            other_pct: 100.0 * t.os_miss_other as f64 / d,
+            total,
+        }
+    }
+}
+
+/// Table 5's coherence-miss breakdown (percentages of coherence misses).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoherenceBreakdown {
+    /// Per-category percentages, indexed by [`CoherenceCategory`].
+    pub pct: [f64; 5],
+    /// Absolute coherence-miss count.
+    pub total: u64,
+}
+
+impl CoherenceBreakdown {
+    /// Computes the Table 5 column from a simulation.
+    pub fn from_stats(stats: &SimStats) -> Self {
+        let t = stats.total();
+        let total: u64 = t.os_miss_coherence.iter().sum();
+        let d = total.max(1) as f64;
+        let mut pct = [0.0; 5];
+        for (k, p) in pct.iter_mut().enumerate() {
+            *p = 100.0 * t.os_miss_coherence[k] as f64 / d;
+        }
+        CoherenceBreakdown { pct, total }
+    }
+
+    /// Percentage for one category.
+    pub fn category(&self, c: CoherenceCategory) -> f64 {
+        self.pct[c as usize]
+    }
+}
+
+/// Figure 3's OS execution-time decomposition (absolute cycles).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OsTimeBreakdown {
+    /// Instruction execution (plus synchronization wait).
+    pub exec: u64,
+    /// Instruction-miss stall.
+    pub imiss: u64,
+    /// Write-buffer stall.
+    pub dwrite: u64,
+    /// Read-miss stall.
+    pub dread: u64,
+    /// Partially-hidden prefetch stall.
+    pub pref: u64,
+}
+
+impl OsTimeBreakdown {
+    /// Computes the decomposition from a simulation.
+    pub fn from_stats(stats: &SimStats) -> Self {
+        let t = stats.total();
+        OsTimeBreakdown {
+            exec: t.exec_cycles.os + t.sync_cycles.os,
+            imiss: t.imiss_cycles.os,
+            dwrite: t.dwrite_cycles.os,
+            dread: t.dread_cycles.os,
+            pref: t.pref_cycles.os,
+        }
+    }
+
+    /// Total OS time.
+    pub fn total(&self) -> u64 {
+        self.exec + self.imiss + self.dwrite + self.dread + self.pref
+    }
+}
+
+/// Figure 1's block-operation overhead decomposition (absolute cycles).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockOpOverhead {
+    /// Read-miss stall during block operations.
+    pub read_stall: u64,
+    /// Write-buffer stall during block operations.
+    pub write_stall: u64,
+    /// Stall of block-displacement misses (outside the operations).
+    pub displ_stall: u64,
+    /// Instruction execution inside block operations.
+    pub instr_exec: u64,
+}
+
+impl BlockOpOverhead {
+    /// Computes the decomposition from a simulation.
+    pub fn from_stats(stats: &SimStats) -> Self {
+        let t = stats.total();
+        BlockOpOverhead {
+            read_stall: t.blk_read_stall,
+            write_stall: t.blk_write_stall,
+            displ_stall: t.blk_displ_stall,
+            instr_exec: t.blk_exec_cycles,
+        }
+    }
+
+    /// Total block-operation overhead.
+    pub fn total(&self) -> u64 {
+        self.read_stall + self.write_stall + self.displ_stall + self.instr_exec
+    }
+}
+
+/// Sum of OS misses attributed to a set of sites (Figure 5's "hot spot"
+/// split).
+pub fn os_misses_at_sites(total: &CpuStats, sites: &[u16]) -> u64 {
+    sites
+        .iter()
+        .map(|s| total.os_miss_by_site.get(s).copied().unwrap_or(0))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscache_memsys::{MissKind, ModeSplit};
+
+    fn stats() -> SimStats {
+        let mut c = CpuStats::default();
+        c.exec_cycles = ModeSplit { user: 500, os: 300 };
+        c.imiss_cycles = ModeSplit { user: 10, os: 90 };
+        c.dread_cycles = ModeSplit { user: 40, os: 60 };
+        c.dwrite_cycles = ModeSplit { user: 10, os: 40 };
+        c.pref_cycles = ModeSplit { user: 0, os: 10 };
+        c.sync_cycles = ModeSplit { user: 0, os: 50 };
+        c.idle_cycles = 100;
+        c.dreads = ModeSplit { user: 600, os: 400 };
+        c.l1d_read_misses = ModeSplit { user: 15, os: 35 };
+        use oscache_trace::DataClass;
+        for _ in 0..10 {
+            c.count_os_miss(MissKind::BlockOp, 1, DataClass::PageFrame);
+        }
+        for _ in 0..5 {
+            c.count_os_miss(
+                MissKind::Coherence(CoherenceCategory::Barriers),
+                2,
+                DataClass::BarrierVar,
+            );
+        }
+        for _ in 0..20 {
+            c.count_os_miss(MissKind::Other, 3, DataClass::PageTable);
+        }
+        SimStats {
+            cpus: vec![c],
+            bus: Default::default(),
+            cpu_times: vec![1210],
+        }
+    }
+
+    #[test]
+    fn table1_percentages_sum_to_100() {
+        let m = WorkloadMetrics::from_stats(&stats());
+        let sum = m.user_time_pct + m.idle_time_pct + m.os_time_pct;
+        assert!((sum - 100.0).abs() < 1e-9, "{sum}");
+        assert!((m.dmiss_rate_pct - 5.0).abs() < 1e-9);
+        assert!((m.os_dreads_pct - 40.0).abs() < 1e-9);
+        assert!((m.os_dmisses_pct - 70.0).abs() < 1e-9);
+        // OS D-stall: (60+40+10)/1210
+        assert!((m.os_dstall_pct - 100.0 * 110.0 / 1210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_breakdown_sums_to_100() {
+        let b = MissBreakdown::from_stats(&stats());
+        assert_eq!(b.total, 35);
+        let sum = b.block_op_pct + b.coherence_pct + b.other_pct;
+        assert!((sum - 100.0).abs() < 1e-9);
+        assert!((b.block_op_pct - 100.0 * 10.0 / 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table5_breakdown() {
+        let b = CoherenceBreakdown::from_stats(&stats());
+        assert_eq!(b.total, 5);
+        assert!((b.category(CoherenceCategory::Barriers) - 100.0).abs() < 1e-9);
+        assert!((b.category(CoherenceCategory::Locks)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig3_and_site_attribution() {
+        let s = stats();
+        let os = OsTimeBreakdown::from_stats(&s);
+        assert_eq!(os.total(), 300 + 50 + 90 + 40 + 60 + 10);
+        let t = s.total();
+        assert_eq!(os_misses_at_sites(&t, &[1, 2]), 15);
+        assert_eq!(os_misses_at_sites(&t, &[9]), 0);
+    }
+}

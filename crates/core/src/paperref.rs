@@ -1,0 +1,158 @@
+//! The paper's published numbers, transcribed for paper-vs-measured
+//! comparison in reports and EXPERIMENTS.md.
+//!
+//! Workload order everywhere: `TRFD_4`, `TRFD+Make`, `ARC2D+Fsck`, `Shell`.
+
+/// Number of workloads.
+pub const N_WORKLOADS: usize = 4;
+
+/// Workload column labels.
+pub const WORKLOADS: [&str; 4] = ["TRFD_4", "TRFD+Make", "ARC2D+Fsck", "Shell"];
+
+/// Table 1: user time (%).
+pub const T1_USER: [f64; 4] = [49.9, 38.2, 42.7, 23.8];
+/// Table 1: idle time (%).
+pub const T1_IDLE: [f64; 4] = [8.0, 8.2, 11.5, 29.2];
+/// Table 1: OS time (%).
+pub const T1_OS: [f64; 4] = [42.1, 53.6, 45.8, 47.0];
+/// Table 1: stall time due to OS data accesses (% of total time).
+pub const T1_OS_DSTALL: [f64; 4] = [14.0, 14.9, 11.3, 13.3];
+/// Table 1: primary-cache data read-miss rate (%).
+pub const T1_DMISS_RATE: [f64; 4] = [3.5, 4.7, 3.8, 3.2];
+/// Table 1: OS data reads / total data reads (%).
+pub const T1_OS_DREADS: [f64; 4] = [40.4, 53.6, 44.5, 61.3];
+/// Table 1: OS data misses / total data misses (%).
+pub const T1_OS_DMISSES: [f64; 4] = [53.4, 69.1, 66.0, 65.9];
+
+/// Table 2: block-operation misses (% of OS data misses).
+pub const T2_BLOCK: [f64; 4] = [43.7, 43.9, 44.0, 27.6];
+/// Table 2: coherence misses (%).
+pub const T2_COHERENCE: [f64; 4] = [14.8, 11.3, 12.9, 6.2];
+/// Table 2: other misses (%).
+pub const T2_OTHER: [f64; 4] = [41.5, 44.8, 43.1, 66.2];
+
+/// Table 3: source lines already cached (%).
+pub const T3_SRC_CACHED: [f64; 4] = [62.9, 71.1, 61.4, 41.0];
+/// Table 3: destination lines already in L2, Dirty or Exclusive (%).
+pub const T3_DST_OWNED: [f64; 4] = [19.6, 20.4, 40.6, 2.6];
+/// Table 3: destination lines already in L2, Shared (%).
+pub const T3_DST_SHARED: [f64; 4] = [0.5, 0.6, 1.0, 0.1];
+/// Table 3: blocks of size = 4 KB (%).
+pub const T3_PAGE: [f64; 4] = [91.5, 70.3, 30.8, 29.1];
+/// Table 3: blocks of 1–4 KB (%).
+pub const T3_MED: [f64; 4] = [1.9, 5.2, 24.4, 3.6];
+/// Table 3: blocks under 1 KB (%).
+pub const T3_SMALL: [f64; 4] = [6.6, 24.5, 44.8, 67.3];
+/// Table 3: inside displacement misses / total data misses (%).
+pub const T3_DISPL_IN: [f64; 4] = [6.8, 5.5, 4.1, 1.3];
+/// Table 3: outside displacement misses / total data misses (%).
+pub const T3_DISPL_OUT: [f64; 4] = [12.3, 9.3, 15.8, 10.1];
+/// Table 3: inside reuses / total data misses (%).
+pub const T3_REUSE_IN: [f64; 4] = [42.7, 24.3, 39.2, 1.4];
+/// Table 3: outside reuses / total data misses (%).
+pub const T3_REUSE_OUT: [f64; 4] = [0.8, 3.0, 1.5, 1.4];
+
+/// Table 4: small block copies / block copies (%).
+pub const T4_SMALL: [f64; 4] = [11.0, 40.7, 76.1, 83.5];
+/// Table 4: read-only small copies / small copies (%).
+pub const T4_READONLY: [f64; 4] = [14.0, 43.9, 25.0, 8.7];
+/// Table 4: misses eliminated by deferred copy / total misses (%).
+pub const T4_ELIMINATED: [f64; 4] = [0.1, 0.4, 0.3, 0.1];
+
+/// Table 5: barrier share of coherence misses (%).
+pub const T5_BARRIERS: [f64; 4] = [45.6, 35.0, 41.2, 4.8];
+/// Table 5: infrequently-communicated share (%).
+pub const T5_INFREQ: [f64; 4] = [22.1, 19.9, 22.5, 25.5];
+/// Table 5: frequently-shared share (%).
+pub const T5_FREQ: [f64; 4] = [12.6, 10.1, 14.3, 24.7];
+/// Table 5: lock share (%).
+pub const T5_LOCKS: [f64; 4] = [7.9, 13.5, 1.9, 19.0];
+/// Table 5: other share (%).
+pub const T5_OTHER: [f64; 4] = [11.8, 21.5, 20.1, 26.0];
+
+/// Figure 2: normalized OS data misses per system (rows: Base, Blk_Pref,
+/// Blk_Bypass, Blk_ByPref, Blk_Dma).
+pub const F2_MISSES: [[f64; 4]; 5] = [
+    [1.00, 1.00, 1.00, 1.00],
+    [0.66, 0.64, 0.63, 0.73],
+    [1.39, 1.18, 1.36, 0.91],
+    [0.62, 0.63, 0.62, 0.73],
+    [0.49, 0.45, 0.39, 0.65],
+];
+
+/// Figure 3: normalized OS execution time per system (rows: Base,
+/// Blk_Pref, Blk_Bypass, Blk_ByPref, Blk_Dma, BCoh_Reloc, BCoh_RelUp,
+/// BCPref).
+pub const F3_TIME: [[f64; 4]; 8] = [
+    [1.00, 1.00, 1.00, 1.00],
+    [0.95, 0.96, 0.96, 0.96],
+    [1.17, 1.16, 0.98, 1.07],
+    [0.96, 0.96, 0.97, 0.96],
+    [0.89, 0.88, 0.89, 0.96],
+    [0.88, 0.86, 0.86, 0.96],
+    [0.86, 0.82, 0.85, 0.87],
+    [0.83, 0.79, 0.81, 0.86],
+];
+
+/// Figure 4: normalized OS data misses (rows: Base, Blk_Dma, BCoh_Reloc,
+/// BCoh_RelUp).
+pub const F4_MISSES: [[f64; 4]; 4] = [
+    [1.00, 1.00, 1.00, 1.00],
+    [0.49, 0.45, 0.39, 0.63],
+    [0.46, 0.38, 0.34, 0.60],
+    [0.37, 0.31, 0.27, 0.56],
+];
+
+/// Figure 5: normalized OS data misses (rows: Base, Blk_Dma, BCoh_RelUp,
+/// BCPref).
+pub const F5_MISSES: [[f64; 4]; 4] = [
+    [1.00, 1.00, 1.00, 1.00],
+    [0.49, 0.45, 0.39, 0.63],
+    [0.37, 0.31, 0.27, 0.56],
+    [0.28, 0.21, 0.23, 0.26],
+];
+
+/// Headline: average fraction of OS data misses eliminated or hidden.
+pub const HEADLINE_MISS_REDUCTION: f64 = 0.75;
+/// Headline: average OS speedup from all optimizations combined.
+pub const HEADLINE_OS_SPEEDUP: f64 = 0.19;
+/// Headline: Blk_Dma execution-time reduction range.
+pub const HEADLINE_DMA_SPEEDUP: (f64, f64) = (0.11, 0.17);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_columns_sum_sensibly() {
+        for k in 0..4 {
+            let t1 = T1_USER[k] + T1_IDLE[k] + T1_OS[k];
+            assert!((t1 - 100.0).abs() < 0.5, "Table 1 col {k}: {t1}");
+            let t2 = T2_BLOCK[k] + T2_COHERENCE[k] + T2_OTHER[k];
+            assert!((t2 - 100.0).abs() < 0.5, "Table 2 col {k}: {t2}");
+            let t3 = T3_PAGE[k] + T3_MED[k] + T3_SMALL[k];
+            assert!((t3 - 100.0).abs() < 0.5, "Table 3 sizes col {k}: {t3}");
+            let t5 = T5_BARRIERS[k] + T5_INFREQ[k] + T5_FREQ[k] + T5_LOCKS[k] + T5_OTHER[k];
+            assert!((t5 - 100.0).abs() < 0.5, "Table 5 col {k}: {t5}");
+        }
+    }
+
+    #[test]
+    fn figures_are_normalized_to_base() {
+        for k in 0..4 {
+            assert_eq!(F2_MISSES[0][k], 1.0);
+            assert_eq!(F3_TIME[0][k], 1.0);
+            assert_eq!(F4_MISSES[0][k], 1.0);
+            assert_eq!(F5_MISSES[0][k], 1.0);
+        }
+    }
+
+    #[test]
+    fn figure_rows_are_consistent_across_figures() {
+        // Blk_Dma rows of Figures 4 and 5 must match Figure 2's.
+        for k in 0..4 {
+            assert_eq!(F4_MISSES[1][k], F5_MISSES[1][k]);
+            assert_eq!(F4_MISSES[3][k], F5_MISSES[2][k]);
+        }
+    }
+}

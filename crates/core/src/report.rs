@@ -1,0 +1,393 @@
+//! Text rendering of every table and figure, with the paper's published
+//! value printed beside each measured one.
+
+use crate::experiments::{
+    Figure1, Figure3, GeometryFigure, MissFigure, Table1, Table2, Table3, Table4, Table5,
+};
+use crate::paperref as p;
+use oscache_trace::CoherenceCategory;
+use std::fmt;
+
+fn header(f: &mut fmt::Formatter<'_>, title: &str) -> fmt::Result {
+    writeln!(f, "{title}")?;
+    writeln!(f, "{}", "=".repeat(title.len()))?;
+    write!(f, "{:<44}", "")?;
+    for w in p::WORKLOADS {
+        write!(f, "{w:>16}")?;
+    }
+    writeln!(f)
+}
+
+/// Writes one row of `measured (paper)` cells.
+fn row(f: &mut fmt::Formatter<'_>, label: &str, measured: &[f64], paper: &[f64]) -> fmt::Result {
+    write!(f, "{label:<44}")?;
+    for k in 0..measured.len() {
+        let cell = format!("{:>5.1} ({:>4.1})", measured[k], paper[k]);
+        write!(f, "{cell:>16}")?;
+    }
+    writeln!(f)
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        header(f, "Table 1: workload characteristics  [measured (paper)]")?;
+        let g = |sel: fn(&crate::WorkloadMetrics) -> f64| [0, 1, 2, 3].map(|k| sel(&self.rows[k]));
+        row(f, "User Time (%)", &g(|m| m.user_time_pct), &p::T1_USER)?;
+        row(f, "Idle Time (%)", &g(|m| m.idle_time_pct), &p::T1_IDLE)?;
+        row(f, "OS Time (%)", &g(|m| m.os_time_pct), &p::T1_OS)?;
+        row(
+            f,
+            "Stall Due to OS D-Accesses (% of Total)",
+            &g(|m| m.os_dstall_pct),
+            &p::T1_OS_DSTALL,
+        )?;
+        row(
+            f,
+            "D-Miss Rate in Primary Cache (%)",
+            &g(|m| m.dmiss_rate_pct),
+            &p::T1_DMISS_RATE,
+        )?;
+        row(
+            f,
+            "OS D-Reads / Total D-Reads (%)",
+            &g(|m| m.os_dreads_pct),
+            &p::T1_OS_DREADS,
+        )?;
+        row(
+            f,
+            "OS D-Misses / Total D-Misses (%)",
+            &g(|m| m.os_dmisses_pct),
+            &p::T1_OS_DMISSES,
+        )
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        header(
+            f,
+            "Table 2: breakdown of OS data misses  [measured (paper)]",
+        )?;
+        let g = |sel: fn(&crate::MissBreakdown) -> f64| [0, 1, 2, 3].map(|k| sel(&self.rows[k]));
+        row(f, "Block Op. (%)", &g(|m| m.block_op_pct), &p::T2_BLOCK)?;
+        row(
+            f,
+            "Coherence (%)",
+            &g(|m| m.coherence_pct),
+            &p::T2_COHERENCE,
+        )?;
+        row(f, "Other (%)", &g(|m| m.other_pct), &p::T2_OTHER)
+    }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        header(
+            f,
+            "Table 3: block operation characteristics  [measured (paper)]",
+        )?;
+        let g = |sel: fn(&crate::experiments::Table3Col) -> f64| {
+            [0, 1, 2, 3].map(|k| sel(&self.cols[k]))
+        };
+        row(
+            f,
+            "Src lines already cached (%)",
+            &g(|c| c.src_cached_pct),
+            &p::T3_SRC_CACHED,
+        )?;
+        row(
+            f,
+            "Dst lines in L2 Dirty/Excl (%)",
+            &g(|c| c.dst_owned_pct),
+            &p::T3_DST_OWNED,
+        )?;
+        row(
+            f,
+            "Dst lines in L2 Shared (%)",
+            &g(|c| c.dst_shared_pct),
+            &p::T3_DST_SHARED,
+        )?;
+        row(f, "Blocks = 4 KB (%)", &g(|c| c.page_pct), &p::T3_PAGE)?;
+        row(f, "Blocks 1-4 KB (%)", &g(|c| c.med_pct), &p::T3_MED)?;
+        row(f, "Blocks < 1 KB (%)", &g(|c| c.small_pct), &p::T3_SMALL)?;
+        row(
+            f,
+            "Inside displ. misses / misses (%)",
+            &g(|c| c.displ_in_pct),
+            &p::T3_DISPL_IN,
+        )?;
+        row(
+            f,
+            "Outside displ. misses / misses (%)",
+            &g(|c| c.displ_out_pct),
+            &p::T3_DISPL_OUT,
+        )?;
+        row(
+            f,
+            "Inside reuses / misses (%)",
+            &g(|c| c.reuse_in_pct),
+            &p::T3_REUSE_IN,
+        )?;
+        row(
+            f,
+            "Outside reuses / misses (%)",
+            &g(|c| c.reuse_out_pct),
+            &p::T3_REUSE_OUT,
+        )
+    }
+}
+
+impl fmt::Display for Table4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        header(
+            f,
+            "Table 4: small block copies / deferred copy  [measured (paper)]",
+        )?;
+        let g = |sel: fn(&crate::experiments::Table4Col) -> f64| {
+            [0, 1, 2, 3].map(|k| sel(&self.cols[k]))
+        };
+        row(
+            f,
+            "Small copies / copies (%)",
+            &g(|c| c.small_pct),
+            &p::T4_SMALL,
+        )?;
+        row(
+            f,
+            "Read-only small / small copies (%)",
+            &g(|c| c.readonly_pct),
+            &p::T4_READONLY,
+        )?;
+        row(
+            f,
+            "Misses eliminated by deferral (%)",
+            &g(|c| c.eliminated_pct),
+            &p::T4_ELIMINATED,
+        )
+    }
+}
+
+impl fmt::Display for Table5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        header(
+            f,
+            "Table 5: breakdown of OS coherence misses  [measured (paper)]",
+        )?;
+        let paper = [
+            p::T5_BARRIERS,
+            p::T5_INFREQ,
+            p::T5_FREQ,
+            p::T5_LOCKS,
+            p::T5_OTHER,
+        ];
+        for (i, cat) in CoherenceCategory::all().iter().enumerate() {
+            let measured = [0, 1, 2, 3].map(|k| self.rows[k].pct[*cat as usize]);
+            row(f, &format!("{} (%)", cat.label()), &measured, &paper[i])?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Figure1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        header(
+            f,
+            "Figure 1: block operation overhead components (fraction of overhead)",
+        )?;
+        let frac = |k: usize, sel: fn(&crate::BlockOpOverhead) -> u64| {
+            let c = &self.cols[k];
+            sel(c) as f64 / c.total().max(1) as f64
+        };
+        for (label, sel) in [
+            (
+                "Read Stall",
+                (|c| c.read_stall) as fn(&crate::BlockOpOverhead) -> u64,
+            ),
+            ("Write Stall", |c| c.write_stall),
+            ("Displ. Stall", |c| c.displ_stall),
+            ("Instr. Exec.", |c| c.instr_exec),
+        ] {
+            write!(f, "{label:<44}")?;
+            for k in 0..4 {
+                write!(f, "{:>16.2}", frac(k, sel))?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(
+            f,
+            "(paper: Read/Write/Exec each ~30% of overhead, Displ ~10%)"
+        )
+    }
+}
+
+impl fmt::Display for MissFigure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let title = format!(
+            "{}: normalized OS data misses{}",
+            self.name,
+            if self.split_label.is_empty() {
+                String::new()
+            } else {
+                format!("  [{} share in brackets]", self.split_label)
+            }
+        );
+        header(f, &title)?;
+        let paper: Option<&[[f64; 4]]> = match self.name {
+            "Figure 2" => Some(&p::F2_MISSES),
+            "Figure 4" => Some(&p::F4_MISSES),
+            "Figure 5" => Some(&p::F5_MISSES),
+            _ => None,
+        };
+        for (i, (label, cells)) in self.rows.iter().enumerate() {
+            write!(f, "{label:<44}")?;
+            for (k, c) in cells.iter().enumerate() {
+                let pp = paper.map(|rows| rows[i][k]);
+                let cell = match pp {
+                    Some(v) => format!("{:>4.2} (p {:>4.2})", c.normalized, v),
+                    None => format!("{:>6.2}", c.normalized),
+                };
+                write!(f, "{cell:>16}")?;
+            }
+            writeln!(f)?;
+            if !self.split_label.is_empty() {
+                write!(f, "{:<44}", format!("  ..{} part", self.split_label))?;
+                for c in cells {
+                    write!(f, "{:>16.2}", c.split_normalized)?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Figure3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        header(
+            f,
+            "Figure 3: normalized OS execution time  [measured (paper)]",
+        )?;
+        for (i, sys) in self.systems.iter().enumerate() {
+            write!(f, "{:<44}", sys.label())?;
+            for w in 0..4 {
+                let cell = format!(
+                    "{:>4.2} (p {:>4.2})",
+                    self.normalized(w, i),
+                    p::F3_TIME[i][w]
+                );
+                write!(f, "{cell:>16}")?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f)?;
+        // Component detail for Base and BCPref.
+        for (i, sys) in self.systems.iter().enumerate() {
+            if !matches!(sys.label(), "Base" | "Blk_Dma" | "BCPref") {
+                continue;
+            }
+            writeln!(
+                f,
+                "  {} components (fraction of that workload's Base):",
+                sys
+            )?;
+            for (name, sel) in [
+                (
+                    "Exec",
+                    (|b: &crate::OsTimeBreakdown| b.exec) as fn(&crate::OsTimeBreakdown) -> u64,
+                ),
+                ("I Miss", |b| b.imiss),
+                ("D Write", |b| b.dwrite),
+                ("D Read Miss", |b| b.dread),
+                ("Pref", |b| b.pref),
+            ] {
+                write!(f, "  {name:<42}")?;
+                for w in 0..4 {
+                    let (b, base) = &self.cells[w][i];
+                    write!(f, "{:>16.3}", sel(b) as f64 / *base as f64)?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Renders a horizontal bar of `value` (0..=max) scaled to `width` cells.
+fn bar(value: f64, max: f64, width: usize) -> String {
+    let filled = ((value / max) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
+    let mut s = "█".repeat(filled);
+    s.push_str(&"·".repeat(width - filled));
+    s
+}
+
+impl MissFigure {
+    /// The figure as ASCII bars (the paper presents these as bar charts).
+    pub fn bars(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let max = self
+            .rows
+            .iter()
+            .flat_map(|(_, cells)| cells.iter().map(|c| c.normalized))
+            .fold(1.0f64, f64::max);
+        writeln!(out, "{} (normalized OS data misses)", self.name).unwrap();
+        for (w, label) in crate::paperref::WORKLOADS.iter().enumerate() {
+            writeln!(out, "  {label}").unwrap();
+            for (sys, cells) in &self.rows {
+                let c = cells[w];
+                writeln!(
+                    out,
+                    "    {:<12} {} {:.2}",
+                    sys,
+                    bar(c.normalized, max, 40),
+                    c.normalized
+                )
+                .unwrap();
+            }
+        }
+        out
+    }
+}
+
+impl Figure3 {
+    /// The figure as ASCII bars.
+    pub fn bars(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let max = 1.25f64;
+        writeln!(out, "Figure 3 (normalized OS execution time)").unwrap();
+        for (w, label) in crate::paperref::WORKLOADS.iter().enumerate() {
+            writeln!(out, "  {label}").unwrap();
+            for (i, sys) in self.systems.iter().enumerate() {
+                let v = self.normalized(w, i);
+                writeln!(out, "    {:<12} {} {:.2}", sys.label(), bar(v, max, 40), v).unwrap();
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for GeometryFigure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let title = format!(
+            "{}: normalized OS execution time across geometries",
+            self.name
+        );
+        header(f, &title)?;
+        for (label, cells) in &self.rows {
+            for (s, sys) in self.systems.iter().enumerate() {
+                write!(f, "{:<44}", format!("{label} {sys}"))?;
+                for w in cells {
+                    write!(f, "{:>16.2}", w[s])?;
+                }
+                writeln!(f)?;
+            }
+        }
+        writeln!(
+            f,
+            "(paper: Blk_Dma always outperforms Base; BCPref always outperforms Blk_Dma)"
+        )
+    }
+}

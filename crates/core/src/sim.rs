@@ -1,0 +1,236 @@
+//! Simulation driver: applies a [`SystemSpec`]'s software passes to a
+//! trace, configures the machine, and runs it.
+
+use crate::analysis;
+use crate::config::{Geometry, System, SystemSpec, UpdatePolicy};
+use crate::transform;
+use oscache_memsys::{Machine, SimStats};
+use oscache_trace::Trace;
+use std::collections::HashSet;
+
+/// The outcome of simulating one (workload, system, geometry) point.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Raw simulator counters.
+    pub stats: SimStats,
+    /// The spec that produced them.
+    pub spec: SystemSpec,
+    /// The geometry that produced them.
+    pub geometry: Geometry,
+}
+
+/// Runs `system` on `trace` at the default geometry.
+pub fn run_system(trace: &Trace, system: System) -> RunResult {
+    run_spec(trace, system.spec(), Geometry::default())
+}
+
+/// Runs a fully-specified system at a given geometry.
+///
+/// The software passes mirror the paper's §5–§6 methodology:
+///
+/// 1. profile the trace's sharing behaviour;
+/// 2. privatize counters and relocate falsely-shared variables (§5.1),
+///    gathering the §5.2 update set into one update-mapped page;
+/// 3. for hot-spot prefetching (§6), first run a *profiling* simulation of
+///    the system without prefetches, rank sites by OS misses, insert
+///    prefetches at the top 12, then run the final simulation.
+pub fn run_spec(trace: &Trace, spec: SystemSpec, geometry: Geometry) -> RunResult {
+    let mut update_pages: HashSet<u32> = HashSet::new();
+    let mut owned: Option<Trace> = None;
+
+    if spec.deferred_copy {
+        owned = Some(crate::deferred::apply_deferred_copy(
+            owned.as_ref().unwrap_or(trace),
+        ));
+    }
+
+    if spec.page_coloring {
+        let l2_size = geometry.machine_config(&spec).l2.size;
+        owned = Some(transform::color_pages(
+            owned.as_ref().unwrap_or(trace),
+            l2_size,
+        ));
+    }
+
+    if spec.privatize || spec.relocate || spec.update != UpdatePolicy::None {
+        let working = owned.as_ref().unwrap_or(trace);
+        let profile = analysis::profile_sharing(working);
+        let privatized = if spec.privatize {
+            analysis::find_privatizable(&profile)
+        } else {
+            Vec::new()
+        };
+        // Build one combined relocation plan: update-set members go to the
+        // update page; other falsely-shared variables get their own lines.
+        let mut plan = transform::RelocationMap::new();
+        let mut placed: HashSet<u32> = HashSet::new();
+        if spec.update == UpdatePolicy::Selective {
+            let set = analysis::find_update_set(&profile, &privatized);
+            let (upd_plan, pages) = transform::update_page_plan(working, &set);
+            update_pages = pages;
+            // Record which variables the update plan placed.
+            for w in set.all_words() {
+                if let Some(v) = working.meta.var_at(w) {
+                    placed.insert(v.addr.0);
+                } else {
+                    placed.insert(w.0);
+                }
+            }
+            plan = upd_plan;
+        }
+        if spec.relocate {
+            let fs = transform::false_sharing_plan(working, &placed);
+            // Merge: false-sharing moves for anything not already placed.
+            for v in &working.meta.vars {
+                if v.false_shared_group.is_some()
+                    && !placed.contains(&v.addr.0)
+                    && plan.lookup(v.addr).is_none()
+                {
+                    if let Some(new) = fs.lookup(v.addr) {
+                        plan.add(v.addr, v.size, new);
+                    }
+                }
+            }
+        }
+        let mut t = working.clone();
+        if spec.privatize && !privatized.is_empty() {
+            t = transform::privatize_counters(&t, &privatized);
+        }
+        if !plan.is_empty() {
+            t = transform::relocate(&t, &plan);
+        }
+        owned = Some(t);
+    }
+
+    if spec.update == UpdatePolicy::Full {
+        let working = owned.as_ref().unwrap_or(trace);
+        update_pages = transform::full_update_pages(working);
+    }
+
+    let mut cfg = geometry.machine_config(&spec);
+    cfg.n_cpus = trace.n_cpus();
+    cfg.update_pages = update_pages;
+
+    if spec.hotspot_prefetch {
+        // Profiling run without the prefetches.
+        let working = owned.as_ref().unwrap_or(trace);
+        let profile_stats = Machine::new(cfg.clone(), working).run();
+        let hot = analysis::find_hot_spots(&profile_stats.total(), &working.meta.code);
+        let t = transform::insert_hotspot_prefetches(working, &hot);
+        owned = Some(t);
+    }
+
+    let working = owned.as_ref().unwrap_or(trace);
+    let stats = Machine::new(cfg, working).run();
+    RunResult {
+        stats,
+        spec,
+        geometry,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oscache_workloads::{build, BuildOptions, Workload};
+
+    fn trace() -> Trace {
+        build(
+            Workload::Trfd4,
+            BuildOptions {
+                scale: 0.05,
+                seed: 5,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn base_run_produces_misses_in_every_category() {
+        let t = trace();
+        let r = run_system(&t, System::Base);
+        let total = r.stats.total();
+        assert!(total.os_miss_blockop > 0, "no block-op misses");
+        assert!(
+            total.os_miss_coherence.iter().sum::<u64>() > 0,
+            "no coherence misses"
+        );
+        assert!(total.os_miss_other > 0, "no other misses");
+        assert!(total.idle_cycles > 0);
+        assert!(total.exec_cycles.user > 0);
+    }
+
+    #[test]
+    fn ladder_monotonically_reduces_os_misses() {
+        let t = trace();
+        let base = run_system(&t, System::Base).stats.total().os_read_misses();
+        let dma = run_system(&t, System::BlkDma)
+            .stats
+            .total()
+            .os_read_misses();
+        let relup = run_system(&t, System::BCohRelUp)
+            .stats
+            .total()
+            .os_read_misses();
+        let bcpref = run_system(&t, System::BCPref)
+            .stats
+            .total()
+            .os_read_misses();
+        assert!(dma < base, "Blk_Dma {dma} !< Base {base}");
+        assert!(relup < dma, "BCoh_RelUp {relup} !< Blk_Dma {dma}");
+        assert!(bcpref < relup, "BCPref {bcpref} !< BCoh_RelUp {relup}");
+        // Headline shape: the full ladder removes well over half the misses.
+        assert!(
+            (bcpref as f64) < 0.55 * base as f64,
+            "ladder only reached {bcpref}/{base}"
+        );
+    }
+
+    #[test]
+    fn dma_speeds_up_the_os() {
+        let t = trace();
+        let base = run_system(&t, System::Base);
+        let dma = run_system(&t, System::BlkDma);
+        let os = |r: &RunResult| crate::metrics::OsTimeBreakdown::from_stats(&r.stats).total();
+        assert!(
+            os(&dma) < os(&base),
+            "Blk_Dma OS time {} !< Base {}",
+            os(&dma),
+            os(&base)
+        );
+    }
+
+    #[test]
+    fn selective_update_adds_modest_traffic() {
+        let t = trace();
+        let reloc = run_system(&t, System::BCohReloc);
+        let relup = run_system(&t, System::BCohRelUp);
+        assert!(relup.stats.bus.update_words > 0);
+        // §5.2: the miss reduction costs only a few percent more traffic.
+        let tr = |r: &RunResult| r.stats.bus.busy_cycles as f64;
+        assert!(
+            tr(&relup) < tr(&reloc) * 1.25,
+            "update traffic exploded: {} vs {}",
+            tr(&relup),
+            tr(&reloc)
+        );
+    }
+
+    #[test]
+    fn full_update_has_more_traffic_than_selective() {
+        let t = trace();
+        let spec = System::BCohRelUp.spec();
+        let selective = run_spec(&t, spec, Geometry::default());
+        // The pure-update comparison point applies the update protocol to
+        // every kernel page of the *unoptimized* kernel (§5.2).
+        let mut spec = System::BlkDma.spec();
+        spec.update = UpdatePolicy::Full;
+        let full = run_spec(&t, spec, Geometry::default());
+        assert!(
+            full.stats.bus.update_words > selective.stats.bus.update_words,
+            "full {} !> selective {}",
+            full.stats.bus.update_words,
+            selective.stats.bus.update_words
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Rendering tests for the table/figure reports.
+
+use oscache_core::Repro;
+
+fn repro() -> Repro {
+    Repro::new(0.05)
+}
+
+#[test]
+fn table1_renders_all_rows_and_workloads() {
+    let out = format!("{}", repro().table1());
+    for label in [
+        "User Time",
+        "Idle Time",
+        "OS Time",
+        "Stall Due to OS D-Accesses",
+        "D-Miss Rate",
+        "OS D-Reads",
+        "OS D-Misses",
+    ] {
+        assert!(out.contains(label), "missing row {label}:\n{out}");
+    }
+    for w in ["TRFD_4", "TRFD+Make", "ARC2D+Fsck", "Shell"] {
+        assert!(out.contains(w), "missing workload {w}");
+    }
+    // Paper reference values are embedded, e.g. Table 1's 49.9.
+    assert!(out.contains("(49.9)"));
+}
+
+#[test]
+fn table2_shares_sum_to_one_hundred() {
+    let t2 = repro().table2();
+    for (k, row) in t2.rows.iter().enumerate() {
+        let sum = row.block_op_pct + row.coherence_pct + row.other_pct;
+        assert!((sum - 100.0).abs() < 0.01, "column {k} sums to {sum}");
+        assert!(row.total > 0);
+    }
+}
+
+#[test]
+fn table3_percentages_are_bounded() {
+    let t3 = repro().table3();
+    for col in &t3.cols {
+        for v in [
+            col.src_cached_pct,
+            col.dst_owned_pct,
+            col.dst_shared_pct,
+            col.page_pct,
+            col.med_pct,
+            col.small_pct,
+        ] {
+            assert!((0.0..=100.0).contains(&v), "{v} out of range");
+        }
+        let sizes = col.page_pct + col.med_pct + col.small_pct;
+        assert!((sizes - 100.0).abs() < 0.01, "size mix sums to {sizes}");
+    }
+}
+
+#[test]
+fn table4_and_5_render() {
+    let mut r = repro();
+    let t4 = format!("{}", r.table4());
+    assert!(t4.contains("Read-only small"));
+    let t5 = format!("{}", r.table5());
+    for cat in ["Barriers", "Infreq. Com.", "Freq. Shared", "Locks", "Other"] {
+        assert!(t5.contains(cat), "missing {cat}");
+    }
+}
+
+#[test]
+fn figures_normalize_base_to_one() {
+    let mut r = repro();
+    for fig in [r.figure2(), r.figure4(), r.figure5()] {
+        let (label, cells) = &fig.rows[0];
+        assert_eq!(label, "Base");
+        for c in cells {
+            assert!((c.normalized - 1.0).abs() < 1e-9);
+        }
+        // Every row has one cell per workload.
+        for (_, cells) in &fig.rows {
+            assert_eq!(cells.len(), 4);
+        }
+    }
+}
+
+#[test]
+fn figure3_average_is_consistent() {
+    let mut r = repro();
+    let f3 = r.figure3();
+    // Base average is exactly 1.0.
+    assert!((f3.average(0) - 1.0).abs() < 1e-9);
+    // BCPref (index 7) beats Base on average.
+    assert!(f3.average(7) < 1.0);
+    let rendered = format!("{f3}");
+    assert!(rendered.contains("BCoh_RelUp"));
+    assert!(rendered.contains("D Read Miss"));
+}
+
+#[test]
+fn geometry_figures_have_three_sweep_points() {
+    let mut r = repro();
+    for fig in [r.figure6(), r.figure7()] {
+        assert_eq!(fig.rows.len(), 3);
+        for (_, cells) in &fig.rows {
+            assert_eq!(cells.len(), 4); // workloads
+            for point in cells {
+                assert_eq!(point.len(), 3); // Base, Blk_Dma, BCPref
+                assert!((point[0] - 1.0).abs() < 1e-9);
+            }
+        }
+        let out = format!("{fig}");
+        assert!(out.contains("Blk_Dma"));
+    }
+}
+
+#[test]
+fn repro_caches_runs() {
+    let mut r = repro();
+    let _ = r.table1();
+    let t0 = std::time::Instant::now();
+    let _ = r.table1(); // all runs cached: must be near-instant
+    assert!(
+        t0.elapsed() < std::time::Duration::from_millis(100),
+        "second table1 took {:?}",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn bar_charts_render() {
+    let mut r = repro();
+    let bars = r.figure2().bars();
+    assert!(bars.contains("█"), "bars must be drawn");
+    assert!(bars.contains("Blk_Dma"));
+    assert!(bars.contains("TRFD_4"));
+    let bars3 = r.figure3().bars();
+    assert!(bars3.contains("BCPref"));
+    // Base rows are full-scale or near it.
+    assert!(bars3
+        .lines()
+        .any(|l| l.contains("Base") && l.contains("1.00")));
+}
+
+#[test]
+fn figure1_components_are_nonzero() {
+    let f1 = repro().figure1();
+    for col in &f1.cols {
+        assert!(col.total() > 0);
+        assert!(col.read_stall + col.write_stall > 0);
+        assert!(col.instr_exec > 0);
+    }
+    let out = format!("{}", repro().figure1());
+    assert!(out.contains("Displ. Stall"));
+}

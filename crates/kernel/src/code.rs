@@ -1,0 +1,215 @@
+//! Kernel code map: one routine per OS service, each made of basic blocks
+//! placed in kernel text.
+//!
+//! Modelling instruction addresses matters twice: the simulator replays
+//! instruction fetches against the 16-KB L1I (the `I Miss` component of
+//! Figure 3), and the hot-spot analysis (§6) ranks *sites* — loops and
+//! basic-block sequences — by the data misses suffered while they execute.
+//! The routines here include the paper's named hot spots: four page-table
+//! loops, the free-page list walk, and the resume / timer / trap /
+//! context-switch / schedule sequences.
+
+use oscache_trace::{Addr, BlockId, CodeLayout, SiteId, StreamBuilder};
+
+/// A kernel routine: a site plus its basic blocks in execution order.
+#[derive(Clone, Debug)]
+pub struct Routine {
+    /// The site id (unit of hot-spot attribution).
+    pub site: SiteId,
+    /// Basic blocks in straight-line order (loops have one body block).
+    pub blocks: Vec<BlockId>,
+}
+
+impl Routine {
+    /// Emits one straight-line execution of the routine.
+    pub fn emit(&self, b: &mut StreamBuilder) {
+        for &blk in &self.blocks {
+            b.exec(blk);
+        }
+    }
+
+    /// Emits the `k`-th block (loops emit block 0 per iteration).
+    pub fn emit_block(&self, b: &mut StreamBuilder, k: usize) {
+        b.exec(self.blocks[k % self.blocks.len()]);
+    }
+}
+
+/// All kernel routines, with their blocks registered in a [`CodeLayout`].
+#[derive(Clone, Debug)]
+pub struct KernelCode {
+    /// System-call trap entry sequence (§6 hot sequence).
+    pub trap_entry: Routine,
+    /// System-call dispatch sequence.
+    pub syscall_dispatch: Routine,
+    /// Process-resume sequence (§6 hot sequence).
+    pub resume_proc: Routine,
+    /// Context-save sequence.
+    pub ctx_save: Routine,
+    /// Scheduler pick-next sequence (§6 hot sequence).
+    pub sched_pick: Routine,
+    /// Timer-interrupt sequence (§6 hot sequence).
+    pub timer_seq: Routine,
+    /// System-accounting sequence (§6 hot sequence).
+    pub acct_seq: Routine,
+    /// Cross-processor-interrupt handler sequence.
+    pub cpi_handler: Routine,
+    /// `fork` entry code.
+    pub fork_entry: Routine,
+    /// `exec` entry code.
+    pub exec_entry: Routine,
+    /// Page-fault entry code.
+    pub pgfault_entry: Routine,
+    /// File-I/O entry code.
+    pub file_io_entry: Routine,
+    /// Network/tty entry code.
+    pub net_entry: Routine,
+    /// Generic kernel data-work sequence (argument processing, table
+    /// walks) shared by all services.
+    pub kwork_seq: Routine,
+    /// Page-table initialization loop (§6 hot loop).
+    pub pte_init_loop: Routine,
+    /// Page-table copy loop (§6 hot loop).
+    pub pte_copy_loop: Routine,
+    /// Page-table scan loop in the fault handler (§6 hot loop).
+    pub pte_scan_loop: Routine,
+    /// Page-table protection-change loop (§6 hot loop).
+    pub pte_prot_loop: Routine,
+    /// Free-page-list walk loop (§6 hot loop).
+    pub freelist_loop: Routine,
+    /// Block-copy inner loop.
+    pub bcopy_loop: Routine,
+    /// Block-zero inner loop.
+    pub bzero_loop: Routine,
+    /// The idle loop.
+    pub idle_loop: Routine,
+    /// First byte of text past the kernel routines.
+    pub text_end: Addr,
+}
+
+impl KernelCode {
+    /// Registers every kernel routine in `code`, starting at `text_base`.
+    pub fn new(code: &mut CodeLayout, text_base: Addr) -> Self {
+        let mut cursor = text_base.0;
+        let mut seq = |code: &mut CodeLayout, name: &'static str, blocks: &[u32]| -> Routine {
+            let site = code.add_site(name, false);
+            let mut ids = Vec::new();
+            for &instrs in blocks {
+                ids.push(code.add_block(Addr(cursor), instrs, site));
+                cursor += instrs * 4;
+            }
+            cursor = (cursor + 1023) & !1023; // pad routines apart
+            Routine { site, blocks: ids }
+        };
+        let trap_entry = seq(code, "trap_entry", &[18, 14, 20, 16]);
+        let syscall_dispatch = seq(code, "syscall_dispatch", &[14, 12, 10]);
+        let resume_proc = seq(code, "resume_proc", &[16, 14, 18, 12]);
+        let ctx_save = seq(code, "ctx_save", &[14, 18, 14]);
+        let sched_pick = seq(code, "sched_pick", &[12, 16, 14, 10]);
+        let timer_seq = seq(code, "timer_seq", &[12, 14, 10]);
+        let acct_seq = seq(code, "acct_seq", &[12, 10]);
+        let cpi_handler = seq(code, "cpi_handler", &[10, 14]);
+        let fork_entry = seq(code, "fork_entry", &[18, 16, 14, 16]);
+        let exec_entry = seq(code, "exec_entry", &[16, 14, 18, 14]);
+        let pgfault_entry = seq(code, "pgfault_entry", &[18, 14, 16, 14]);
+        let file_io_entry = seq(code, "file_io_entry", &[14, 16, 14]);
+        let net_entry = seq(code, "net_entry", &[14, 12, 14]);
+        let kwork_seq = seq(code, "kwork_seq", &[12, 10, 14, 10]);
+
+        let mut lp = |code: &mut CodeLayout, name: &'static str, instrs: u32| -> Routine {
+            let site = code.add_site(name, true);
+            let id = code.add_block(Addr(cursor), instrs, site);
+            cursor += instrs * 4;
+            cursor = (cursor + 1023) & !1023;
+            Routine {
+                site,
+                blocks: vec![id],
+            }
+        };
+        let pte_init_loop = lp(code, "pte_init_loop", 5);
+        let pte_copy_loop = lp(code, "pte_copy_loop", 6);
+        let pte_scan_loop = lp(code, "pte_scan_loop", 5);
+        let pte_prot_loop = lp(code, "pte_prot_loop", 5);
+        let freelist_loop = lp(code, "freelist_loop", 6);
+        let bcopy_loop = lp(code, "bcopy_loop", 16);
+        let bzero_loop = lp(code, "bzero_loop", 10);
+        let idle_loop = lp(code, "idle_loop", 4);
+
+        KernelCode {
+            trap_entry,
+            syscall_dispatch,
+            resume_proc,
+            ctx_save,
+            sched_pick,
+            timer_seq,
+            acct_seq,
+            cpi_handler,
+            fork_entry,
+            exec_entry,
+            pgfault_entry,
+            file_io_entry,
+            net_entry,
+            kwork_seq,
+            pte_init_loop,
+            pte_copy_loop,
+            pte_scan_loop,
+            pte_prot_loop,
+            freelist_loop,
+            bcopy_loop,
+            bzero_loop,
+            idle_loop,
+            text_end: Addr(cursor),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routines_do_not_overlap() {
+        let mut code = CodeLayout::new();
+        let kc = KernelCode::new(&mut code, Addr(0x0001_0000));
+        let mut ranges: Vec<(u32, u32)> =
+            code.blocks().map(|(_, b)| (b.start.0, b.end().0)).collect();
+        ranges.sort();
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "blocks overlap: {w:?}");
+        }
+        assert!(kc.text_end.0 > 0x0001_0000);
+    }
+
+    #[test]
+    fn loops_have_one_block_and_are_flagged() {
+        let mut code = CodeLayout::new();
+        let kc = KernelCode::new(&mut code, Addr(0x0001_0000));
+        for r in [&kc.pte_init_loop, &kc.freelist_loop, &kc.bcopy_loop] {
+            assert_eq!(r.blocks.len(), 1);
+            assert!(code.site(r.site).is_loop);
+        }
+        assert!(!code.site(kc.trap_entry.site).is_loop);
+    }
+
+    #[test]
+    fn emit_pushes_exec_events() {
+        let mut code = CodeLayout::new();
+        let kc = KernelCode::new(&mut code, Addr(0x0001_0000));
+        let mut b = StreamBuilder::new();
+        kc.resume_proc.emit(&mut b);
+        assert_eq!(b.len(), kc.resume_proc.blocks.len());
+        kc.bcopy_loop.emit_block(&mut b, 5);
+        assert_eq!(b.len(), kc.resume_proc.blocks.len() + 1);
+    }
+
+    #[test]
+    fn text_footprint_exceeds_l1i() {
+        // The kernel routines must not all fit the 16-KB L1I, or service
+        // switches would never miss.
+        let mut code = CodeLayout::new();
+        let kc = KernelCode::new(&mut code, Addr(0x0001_0000));
+        assert!(
+            kc.text_end.0 - 0x0001_0000 > 16 * 1024,
+            "kernel text suspiciously small"
+        );
+    }
+}

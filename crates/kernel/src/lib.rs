@@ -1,0 +1,40 @@
+//! # oscache-kernel
+//!
+//! The synthetic multiprocessor-operating-system substrate.
+//!
+//! Xia & Torrellas traced Concentrix 3.0 (a multithreaded, symmetric BSD
+//! 4.2 UNIX) on a 4-processor Alliant FX/8 with a hardware performance
+//! monitor. Neither the machine nor the traces are obtainable today, so —
+//! per the reproduction's substitution rule (DESIGN.md §2) — this crate
+//! models the *reference behaviour* of such a kernel:
+//!
+//! * [`KernelLayout`] places every kernel data structure the paper names
+//!   (event counters, `freelist`, `cpievents`, resource-table pointers,
+//!   locks, barriers, timer, run queue, process table, page tables, buffer
+//!   cache, page frames) at fixed physical addresses — reproducing the
+//!   sharing pathologies of a uniprocessor-derived kernel: counters packed
+//!   per line, sync variables sharing lines, falsely-shared per-CPU fields.
+//! * [`KernelCode`] places every OS routine's basic blocks in kernel text,
+//!   including the paper's §6 hot spots (four page-table loops, the
+//!   free-list walk, and the resume/timer/trap/switch/schedule sequences).
+//! * [`Kernel`] generates the reference stream of each OS service
+//!   (page faults, fork/exec, context switches, cross-processor
+//!   interrupts, timer ticks, file I/O, the pager sweep) into per-CPU
+//!   [`oscache_trace::StreamBuilder`]s.
+//!
+//! The `oscache-workloads` crate composes these services into the paper's
+//! four workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod code;
+mod layout;
+mod services;
+
+pub use code::{KernelCode, Routine};
+pub use layout::{
+    KernelLayout, KernelLock, N_BARRIERS, N_BUFFERS, N_COUNTERS, N_CPUS, N_FRAMES, N_LOCKS,
+    N_PROCS, N_RESOURCES, PROC_ENTRY_SIZE, PTES_PER_PROC,
+};
+pub use services::{Fill, Kernel, BLOCK_WORD};

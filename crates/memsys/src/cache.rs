@@ -1,0 +1,406 @@
+//! Set-associative cache with MESI line states.
+//!
+//! The paper's machine uses direct-mapped caches everywhere (§2.4), which
+//! is the default; higher associativities are supported for the
+//! associativity ablation (the paper's §7 notes the remaining misses are
+//! mostly conflicts, which associativity attacks directly).
+
+use crate::CacheGeom;
+use oscache_trace::{DataClass, LineAddr};
+
+/// MESI coherence state of a cached line (the Illinois protocol's states).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LineState {
+    /// Not present.
+    #[default]
+    Invalid,
+    /// Present, clean, possibly also in other caches.
+    Shared,
+    /// Present, clean, in no other cache (Illinois grants this on a miss
+    /// when no other cache holds the line).
+    Exclusive,
+    /// Present, dirty, in no other cache.
+    Modified,
+}
+
+impl LineState {
+    /// True for any valid state.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        !matches!(self, LineState::Invalid)
+    }
+
+    /// True when the local CPU may write without a bus transaction.
+    #[inline]
+    pub fn is_owned(self) -> bool {
+        matches!(self, LineState::Exclusive | LineState::Modified)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Frame {
+    line: u32,
+    state: LineState,
+    /// The fill that installed this line happened during a block operation
+    /// (needed to label later misses as *block displacement misses*, §4.1.3).
+    blockop_fill: bool,
+    /// Attribution of the reference that installed the line (conflict-pair
+    /// analysis, §6).
+    class: DataClass,
+    /// LRU timestamp (larger = more recent).
+    lru: u64,
+}
+
+impl Default for Frame {
+    fn default() -> Self {
+        Frame {
+            line: 0,
+            state: LineState::Invalid,
+            blockop_fill: false,
+            class: DataClass::KernelOther,
+            lru: 0,
+        }
+    }
+}
+
+/// Description of a line displaced by a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Evicted {
+    /// The displaced line.
+    pub line: LineAddr,
+    /// Its state at eviction (a `Modified` eviction requires a write-back).
+    pub state: LineState,
+    /// Whether the *displaced* line had been installed by a block operation.
+    pub blockop_fill: bool,
+    /// Whether the fill that displaced it belongs to a block operation.
+    pub evicted_by_blockop: bool,
+    /// Attribution class of the displaced line.
+    pub class: DataClass,
+}
+
+/// A set-associative cache (direct-mapped when `geom.ways == 1`).
+///
+/// The cache stores only coherence metadata (tags and states) — the
+/// simulator is trace-driven, so no data payloads exist. Replacement is
+/// LRU within a set.
+///
+/// # Examples
+///
+/// ```
+/// use oscache_memsys::{Cache, CacheGeom, LineState};
+/// use oscache_trace::{Addr, DataClass};
+///
+/// let mut c = Cache::new(CacheGeom::new(256, 16));
+/// let line = Addr(0x40).line(16);
+/// c.fill(line, LineState::Exclusive, DataClass::PageTable, false);
+/// assert!(c.contains(line));
+/// // A conflicting line displaces it (direct-mapped).
+/// let evicted = c
+///     .fill(Addr(0x140).line(16), LineState::Shared, DataClass::UserData, false)
+///     .unwrap();
+/// assert_eq!(evicted.line, line);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    geom: CacheGeom,
+    frames: Vec<Frame>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(geom: CacheGeom) -> Self {
+        Cache {
+            geom,
+            frames: vec![Frame::default(); geom.n_lines() as usize],
+            tick: 0,
+        }
+    }
+
+    /// The cache geometry.
+    #[inline]
+    pub fn geom(&self) -> CacheGeom {
+        self.geom
+    }
+
+    /// Index of the first frame of `line`'s set.
+    #[inline]
+    fn set_base(&self, line: LineAddr) -> usize {
+        (self.geom.set_of(line.0) * self.geom.ways) as usize
+    }
+
+    /// Finds the way holding `line`, if resident.
+    #[inline]
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        let base = self.set_base(line);
+        (base..base + self.geom.ways as usize)
+            .find(|&i| self.frames[i].state.is_valid() && self.frames[i].line == line.0)
+    }
+
+    /// The state of `line`, or [`LineState::Invalid`] if not resident.
+    #[inline]
+    pub fn state(&self, line: LineAddr) -> LineState {
+        self.find(line)
+            .map_or(LineState::Invalid, |i| self.frames[i].state)
+    }
+
+    /// True if `line` is resident in any valid state. Touches LRU state is
+    /// NOT updated; use [`Cache::touch`] on hits that should refresh it.
+    #[inline]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Refreshes the LRU position of a resident line (call on hits).
+    pub fn touch(&mut self, line: LineAddr) {
+        if let Some(i) = self.find(line) {
+            self.tick += 1;
+            self.frames[i].lru = self.tick;
+        }
+    }
+
+    /// Changes the state of a resident line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is not resident or `state` is `Invalid` (use
+    /// [`Cache::invalidate`]).
+    pub fn set_state(&mut self, line: LineAddr, state: LineState) {
+        assert!(state.is_valid(), "use invalidate() to remove lines");
+        let i = self
+            .find(line)
+            .unwrap_or_else(|| panic!("set_state on non-resident line {line}"));
+        self.frames[i].state = state;
+    }
+
+    /// Installs `line` with `state`, returning the displaced victim (if a
+    /// *different* valid line had to leave the set).
+    ///
+    /// Refilling a resident line just updates its state/metadata.
+    pub fn fill(
+        &mut self,
+        line: LineAddr,
+        state: LineState,
+        class: DataClass,
+        by_blockop: bool,
+    ) -> Option<Evicted> {
+        debug_assert!(state.is_valid(), "cannot fill with Invalid");
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(i) = self.find(line) {
+            let f = &mut self.frames[i];
+            f.state = state;
+            f.blockop_fill = by_blockop;
+            f.class = class;
+            f.lru = tick;
+            return None;
+        }
+        // Choose a victim: an invalid way if any, else the LRU way.
+        let base = self.set_base(line);
+        let ways = base..base + self.geom.ways as usize;
+        let victim = ways
+            .clone()
+            .find(|&i| !self.frames[i].state.is_valid())
+            .unwrap_or_else(|| {
+                ways.min_by_key(|&i| self.frames[i].lru)
+                    .expect("set has at least one way")
+            });
+        let f = &mut self.frames[victim];
+        let evicted = f.state.is_valid().then_some(Evicted {
+            line: LineAddr(f.line),
+            state: f.state,
+            blockop_fill: f.blockop_fill,
+            evicted_by_blockop: by_blockop,
+            class: f.class,
+        });
+        *f = Frame {
+            line: line.0,
+            state,
+            blockop_fill: by_blockop,
+            class,
+            lru: tick,
+        };
+        evicted
+    }
+
+    /// Removes `line` if resident; returns its state at removal.
+    pub fn invalidate(&mut self, line: LineAddr) -> LineState {
+        match self.find(line) {
+            Some(i) => {
+                let old = self.frames[i].state;
+                self.frames[i].state = LineState::Invalid;
+                old
+            }
+            None => LineState::Invalid,
+        }
+    }
+
+    /// Whether the resident copy of `line` was installed by a block
+    /// operation. False if not resident.
+    pub fn filled_by_blockop(&self, line: LineAddr) -> bool {
+        self.find(line).is_some_and(|i| self.frames[i].blockop_fill)
+    }
+
+    /// Number of valid lines (for occupancy assertions in tests).
+    pub fn valid_count(&self) -> usize {
+        self.frames.iter().filter(|f| f.state.is_valid()).count()
+    }
+
+    /// Clears the cache to all-invalid.
+    pub fn clear(&mut self) {
+        for f in &mut self.frames {
+            f.state = LineState::Invalid;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> CacheGeom {
+        CacheGeom::new(256, 16) // 16 frames, direct-mapped
+    }
+
+    fn la(a: u32) -> LineAddr {
+        LineAddr(a)
+    }
+
+    #[test]
+    fn fill_then_probe() {
+        let mut c = Cache::new(geom());
+        assert_eq!(c.state(la(0x40)), LineState::Invalid);
+        assert!(c
+            .fill(la(0x40), LineState::Exclusive, DataClass::PageTable, false)
+            .is_none());
+        assert_eq!(c.state(la(0x40)), LineState::Exclusive);
+        assert!(c.contains(la(0x40)));
+        assert_eq!(c.valid_count(), 1);
+    }
+
+    #[test]
+    fn conflicting_fill_evicts() {
+        let mut c = Cache::new(geom());
+        c.fill(la(0x40), LineState::Modified, DataClass::ProcTable, false);
+        // 0x40 + 256 maps to the same set
+        let ev = c
+            .fill(la(0x140), LineState::Shared, DataClass::PageTable, true)
+            .expect("must evict");
+        assert_eq!(ev.line, la(0x40));
+        assert_eq!(ev.state, LineState::Modified);
+        assert!(ev.evicted_by_blockop);
+        assert!(!ev.blockop_fill);
+        assert_eq!(ev.class, DataClass::ProcTable);
+        assert_eq!(c.state(la(0x40)), LineState::Invalid);
+        assert_eq!(c.state(la(0x140)), LineState::Shared);
+        assert!(c.filled_by_blockop(la(0x140)));
+    }
+
+    #[test]
+    fn refill_same_line_does_not_evict() {
+        let mut c = Cache::new(geom());
+        c.fill(la(0x40), LineState::Shared, DataClass::PageTable, false);
+        assert!(c
+            .fill(la(0x40), LineState::Modified, DataClass::PageTable, false)
+            .is_none());
+        assert_eq!(c.state(la(0x40)), LineState::Modified);
+        assert_eq!(c.valid_count(), 1);
+    }
+
+    #[test]
+    fn invalidate_returns_prior_state() {
+        let mut c = Cache::new(geom());
+        c.fill(la(0x80), LineState::Modified, DataClass::UserData, false);
+        assert_eq!(c.invalidate(la(0x80)), LineState::Modified);
+        assert_eq!(c.invalidate(la(0x80)), LineState::Invalid);
+        assert_eq!(c.valid_count(), 0);
+    }
+
+    #[test]
+    fn invalidate_wrong_tag_is_noop() {
+        let mut c = Cache::new(geom());
+        c.fill(la(0x40), LineState::Shared, DataClass::UserData, false);
+        assert_eq!(c.invalidate(la(0x140)), LineState::Invalid);
+        assert!(c.contains(la(0x40)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-resident")]
+    fn set_state_on_absent_line_panics() {
+        let mut c = Cache::new(geom());
+        c.set_state(la(0x40), LineState::Shared);
+    }
+
+    #[test]
+    fn owned_predicate() {
+        assert!(LineState::Modified.is_owned());
+        assert!(LineState::Exclusive.is_owned());
+        assert!(!LineState::Shared.is_owned());
+        assert!(!LineState::Invalid.is_owned());
+        assert!(!LineState::Invalid.is_valid());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut c = Cache::new(geom());
+        for i in 0..16 {
+            c.fill(la(i * 16), LineState::Shared, DataClass::UserData, false);
+        }
+        assert_eq!(c.valid_count(), 16);
+        c.clear();
+        assert_eq!(c.valid_count(), 0);
+    }
+
+    // ---- associativity ----------------------------------------------------
+
+    fn geom2() -> CacheGeom {
+        CacheGeom::new_assoc(256, 16, 2) // 8 sets x 2 ways
+    }
+
+    #[test]
+    fn two_way_holds_two_conflicting_lines() {
+        let mut c = Cache::new(geom2());
+        // 0x40 and 0x40+128 map to the same set in an 8-set cache.
+        assert!(c
+            .fill(la(0x40), LineState::Shared, DataClass::UserData, false)
+            .is_none());
+        assert!(c
+            .fill(la(0xc0), LineState::Shared, DataClass::UserData, false)
+            .is_none());
+        assert!(c.contains(la(0x40)));
+        assert!(c.contains(la(0xc0)));
+        assert_eq!(c.valid_count(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_the_older_way() {
+        let mut c = Cache::new(geom2());
+        c.fill(la(0x40), LineState::Shared, DataClass::UserData, false);
+        c.fill(la(0xc0), LineState::Shared, DataClass::UserData, false);
+        // Touch 0x40 so 0xc0 becomes LRU.
+        c.touch(la(0x40));
+        let ev = c
+            .fill(la(0x140), LineState::Shared, DataClass::UserData, false)
+            .expect("set full: must evict");
+        assert_eq!(ev.line, la(0xc0));
+        assert!(c.contains(la(0x40)));
+        assert!(c.contains(la(0x140)));
+    }
+
+    #[test]
+    fn fully_associative_never_conflicts_until_full() {
+        let g = CacheGeom::new_assoc(256, 16, 16); // one set
+        let mut c = Cache::new(g);
+        for i in 0..16u32 {
+            assert!(c
+                .fill(la(i * 16), LineState::Shared, DataClass::UserData, false)
+                .is_none());
+        }
+        assert_eq!(c.valid_count(), 16);
+        // 17th line evicts the LRU (the first inserted).
+        let ev = c
+            .fill(la(16 * 16), LineState::Shared, DataClass::UserData, false)
+            .unwrap();
+        assert_eq!(ev.line, la(0));
+    }
+}

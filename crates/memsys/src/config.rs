@@ -1,0 +1,369 @@
+//! Machine configuration (the paper's §2.4 `Base` architecture and its
+//! variants).
+
+use std::collections::HashSet;
+
+/// Geometry of one cache (direct-mapped unless `ways > 1`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheGeom {
+    /// Total capacity in bytes (power of two).
+    pub size: u32,
+    /// Line size in bytes (power of two).
+    pub line: u32,
+    /// Associativity (power of two; 1 = direct-mapped, as in §2.4).
+    pub ways: u32,
+}
+
+impl CacheGeom {
+    /// Creates a direct-mapped geometry (the paper's configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size` and `line` are powers of two with
+    /// `line <= size`.
+    pub fn new(size: u32, line: u32) -> Self {
+        Self::new_assoc(size, line, 1)
+    }
+
+    /// Creates a set-associative geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size`, `line`, and `ways` are powers of two with
+    /// `line * ways <= size`.
+    pub fn new_assoc(size: u32, line: u32, ways: u32) -> Self {
+        assert!(size.is_power_of_two(), "cache size must be a power of two");
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        assert!(ways.is_power_of_two(), "ways must be a power of two");
+        assert!(line <= size, "line larger than cache");
+        assert!(line * ways <= size, "one set larger than the cache");
+        CacheGeom { size, line, ways }
+    }
+
+    /// Number of line frames.
+    #[inline]
+    pub fn n_lines(&self) -> u32 {
+        self.size / self.line
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn n_sets(&self) -> u32 {
+        self.n_lines() / self.ways
+    }
+
+    /// Set index a line address maps to.
+    #[inline]
+    pub fn set_of(&self, line_addr: u32) -> u32 {
+        (line_addr / self.line) % self.n_sets()
+    }
+}
+
+/// How block operations (§4) are carried out by the memory system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BlockOpScheme {
+    /// `Base`: ordinary cached loads and stores.
+    #[default]
+    Cached,
+    /// `Blk_Pref`: software prefetching of the source block into the caches
+    /// with software pipelining and loop unrolling.
+    Pref,
+    /// `Blk_Bypass`: loads and stores bypass both caches through line-wide
+    /// registers; loads are blocking.
+    Bypass,
+    /// `Blk_ByPref`: bypass plus an 8-line prefetch buffer for the source;
+    /// destination writes are cached.
+    ByPref,
+    /// `Blk_Dma`: a smart L2-cache controller performs the transfer on the
+    /// bus in a DMA-like fashion while the processor stalls; caches are
+    /// bypassed and kept coherent by snooping.
+    Dma,
+}
+
+impl BlockOpScheme {
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            BlockOpScheme::Cached => "Base",
+            BlockOpScheme::Pref => "Blk_Pref",
+            BlockOpScheme::Bypass => "Blk_Bypass",
+            BlockOpScheme::ByPref => "Blk_ByPref",
+            BlockOpScheme::Dma => "Blk_Dma",
+        }
+    }
+}
+
+/// Fixed latencies and bandwidths (in CPU cycles at 200 MHz) of §2.4.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Timing {
+    /// Word read from the primary cache.
+    pub l1_hit: u64,
+    /// Word read from the secondary cache.
+    pub l2_hit: u64,
+    /// Word read from memory (includes bus transfer), without contention.
+    pub mem: u64,
+    /// CPU cycles per bus cycle (200 MHz CPU / 40 MHz bus = 5).
+    pub cpu_per_bus_cycle: u64,
+    /// Bus occupancy of one secondary-cache line transfer (20 CPU cycles).
+    pub line_transfer: u64,
+    /// Bus occupancy of an invalidation/upgrade signal.
+    pub inval_signal: u64,
+    /// Bus occupancy of one update-protocol word broadcast.
+    pub update_word: u64,
+    /// L2 write-port service time for one buffered write that hits the L2
+    /// in an owned state (no bus needed).
+    pub l2_write: u64,
+    /// DMA startup cost once the bus is granted (19 cycles, §4.2).
+    pub dma_startup: u64,
+    /// DMA bus cycles per 8 transferred bytes (2 bus cycles, §4.2).
+    pub dma_bus_cycles_per_8b: u64,
+    /// Extra DMA bus cycles when a snooping cache must be read or updated.
+    pub dma_snoop_penalty_bus_cycles: u64,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Timing {
+            l1_hit: 1,
+            l2_hit: 12,
+            mem: 51,
+            cpu_per_bus_cycle: 5,
+            line_transfer: 20,
+            inval_signal: 5,
+            update_word: 5,
+            l2_write: 2,
+            dma_startup: 19,
+            dma_bus_cycles_per_8b: 2,
+            dma_snoop_penalty_bus_cycles: 2,
+        }
+    }
+}
+
+/// Complete machine configuration.
+///
+/// [`MachineConfig::base`] reproduces the paper's simulated `Base` machine:
+/// 4 × 200 MHz processors, 16-KB L1I and 32-KB L1D (16-B lines,
+/// direct-mapped, write-through), 256-KB unified lockup-free L2 (32-B lines,
+/// write-back), a 4-deep word write buffer between L1 and L2, an 8-deep
+/// 32-B-wide write buffer between L2 and the bus, and an 8-byte 40-MHz
+/// split-transaction bus running the Illinois protocol under release
+/// consistency.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of processors.
+    pub n_cpus: usize,
+    /// L1 instruction cache geometry.
+    pub l1i: CacheGeom,
+    /// L1 data cache geometry.
+    pub l1d: CacheGeom,
+    /// Unified L2 geometry.
+    pub l2: CacheGeom,
+    /// Depth of the word-wide L1→L2 write buffer.
+    pub wb1_depth: usize,
+    /// Depth of the line-wide L2→bus write buffer.
+    pub wb2_depth: usize,
+    /// Latency/bandwidth parameters.
+    pub timing: Timing,
+    /// Block-operation scheme.
+    pub block_scheme: BlockOpScheme,
+    /// Pages whose lines are kept coherent with the Firefly update protocol
+    /// instead of Illinois invalidations (§5.2's per-page TLB selection).
+    pub update_pages: HashSet<u32>,
+    /// Maximum outstanding prefetches (lockup-free L2 MSHRs).
+    pub max_prefetches: usize,
+    /// Source prefetch buffer capacity in L1 lines for `Blk_ByPref`.
+    pub prefetch_buf_lines: usize,
+    /// Prefetch look-ahead distance in lines for `Blk_Pref`/`Blk_ByPref`.
+    pub prefetch_distance: u32,
+    /// Entries in a fully-associative victim cache beside the L1D
+    /// (0 = none, the paper's machine). A conflict-miss mitigation in the
+    /// spirit of the §7 discussion; see the `ablate_victim_cache` bench.
+    pub victim_lines: usize,
+}
+
+impl MachineConfig {
+    /// The paper's `Base` configuration (§2.4).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use oscache_memsys::{BlockOpScheme, MachineConfig};
+    ///
+    /// let cfg = MachineConfig::base().with_block_scheme(BlockOpScheme::Dma);
+    /// assert_eq!(cfg.n_cpus, 4);
+    /// assert_eq!(cfg.l1d.size, 32 * 1024);
+    /// assert_eq!(cfg.block_scheme, BlockOpScheme::Dma);
+    /// ```
+    pub fn base() -> Self {
+        MachineConfig {
+            n_cpus: 4,
+            l1i: CacheGeom::new(16 * 1024, 16),
+            l1d: CacheGeom::new(32 * 1024, 16),
+            l2: CacheGeom::new(256 * 1024, 32),
+            wb1_depth: 4,
+            wb2_depth: 8,
+            timing: Timing::default(),
+            block_scheme: BlockOpScheme::Cached,
+            update_pages: HashSet::new(),
+            max_prefetches: 8,
+            prefetch_buf_lines: 8,
+            prefetch_distance: 4,
+            victim_lines: 0,
+        }
+    }
+
+    /// Returns a copy with a different block-operation scheme.
+    pub fn with_block_scheme(mut self, scheme: BlockOpScheme) -> Self {
+        self.block_scheme = scheme;
+        self
+    }
+
+    /// Returns a copy with the given L1D size in bytes (Figure 6 sweeps
+    /// 16/32/64 KB at a fixed 16-B line).
+    pub fn with_l1d_size(mut self, size: u32) -> Self {
+        self.l1d = CacheGeom::new(size, self.l1d.line);
+        self
+    }
+
+    /// Returns a copy with the given L1 line size in bytes (Figure 7 sweeps
+    /// 16/32/64 B at a fixed 32-KB cache; the paper pairs this with a
+    /// 64-B-line L2).
+    pub fn with_l1_line(mut self, line: u32) -> Self {
+        self.l1d = CacheGeom::new(self.l1d.size, line);
+        self.l1i = CacheGeom::new(self.l1i.size, line);
+        if self.l2.line < line {
+            self.l2 = CacheGeom::new(self.l2.size, line);
+        }
+        self
+    }
+
+    /// Returns a copy with the given L2 line size in bytes. Bus occupancy
+    /// and memory latency scale with the line: the 8-byte, 40-MHz bus
+    /// moves 8 bytes per bus cycle (5 CPU cycles), so a 32-B line occupies
+    /// it for 20 CPU cycles (§2.4) and a 64-B line for 40.
+    pub fn with_l2_line(mut self, line: u32) -> Self {
+        self.l2 = CacheGeom::new(self.l2.size, line);
+        self.rescale_bus();
+        self
+    }
+
+    /// Recomputes line-size-dependent timing parameters.
+    pub fn rescale_bus(&mut self) {
+        let transfer = u64::from(self.l2.line / 8) * self.timing.cpu_per_bus_cycle;
+        let base = Timing::default();
+        self.timing.line_transfer = transfer.max(base.cpu_per_bus_cycle);
+        // The 51-cycle memory latency includes one 32-B line transfer;
+        // longer lines take correspondingly longer.
+        self.timing.mem = base.mem + self.timing.line_transfer.saturating_sub(base.line_transfer);
+    }
+
+    /// Validates cross-parameter invariants.
+    ///
+    /// Call [`MachineConfig::rescale_bus`] after changing `l2.line`
+    /// directly (the `with_*` helpers do it for you).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the L2 line is smaller than the L1 lines (inclusion
+    /// propagation requires L2 lines to cover whole L1 lines) or if any
+    /// depth is zero.
+    pub fn validate(&self) {
+        assert!(self.n_cpus >= 1, "need at least one CPU");
+        assert!(
+            self.l2.line >= self.l1d.line && self.l2.line >= self.l1i.line,
+            "L2 line must cover L1 lines"
+        );
+        assert!(
+            self.wb1_depth > 0 && self.wb2_depth > 0,
+            "buffers need depth"
+        );
+        assert!(self.max_prefetches > 0, "need at least one MSHR");
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::base()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_matches_paper_parameters() {
+        let c = MachineConfig::base();
+        c.validate();
+        assert_eq!(c.n_cpus, 4);
+        assert_eq!(c.l1i.size, 16 * 1024);
+        assert_eq!(c.l1d.size, 32 * 1024);
+        assert_eq!(c.l1d.line, 16);
+        assert_eq!(c.l2.size, 256 * 1024);
+        assert_eq!(c.l2.line, 32);
+        assert_eq!(c.wb1_depth, 4);
+        assert_eq!(c.wb2_depth, 8);
+        assert_eq!(c.timing.l1_hit, 1);
+        assert_eq!(c.timing.l2_hit, 12);
+        assert_eq!(c.timing.mem, 51);
+        assert_eq!(c.timing.line_transfer, 20);
+    }
+
+    #[test]
+    fn set_mapping_is_modular() {
+        let g = CacheGeom::new(1024, 16);
+        assert_eq!(g.n_lines(), 64);
+        assert_eq!(g.n_sets(), 64);
+        assert_eq!(g.set_of(0), 0);
+        assert_eq!(g.set_of(16), 1);
+        assert_eq!(g.set_of(1024), 0);
+        assert_eq!(g.set_of(1040), 1);
+    }
+
+    #[test]
+    fn associative_geometry_has_fewer_sets() {
+        let g = CacheGeom::new_assoc(1024, 16, 4);
+        assert_eq!(g.n_lines(), 64);
+        assert_eq!(g.n_sets(), 16);
+        assert_eq!(g.ways, 4);
+        assert_eq!(g.set_of(0), g.set_of(16 * 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "one set larger")]
+    fn oversized_set_panics() {
+        CacheGeom::new_assoc(64, 16, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_size_panics() {
+        CacheGeom::new(1000, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "L2 line must cover")]
+    fn l2_line_smaller_than_l1_panics() {
+        let mut c = MachineConfig::base();
+        c.l2 = CacheGeom::new(256 * 1024, 8);
+        c.validate();
+    }
+
+    #[test]
+    fn geometry_sweeps() {
+        let c = MachineConfig::base().with_l1d_size(64 * 1024);
+        assert_eq!(c.l1d.size, 64 * 1024);
+        assert_eq!(c.l1d.line, 16);
+        let c = MachineConfig::base().with_l1_line(64).with_l2_line(64);
+        assert_eq!(c.l1d.line, 64);
+        assert_eq!(c.l2.line, 64);
+        c.validate();
+    }
+
+    #[test]
+    fn scheme_labels_match_paper() {
+        assert_eq!(BlockOpScheme::Cached.label(), "Base");
+        assert_eq!(BlockOpScheme::Dma.label(), "Blk_Dma");
+        assert_eq!(BlockOpScheme::default(), BlockOpScheme::Cached);
+    }
+}

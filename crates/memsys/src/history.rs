@@ -1,0 +1,156 @@
+//! Per-(CPU, line) departure history, the basis of miss classification.
+//!
+//! To label a miss *coherence* (the line was invalidated by a remote write,
+//! §5), *block displacement* (the line was evicted by a block-operation
+//! fill, §4.1.3), or *other*, the simulator remembers why each line last
+//! left each CPU's cache. A parallel map tracks lines whose block-operation
+//! accesses bypassed the caches, so that later misses on them can be
+//! counted as *reuses* (§4.1.3).
+
+use oscache_trace::LineAddr;
+use std::collections::HashMap;
+
+/// Why a line last left a cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Departure {
+    /// Displaced by an ordinary fill (conflict/capacity).
+    Evicted,
+    /// Displaced by a fill belonging to a block operation.
+    EvictedByBlockOp,
+    /// Invalidated by a remote processor's write.
+    InvalidatedRemote,
+}
+
+#[inline]
+fn key(cpu: usize, line: LineAddr) -> u64 {
+    ((cpu as u64) << 32) | u64::from(line.0)
+}
+
+/// Departure reasons keyed by `(cpu, line)`.
+#[derive(Clone, Debug, Default)]
+pub struct HistoryMap {
+    map: HashMap<u64, Departure>,
+}
+
+impl HistoryMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records why `line` left `cpu`'s cache (overwrites prior history).
+    pub fn record(&mut self, cpu: usize, line: LineAddr, why: Departure) {
+        self.map.insert(key(cpu, line), why);
+    }
+
+    /// The recorded departure reason, if any.
+    pub fn get(&self, cpu: usize, line: LineAddr) -> Option<Departure> {
+        self.map.get(&key(cpu, line)).copied()
+    }
+
+    /// Clears the history for a line re-entering the cache.
+    pub fn forget(&mut self, cpu: usize, line: LineAddr) {
+        self.map.remove(&key(cpu, line));
+    }
+
+    /// Number of recorded departures.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no departures are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Lines whose block-operation data skipped the caches, per CPU.
+#[derive(Clone, Debug, Default)]
+pub struct BypassSet {
+    set: HashMap<u64, ()>,
+}
+
+impl BypassSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks a line as bypassed for `cpu`.
+    pub fn mark(&mut self, cpu: usize, line: LineAddr) {
+        self.set.insert(key(cpu, line), ());
+    }
+
+    /// Removes the mark, returning whether it was present — a `true` return
+    /// at miss time identifies a *reuse* miss.
+    pub fn take(&mut self, cpu: usize, line: LineAddr) -> bool {
+        self.set.remove(&key(cpu, line)).is_some()
+    }
+
+    /// True if `line` is marked for `cpu`.
+    pub fn contains(&self, cpu: usize, line: LineAddr) -> bool {
+        self.set.contains_key(&key(cpu, line))
+    }
+
+    /// Number of marked lines.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when nothing is marked.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn la(a: u32) -> LineAddr {
+        LineAddr(a)
+    }
+
+    #[test]
+    fn record_and_get_are_per_cpu() {
+        let mut h = HistoryMap::new();
+        h.record(0, la(0x100), Departure::InvalidatedRemote);
+        h.record(1, la(0x100), Departure::Evicted);
+        assert_eq!(h.get(0, la(0x100)), Some(Departure::InvalidatedRemote));
+        assert_eq!(h.get(1, la(0x100)), Some(Departure::Evicted));
+        assert_eq!(h.get(2, la(0x100)), None);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn record_overwrites_and_forget_clears() {
+        let mut h = HistoryMap::new();
+        h.record(0, la(0x40), Departure::Evicted);
+        h.record(0, la(0x40), Departure::EvictedByBlockOp);
+        assert_eq!(h.get(0, la(0x40)), Some(Departure::EvictedByBlockOp));
+        h.forget(0, la(0x40));
+        assert!(h.get(0, la(0x40)).is_none());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn bypass_take_is_single_shot() {
+        let mut b = BypassSet::new();
+        b.mark(2, la(0x80));
+        assert!(b.contains(2, la(0x80)));
+        assert!(!b.contains(1, la(0x80)));
+        assert!(b.take(2, la(0x80)));
+        assert!(!b.take(2, la(0x80)));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn keys_do_not_collide_across_cpus() {
+        let mut b = BypassSet::new();
+        b.mark(0, la(0x1));
+        b.mark(1, la(0x1));
+        assert_eq!(b.len(), 2);
+        assert!(b.take(0, la(0x1)));
+        assert!(b.contains(1, la(0x1)));
+    }
+}

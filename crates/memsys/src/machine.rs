@@ -1,0 +1,909 @@
+//! The trace-driven multiprocessor machine model.
+//!
+//! [`Machine`] replays a multiprocessor [`Trace`] against the §2.4
+//! architecture: per-CPU L1I/L1D/L2 caches with write buffers, a shared
+//! split-transaction bus with full contention, Illinois-MESI invalidation
+//! coherence with optional per-page Firefly updates (§5.2), software
+//! prefetching with lockup-free overlap, and the §4.2 block-operation
+//! schemes including the DMA-like transfer engine.
+//!
+//! CPUs are interleaved in simulated-time order (the CPU with the smallest
+//! local clock executes its next event), which yields FIFO bus arbitration
+//! and lets lock mutual exclusion and barrier semantics be enforced exactly
+//! — the paper does the same: "we identify the synchronization events in
+//! the trace and make sure that their mutual exclusion functionality is
+//! maintained in the simulations" (§2.2).
+
+use crate::history::{BypassSet, Departure, HistoryMap};
+use crate::prefetch::{MshrSet, PrefetchBuffer};
+use crate::stats::{CpuStats, MissKind, SimStats};
+use crate::{BlockOpScheme, Bus, BusOp, Cache, LineState, MachineConfig, WriteBuffer};
+use oscache_trace::{Addr, BasicBlock, BlockOp, DataClass, Event, LineAddr, Mode, Trace};
+use std::collections::HashMap;
+
+/// Cycle-accounting bucket (Figure 3's execution-time decomposition).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Bucket {
+    /// Instruction execution.
+    Exec,
+    /// Instruction-cache miss stall.
+    IMiss,
+    /// Data read-miss stall.
+    DRead,
+    /// Write-buffer overflow stall.
+    DWrite,
+    /// Partially-hidden prefetch stall.
+    Pref,
+    /// Synchronization wait (barriers, contended locks).
+    Sync,
+}
+
+/// Scheduling status of a CPU.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    OnLock(u16, u64),
+    AtBarrier(u16, u64),
+    Done,
+}
+
+/// Classification computed for a (potential) miss before fills erase the
+/// evidence; stored with in-flight prefetches so partially-hidden misses
+/// are counted correctly when the demand access arrives.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PendingClass {
+    pub kind: MissKind,
+    pub class: DataClass,
+    pub displaced: bool,
+    pub reused: bool,
+}
+
+/// Per-block-operation transient state.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ActiveOp {
+    pub op: BlockOp,
+    /// Last source L1 line that triggered a look-ahead prefetch (`Blk_Pref`).
+    pub last_pref_trigger: Option<LineAddr>,
+    /// Next source byte offset to stream into the prefetch buffer
+    /// (`Blk_ByPref`).
+    pub next_pbuf_off: u32,
+    /// Source line currently held in the bypass line register.
+    pub src_reg: Option<LineAddr>,
+    /// Destination line currently accumulating in the bypass line register.
+    pub dst_reg: Option<LineAddr>,
+}
+
+impl ActiveOp {
+    pub(crate) fn new(op: BlockOp) -> Self {
+        ActiveOp {
+            op,
+            last_pref_trigger: None,
+            next_pbuf_off: 0,
+            src_reg: None,
+            dst_reg: None,
+        }
+    }
+}
+
+pub(crate) struct Cpu {
+    pub time: u64,
+    pub mode: Mode,
+    /// The L2's single port serializes demand accesses and buffered-write
+    /// drains ("All contention is simulated, including cache port", §2.4).
+    pub l2_port_free: u64,
+    /// Victim-cache contents (FIFO of recently evicted L1D lines), empty
+    /// when `cfg.victim_lines == 0`.
+    pub victim: Vec<LineAddr>,
+    pub l1i: Cache,
+    pub l1d: Cache,
+    pub l2: Cache,
+    pub wb1: WriteBuffer,
+    pub wb2: WriteBuffer,
+    pub mshr: MshrSet,
+    pub pbuf: PrefetchBuffer,
+    pub cursor: usize,
+    status: Status,
+    pub block: Option<ActiveOp>,
+    pub cur_site: u16,
+    pub stats: CpuStats,
+}
+
+#[derive(Default)]
+struct LockState {
+    holder: Option<usize>,
+}
+
+#[derive(Default)]
+struct BarrierState {
+    arrived: Vec<usize>,
+}
+
+/// The simulated multiprocessor.
+pub struct Machine<'t> {
+    pub(crate) cfg: MachineConfig,
+    pub(crate) trace: &'t Trace,
+    pub(crate) cpus: Vec<Cpu>,
+    pub(crate) bus: Bus,
+    locks: HashMap<u16, LockState>,
+    barriers: HashMap<u16, BarrierState>,
+    pub(crate) l1d_hist: HistoryMap,
+    pub(crate) l2_hist: HistoryMap,
+    pub(crate) bypassed: BypassSet,
+    pub(crate) pending_class: HashMap<u64, PendingClass>,
+    steps: u64,
+}
+
+impl<'t> Machine<'t> {
+    /// Builds a machine ready to replay `trace` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`MachineConfig::validate`]) or the
+    /// trace has a different CPU count than `cfg.n_cpus`.
+    pub fn new(cfg: MachineConfig, trace: &'t Trace) -> Self {
+        cfg.validate();
+        assert_eq!(
+            cfg.n_cpus,
+            trace.n_cpus(),
+            "config/trace CPU count mismatch"
+        );
+        let cpus = (0..cfg.n_cpus)
+            .map(|_| Cpu {
+                time: 0,
+                mode: Mode::User,
+                l2_port_free: 0,
+                victim: Vec::new(),
+                l1i: Cache::new(cfg.l1i),
+                l1d: Cache::new(cfg.l1d),
+                l2: Cache::new(cfg.l2),
+                wb1: WriteBuffer::new(cfg.wb1_depth),
+                wb2: WriteBuffer::new(cfg.wb2_depth),
+                mshr: MshrSet::new(cfg.max_prefetches),
+                pbuf: PrefetchBuffer::new(cfg.prefetch_buf_lines),
+                cursor: 0,
+                status: Status::Runnable,
+                block: None,
+                cur_site: 0,
+                stats: CpuStats::default(),
+            })
+            .collect();
+        Machine {
+            cfg,
+            trace,
+            cpus,
+            bus: Bus::new(),
+            locks: HashMap::new(),
+            barriers: HashMap::new(),
+            l1d_hist: HistoryMap::new(),
+            l2_hist: HistoryMap::new(),
+            bypassed: BypassSet::new(),
+            pending_class: HashMap::new(),
+            steps: 0,
+        }
+    }
+
+    /// Replays the whole trace and returns the collected statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock (a barrier some participant never reaches, or a
+    /// lock never released) — this indicates a malformed trace.
+    pub fn run(mut self) -> SimStats {
+        loop {
+            let next = self.pick_next();
+            match next {
+                Some(i) => self.step(i),
+                None => break,
+            }
+        }
+        // Check for deadlock and drain write buffers into the final times.
+        let mut times = Vec::with_capacity(self.cpus.len());
+        for (i, c) in self.cpus.iter_mut().enumerate() {
+            assert!(
+                c.status == Status::Done,
+                "deadlock: cpu{i} stuck in {:?} at t={} (cursor {}/{})",
+                c.status,
+                c.time,
+                c.cursor,
+                self.trace.streams[i].len()
+            );
+            let drained = c.time.max(c.wb1.drained_at()).max(c.wb2.drained_at());
+            let extra = drained - c.time;
+            c.stats.dwrite_cycles.add(c.mode, extra);
+            c.time = drained;
+            times.push(c.time);
+        }
+        SimStats {
+            cpus: self.cpus.iter().map(|c| c.stats.clone()).collect(),
+            bus: *self.bus.stats(),
+            cpu_times: times,
+        }
+    }
+
+    fn pick_next(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, c) in self.cpus.iter().enumerate() {
+            if c.status == Status::Runnable {
+                match best {
+                    Some(b) if self.cpus[b].time <= c.time => {}
+                    _ => best = Some(i),
+                }
+            }
+        }
+        best
+    }
+
+    /// Reserves CPU `i`'s L2 port at `t` for `occupancy` cycles; returns
+    /// the grant time. Buffered writes serialize on the port; demand reads
+    /// have priority ("reads bypass writes", §2.4) and pay only the port's
+    /// residual occupancy, bounded by one service slot.
+    fn l2_port(&mut self, i: usize, t: u64, occupancy: u64) -> u64 {
+        let grant = self.cpus[i].l2_port_free.max(t);
+        self.cpus[i].l2_port_free = grant + occupancy;
+        grant
+    }
+
+    /// Port delay seen by a priority (demand-read) access at `t`: at most
+    /// one in-progress write slot.
+    fn l2_read_delay(&self, i: usize, t: u64) -> u64 {
+        (self.cpus[i].l2_port_free.saturating_sub(t)).min(self.cfg.timing.l2_write)
+    }
+
+    // ---- accounting -----------------------------------------------------
+
+    pub(crate) fn advance(&mut self, i: usize, cycles: u64, bucket: Bucket) {
+        if cycles == 0 {
+            return;
+        }
+        let c = &mut self.cpus[i];
+        c.time += cycles;
+        let mode = c.mode;
+        let in_blk = c.block.is_some();
+        match bucket {
+            Bucket::Exec => {
+                c.stats.exec_cycles.add(mode, cycles);
+                if in_blk {
+                    c.stats.blk_exec_cycles += cycles;
+                }
+            }
+            Bucket::IMiss => c.stats.imiss_cycles.add(mode, cycles),
+            Bucket::DRead => {
+                c.stats.dread_cycles.add(mode, cycles);
+                if in_blk {
+                    c.stats.blk_read_stall += cycles;
+                }
+            }
+            Bucket::DWrite => {
+                c.stats.dwrite_cycles.add(mode, cycles);
+                if in_blk {
+                    c.stats.blk_write_stall += cycles;
+                }
+            }
+            Bucket::Pref => c.stats.pref_cycles.add(mode, cycles),
+            Bucket::Sync => c.stats.sync_cycles.add(mode, cycles),
+        }
+    }
+
+    // ---- main dispatch ---------------------------------------------------
+
+    fn step(&mut self, i: usize) {
+        self.steps += 1;
+        let stream = &self.trace.streams[i];
+        if self.cpus[i].cursor >= stream.len() {
+            self.cpus[i].status = Status::Done;
+            return;
+        }
+        let ev = stream.events()[self.cpus[i].cursor];
+        match ev {
+            Event::SetMode { mode } => {
+                self.cpus[i].mode = mode;
+                self.cpus[i].cursor += 1;
+            }
+            Event::Idle { cycles } => {
+                let c = &mut self.cpus[i];
+                c.time += u64::from(cycles);
+                c.stats.idle_cycles += u64::from(cycles);
+                c.cursor += 1;
+            }
+            Event::Exec { block } => {
+                let bb = *self.trace.meta.code.block(block);
+                self.cpus[i].cur_site = bb.site.0;
+                self.fetch_code(i, &bb);
+                self.advance(i, u64::from(bb.instrs), Bucket::Exec);
+                self.cpus[i].cursor += 1;
+            }
+            Event::Read { addr, class } => {
+                self.handle_read(i, addr, class);
+                self.cpus[i].cursor += 1;
+            }
+            Event::Write { addr, class } => {
+                self.handle_write(i, addr, class);
+                self.cpus[i].cursor += 1;
+            }
+            Event::Prefetch { addr, class } => {
+                // One inserted prefetch instruction.
+                self.advance(i, 1, Bucket::Exec);
+                self.issue_prefetch(i, addr, class);
+                self.cpus[i].cursor += 1;
+            }
+            Event::LockAcquire { lock, addr } => {
+                let free = self.locks.entry(lock.0).or_default().holder.is_none();
+                if free {
+                    self.locks.get_mut(&lock.0).unwrap().holder = Some(i);
+                    // test-and-set: read then write the lock word
+                    self.demand_read(i, addr, DataClass::LockVar);
+                    self.demand_write(i, addr, DataClass::LockVar);
+                    self.cpus[i].cursor += 1;
+                } else {
+                    let t = self.cpus[i].time;
+                    self.cpus[i].status = Status::OnLock(lock.0, t);
+                }
+            }
+            Event::LockRelease { lock, addr } => {
+                self.demand_write(i, addr, DataClass::LockVar);
+                let release = self.cpus[i].time;
+                let st = self
+                    .locks
+                    .get_mut(&lock.0)
+                    .expect("release of unknown lock");
+                assert_eq!(st.holder, Some(i), "release by non-holder");
+                st.holder = None;
+                for j in 0..self.cpus.len() {
+                    if let Status::OnLock(l, _since) = self.cpus[j].status {
+                        if l == lock.0 {
+                            let wait = release.saturating_sub(self.cpus[j].time);
+                            self.cpus[j].status = Status::Runnable;
+                            self.advance(j, wait, Bucket::Sync);
+                            *self.cpus[j]
+                                .stats
+                                .lock_wait_cycles
+                                .entry(lock.0)
+                                .or_insert(0) += wait;
+                        }
+                    }
+                }
+                self.cpus[i].cursor += 1;
+            }
+            Event::Barrier {
+                barrier,
+                addr,
+                participants,
+            } => {
+                // arrival: fetch-and-increment of the barrier word
+                self.demand_read(i, addr, DataClass::BarrierVar);
+                self.demand_write(i, addr, DataClass::BarrierVar);
+                self.cpus[i].cursor += 1;
+                let st = self.barriers.entry(barrier.0).or_default();
+                st.arrived.push(i);
+                if st.arrived.len() < participants as usize {
+                    let t = self.cpus[i].time;
+                    self.cpus[i].status = Status::AtBarrier(barrier.0, t);
+                } else {
+                    let release = self.cpus[i].time;
+                    let arrived =
+                        std::mem::take(&mut self.barriers.get_mut(&barrier.0).unwrap().arrived);
+                    for j in arrived {
+                        if j == i {
+                            continue;
+                        }
+                        let wait = release.saturating_sub(self.cpus[j].time);
+                        self.cpus[j].status = Status::Runnable;
+                        self.advance(j, wait, Bucket::Sync);
+                        // resume: re-read the barrier word (a coherence miss
+                        // under invalidation, a hit under updates)
+                        self.demand_read(j, addr, DataClass::BarrierVar);
+                    }
+                }
+            }
+            Event::BlockOpBegin { op } => {
+                self.begin_block_op(i, op);
+            }
+            Event::BlockOpEnd => {
+                self.end_block_op(i);
+                self.cpus[i].cursor += 1;
+            }
+        }
+        if self.cpus[i].cursor >= stream.len() && self.cpus[i].status == Status::Runnable {
+            self.cpus[i].status = Status::Done;
+        }
+    }
+
+    // ---- instruction fetch ----------------------------------------------
+
+    fn fetch_code(&mut self, i: usize, bb: &BasicBlock) {
+        let line = self.cfg.l1i.line;
+        let mut a = bb.start.line(line).0;
+        let end = bb.end().0;
+        while a < end {
+            let l = LineAddr(a);
+            if self.cpus[i].l1i.contains(l) {
+                self.cpus[i].l1i.touch(l);
+            } else {
+                let mode = self.cpus[i].mode;
+                self.cpus[i].stats.l1i_misses.add(mode, 1);
+                let stall = self.fetch_into_l2_shared(i, Addr(a));
+                self.advance(i, stall, Bucket::IMiss);
+                // Fill L1I (code is read-only; state is just "valid").
+                self.cpus[i]
+                    .l1i
+                    .fill(l, LineState::Shared, DataClass::KernelOther, false);
+            }
+            a += line;
+        }
+    }
+
+    /// Ensures the L2 line containing `addr` is present (for code fetches);
+    /// returns the stall beyond the 1-cycle base cost.
+    fn fetch_into_l2_shared(&mut self, i: usize, addr: Addr) -> u64 {
+        let line2 = addr.line(self.cfg.l2.line);
+        let now = self.cpus[i].time;
+        if self.cpus[i].l2.contains(line2) {
+            self.cpus[i].l2.touch(line2);
+            return self.l2_read_delay(i, now) + self.cfg.timing.l2_hit - 1;
+        }
+        let grant = self
+            .bus
+            .acquire(now, self.cfg.timing.line_transfer, BusOp::ReadLine);
+        let any = self.snoop_read(i, line2);
+        let state = if any {
+            LineState::Shared
+        } else {
+            LineState::Exclusive
+        };
+        self.l2_fill(i, line2, state, DataClass::KernelOther, false);
+        (grant - now) + self.cfg.timing.mem - 1
+    }
+
+    // ---- snooping ---------------------------------------------------------
+
+    /// Bus read snoop: dirty remote copies are flushed (→ Shared); returns
+    /// whether any remote cache holds the line (Illinois grants Exclusive
+    /// otherwise).
+    pub(crate) fn snoop_read(&mut self, i: usize, line2: LineAddr) -> bool {
+        let mut any = false;
+        for j in 0..self.cpus.len() {
+            if j == i {
+                continue;
+            }
+            let st = self.cpus[j].l2.state(line2);
+            if st.is_valid() {
+                any = true;
+                if st.is_owned() {
+                    self.cpus[j].l2.set_state(line2, LineState::Shared);
+                }
+            }
+        }
+        any
+    }
+
+    /// Bus write/upgrade snoop: invalidates all remote copies, recording
+    /// the invalidation so later misses classify as coherence misses.
+    pub(crate) fn snoop_write(&mut self, i: usize, line2: LineAddr) {
+        for j in 0..self.cpus.len() {
+            if j == i {
+                continue;
+            }
+            if self.cpus[j].l2.invalidate(line2).is_valid() {
+                self.l2_hist.record(j, line2, Departure::InvalidatedRemote);
+                self.invalidate_l1_range(j, line2, Departure::InvalidatedRemote);
+            }
+        }
+    }
+
+    /// Firefly update snoop: remote copies stay valid (their data is
+    /// refreshed on the bus); returns the number of remote sharers.
+    pub(crate) fn snoop_update(&mut self, i: usize, line2: LineAddr) -> usize {
+        let mut sharers = 0;
+        for j in 0..self.cpus.len() {
+            if j == i {
+                continue;
+            }
+            if self.cpus[j].l2.contains(line2) {
+                sharers += 1;
+                // An owned remote copy becomes Shared: memory is updated.
+                if self.cpus[j].l2.state(line2).is_owned() {
+                    self.cpus[j].l2.set_state(line2, LineState::Shared);
+                }
+            }
+        }
+        sharers
+    }
+
+    /// Invalidates every L1 line covered by an L2 line (inclusion), with
+    /// `why` recorded for the data cache.
+    fn invalidate_l1_range(&mut self, j: usize, line2: LineAddr, why: Departure) {
+        let l1line = self.cfg.l1d.line;
+        let mut a = line2.0;
+        while a < line2.0 + self.cfg.l2.line {
+            let l = LineAddr(a);
+            if self.cpus[j].l1d.invalidate(l).is_valid() {
+                self.l1d_hist.record(j, l, why);
+            }
+            a += l1line;
+        }
+        // L1I lines too (no classification needed for code).
+        let iline = self.cfg.l1i.line;
+        let mut a = line2.0;
+        while a < line2.0 + self.cfg.l2.line {
+            self.cpus[j].l1i.invalidate(LineAddr(a));
+            a += iline;
+        }
+    }
+
+    // ---- fills -------------------------------------------------------------
+
+    /// Installs a line in CPU `i`'s L2, handling victim write-back,
+    /// inclusion invalidation, and history bookkeeping.
+    pub(crate) fn l2_fill(
+        &mut self,
+        i: usize,
+        line2: LineAddr,
+        state: LineState,
+        class: DataClass,
+        by_blockop: bool,
+    ) {
+        let evicted = self.cpus[i].l2.fill(line2, state, class, by_blockop);
+        if let Some(ev) = evicted {
+            if ev.state == LineState::Modified {
+                let t = self.cpus[i].time;
+                self.bus
+                    .acquire(t, self.cfg.timing.line_transfer, BusOp::WriteBack);
+            }
+            let why = if ev.evicted_by_blockop {
+                Departure::EvictedByBlockOp
+            } else {
+                Departure::Evicted
+            };
+            self.l2_hist.record(i, ev.line, why);
+            self.invalidate_l1_range(i, ev.line, why);
+        }
+        self.l2_hist.forget(i, line2);
+    }
+
+    /// Installs a line in CPU `i`'s L1D.
+    pub(crate) fn l1d_fill(
+        &mut self,
+        i: usize,
+        line1: LineAddr,
+        class: DataClass,
+        by_blockop: bool,
+    ) {
+        let evicted = self.cpus[i]
+            .l1d
+            .fill(line1, LineState::Shared, class, by_blockop);
+        if let Some(ev) = evicted {
+            let why = if ev.evicted_by_blockop {
+                Departure::EvictedByBlockOp
+            } else {
+                Departure::Evicted
+            };
+            self.l1d_hist.record(i, ev.line, why);
+            if self.cfg.victim_lines > 0 {
+                let v = &mut self.cpus[i].victim;
+                v.retain(|&l| l != ev.line);
+                v.push(ev.line);
+                if v.len() > self.cfg.victim_lines {
+                    v.remove(0);
+                }
+            }
+            // Conflict-pair bookkeeping for the §6 analysis: which kernel
+            // structure displaced which.
+            if ev.class != class && ev.class.is_kernel_structure() && class.is_kernel_structure() {
+                *self.cpus[i]
+                    .stats
+                    .conflict_pairs
+                    .entry((ev.class, class))
+                    .or_insert(0) += 1;
+            }
+        }
+        self.l1d_hist.forget(i, line1);
+        self.bypassed.take(i, line1);
+    }
+
+    // ---- classification ----------------------------------------------------
+
+    /// Computes how a miss on `line1` would classify, *without* counting it.
+    /// (Counting happens either immediately at a demand miss or later when a
+    /// partially-covered prefetch is consumed.)
+    pub(crate) fn peek_classify(
+        &self,
+        i: usize,
+        line1: LineAddr,
+        line2: LineAddr,
+        class: DataClass,
+    ) -> PendingClass {
+        let in_blk = self.cpus[i].block.is_some();
+        let l1h = self.l1d_hist.get(i, line1);
+        let l2_miss = !self.cpus[i].l2.contains(line2);
+        let l2h = self.l2_hist.get(i, line2);
+        let reused = self.bypassed.contains(i, line1);
+        let displaced = l1h == Some(Departure::EvictedByBlockOp)
+            || (l2_miss && l2h == Some(Departure::EvictedByBlockOp));
+        let kind = if in_blk {
+            MissKind::BlockOp
+        } else if l1h == Some(Departure::InvalidatedRemote)
+            || (l2_miss && l2h == Some(Departure::InvalidatedRemote))
+        {
+            MissKind::Coherence(class.coherence_category())
+        } else {
+            MissKind::Other
+        };
+        PendingClass {
+            kind,
+            class,
+            displaced,
+            reused,
+        }
+    }
+
+    /// Counts a classified read miss.
+    pub(crate) fn count_miss(&mut self, i: usize, pc: PendingClass, stall: u64) {
+        let mode = self.cpus[i].mode;
+        let in_blk = self.cpus[i].block.is_some();
+        let site = self.cpus[i].cur_site;
+        let st = &mut self.cpus[i].stats;
+        st.l1d_read_misses.add(mode, 1);
+        if pc.displaced {
+            if in_blk {
+                st.displ_inside += 1;
+            } else {
+                st.displ_outside += 1;
+                st.blk_displ_stall += stall;
+            }
+        }
+        if pc.reused {
+            if in_blk {
+                st.reuse_inside += 1;
+            } else {
+                st.reuse_outside += 1;
+            }
+        }
+        if mode.is_os() {
+            st.count_os_miss(pc.kind, site, pc.class);
+        }
+    }
+
+    // ---- demand read ---------------------------------------------------------
+
+    fn handle_read(&mut self, i: usize, addr: Addr, class: DataClass) {
+        match (self.cpus[i].block.is_some(), self.cfg.block_scheme) {
+            (true, BlockOpScheme::Bypass) => self.bypass_read(i, addr, class),
+            (true, BlockOpScheme::ByPref) => self.bypref_read(i, addr, class),
+            (true, BlockOpScheme::Pref) => {
+                self.pref_lookahead(i, addr, class);
+                self.demand_read(i, addr, class);
+            }
+            _ => self.demand_read(i, addr, class),
+        }
+    }
+
+    fn handle_write(&mut self, i: usize, addr: Addr, class: DataClass) {
+        match (self.cpus[i].block.is_some(), self.cfg.block_scheme) {
+            (true, BlockOpScheme::Bypass) => self.bypass_write(i, addr, class),
+            _ => self.demand_write(i, addr, class),
+        }
+    }
+
+    /// The ordinary cached read path.
+    pub(crate) fn demand_read(&mut self, i: usize, addr: Addr, class: DataClass) {
+        let mode = self.cpus[i].mode;
+        self.cpus[i].stats.dreads.add(mode, 1);
+        let line1 = addr.line(self.cfg.l1d.line);
+        let line2 = addr.line(self.cfg.l2.line);
+        let now = self.cpus[i].time;
+
+        // In-flight or completed prefetch?
+        if let Some(ready) = self.cpus[i].mshr.pending(line1) {
+            self.cpus[i].mshr.take(line1);
+            let key = ((i as u64) << 32) | u64::from(line1.0);
+            let pc = self.pending_class.remove(&key);
+            if ready <= now {
+                self.cpus[i].stats.prefetch_full_hits += 1;
+                return; // fully hidden: not a miss
+            }
+            let stall = ready - now;
+            self.cpus[i].stats.prefetch_partial_hits += 1;
+            if let Some(pc) = pc {
+                self.count_miss(i, pc, stall);
+            }
+            self.advance(i, stall, Bucket::Pref);
+            return;
+        }
+
+        if self.cpus[i].l1d.contains(line1) {
+            self.cpus[i].l1d.touch(line1);
+            return; // primary-cache hit, 1 cycle already in Exec
+        }
+        // Victim-cache hit: swap back into the L1D for a 2-cycle penalty;
+        // the conflict miss is avoided entirely.
+        if self.cfg.victim_lines > 0 {
+            if let Some(pos) = self.cpus[i].victim.iter().position(|&l| l == line1) {
+                self.cpus[i].victim.remove(pos);
+                self.l1d_fill(i, line1, class, self.cpus[i].block.is_some());
+                self.advance(i, 2, Bucket::DRead);
+                return;
+            }
+        }
+        // Read forwarding from still-pending (undrained) writes.
+        self.cpus[i].wb1.drain(now);
+        self.cpus[i].wb2.drain(now);
+        if self.cpus[i].wb1.pending(addr.0) || self.cpus[i].wb2.pending(line2.0) {
+            return;
+        }
+
+        // Primary-cache read miss.
+        let pc = self.peek_classify(i, line1, line2, class);
+        let stall = if self.cpus[i].l2.contains(line2) {
+            self.cpus[i].l2.touch(line2);
+            self.l2_read_delay(i, now) + self.cfg.timing.l2_hit - 1
+        } else {
+            let grant = self
+                .bus
+                .acquire(now, self.cfg.timing.line_transfer, BusOp::ReadLine);
+            let any = self.snoop_read(i, line2);
+            let state = if any {
+                LineState::Shared
+            } else {
+                LineState::Exclusive
+            };
+            let by_blk = self.cpus[i].block.is_some();
+            self.l2_fill(i, line2, state, class, by_blk);
+            (grant - now) + self.cfg.timing.mem - 1
+        };
+        let by_blk = self.cpus[i].block.is_some();
+        self.l1d_fill(i, line1, class, by_blk);
+        self.count_miss(i, pc, stall);
+        self.advance(i, stall, Bucket::DRead);
+    }
+
+    // ---- demand write -----------------------------------------------------------
+
+    /// The ordinary write path: write-through, write-allocate L1, a word
+    /// write buffer to the L2, and a line write buffer to the bus for
+    /// writes that need it (§4.1.2). The processor stalls only on buffer
+    /// overflow (release consistency). Write allocation is what lets a
+    /// block operation's destination displace cached data (§4.1.3) and
+    /// lets later reads of freshly-written blocks hit.
+    pub(crate) fn demand_write(&mut self, i: usize, addr: Addr, class: DataClass) {
+        let mode = self.cpus[i].mode;
+        self.cpus[i].stats.dwrites.add(mode, 1);
+        let line1 = addr.line(self.cfg.l1d.line);
+        let line2 = addr.line(self.cfg.l2.line);
+
+        // Stall if the word buffer is full.
+        let now = self.cpus[i].time;
+        let stall = self.cpus[i].wb1.stall_for_slot(now);
+        self.advance(i, stall, Bucket::DWrite);
+        let now = self.cpus[i].time;
+
+        // Drain in order behind older entries.
+        let serv_start = now.max(self.cpus[i].wb1.last_completion());
+        let by_blk = self.cpus[i].block.is_some();
+        let complete = self.l2_side_write(i, line2, serv_start, class, by_blk);
+        self.cpus[i].wb1.push(addr.0, complete);
+        // Write-allocate: the line is installed in the L1 in the
+        // background (posted, so it adds no processor stall).
+        if !self.cpus[i].l1d.contains(line1) {
+            self.l1d_fill(i, line1, class, by_blk);
+        }
+    }
+
+    /// Handles the L2/bus side of one buffered write; returns the drain
+    /// completion time.
+    fn l2_side_write(
+        &mut self,
+        i: usize,
+        line2: LineAddr,
+        t: u64,
+        class: DataClass,
+        by_blockop: bool,
+    ) -> u64 {
+        let timing = self.cfg.timing;
+        let update = self.cfg.update_pages.contains(&line2.page());
+        match self.cpus[i].l2.state(line2) {
+            LineState::Modified => self.l2_port(i, t, timing.l2_write) + timing.l2_write,
+            LineState::Exclusive => {
+                self.cpus[i].l2.set_state(line2, LineState::Modified);
+                self.l2_port(i, t, timing.l2_write) + timing.l2_write
+            }
+            LineState::Shared => {
+                let t2 = t + self.cpus[i].wb2.stall_for_slot(t);
+                if update {
+                    // Firefly: broadcast the word; sharers stay valid.
+                    let grant = self.bus.acquire(t2, timing.update_word, BusOp::UpdateWord);
+                    let sharers = self.snoop_update(i, line2);
+                    if sharers == 0 {
+                        self.cpus[i].l2.set_state(line2, LineState::Modified);
+                    }
+                    let complete = grant + timing.update_word;
+                    self.cpus[i].wb2.push(line2.0, complete);
+                    complete
+                } else {
+                    // Illinois: invalidation signal, then write locally.
+                    let grant = self.bus.acquire(t2, timing.inval_signal, BusOp::Invalidate);
+                    self.snoop_write(i, line2);
+                    self.cpus[i].l2.set_state(line2, LineState::Modified);
+                    let complete = grant + timing.inval_signal;
+                    self.cpus[i].wb2.push(line2.0, complete);
+                    complete
+                }
+            }
+            LineState::Invalid => {
+                // Merge with a pending write to the same line.
+                if self.cpus[i].wb2.pending(line2.0) {
+                    return self.cpus[i].wb2.last_completion().max(t);
+                }
+                let t2 = t + self.cpus[i].wb2.stall_for_slot(t);
+                if update {
+                    // Fetch the line; remote copies stay valid and receive
+                    // the written word on the bus.
+                    let grant = self.bus.acquire(t2, timing.line_transfer, BusOp::ReadLine);
+                    let sharers = self.snoop_update(i, line2);
+                    let state = if sharers > 0 {
+                        LineState::Shared
+                    } else {
+                        LineState::Modified
+                    };
+                    self.l2_fill(i, line2, state, class, by_blockop);
+                    let complete = grant + timing.mem;
+                    self.cpus[i].wb2.push(line2.0, complete);
+                    complete
+                } else {
+                    // Write-allocate: read-exclusive fetch.
+                    let grant = self
+                        .bus
+                        .acquire(t2, timing.line_transfer, BusOp::ReadExclusive);
+                    self.snoop_write(i, line2);
+                    self.l2_fill(i, line2, LineState::Modified, class, by_blockop);
+                    let complete = grant + timing.mem;
+                    self.cpus[i].wb2.push(line2.0, complete);
+                    complete
+                }
+            }
+        }
+    }
+
+    // ---- prefetch -----------------------------------------------------------
+
+    /// Issues a software prefetch of `addr`'s line into L1D + L2.
+    pub(crate) fn issue_prefetch(&mut self, i: usize, addr: Addr, class: DataClass) {
+        let line1 = addr.line(self.cfg.l1d.line);
+        let line2 = addr.line(self.cfg.l2.line);
+        let now = self.cpus[i].time;
+        self.cpus[i].stats.prefetches_issued += 1;
+        if self.cpus[i].l1d.contains(line1) || self.cpus[i].mshr.pending(line1).is_some() {
+            return;
+        }
+        if self.cpus[i].mshr.in_flight(now) >= self.cfg.max_prefetches {
+            return; // all MSHRs busy: drop
+        }
+        let pc = self.peek_classify(i, line1, line2, class);
+        let ready = if self.cpus[i].l2.contains(line2) {
+            now + self.cfg.timing.l2_hit
+        } else {
+            let grant = self
+                .bus
+                .acquire(now, self.cfg.timing.line_transfer, BusOp::ReadLine);
+            let any = self.snoop_read(i, line2);
+            let state = if any {
+                LineState::Shared
+            } else {
+                LineState::Exclusive
+            };
+            let by_blk = self.cpus[i].block.is_some();
+            self.l2_fill(i, line2, state, class, by_blk);
+            grant + self.cfg.timing.mem
+        };
+        let by_blk = self.cpus[i].block.is_some();
+        self.l1d_fill(i, line1, class, by_blk);
+        let inserted = self.cpus[i].mshr.insert(now, line1, ready);
+        debug_assert!(inserted, "MSHR capacity checked above");
+        self.pending_class
+            .insert(((i as u64) << 32) | u64::from(line1.0), pc);
+    }
+
+    /// Total events processed (diagnostics).
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}

@@ -1,0 +1,191 @@
+//! Prefetch machinery: lockup-free miss-status registers and the
+//! `Blk_ByPref` source prefetch buffer.
+
+use oscache_trace::LineAddr;
+
+/// Outstanding (in-flight) line fetches initiated by prefetch instructions.
+///
+/// The secondary cache is lockup-free (§2.4, citing Kroft), so prefetches
+/// proceed without blocking the processor; a demand access to an in-flight
+/// line stalls only for the remaining latency (the `Pref` component of
+/// Figure 3).
+#[derive(Clone, Debug)]
+pub struct MshrSet {
+    max: usize,
+    entries: Vec<(LineAddr, u64)>,
+}
+
+impl MshrSet {
+    /// Creates a set with `max` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero.
+    pub fn new(max: usize) -> Self {
+        assert!(max > 0, "need at least one MSHR");
+        MshrSet {
+            max,
+            entries: Vec::with_capacity(max),
+        }
+    }
+
+    /// Drops entries whose fetch completed by `now`.
+    pub fn expire(&mut self, now: u64) {
+        self.entries.retain(|&(_, ready)| ready > now);
+    }
+
+    /// The completion time of an in-flight fetch of `line`, if any.
+    pub fn pending(&self, line: LineAddr) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, r)| r)
+    }
+
+    /// Registers an in-flight fetch; returns `false` (fetch dropped) when
+    /// all registers are busy at `now`.
+    pub fn insert(&mut self, now: u64, line: LineAddr, ready: u64) -> bool {
+        self.expire(now);
+        if self.pending(line).is_some() {
+            return true; // already in flight: merge
+        }
+        if self.entries.len() >= self.max {
+            return false;
+        }
+        self.entries.push((line, ready));
+        true
+    }
+
+    /// Removes and returns the completion time of an in-flight fetch.
+    pub fn take(&mut self, line: LineAddr) -> Option<u64> {
+        let idx = self.entries.iter().position(|&(l, _)| l == line)?;
+        Some(self.entries.swap_remove(idx).1)
+    }
+
+    /// Number of fetches still in flight at `now`.
+    pub fn in_flight(&mut self, now: u64) -> usize {
+        self.expire(now);
+        self.entries.len()
+    }
+}
+
+/// The 8-line source prefetch buffer of `Blk_ByPref` (§4.2).
+///
+/// The processor reads it as fast as the primary cache; filled lines do not
+/// enter the caches (bypass), so they displace nothing.
+#[derive(Clone, Debug)]
+pub struct PrefetchBuffer {
+    capacity: usize,
+    entries: Vec<(LineAddr, u64)>,
+}
+
+impl PrefetchBuffer {
+    /// Creates a buffer holding `capacity` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "prefetch buffer needs capacity");
+        PrefetchBuffer {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Inserts a line arriving at `ready`; evicts the oldest entry if full.
+    pub fn insert(&mut self, line: LineAddr, ready: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.0 == line) {
+            e.1 = e.1.min(ready);
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((line, ready));
+    }
+
+    /// The arrival time of `line` if buffered.
+    pub fn lookup(&self, line: LineAddr) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|&&(l, _)| l == line)
+            .map(|&(_, r)| r)
+    }
+
+    /// Number of buffered lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Empties the buffer (at block-operation end).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn la(a: u32) -> LineAddr {
+        LineAddr(a)
+    }
+
+    #[test]
+    fn mshr_tracks_in_flight_fetches() {
+        let mut m = MshrSet::new(2);
+        assert!(m.insert(0, la(0x100), 50));
+        assert!(m.insert(0, la(0x200), 60));
+        assert_eq!(m.pending(la(0x100)), Some(50));
+        assert_eq!(m.pending(la(0x300)), None);
+        // Full: a third fetch is dropped.
+        assert!(!m.insert(0, la(0x300), 70));
+        // After the first completes, space frees.
+        assert!(m.insert(55, la(0x300), 100));
+        assert_eq!(m.in_flight(55), 2);
+    }
+
+    #[test]
+    fn mshr_merges_duplicate_lines() {
+        let mut m = MshrSet::new(1);
+        assert!(m.insert(0, la(0x100), 50));
+        assert!(m.insert(0, la(0x100), 80)); // merge, not drop
+        assert_eq!(m.pending(la(0x100)), Some(50));
+    }
+
+    #[test]
+    fn mshr_take_removes() {
+        let mut m = MshrSet::new(2);
+        m.insert(0, la(0x100), 50);
+        assert_eq!(m.take(la(0x100)), Some(50));
+        assert_eq!(m.take(la(0x100)), None);
+    }
+
+    #[test]
+    fn pbuf_fifo_eviction() {
+        let mut p = PrefetchBuffer::new(2);
+        p.insert(la(0x10), 5);
+        p.insert(la(0x20), 6);
+        p.insert(la(0x30), 7); // evicts 0x10
+        assert!(p.lookup(la(0x10)).is_none());
+        assert_eq!(p.lookup(la(0x20)), Some(6));
+        assert_eq!(p.lookup(la(0x30)), Some(7));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn pbuf_reinsert_keeps_earliest_arrival() {
+        let mut p = PrefetchBuffer::new(2);
+        p.insert(la(0x10), 50);
+        p.insert(la(0x10), 90);
+        assert_eq!(p.lookup(la(0x10)), Some(50));
+        p.clear();
+        assert!(p.is_empty());
+    }
+}

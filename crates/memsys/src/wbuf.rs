@@ -1,0 +1,175 @@
+//! Write buffers.
+//!
+//! Two buffers sit in each processor's hierarchy (§2.4): a 4-deep,
+//! word-wide buffer between the L1 and L2, and an 8-deep, 32-byte-wide
+//! buffer between the L2 and the bus. Reads bypass writes. A full buffer
+//! stalls the processor — the *write stall* of Figure 1/3, which the paper
+//! finds is dominated by the L2→bus buffer (§4.1.2).
+
+use std::collections::VecDeque;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    /// Line or word address key the entry is for (used for merging and
+    /// read-forwarding checks).
+    key: u32,
+    /// Simulated time at which the entry has fully drained.
+    complete_at: u64,
+}
+
+/// A FIFO write buffer with lazily-computed drain times.
+///
+/// The machine model computes each entry's completion time when the entry
+/// is inserted (reserving downstream resources eagerly); the buffer itself
+/// tracks occupancy and reports the stall needed to free a slot.
+#[derive(Clone, Debug)]
+pub struct WriteBuffer {
+    depth: usize,
+    entries: VecDeque<Entry>,
+}
+
+impl WriteBuffer {
+    /// Creates an empty buffer with `depth` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "write buffer needs at least one slot");
+        WriteBuffer {
+            depth,
+            entries: VecDeque::with_capacity(depth + 1),
+        }
+    }
+
+    /// Drops entries that have drained by `now`.
+    pub fn drain(&mut self, now: u64) {
+        while let Some(front) = self.entries.front() {
+            if front.complete_at <= now {
+                self.entries.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Time the processor must wait (from `now`) before a slot is free for
+    /// one more entry. Zero if a slot is already free after draining.
+    pub fn stall_for_slot(&mut self, now: u64) -> u64 {
+        self.drain(now);
+        if self.entries.len() < self.depth {
+            0
+        } else {
+            // FIFO: the (len - depth + 1)-th oldest entry must complete.
+            let idx = self.entries.len() - self.depth;
+            self.entries[idx].complete_at.saturating_sub(now)
+        }
+    }
+
+    /// Inserts an entry that completes at `complete_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if called while the buffer is over-full — call
+    /// [`WriteBuffer::stall_for_slot`] and advance time first.
+    pub fn push(&mut self, key: u32, complete_at: u64) {
+        debug_assert!(
+            self.entries.len() <= self.depth,
+            "write buffer overfull; caller must stall first"
+        );
+        self.entries.push_back(Entry { key, complete_at });
+    }
+
+    /// True if an entry with `key` is still pending (read forwarding /
+    /// write merging).
+    pub fn pending(&self, key: u32) -> bool {
+        self.entries.iter().any(|e| e.key == key)
+    }
+
+    /// Completion time of the youngest entry, or `0` if empty — the
+    /// earliest service start for the next entry on an in-order drain path.
+    pub fn last_completion(&self) -> u64 {
+        self.entries.back().map_or(0, |e| e.complete_at)
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no writes are pending.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Completion time of the last pending entry — when the buffer will be
+    /// fully drained (0 if already empty).
+    pub fn drained_at(&self) -> u64 {
+        self.last_completion()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_stall_when_space() {
+        let mut wb = WriteBuffer::new(2);
+        assert_eq!(wb.stall_for_slot(0), 0);
+        wb.push(1, 100);
+        assert_eq!(wb.stall_for_slot(0), 0);
+        assert_eq!(wb.len(), 1);
+    }
+
+    #[test]
+    fn stall_when_full() {
+        let mut wb = WriteBuffer::new(2);
+        wb.push(1, 100);
+        wb.push(2, 200);
+        // Full: next push must wait until the oldest completes (t=100).
+        assert_eq!(wb.stall_for_slot(10), 90);
+        // At t=100 the first entry drains, so no stall.
+        assert_eq!(wb.stall_for_slot(100), 0);
+        assert_eq!(wb.len(), 1);
+    }
+
+    #[test]
+    fn drain_removes_completed_in_order() {
+        let mut wb = WriteBuffer::new(4);
+        wb.push(1, 10);
+        wb.push(2, 20);
+        wb.push(3, 30);
+        wb.drain(25);
+        assert_eq!(wb.len(), 1);
+        assert!(wb.pending(3));
+        assert!(!wb.pending(1));
+    }
+
+    #[test]
+    fn last_completion_orders_service() {
+        let mut wb = WriteBuffer::new(4);
+        assert_eq!(wb.last_completion(), 0);
+        wb.push(1, 50);
+        wb.push(2, 70);
+        assert_eq!(wb.last_completion(), 70);
+        assert_eq!(wb.drained_at(), 70);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_depth_panics() {
+        WriteBuffer::new(0);
+    }
+
+    #[test]
+    fn pending_checks_key() {
+        let mut wb = WriteBuffer::new(2);
+        wb.push(0xabc, 10);
+        assert!(wb.pending(0xabc));
+        assert!(!wb.pending(0xdef));
+        assert!(!wb.is_empty());
+        wb.drain(10);
+        assert!(wb.is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Property-based tests of the memory-system invariants.
+
+use oscache_memsys::{
+    Bus, BusOp, Cache, CacheGeom, LineState, Machine, MachineConfig, MshrSet, PrefetchBuffer,
+    WriteBuffer,
+};
+use oscache_trace::{Addr, DataClass, LineAddr, Mode, Stream, StreamBuilder, Trace, TraceMeta};
+use proptest::prelude::*;
+
+fn small_geom() -> impl Strategy<Value = CacheGeom> {
+    (5u32..=8, 2u32..=6).prop_filter_map("line <= size", |(size_log, line_log)| {
+        (line_log <= size_log).then(|| CacheGeom::new(1 << size_log, 1 << line_log))
+    })
+}
+
+proptest! {
+    /// A cache never holds two lines in one frame, and `valid_count` never
+    /// exceeds the frame count.
+    #[test]
+    fn cache_occupancy_is_bounded(
+        geom in small_geom(),
+        ops in prop::collection::vec((0u32..4096, 0u8..3), 1..200),
+    ) {
+        let mut c = Cache::new(geom);
+        for (addr, op) in ops {
+            let line = Addr(addr).line(geom.line);
+            match op {
+                0 => {
+                    c.fill(line, LineState::Shared, DataClass::UserData, false);
+                }
+                1 => {
+                    c.fill(line, LineState::Modified, DataClass::UserData, true);
+                }
+                _ => {
+                    c.invalidate(line);
+                }
+            }
+            prop_assert!(c.valid_count() <= geom.n_lines() as usize);
+        }
+    }
+
+    /// After filling a line it is always resident; after invalidating it,
+    /// never.
+    #[test]
+    fn cache_fill_then_contains(geom in small_geom(), addr in 0u32..65536) {
+        let mut c = Cache::new(geom);
+        let line = Addr(addr).line(geom.line);
+        c.fill(line, LineState::Exclusive, DataClass::PageTable, false);
+        prop_assert!(c.contains(line));
+        prop_assert_eq!(c.state(line), LineState::Exclusive);
+        c.invalidate(line);
+        prop_assert!(!c.contains(line));
+    }
+
+    /// The write buffer never reports more entries than its depth after a
+    /// stall-then-push discipline, and completion times drain in order.
+    #[test]
+    fn write_buffer_respects_depth(
+        depth in 1usize..8,
+        writes in prop::collection::vec((0u32..64, 1u64..100), 1..100),
+    ) {
+        let mut wb = WriteBuffer::new(depth);
+        let mut now = 0u64;
+        let mut last_complete = 0u64;
+        for (key, dt) in writes {
+            now += wb.stall_for_slot(now);
+            wb.drain(now);
+            let has_room = wb.len() < depth;
+            prop_assert!(has_room, "stall_for_slot must free a slot");
+            // entries complete in FIFO order
+            last_complete = last_complete.max(now) + dt;
+            wb.push(key, last_complete);
+            now += 1;
+        }
+    }
+
+    /// Bus grants are monotone: a later request is never granted earlier
+    /// than an earlier one.
+    #[test]
+    fn bus_grants_are_monotone(
+        reqs in prop::collection::vec((0u64..50, 1u64..40), 1..100),
+    ) {
+        let mut bus = Bus::new();
+        let mut now = 0u64;
+        let mut last_grant = 0u64;
+        for (dt, occ) in reqs {
+            now += dt;
+            let g = bus.acquire(now, occ, BusOp::ReadLine);
+            prop_assert!(g >= last_grant, "grant went backwards");
+            prop_assert!(g >= now);
+            last_grant = g;
+        }
+        prop_assert_eq!(bus.stats().read_lines as usize, 0 + bus.stats().transactions() as usize);
+    }
+
+    /// MSHRs never track more than their capacity.
+    #[test]
+    fn mshr_capacity_holds(
+        cap in 1usize..8,
+        ops in prop::collection::vec((0u32..256, 1u64..60), 1..100),
+    ) {
+        let mut m = MshrSet::new(cap);
+        let mut now = 0u64;
+        for (line, ready_dt) in ops {
+            now += 1;
+            let _ = m.insert(now, LineAddr(line * 16), now + ready_dt);
+            prop_assert!(m.in_flight(now) <= cap);
+        }
+    }
+
+    /// The prefetch buffer is a strict FIFO of bounded capacity.
+    #[test]
+    fn pbuf_capacity_holds(
+        cap in 1usize..8,
+        lines in prop::collection::vec(0u32..64, 1..100),
+    ) {
+        let mut p = PrefetchBuffer::new(cap);
+        for (t, l) in lines.iter().enumerate() {
+            p.insert(LineAddr(l * 16), t as u64);
+            prop_assert!(p.len() <= cap);
+        }
+    }
+
+    /// Replaying any random (single-CPU, unsynchronized) trace never
+    /// panics, accounts every cycle, and is deterministic.
+    #[test]
+    fn machine_accounts_all_cycles(
+        refs in prop::collection::vec((0u32..200_000, any::<bool>(), any::<bool>()), 1..300),
+        idle in 0u32..1000,
+    ) {
+        let mut meta = TraceMeta::default();
+        let site = meta.code.add_site("p", false);
+        let bb = meta.code.add_block(Addr(0x100), 3, site);
+        let mut b = StreamBuilder::new();
+        b.set_mode(Mode::Os);
+        b.idle(idle);
+        for (addr, is_write, os) in &refs {
+            b.set_mode(if *os { Mode::Os } else { Mode::User });
+            b.exec(bb);
+            let a = Addr(0x0100_0000 + (addr & !3));
+            if *is_write {
+                b.write(a, DataClass::KernelOther);
+            } else {
+                b.read(a, DataClass::KernelOther);
+            }
+        }
+        let mut t = Trace::new(4, meta);
+        t.streams[0] = b.finish();
+        t.streams[1] = Stream::new();
+        t.streams[2] = Stream::new();
+        t.streams[3] = Stream::new();
+
+        let s1 = Machine::new(MachineConfig::base(), &t).run();
+        let s2 = Machine::new(MachineConfig::base(), &t).run();
+        // deterministic
+        prop_assert_eq!(s1.cpu_times.clone(), s2.cpu_times.clone());
+        prop_assert_eq!(
+            s1.total().l1d_read_misses.total(),
+            s2.total().l1d_read_misses.total()
+        );
+        // every cycle accounted
+        for (i, c) in s1.cpus.iter().enumerate() {
+            prop_assert_eq!(c.accounted_cycles(), s1.cpu_times[i]);
+        }
+        // misses never exceed reads
+        let tot = s1.total();
+        prop_assert!(tot.l1d_read_misses.total() <= tot.dreads.total());
+    }
+
+    /// Block operations under every scheme preserve the accounting
+    /// invariant and never panic.
+    #[test]
+    fn block_ops_account_under_every_scheme(
+        len_words in 1u32..200,
+        scheme_idx in 0usize..5,
+    ) {
+        use oscache_memsys::BlockOpScheme::*;
+        let scheme = [Cached, Pref, Bypass, ByPref, Dma][scheme_idx];
+        let mut meta = TraceMeta::default();
+        let site = meta.code.add_site("p", true);
+        let bb = meta.code.add_block(Addr(0x100), 4, site);
+        let mut b = StreamBuilder::new();
+        b.set_mode(Mode::Os);
+        let len = len_words * 8;
+        b.begin_block_copy(
+            Addr(0x1000_0000),
+            Addr(0x1203_4000),
+            len,
+            DataClass::PageFrame,
+            DataClass::PageFrame,
+        );
+        let mut off = 0;
+        while off < len {
+            b.exec(bb);
+            b.read(Addr(0x1000_0000 + off), DataClass::PageFrame);
+            b.write(Addr(0x1203_4000 + off), DataClass::PageFrame);
+            off += 8;
+        }
+        b.end_block_op();
+        let mut t = Trace::new(4, meta);
+        t.streams[0] = b.finish();
+        let cfg = MachineConfig::base().with_block_scheme(scheme);
+        let s = Machine::new(cfg, &t).run();
+        prop_assert_eq!(s.cpus[0].accounted_cycles(), s.cpu_times[0]);
+        prop_assert_eq!(s.total().blk_ops, 1);
+    }
+}
+
+/// Reference model for a set-associative LRU cache, used as an oracle.
+#[derive(Default)]
+struct ModelCache {
+    sets: std::collections::HashMap<u32, Vec<u32>>, // set -> lines, LRU order (front = oldest)
+}
+
+impl ModelCache {
+    fn access(&mut self, geom: CacheGeom, line: u32) -> bool {
+        let set = geom.set_of(line);
+        let ways = geom.ways as usize;
+        let v = self.sets.entry(set).or_default();
+        if let Some(pos) = v.iter().position(|&l| l == line) {
+            v.remove(pos);
+            v.push(line);
+            true
+        } else {
+            if v.len() == ways {
+                v.remove(0);
+            }
+            v.push(line);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// The cache agrees with a straightforward LRU model on every access.
+    #[test]
+    fn cache_matches_lru_oracle(
+        ways_log in 0u32..3,
+        accesses in prop::collection::vec(0u32..2048, 1..400),
+    ) {
+        let geom = CacheGeom::new_assoc(1024, 16, 1 << ways_log);
+        let mut cache = Cache::new(geom);
+        let mut model = ModelCache::default();
+        for a in accesses {
+            let line = Addr(a * 16).line(16);
+            let model_hit = model.access(geom, line.0);
+            let cache_hit = cache.contains(line);
+            prop_assert_eq!(cache_hit, model_hit, "divergence at line {:x}", line.0);
+            if cache_hit {
+                cache.touch(line);
+            } else {
+                cache.fill(line, LineState::Shared, DataClass::UserData, false);
+            }
+        }
+    }
+}

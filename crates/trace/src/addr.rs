@@ -1,0 +1,165 @@
+//! Address and identifier newtypes shared across the workspace.
+
+use std::fmt;
+
+/// Size of a virtual-memory page, in bytes (4 KB, as on the Alliant FX/8).
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Size of a machine word, in bytes. Scalar loads and stores move one word.
+pub const WORD_SIZE: u32 = 4;
+
+/// A 32-bit physical memory address.
+///
+/// The paper's performance monitor records 32-bit physical addresses; all
+/// kernel data structures live at fixed physical addresses (kernel virtual
+/// and physical addresses coincide on the traced machine, §2.2), so a single
+/// flat physical address space suffices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// Returns the address of the cache line containing `self` for the given
+    /// line size (which must be a power of two).
+    #[inline]
+    pub fn line(self, line_size: u32) -> LineAddr {
+        debug_assert!(line_size.is_power_of_two());
+        LineAddr(self.0 & !(line_size - 1))
+    }
+
+    /// Returns the page number of this address.
+    #[inline]
+    pub fn page(self) -> u32 {
+        self.0 / PAGE_SIZE
+    }
+
+    /// Returns the offset of this address within its page.
+    #[inline]
+    pub fn page_offset(self) -> u32 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// Returns this address displaced by `delta` bytes.
+    #[inline]
+    pub fn offset(self, delta: u32) -> Addr {
+        Addr(self.0.wrapping_add(delta))
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#010x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl From<u32> for Addr {
+    fn from(raw: u32) -> Self {
+        Addr(raw)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// The address of the first byte of a cache line.
+///
+/// A `LineAddr` is only meaningful together with the line size used to
+/// produce it; see [`Addr::line`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u32);
+
+impl LineAddr {
+    /// The first byte address of this line.
+    #[inline]
+    pub fn addr(self) -> Addr {
+        Addr(self.0)
+    }
+
+    /// The page number of this line.
+    #[inline]
+    pub fn page(self) -> u32 {
+        self.0 / PAGE_SIZE
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#010x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+/// Identifier of one of the simulated processors (0..N, N = 4 in the paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct CpuId(pub u8);
+
+impl CpuId {
+    /// The processor index as a `usize`, for indexing per-CPU tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CpuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_masks_low_bits() {
+        assert_eq!(Addr(0x1234).line(16), LineAddr(0x1230));
+        assert_eq!(Addr(0x1234).line(32), LineAddr(0x1220));
+        assert_eq!(Addr(0x1240).line(64), LineAddr(0x1240));
+    }
+
+    #[test]
+    fn line_of_line_start_is_identity() {
+        let a = Addr(0xabc0);
+        assert_eq!(a.line(16).addr(), a);
+    }
+
+    #[test]
+    fn page_and_offset_roundtrip() {
+        let a = Addr(5 * PAGE_SIZE + 123);
+        assert_eq!(a.page(), 5);
+        assert_eq!(a.page_offset(), 123);
+        assert_eq!(Addr(a.page() * PAGE_SIZE + a.page_offset()), a);
+    }
+
+    #[test]
+    fn offset_wraps() {
+        assert_eq!(Addr(u32::MAX).offset(1), Addr(0));
+        assert_eq!(Addr(100).offset(28), Addr(128));
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(Addr(0x10).to_string(), "0x00000010");
+        assert_eq!(CpuId(3).to_string(), "cpu3");
+    }
+
+    #[test]
+    fn line_page_matches_addr_page() {
+        let a = Addr(7 * PAGE_SIZE + 900);
+        assert_eq!(a.line(32).page(), a.page());
+    }
+}

@@ -1,0 +1,262 @@
+//! Trace events.
+
+use crate::{Addr, BlockId, DataClass};
+use std::fmt;
+
+/// Execution mode of a processor: the paper splits all metrics into
+/// operating-system and user components.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Mode {
+    /// Executing application code.
+    #[default]
+    User,
+    /// Executing kernel code (system calls, interrupts, exceptions).
+    Os,
+}
+
+impl Mode {
+    /// True in kernel mode.
+    #[inline]
+    pub fn is_os(self) -> bool {
+        matches!(self, Mode::Os)
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mode::User => "user",
+            Mode::Os => "os",
+        })
+    }
+}
+
+/// Identifier of a kernel lock.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LockId(pub u16);
+
+/// Identifier of a kernel barrier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BarrierId(pub u16);
+
+/// Kind of block operation (§4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BlockKind {
+    /// Copy `len` bytes from a source block to a destination block
+    /// (fork address-space copies, `copyin`/`copyout`, buffer moves).
+    Copy,
+    /// Zero-fill `len` bytes (page zeroing on demand-fill).
+    Zero,
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BlockKind::Copy => "copy",
+            BlockKind::Zero => "zero",
+        })
+    }
+}
+
+/// Descriptor of one block operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BlockOp {
+    /// First byte of the source block. Meaningless for [`BlockKind::Zero`]
+    /// (set equal to `dst` by convention).
+    pub src: Addr,
+    /// First byte of the destination block.
+    pub dst: Addr,
+    /// Length in bytes.
+    pub len: u32,
+    /// Copy or zero.
+    pub kind: BlockKind,
+    /// Class of the source payload.
+    pub src_class: DataClass,
+    /// Class of the destination payload.
+    pub dst_class: DataClass,
+}
+
+impl BlockOp {
+    /// Whether this block moves exactly one page (the paper's size buckets:
+    /// `= 4 KB`, `1 KB..4 KB`, `< 1 KB`; Table 3 rows 4–6).
+    #[inline]
+    pub fn is_page_sized(&self) -> bool {
+        self.len == crate::PAGE_SIZE
+    }
+}
+
+/// One entry of a per-CPU reference stream.
+///
+/// Scalar data references carry their [`DataClass`] attribution. Block
+/// operations are *bracketed*: the generator emits a [`Event::BlockOpBegin`]
+/// descriptor, then the individual word reads/writes of the transfer loop
+/// (so cache-visible behaviour is simulated faithfully), then
+/// [`Event::BlockOpEnd`]. Optimization schemes that change how block
+/// operations touch the memory system (bypass, DMA, …) key off the bracket.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Event {
+    /// Execute every instruction of a basic block (instruction fetches are
+    /// replayed against the I-cache; one cycle per instruction of base cost).
+    Exec {
+        /// The basic block to execute.
+        block: BlockId,
+    },
+    /// A scalar data read of one word.
+    Read {
+        /// Word address.
+        addr: Addr,
+        /// Data-structure attribution.
+        class: DataClass,
+    },
+    /// A scalar data write of one word.
+    Write {
+        /// Word address.
+        addr: Addr,
+        /// Data-structure attribution.
+        class: DataClass,
+    },
+    /// A non-binding software prefetch of the line containing `addr`
+    /// (inserted by the optimization passes, never by raw generators).
+    Prefetch {
+        /// Address whose line to prefetch.
+        addr: Addr,
+        /// Data-structure attribution.
+        class: DataClass,
+    },
+    /// Acquire a kernel lock (test-and-set on `addr`; spins in simulated
+    /// time until the holder releases).
+    LockAcquire {
+        /// Which lock.
+        lock: LockId,
+        /// The lock word.
+        addr: Addr,
+    },
+    /// Release a kernel lock previously acquired by the same CPU.
+    LockRelease {
+        /// Which lock.
+        lock: LockId,
+        /// The lock word.
+        addr: Addr,
+    },
+    /// Arrive at a barrier; blocks until `participants` CPUs have arrived.
+    Barrier {
+        /// Which barrier.
+        barrier: BarrierId,
+        /// The barrier counter/flag word.
+        addr: Addr,
+        /// Number of CPUs that must arrive before any proceeds.
+        participants: u8,
+    },
+    /// Start of a block operation; the transfer's word references follow.
+    BlockOpBegin {
+        /// Transfer descriptor.
+        op: BlockOp,
+    },
+    /// End of the innermost open block operation.
+    BlockOpEnd,
+    /// Switch between user and kernel mode.
+    SetMode {
+        /// New mode.
+        mode: Mode,
+    },
+    /// The CPU idles (idle loop; no memory references) for `cycles`.
+    Idle {
+        /// Duration in CPU cycles.
+        cycles: u32,
+    },
+}
+
+impl Event {
+    /// The address referenced by this event, if it is a data reference.
+    pub fn data_addr(&self) -> Option<Addr> {
+        match *self {
+            Event::Read { addr, .. }
+            | Event::Write { addr, .. }
+            | Event::Prefetch { addr, .. }
+            | Event::LockAcquire { addr, .. }
+            | Event::LockRelease { addr, .. }
+            | Event::Barrier { addr, .. } => Some(addr),
+            _ => None,
+        }
+    }
+
+    /// The data class of this event, if it is a data reference.
+    pub fn data_class(&self) -> Option<DataClass> {
+        match *self {
+            Event::Read { class, .. }
+            | Event::Write { class, .. }
+            | Event::Prefetch { class, .. } => Some(class),
+            Event::LockAcquire { .. } | Event::LockRelease { .. } => Some(DataClass::LockVar),
+            Event::Barrier { .. } => Some(DataClass::BarrierVar),
+            _ => None,
+        }
+    }
+
+    /// True for `Read` events.
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        matches!(self, Event::Read { .. })
+    }
+
+    /// True for `Write` events.
+    #[inline]
+    pub fn is_write(&self) -> bool {
+        matches!(self, Event::Write { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_addr_extracts_reference_addresses() {
+        let r = Event::Read {
+            addr: Addr(8),
+            class: DataClass::PageTable,
+        };
+        assert_eq!(r.data_addr(), Some(Addr(8)));
+        assert!(r.is_read());
+        assert!(!r.is_write());
+        assert_eq!(Event::Idle { cycles: 5 }.data_addr(), None);
+        assert_eq!(Event::BlockOpEnd.data_addr(), None);
+    }
+
+    #[test]
+    fn sync_events_have_sync_classes() {
+        let l = Event::LockAcquire {
+            lock: LockId(0),
+            addr: Addr(64),
+        };
+        assert_eq!(l.data_class(), Some(DataClass::LockVar));
+        let b = Event::Barrier {
+            barrier: BarrierId(0),
+            addr: Addr(128),
+            participants: 4,
+        };
+        assert_eq!(b.data_class(), Some(DataClass::BarrierVar));
+    }
+
+    #[test]
+    fn page_sized_predicate() {
+        let op = BlockOp {
+            src: Addr(0x1000),
+            dst: Addr(0x2000),
+            len: crate::PAGE_SIZE,
+            kind: BlockKind::Copy,
+            src_class: DataClass::PageFrame,
+            dst_class: DataClass::PageFrame,
+        };
+        assert!(op.is_page_sized());
+        let small = BlockOp { len: 512, ..op };
+        assert!(!small.is_page_sized());
+    }
+
+    #[test]
+    fn mode_display_and_predicate() {
+        assert!(Mode::Os.is_os());
+        assert!(!Mode::User.is_os());
+        assert_eq!(Mode::Os.to_string(), "os");
+        assert_eq!(BlockKind::Zero.to_string(), "zero");
+    }
+}

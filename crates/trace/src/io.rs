@@ -1,0 +1,567 @@
+//! Trace serialization.
+//!
+//! The paper's performance monitor dumps its trace buffers to disk so that
+//! "an unbounded continuous stretch of the workload" can be traced and
+//! re-simulated later (§2.1). This module provides the equivalent: a
+//! line-oriented text format that round-trips a full [`Trace`] — events,
+//! code layout, kernel-variable map, and kernel data ranges.
+//!
+//! The format is versioned, deliberately simple, and diff-friendly:
+//!
+//! ```text
+//! oscache-trace 1
+//! workload TRFD_4
+//! cpus 4
+//! site pgfault_entry seq
+//! block 10000 18 0
+//! var 1000000 4 InfreqCounter counter - vmmeter.v_intr
+//! range 1000000 4000
+//! stream 0
+//! M os
+//! E 0
+//! R 1000000 InfreqCounter
+//! ...
+//! end
+//! ```
+
+use crate::{
+    Addr, BarrierId, BlockId, BlockKind, BlockOp, CodeLayout, DataClass, Event, KernelVar, LockId,
+    Mode, SiteId, Stream, Trace, TraceMeta, VarRole,
+};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors produced while reading a serialized trace.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input is not a valid trace dump; the message describes the
+    /// offending line.
+    Parse(String),
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ReadTraceError::Parse(m) => write!(f, "malformed trace dump: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            ReadTraceError::Parse(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+fn class_name(c: DataClass) -> &'static str {
+    match c {
+        DataClass::BarrierVar => "BarrierVar",
+        DataClass::LockVar => "LockVar",
+        DataClass::InfreqCounter => "InfreqCounter",
+        DataClass::FreqShared => "FreqShared",
+        DataClass::Freelist => "Freelist",
+        DataClass::CpiEvents => "CpiEvents",
+        DataClass::PageTable => "PageTable",
+        DataClass::ProcTable => "ProcTable",
+        DataClass::RunQueue => "RunQueue",
+        DataClass::SyscallTable => "SyscallTable",
+        DataClass::TimerStruct => "TimerStruct",
+        DataClass::BufferCache => "BufferCache",
+        DataClass::KernelStack => "KernelStack",
+        DataClass::KernelOther => "KernelOther",
+        DataClass::PageFrame => "PageFrame",
+        DataClass::UserData => "UserData",
+        DataClass::UserStack => "UserStack",
+    }
+}
+
+fn parse_class(s: &str) -> Option<DataClass> {
+    Some(match s {
+        "BarrierVar" => DataClass::BarrierVar,
+        "LockVar" => DataClass::LockVar,
+        "InfreqCounter" => DataClass::InfreqCounter,
+        "FreqShared" => DataClass::FreqShared,
+        "Freelist" => DataClass::Freelist,
+        "CpiEvents" => DataClass::CpiEvents,
+        "PageTable" => DataClass::PageTable,
+        "ProcTable" => DataClass::ProcTable,
+        "RunQueue" => DataClass::RunQueue,
+        "SyscallTable" => DataClass::SyscallTable,
+        "TimerStruct" => DataClass::TimerStruct,
+        "BufferCache" => DataClass::BufferCache,
+        "KernelStack" => DataClass::KernelStack,
+        "KernelOther" => DataClass::KernelOther,
+        "PageFrame" => DataClass::PageFrame,
+        "UserData" => DataClass::UserData,
+        "UserStack" => DataClass::UserStack,
+        _ => return None,
+    })
+}
+
+fn role_name(r: VarRole) -> String {
+    match r {
+        VarRole::Counter => "counter".into(),
+        VarRole::Barrier => "barrier".into(),
+        VarRole::Lock => "lock".into(),
+        VarRole::FreqShared { producer_consumer } => {
+            if producer_consumer {
+                "freq-pc".into()
+            } else {
+                "freq".into()
+            }
+        }
+        VarRole::Plain => "plain".into(),
+    }
+}
+
+fn parse_role(s: &str) -> Option<VarRole> {
+    Some(match s {
+        "counter" => VarRole::Counter,
+        "barrier" => VarRole::Barrier,
+        "lock" => VarRole::Lock,
+        "freq-pc" => VarRole::FreqShared {
+            producer_consumer: true,
+        },
+        "freq" => VarRole::FreqShared {
+            producer_consumer: false,
+        },
+        "plain" => VarRole::Plain,
+        _ => return None,
+    })
+}
+
+/// Writes `trace` in the versioned text format.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use oscache_trace::{read_trace, write_trace, Trace, TraceMeta};
+///
+/// let trace = Trace::new(4, TraceMeta::default());
+/// let mut buf = Vec::new();
+/// write_trace(&trace, &mut buf)?;
+/// let back = read_trace(&buf[..])?;
+/// assert_eq!(back.n_cpus(), 4);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    writeln!(w, "oscache-trace 1")?;
+    writeln!(w, "workload {}", trace.meta.workload)?;
+    writeln!(w, "cpus {}", trace.n_cpus())?;
+    for (_, s) in trace.meta.code.sites() {
+        writeln!(
+            w,
+            "site {} {}",
+            s.name,
+            if s.is_loop { "loop" } else { "seq" }
+        )?;
+    }
+    for (_, b) in trace.meta.code.blocks() {
+        writeln!(w, "block {:x} {} {}", b.start.0, b.instrs, b.site.0)?;
+    }
+    for v in &trace.meta.vars {
+        writeln!(
+            w,
+            "var {:x} {} {} {} {} {}",
+            v.addr.0,
+            v.size,
+            class_name(v.class),
+            role_name(v.role),
+            v.false_shared_group
+                .map(|g| g.to_string())
+                .unwrap_or_else(|| "-".into()),
+            v.name
+        )?;
+    }
+    for &(base, len) in &trace.meta.kernel_data {
+        writeln!(w, "range {:x} {:x}", base.0, len)?;
+    }
+    for (cpu, stream) in trace.streams.iter().enumerate() {
+        writeln!(w, "stream {cpu}")?;
+        for e in stream.events() {
+            match *e {
+                Event::Exec { block } => writeln!(w, "E {}", block.0)?,
+                Event::Read { addr, class } => writeln!(w, "R {:x} {}", addr.0, class_name(class))?,
+                Event::Write { addr, class } => {
+                    writeln!(w, "W {:x} {}", addr.0, class_name(class))?
+                }
+                Event::Prefetch { addr, class } => {
+                    writeln!(w, "P {:x} {}", addr.0, class_name(class))?
+                }
+                Event::LockAcquire { lock, addr } => writeln!(w, "LA {} {:x}", lock.0, addr.0)?,
+                Event::LockRelease { lock, addr } => writeln!(w, "LR {} {:x}", lock.0, addr.0)?,
+                Event::Barrier {
+                    barrier,
+                    addr,
+                    participants,
+                } => writeln!(w, "B {} {:x} {}", barrier.0, addr.0, participants)?,
+                Event::BlockOpBegin { op } => writeln!(
+                    w,
+                    "OB {:x} {:x} {:x} {} {} {}",
+                    op.src.0,
+                    op.dst.0,
+                    op.len,
+                    match op.kind {
+                        BlockKind::Copy => "copy",
+                        BlockKind::Zero => "zero",
+                    },
+                    class_name(op.src_class),
+                    class_name(op.dst_class),
+                )?,
+                Event::BlockOpEnd => writeln!(w, "OE")?,
+                Event::SetMode { mode } => {
+                    writeln!(w, "M {}", if mode.is_os() { "os" } else { "user" })?
+                }
+                Event::Idle { cycles } => writeln!(w, "I {cycles}")?,
+            }
+        }
+    }
+    writeln!(w, "end")?;
+    Ok(())
+}
+
+struct Parser {
+    line_no: usize,
+}
+
+impl Parser {
+    fn err<T>(&self, msg: impl fmt::Display) -> Result<T, ReadTraceError> {
+        Err(ReadTraceError::Parse(format!(
+            "line {}: {msg}",
+            self.line_no
+        )))
+    }
+
+    fn hex(&self, s: &str) -> Result<u32, ReadTraceError> {
+        u32::from_str_radix(s, 16).or_else(|_| self.err(format!("bad hex value {s:?}")))
+    }
+
+    fn num<T: std::str::FromStr>(&self, s: &str) -> Result<T, ReadTraceError> {
+        s.parse().or_else(|_| self.err(format!("bad number {s:?}")))
+    }
+
+    fn class(&self, s: &str) -> Result<DataClass, ReadTraceError> {
+        parse_class(s).map_or_else(|| self.err(format!("unknown class {s:?}")), Ok)
+    }
+}
+
+/// Reads a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError::Parse`] when the input deviates from the
+/// format (wrong magic, unknown event letter, missing fields) and
+/// [`ReadTraceError::Io`] on reader failures.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadTraceError> {
+    let mut p = Parser { line_no: 0 };
+    let mut lines = r.lines();
+    let mut next = |p: &mut Parser| -> Result<Option<String>, ReadTraceError> {
+        p.line_no += 1;
+        match lines.next() {
+            Some(l) => Ok(Some(l?)),
+            None => Ok(None),
+        }
+    };
+
+    let magic = next(&mut p)?.unwrap_or_default();
+    if magic.trim() != "oscache-trace 1" {
+        return p.err(format!("bad magic {magic:?}"));
+    }
+
+    let mut meta = TraceMeta::default();
+    let mut code = CodeLayout::new();
+    let mut n_cpus = 0usize;
+    let mut streams: Vec<Vec<Event>> = Vec::new();
+    let mut cur: Option<usize> = None;
+    let mut site_names: Vec<&'static str> = Vec::new();
+
+    while let Some(line) = next(&mut p)? {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let tag = it.next().unwrap_or("");
+        let mut arg = |p: &Parser| -> Result<&str, ReadTraceError> {
+            it.next().map_or_else(|| p.err("missing field"), Ok)
+        };
+        match tag {
+            "workload" => {
+                meta.workload = line["workload ".len().min(line.len())..].to_string();
+            }
+            "cpus" => {
+                n_cpus = p.num(arg(&p)?)?;
+                streams = vec![Vec::new(); n_cpus];
+            }
+            "site" => {
+                let name = arg(&p)?.to_string();
+                let kind = arg(&p)?;
+                // Site names become 'static via leak: a trace load is a
+                // one-time operation and the layout lives as long as the
+                // trace.
+                let leaked: &'static str = Box::leak(name.into_boxed_str());
+                site_names.push(leaked);
+                code.add_site(leaked, kind == "loop");
+            }
+            "block" => {
+                let start = p.hex(arg(&p)?)?;
+                let instrs = p.num(arg(&p)?)?;
+                let site: u16 = p.num(arg(&p)?)?;
+                if site as usize >= site_names.len() {
+                    return p.err(format!("block references unknown site {site}"));
+                }
+                code.add_block(Addr(start), instrs, SiteId(site));
+            }
+            "var" => {
+                let addr = p.hex(arg(&p)?)?;
+                let size = p.num(arg(&p)?)?;
+                let class = p.class(arg(&p)?)?;
+                let role = {
+                    let s = arg(&p)?;
+                    parse_role(s).map_or_else(|| p.err(format!("unknown role {s:?}")), Ok)?
+                };
+                let fsg = {
+                    let s = arg(&p)?;
+                    if s == "-" {
+                        None
+                    } else {
+                        Some(p.num(s)?)
+                    }
+                };
+                let name = it.collect::<Vec<_>>().join(" ");
+                meta.vars.push(KernelVar {
+                    name,
+                    addr: Addr(addr),
+                    size,
+                    class,
+                    role,
+                    false_shared_group: fsg,
+                });
+            }
+            "range" => {
+                let base = p.hex(arg(&p)?)?;
+                let len = p.hex(arg(&p)?)?;
+                meta.kernel_data.push((Addr(base), len));
+            }
+            "stream" => {
+                let cpu: usize = p.num(arg(&p)?)?;
+                if cpu >= n_cpus {
+                    return p.err(format!("stream {cpu} out of range"));
+                }
+                cur = Some(cpu);
+            }
+            "end" => break,
+            ev => {
+                let Some(cpu) = cur else {
+                    return p.err("event before any `stream` header");
+                };
+                let e = match ev {
+                    "E" => Event::Exec {
+                        block: BlockId(p.num(arg(&p)?)?),
+                    },
+                    "R" => Event::Read {
+                        addr: Addr(p.hex(arg(&p)?)?),
+                        class: p.class(arg(&p)?)?,
+                    },
+                    "W" => Event::Write {
+                        addr: Addr(p.hex(arg(&p)?)?),
+                        class: p.class(arg(&p)?)?,
+                    },
+                    "P" => Event::Prefetch {
+                        addr: Addr(p.hex(arg(&p)?)?),
+                        class: p.class(arg(&p)?)?,
+                    },
+                    "LA" => Event::LockAcquire {
+                        lock: LockId(p.num(arg(&p)?)?),
+                        addr: Addr(p.hex(arg(&p)?)?),
+                    },
+                    "LR" => Event::LockRelease {
+                        lock: LockId(p.num(arg(&p)?)?),
+                        addr: Addr(p.hex(arg(&p)?)?),
+                    },
+                    "B" => Event::Barrier {
+                        barrier: BarrierId(p.num(arg(&p)?)?),
+                        addr: Addr(p.hex(arg(&p)?)?),
+                        participants: p.num(arg(&p)?)?,
+                    },
+                    "OB" => {
+                        let src = Addr(p.hex(arg(&p)?)?);
+                        let dst = Addr(p.hex(arg(&p)?)?);
+                        let len = p.hex(arg(&p)?)?;
+                        let kind = match arg(&p)? {
+                            "copy" => BlockKind::Copy,
+                            "zero" => BlockKind::Zero,
+                            other => return p.err(format!("unknown block kind {other:?}")),
+                        };
+                        Event::BlockOpBegin {
+                            op: BlockOp {
+                                src,
+                                dst,
+                                len,
+                                kind,
+                                src_class: p.class(arg(&p)?)?,
+                                dst_class: p.class(arg(&p)?)?,
+                            },
+                        }
+                    }
+                    "OE" => Event::BlockOpEnd,
+                    "M" => Event::SetMode {
+                        mode: match arg(&p)? {
+                            "os" => Mode::Os,
+                            "user" => Mode::User,
+                            other => return p.err(format!("unknown mode {other:?}")),
+                        },
+                    },
+                    "I" => Event::Idle {
+                        cycles: p.num(arg(&p)?)?,
+                    },
+                    other => return p.err(format!("unknown event tag {other:?}")),
+                };
+                streams[cpu].push(e);
+            }
+        }
+    }
+
+    meta.code = code;
+    let mut trace = Trace::new(n_cpus, meta);
+    for (cpu, events) in streams.into_iter().enumerate() {
+        trace.streams[cpu] = Stream::from_events(events);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamBuilder;
+
+    fn sample() -> Trace {
+        let mut meta = TraceMeta::default();
+        let site = meta.code.add_site("seq", false);
+        let lsite = meta.code.add_site("loop", true);
+        let bb = meta.code.add_block(Addr(0x1000), 8, site);
+        meta.code.add_block(Addr(0x2000), 4, lsite);
+        meta.vars.push(KernelVar {
+            name: "vmmeter.v_intr".into(),
+            addr: Addr(0x0100_0000),
+            size: 4,
+            class: DataClass::InfreqCounter,
+            role: VarRole::Counter,
+            false_shared_group: Some(3),
+        });
+        meta.kernel_data.push((Addr(0x0100_0000), 0x4000));
+        let mut t = Trace::new(2, meta);
+        let mut b = StreamBuilder::new();
+        b.set_mode(Mode::Os);
+        b.exec(bb);
+        b.read(Addr(0x0100_0000), DataClass::InfreqCounter);
+        b.lock_acquire(LockId(2), Addr(0x0100_0300));
+        b.write(Addr(0x0100_0004), DataClass::FreqShared);
+        b.lock_release(LockId(2), Addr(0x0100_0300));
+        b.barrier(BarrierId(1), Addr(0x0100_0340), 2);
+        b.begin_block_copy(
+            Addr(0x1000_0000),
+            Addr(0x1100_0000),
+            64,
+            DataClass::PageFrame,
+            DataClass::UserData,
+        );
+        b.read(Addr(0x1000_0000), DataClass::PageFrame);
+        b.write(Addr(0x1100_0000), DataClass::UserData);
+        b.end_block_op();
+        b.prefetch(Addr(0x0100_0010), DataClass::SyscallTable);
+        b.idle(42);
+        t.streams[0] = b.finish();
+        let mut b1 = StreamBuilder::new();
+        b1.set_mode(Mode::Os);
+        b1.barrier(BarrierId(1), Addr(0x0100_0340), 2);
+        t.streams[1] = b1.finish();
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.meta.workload, t.meta.workload);
+        assert_eq!(back.n_cpus(), t.n_cpus());
+        assert_eq!(back.meta.vars.len(), 1);
+        let v = &back.meta.vars[0];
+        assert_eq!(v.name, "vmmeter.v_intr");
+        assert_eq!(v.role, VarRole::Counter);
+        assert_eq!(v.false_shared_group, Some(3));
+        assert_eq!(back.meta.kernel_data, t.meta.kernel_data);
+        assert_eq!(back.meta.code.block_count(), t.meta.code.block_count());
+        assert_eq!(back.meta.code.site_count(), t.meta.code.site_count());
+        for cpu in 0..2 {
+            assert_eq!(back.streams[cpu].events(), t.streams[cpu].events());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"not a trace\n"[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Parse(_)));
+        assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn rejects_event_outside_stream() {
+        let input = b"oscache-trace 1\nworkload x\ncpus 1\nR 100 UserData\n";
+        let err = read_trace(&input[..]).unwrap_err();
+        assert!(err.to_string().contains("before any `stream`"));
+    }
+
+    #[test]
+    fn rejects_unknown_event_and_class() {
+        let input = b"oscache-trace 1\nworkload x\ncpus 1\nstream 0\nZZ 1\n";
+        assert!(read_trace(&input[..]).is_err());
+        let input = b"oscache-trace 1\nworkload x\ncpus 1\nstream 0\nR 100 NotAClass\n";
+        assert!(read_trace(&input[..]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_stream_and_site() {
+        let input = b"oscache-trace 1\nworkload x\ncpus 1\nstream 5\n";
+        assert!(read_trace(&input[..]).is_err());
+        let input = b"oscache-trace 1\nworkload x\ncpus 1\nblock 0 4 9\n";
+        assert!(read_trace(&input[..]).is_err());
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let input = b"oscache-trace 1\nworkload x\ncpus 1\nstream 0\nI notanumber\n";
+        let err = read_trace(&input[..]).unwrap_err();
+        assert!(err.to_string().contains("line 5"), "{err}");
+    }
+
+    #[test]
+    fn workload_names_with_spaces_and_plus_survive() {
+        let mut t = sample();
+        t.meta.workload = "TRFD+Make variant 2".into();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.meta.workload, "TRFD+Make variant 2");
+    }
+}

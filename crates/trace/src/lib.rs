@@ -1,0 +1,55 @@
+//! # oscache-trace
+//!
+//! Reference-trace substrate for the `oscache` workspace: the event
+//! vocabulary emitted by the synthetic operating-system workload generators
+//! and consumed by the memory-system simulator.
+//!
+//! The design mirrors the methodology of Xia & Torrellas (HPCA 1996). Their
+//! hardware performance monitor captured, for each processor of a 4-CPU
+//! Alliant FX/8, every data reference plus *escape* references that encode
+//! which basic block is executing, letting them attribute each data access to
+//! the kernel data structure it touches. This crate models the same
+//! information content:
+//!
+//! * [`Event`] — one trace entry: an executed basic block, a tagged data
+//!   read/write, a synchronization operation, a block-operation bracket, a
+//!   mode switch, or idle time.
+//! * [`DataClass`] — the data-structure attribution the paper recovered from
+//!   its basic-block instrumentation (§2.2).
+//! * [`CodeLayout`] — basic blocks with instruction addresses, so the
+//!   simulator can replay instruction fetches against the L1 I-cache.
+//! * [`Trace`] — one [`Stream`] per CPU plus the metadata (code layout,
+//!   kernel variable map, synchronization objects) the software optimization
+//!   passes need.
+//!
+//! # Example
+//!
+//! ```
+//! use oscache_trace::{Addr, DataClass, Mode, StreamBuilder};
+//!
+//! let mut b = StreamBuilder::new();
+//! b.set_mode(Mode::Os);
+//! b.read(Addr(0x0100_0000), DataClass::RunQueue);
+//! b.write(Addr(0x0100_0040), DataClass::InfreqCounter);
+//! let stream = b.finish();
+//! assert_eq!(stream.events().len(), 3); // mode switch + read + write
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod class;
+mod code;
+mod event;
+pub mod io;
+mod stream;
+mod trace;
+
+pub use addr::{Addr, CpuId, LineAddr, PAGE_SIZE, WORD_SIZE};
+pub use class::{CoherenceCategory, DataClass};
+pub use code::{BasicBlock, BlockId, CodeLayout, SiteId, SiteInfo};
+pub use event::{BarrierId, BlockKind, BlockOp, Event, LockId, Mode};
+pub use io::{read_trace, write_trace, ReadTraceError};
+pub use stream::{Stream, StreamBuilder};
+pub use trace::{KernelVar, Trace, TraceMeta, VarRole};

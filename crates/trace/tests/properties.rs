@@ -1,0 +1,114 @@
+//! Property-based tests of the trace substrate.
+
+use oscache_trace::{Addr, BlockKind, DataClass, Event, Mode, StreamBuilder, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    /// Line extraction is idempotent and never increases the address.
+    #[test]
+    fn line_is_idempotent(addr in any::<u32>(), line_log in 2u32..8) {
+        let size = 1u32 << line_log;
+        let a = Addr(addr);
+        let l = a.line(size);
+        prop_assert!(l.0 <= a.0);
+        prop_assert!(a.0 - l.0 < size);
+        prop_assert_eq!(l.addr().line(size), l);
+    }
+
+    /// Page number and offset decompose an address exactly.
+    #[test]
+    fn page_decomposition_roundtrips(addr in any::<u32>()) {
+        let a = Addr(addr);
+        prop_assert_eq!(a.page() * PAGE_SIZE + a.page_offset(), a.0);
+        prop_assert!(a.page_offset() < PAGE_SIZE);
+    }
+
+    /// A builder-produced stream has balanced block-op brackets and at
+    /// most one open mode per position (no two consecutive SetMode events
+    /// with the same mode).
+    #[test]
+    fn builder_streams_are_well_formed(
+        ops in prop::collection::vec((0u8..6, 0u32..100_000), 0..300),
+    ) {
+        let mut b = StreamBuilder::new();
+        let mut in_block = false;
+        for (op, arg) in ops {
+            match op {
+                0 => b.read(Addr(arg), DataClass::UserData),
+                1 => b.write(Addr(arg), DataClass::UserData),
+                2 => b.set_mode(Mode::Os),
+                3 => b.set_mode(Mode::User),
+                4 if !in_block => {
+                    b.begin_block_zero(Addr(arg & !7), (arg % 512) * 8 + 8, DataClass::PageFrame);
+                    in_block = true;
+                }
+                5 if in_block => {
+                    b.end_block_op();
+                    in_block = false;
+                }
+                _ => b.idle(arg % 100 + 1),
+            }
+        }
+        if in_block {
+            b.end_block_op();
+        }
+        let s = b.finish();
+        // Brackets balance and never nest.
+        let mut depth = 0i32;
+        let mut last_mode: Option<Mode> = None;
+        for e in s.events() {
+            match e {
+                Event::BlockOpBegin { .. } => {
+                    depth += 1;
+                    prop_assert_eq!(depth, 1);
+                }
+                Event::BlockOpEnd => {
+                    depth -= 1;
+                    prop_assert_eq!(depth, 0);
+                }
+                Event::SetMode { mode } => {
+                    prop_assert_ne!(Some(*mode), last_mode, "redundant mode switch");
+                    last_mode = Some(*mode);
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(depth, 0);
+    }
+
+    /// Read/write counts match the events emitted.
+    #[test]
+    fn read_write_counts_are_exact(
+        reads in 0usize..100,
+        writes in 0usize..100,
+    ) {
+        let mut b = StreamBuilder::new();
+        for k in 0..reads {
+            b.read(Addr(k as u32 * 4), DataClass::UserData);
+        }
+        for k in 0..writes {
+            b.write(Addr(k as u32 * 4), DataClass::UserData);
+        }
+        let s = b.finish();
+        prop_assert_eq!(s.read_count(), reads);
+        prop_assert_eq!(s.write_count(), writes);
+        prop_assert_eq!(s.len(), reads + writes);
+    }
+
+    /// Zero block ops always have `src == dst` and a positive length.
+    #[test]
+    fn zero_ops_are_well_formed(dst in 0u32..1_000_000, len in 1u32..8192) {
+        let mut b = StreamBuilder::new();
+        b.begin_block_zero(Addr(dst), len, DataClass::PageFrame);
+        b.end_block_op();
+        let s = b.finish();
+        match s.events()[0] {
+            Event::BlockOpBegin { op } => {
+                prop_assert_eq!(op.kind, BlockKind::Zero);
+                prop_assert_eq!(op.src, op.dst);
+                prop_assert!(op.len > 0);
+            }
+            ref other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+}

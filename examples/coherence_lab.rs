@@ -1,0 +1,96 @@
+//! Coherence-optimization deep dive (the paper's §5): runs the automated
+//! analysis on a workload trace, prints what it discovered — privatizable
+//! counters, the ≤384-byte selective-update set — and compares the
+//! invalidation protocol, selective updates, and a pure update protocol.
+//!
+//! ```text
+//! cargo run --release --example coherence_lab [workload]
+//! ```
+
+use oscache::core::analysis::{find_privatizable, find_update_set, profile_sharing};
+use oscache::core::{run_spec, Geometry, System, UpdatePolicy};
+use oscache::workloads::{build, BuildOptions, Workload};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "TRFD_4".into());
+    let workload = Workload::all()
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(&which))
+        .unwrap_or(Workload::Trfd4);
+
+    println!("building {workload} ...");
+    let trace = build(
+        workload,
+        BuildOptions {
+            scale: 0.2,
+            ..Default::default()
+        },
+    );
+
+    // The automated stand-in for the paper's manual monitor-driven analysis.
+    let profile = profile_sharing(&trace);
+    let privatized = find_privatizable(&profile);
+    println!("\nprivatizable counters found ({}):", privatized.len());
+    for a in &privatized {
+        let name = trace
+            .meta
+            .var_at(*a)
+            .map(|v| v.name.clone())
+            .unwrap_or_else(|| format!("{a}"));
+        println!("  {name}");
+    }
+
+    let set = find_update_set(&profile, &privatized);
+    println!(
+        "\nselective-update set ({} B total; paper uses 384 B):",
+        set.bytes()
+    );
+    println!(
+        "  {} barriers, {} locks, {} shared words",
+        set.barriers.len(),
+        set.locks.len(),
+        set.vars.len()
+    );
+    for a in set.vars.iter().take(8) {
+        let name = trace
+            .meta
+            .var_at(*a)
+            .map(|v| v.name.clone())
+            .unwrap_or_else(|| format!("{a}"));
+        println!("  shared: {name}");
+    }
+
+    // Invalidate-only vs selective updates vs pure updates (§5.2).
+    println!("\ncoherence protocol comparison (on top of Blk_Dma + reloc):");
+    println!(
+        "{:<22} {:>12} {:>14} {:>14}",
+        "protocol", "coh misses", "update words", "bus busy cyc"
+    );
+    for (label, policy) in [
+        ("invalidate (Reloc)", UpdatePolicy::None),
+        ("selective (RelUp)", UpdatePolicy::Selective),
+        ("pure update", UpdatePolicy::Full),
+    ] {
+        // Pure update is the §5.2 comparison point: the update protocol
+        // over every kernel page of the *unoptimized* kernel.
+        let mut spec = if policy == UpdatePolicy::Full {
+            System::BlkDma.spec()
+        } else {
+            System::BCohReloc.spec()
+        };
+        spec.update = policy;
+        let r = run_spec(&trace, spec, Geometry::default());
+        let t = r.stats.total();
+        println!(
+            "{label:<22} {:>12} {:>14} {:>14}",
+            t.os_miss_coherence.iter().sum::<u64>(),
+            r.stats.bus.update_words,
+            r.stats.bus.busy_cycles,
+        );
+    }
+    println!(
+        "\nThe paper's point (§5.2): a few hundred bytes of update-mapped\n\
+         variables captures most of the pure update protocol's miss\n\
+         reduction at a fraction of its broadcast traffic."
+    );
+}

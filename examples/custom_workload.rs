@@ -1,0 +1,67 @@
+//! Building a custom workload with the public [`Mix`] API: start from a
+//! calibrated paper workload and turn individual knobs to ask what-if
+//! questions the paper could not.
+//!
+//! Here: what if TRFD's processes exchanged data twice as often, and what
+//! if the kernel had no page-fault activity at all? (The answers are not
+//! the obvious ones — warm-data copies favour the cached path.)
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use oscache::core::{run_system, MissBreakdown, OsTimeBreakdown, System};
+use oscache::workloads::{build_with_mix, BuildOptions, Workload};
+
+fn main() {
+    let opts = BuildOptions {
+        scale: 0.2,
+        ..Default::default()
+    };
+
+    let mut rows = Vec::new();
+    // The calibrated original.
+    rows.push(("TRFD_4 (paper mix)", Workload::Trfd4.mix()));
+
+    // Twice the data exchanges.
+    let mut chatty = Workload::Trfd4.mix();
+    chatty.user_copy *= 2.0;
+    chatty.chain_copy *= 2.0;
+    rows.push(("2x data exchanges", chatty));
+
+    // No paging at all (as if memory were infinite).
+    let mut no_paging = Workload::Trfd4.mix();
+    no_paging.pf_zero = 0.0;
+    no_paging.pf_pagein = 0.0;
+    no_paging.pf_soft = 0.0;
+    rows.push(("no page faults", no_paging));
+
+    println!(
+        "{:<22} {:>10} {:>9} {:>9} {:>9} {:>12}",
+        "mix", "OS misses", "block%", "coh%", "other%", "Blk_Dma gain"
+    );
+    for (name, mix) in rows {
+        let t = build_with_mix(name, Workload::Trfd4, mix, opts);
+        let base = run_system(&t, System::Base);
+        let dma = run_system(&t, System::BlkDma);
+        let b = MissBreakdown::from_stats(&base.stats);
+        let gain = 1.0
+            - OsTimeBreakdown::from_stats(&dma.stats).total() as f64
+                / OsTimeBreakdown::from_stats(&base.stats).total() as f64;
+        println!(
+            "{:<22} {:>10} {:>8.1}% {:>8.1}% {:>8.1}% {:>11.1}%",
+            name,
+            b.total,
+            b.block_op_pct,
+            b.coherence_pct,
+            b.other_pct,
+            100.0 * gain
+        );
+    }
+    println!(
+        "\nNote the nuance the knobs expose: extra data exchanges move pages\n\
+         that are already cache-warm, where the DMA engine's fixed bus cost\n\
+         buys little - its payoff concentrates in the cold and zero-fill\n\
+         traffic that paging generates."
+    );
+}
