@@ -1,15 +1,16 @@
 //! Ablation benchmarks for the design choices DESIGN.md calls out: write
 //! buffer depths (§4.1.2 suggests deeper buffers as an alternative),
 //! prefetch look-ahead distance, update-protocol policy, and the deferred
-//! copy study. Each benchmark measures the full simulation and prints the
-//! headline metric of its configuration once.
+//! copy study. Each ablation runs the full simulation, prints the headline
+//! metric of its configuration, and times the run. Run with
+//! `cargo bench -p oscache-bench --bench ablations`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oscache_core::{run_spec, Geometry, System, UpdatePolicy};
-use oscache_memsys::{Machine, MachineConfig};
+use oscache_memsys::{Machine, MachineConfig, SimStats};
 use oscache_trace::Trace;
 use oscache_workloads::{build, BuildOptions, Workload};
 use std::sync::OnceLock;
+use std::time::Instant;
 
 const SCALE: f64 = 0.05;
 
@@ -26,51 +27,53 @@ fn trfd() -> &'static Trace {
     })
 }
 
+fn timed<R>(group: &str, label: &str, f: impl Fn() -> R) -> R {
+    let t0 = Instant::now();
+    let out = f();
+    println!(
+        "{group}/{label:<12} {:>9.3} ms",
+        1e3 * t0.elapsed().as_secs_f64()
+    );
+    out
+}
+
+fn run_cfg(cfg: &MachineConfig) -> SimStats {
+    Machine::new(cfg.clone(), trfd()).unwrap().run().unwrap()
+}
+
 /// §4.1.2: "Obvious techniques to reduce this stall include deeper write
 /// buffers" — sweep the L2→bus buffer depth.
-fn bench_write_buffer_depth(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_wb2_depth");
-    g.sample_size(10);
+fn bench_write_buffer_depth() {
     for depth in [2usize, 8, 32] {
         let mut cfg = MachineConfig::base();
         cfg.wb2_depth = depth;
-        let stats = Machine::new(cfg.clone(), trfd()).run();
+        let stats = timed("ablate_wb2_depth", &depth.to_string(), || run_cfg(&cfg));
         println!(
-            "wb2_depth={depth}: OS write stall = {} cycles",
+            "  wb2_depth={depth}: OS write stall = {} cycles",
             stats.total().dwrite_cycles.os
         );
-        g.bench_with_input(BenchmarkId::from_parameter(depth), &cfg, |b, cfg| {
-            b.iter(|| Machine::new(cfg.clone(), trfd()).run())
-        });
     }
-    g.finish();
 }
 
 /// Prefetch look-ahead distance for `Blk_Pref` (§4.2's software
 /// pipelining): too short leaves latency exposed, too long wastes MSHRs.
-fn bench_prefetch_distance(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_prefetch_distance");
-    g.sample_size(10);
+fn bench_prefetch_distance() {
     for dist in [1u32, 4, 12] {
         let mut cfg = MachineConfig::base().with_block_scheme(oscache_memsys::BlockOpScheme::Pref);
         cfg.prefetch_distance = dist;
-        let stats = Machine::new(cfg.clone(), trfd()).run();
+        let stats = timed("ablate_prefetch_distance", &dist.to_string(), || {
+            run_cfg(&cfg)
+        });
         let t = stats.total();
         println!(
-            "distance={dist}: block misses {} partial {} full {}",
+            "  distance={dist}: block misses {} partial {} full {}",
             t.os_miss_blockop, t.prefetch_partial_hits, t.prefetch_full_hits
         );
-        g.bench_with_input(BenchmarkId::from_parameter(dist), &cfg, |b, cfg| {
-            b.iter(|| Machine::new(cfg.clone(), trfd()).run())
-        });
     }
-    g.finish();
 }
 
 /// §5.2: invalidate-only vs selective updates vs a pure update protocol.
-fn bench_update_policy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_update_policy");
-    g.sample_size(10);
+fn bench_update_policy() {
     for (label, policy) in [
         ("invalidate", UpdatePolicy::None),
         ("selective", UpdatePolicy::Selective),
@@ -82,104 +85,83 @@ fn bench_update_policy(c: &mut Criterion) {
             System::BCohReloc.spec()
         };
         spec.update = policy;
-        let r = run_spec(trfd(), spec, Geometry::default());
+        let r = timed("ablate_update_policy", label, || {
+            run_spec(trfd(), spec, Geometry::default())
+        });
         println!(
-            "{label}: coherence misses {} update words {}",
+            "  {label}: coherence misses {} update words {}",
             r.stats.total().os_miss_coherence.iter().sum::<u64>(),
             r.stats.bus.update_words
         );
-        g.bench_with_input(BenchmarkId::from_parameter(label), &spec, |b, spec| {
-            b.iter(|| run_spec(trfd(), *spec, Geometry::default()))
-        });
     }
-    g.finish();
 }
 
 /// §4.2.1: deferred copying on/off.
-fn bench_deferred_copy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_deferred_copy");
-    g.sample_size(10);
+fn bench_deferred_copy() {
     for on in [false, true] {
         let mut spec = System::Base.spec();
         spec.deferred_copy = on;
-        g.bench_with_input(BenchmarkId::from_parameter(on), &spec, |b, spec| {
-            b.iter(|| run_spec(trfd(), *spec, Geometry::default()))
+        timed("ablate_deferred_copy", &on.to_string(), || {
+            run_spec(trfd(), spec, Geometry::default())
         });
     }
-    g.finish();
 }
 
 /// §7 remarks the remaining misses are mostly conflicts, which the paper
 /// cannot attack with off-the-shelf parts — associativity is the obvious
 /// hardware ablation.
-fn bench_associativity(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_associativity");
-    g.sample_size(10);
+fn bench_associativity() {
     for ways in [1u32, 2, 4] {
         let geom = Geometry::default().with_ways(ways, ways);
-        let r = run_spec(trfd(), System::Base.spec(), geom);
+        let r = timed("ablate_associativity", &format!("{ways}way"), || {
+            run_spec(trfd(), System::Base.spec(), geom)
+        });
         println!(
-            "{ways}-way: OS misses {} (other {})",
+            "  {ways}-way: OS misses {} (other {})",
             r.stats.total().os_read_misses(),
             r.stats.total().os_miss_other
         );
-        g.bench_with_input(BenchmarkId::from_parameter(ways), &geom, |b, geom| {
-            b.iter(|| run_spec(trfd(), System::Base.spec(), *geom))
-        });
     }
-    g.finish();
 }
 
 /// §7's page-placement extension: color dynamically-allocated pages
 /// across the L2.
-fn bench_page_coloring(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_page_coloring");
-    g.sample_size(10);
+fn bench_page_coloring() {
     for on in [false, true] {
         let mut spec = System::Base.spec();
         spec.page_coloring = on;
-        let r = run_spec(trfd(), spec, Geometry::default());
+        let r = timed("ablate_page_coloring", &on.to_string(), || {
+            run_spec(trfd(), spec, Geometry::default())
+        });
         println!(
-            "coloring={on}: OS misses {} (other {})",
+            "  coloring={on}: OS misses {} (other {})",
             r.stats.total().os_read_misses(),
             r.stats.total().os_miss_other
         );
-        g.bench_with_input(BenchmarkId::from_parameter(on), &spec, |b, spec| {
-            b.iter(|| run_spec(trfd(), *spec, Geometry::default()))
-        });
     }
-    g.finish();
 }
 
 /// Victim-cache sizes (another conflict-miss mitigation in the spirit of
 /// the paper's §7 discussion).
-fn bench_victim_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_victim_cache");
-    g.sample_size(10);
+fn bench_victim_cache() {
     for lines in [0usize, 4, 16] {
         let mut cfg = MachineConfig::base();
         cfg.victim_lines = lines;
-        let s = Machine::new(cfg.clone(), trfd()).run();
+        let s = timed("ablate_victim_cache", &lines.to_string(), || run_cfg(&cfg));
         println!(
-            "victim={lines}: OS misses {} (other {})",
+            "  victim={lines}: OS misses {} (other {})",
             s.total().os_read_misses(),
             s.total().os_miss_other
         );
-        g.bench_with_input(BenchmarkId::from_parameter(lines), &cfg, |b, cfg| {
-            b.iter(|| Machine::new(cfg.clone(), trfd()).run())
-        });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_write_buffer_depth,
-    bench_prefetch_distance,
-    bench_update_policy,
-    bench_deferred_copy,
-    bench_associativity,
-    bench_page_coloring,
-    bench_victim_cache
-);
-criterion_main!(benches);
+fn main() {
+    bench_write_buffer_depth();
+    bench_prefetch_distance();
+    bench_update_policy();
+    bench_deferred_copy();
+    bench_associativity();
+    bench_page_coloring();
+    bench_victim_cache();
+}

@@ -1,56 +1,37 @@
 //! One benchmark per paper table and figure: each measures the end-to-end
-//! cost of regenerating that experiment (trace reuse included), and — as a
-//! side effect — exercises exactly the code paths the `repro` binary uses.
+//! cost of regenerating that experiment from a fresh `Repro` (trace
+//! generation included), and — as a side effect — exercises exactly the
+//! code paths the `repro` binary uses. Run with
+//! `cargo bench -p oscache-bench --bench experiments`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use oscache_core::Repro;
+use std::time::Instant;
 
 const SCALE: f64 = 0.05;
 
-macro_rules! experiment_bench {
-    ($fn_name:ident, $method:ident, $label:literal) => {
-        fn $fn_name(c: &mut Criterion) {
-            c.bench_function($label, |b| {
-                b.iter_batched(
-                    || Repro::new(SCALE),
-                    |mut r| {
-                        let out = r.$method();
-                        criterion::black_box(format!("{out}"))
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
-            });
-        }
-    };
+fn bench(label: &str, f: impl Fn(&mut Repro) -> String) {
+    let t0 = Instant::now();
+    let mut r = Repro::new(SCALE);
+    let out = f(&mut r);
+    std::hint::black_box(&out);
+    println!("{label:<36} {:>9.3} ms", 1e3 * t0.elapsed().as_secs_f64());
 }
 
-experiment_bench!(bench_table1, table1, "table1_workload_characteristics");
-experiment_bench!(bench_table2, table2, "table2_miss_breakdown");
-experiment_bench!(bench_table3, table3, "table3_block_op_characteristics");
-experiment_bench!(bench_table4, table4, "table4_deferred_copy");
-experiment_bench!(bench_table5, table5, "table5_coherence_breakdown");
-experiment_bench!(bench_fig1, figure1, "figure1_blockop_overheads");
-experiment_bench!(bench_fig2, figure2, "figure2_block_schemes");
-experiment_bench!(bench_fig3, figure3, "figure3_execution_time");
-experiment_bench!(bench_fig4, figure4, "figure4_coherence_opts");
-experiment_bench!(bench_fig5, figure5, "figure5_hotspot_prefetch");
-experiment_bench!(bench_fig6, figure6, "figure6_cache_size_sweep");
-experiment_bench!(bench_fig7, figure7, "figure7_line_size_sweep");
-
-fn shorter(c: &mut Criterion) -> &mut Criterion {
-    c
+fn main() {
+    bench("table1_workload_characteristics", |r| {
+        r.table1().to_string()
+    });
+    bench("table2_miss_breakdown", |r| r.table2().to_string());
+    bench("table3_block_op_characteristics", |r| {
+        r.table3().to_string()
+    });
+    bench("table4_deferred_copy", |r| r.table4().to_string());
+    bench("table5_coherence_breakdown", |r| r.table5().to_string());
+    bench("figure1_blockop_overheads", |r| r.figure1().to_string());
+    bench("figure2_block_schemes", |r| r.figure2().to_string());
+    bench("figure3_execution_time", |r| r.figure3().to_string());
+    bench("figure4_coherence_opts", |r| r.figure4().to_string());
+    bench("figure5_hotspot_prefetch", |r| r.figure5().to_string());
+    bench("figure6_cache_size_sweep", |r| r.figure6().to_string());
+    bench("figure7_line_size_sweep", |r| r.figure7().to_string());
 }
-
-criterion_group! {
-    name = benches;
-    config = {
-        let mut c = Criterion::default().sample_size(10);
-        c = c.measurement_time(std::time::Duration::from_secs(4));
-        let _ = shorter(&mut c);
-        c
-    };
-    targets = bench_table1, bench_table2, bench_table3, bench_table4,
-        bench_table5, bench_fig1, bench_fig2, bench_fig3, bench_fig4,
-        bench_fig5, bench_fig6, bench_fig7
-}
-criterion_main!(benches);

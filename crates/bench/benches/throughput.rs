@@ -1,16 +1,36 @@
 //! Simulator throughput: events replayed per second, per workload and per
-//! block-operation scheme.
+//! block-operation scheme. Plain `harness = false` benchmark: run with
+//! `cargo bench -p oscache-bench --bench throughput`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use oscache_core::{Geometry, System};
 use oscache_memsys::{Machine, MachineConfig};
 use oscache_workloads::{build, BuildOptions, Workload};
+use std::time::Instant;
 
 const SCALE: f64 = 0.05;
+const ITERS: u32 = 5;
 
-fn bench_workload_replay(c: &mut Criterion) {
-    let mut g = c.benchmark_group("replay_base");
-    g.sample_size(10);
+/// Times `f` over [`ITERS`] runs and reports the best-iteration rate.
+fn bench(group: &str, label: &str, events: u64, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    if events > 0 {
+        println!(
+            "{group}/{label:<12} {:>9.3} ms  {:>8.2} Mev/s",
+            1e3 * best,
+            events as f64 / best / 1e6
+        );
+    } else {
+        println!("{group}/{label:<12} {:>9.3} ms", 1e3 * best);
+    }
+}
+
+fn bench_workload_replay() {
     for w in Workload::all() {
         let trace = build(
             w,
@@ -19,15 +39,18 @@ fn bench_workload_replay(c: &mut Criterion) {
                 ..Default::default()
             },
         );
-        g.throughput(Throughput::Elements(trace.total_events() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &trace, |b, t| {
-            b.iter(|| Machine::new(MachineConfig::base(), t).run())
+        let events = trace.total_events() as u64;
+        bench("replay_base", w.name(), events, || {
+            let s = Machine::new(MachineConfig::base(), &trace)
+                .unwrap()
+                .run()
+                .unwrap();
+            std::hint::black_box(&s);
         });
     }
-    g.finish();
 }
 
-fn bench_schemes(c: &mut Criterion) {
+fn bench_schemes() {
     let trace = build(
         Workload::Trfd4,
         BuildOptions {
@@ -35,9 +58,7 @@ fn bench_schemes(c: &mut Criterion) {
             ..Default::default()
         },
     );
-    let mut g = c.benchmark_group("replay_schemes");
-    g.sample_size(10);
-    g.throughput(Throughput::Elements(trace.total_events() as u64));
+    let events = trace.total_events() as u64;
     for sys in [
         System::Base,
         System::BlkPref,
@@ -46,36 +67,30 @@ fn bench_schemes(c: &mut Criterion) {
         System::BlkDma,
     ] {
         let cfg = Geometry::default().machine_config(&sys.spec());
-        g.bench_with_input(BenchmarkId::from_parameter(sys.label()), &cfg, |b, cfg| {
-            b.iter(|| Machine::new(cfg.clone(), &trace).run())
+        bench("replay_schemes", sys.label(), events, || {
+            let s = Machine::new(cfg.clone(), &trace).unwrap().run().unwrap();
+            std::hint::black_box(&s);
         });
     }
-    g.finish();
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("generate");
-    g.sample_size(10);
+fn bench_trace_generation() {
     for w in Workload::all() {
-        g.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, &w| {
-            b.iter(|| {
-                build(
-                    w,
-                    BuildOptions {
-                        scale: SCALE,
-                        ..Default::default()
-                    },
-                )
-            })
+        bench("generate", w.name(), 0, || {
+            let t = build(
+                w,
+                BuildOptions {
+                    scale: SCALE,
+                    ..Default::default()
+                },
+            );
+            std::hint::black_box(&t);
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_workload_replay,
-    bench_schemes,
-    bench_trace_generation
-);
-criterion_main!(benches);
+fn main() {
+    bench_workload_replay();
+    bench_schemes();
+    bench_trace_generation();
+}

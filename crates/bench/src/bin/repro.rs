@@ -11,9 +11,22 @@ use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale S] [table1..table5 | fig1..fig7 | headline | all]\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system>     simulate a dumped trace\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n       experiments also include: scorecard (automated claim-by-claim verdicts)"
+        "usage: repro [--scale S] [table1..table5 | fig1..fig7 | headline | all]\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n       experiments also include: scorecard (automated claim-by-claim verdicts)\n       exit codes: 1 i/o, 2 usage, 3 trace validation, 4 simulation invariant"
     );
     std::process::exit(2);
+}
+
+/// Exit code for I/O failures.
+const EXIT_IO: i32 = 1;
+/// Exit code for traces rejected by parsing/validation.
+const EXIT_TRACE_INVALID: i32 = 3;
+/// Exit code for invariant violations or runtime errors during simulation.
+const EXIT_SIM_FAILED: i32 = 4;
+
+/// Reports a structured error on stderr and exits with `code`.
+fn fail(class: &str, msg: &str, code: i32) -> ! {
+    eprintln!("error: class={class} msg={msg:?}");
+    std::process::exit(code);
 }
 
 /// The §2.2 perturbation study: instrument every basic block with an
@@ -241,14 +254,44 @@ fn dump(workload: &str, path: &str, scale: f64) {
     println!("wrote {} ({} events)", path, trace.total_events());
 }
 
-fn replay(path: &str, system: &str) {
-    let f = std::fs::File::open(path).expect("open dump file");
-    let trace = oscache_trace::read_trace(std::io::BufReader::new(f)).expect("parse dump");
+fn replay(path: &str, system: &str, inject: Option<(oscache_memsys::faults::FaultKind, u64)>) {
+    use oscache_memsys::AuditLevel;
+    use oscache_trace::ReadTraceError;
     let sys = System::all()
         .into_iter()
         .find(|s| s.label().eq_ignore_ascii_case(system))
         .unwrap_or_else(|| usage());
-    let r = oscache_core::run_system(&trace, sys);
+    let f = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => fail("io", &format!("{path}: {e}"), EXIT_IO),
+    };
+    let mut trace = match oscache_trace::read_trace(std::io::BufReader::new(f)) {
+        Ok(t) => t,
+        Err(e @ ReadTraceError::Io(_)) => fail("io", &e.to_string(), EXIT_IO),
+        Err(e) => fail("trace-validation", &e.to_string(), EXIT_TRACE_INVALID),
+    };
+    if let Some((kind, seed)) = inject {
+        println!("injecting fault {} (seed {seed})", kind.label());
+        trace = oscache_memsys::faults::inject(&trace, kind, seed);
+        if let Err(e) = trace.validate() {
+            fail("trace-validation", &e.to_string(), EXIT_TRACE_INVALID);
+        }
+    }
+    // Replay with the full invariant audit enabled, so a fault that slips
+    // past validation is either survived cleanly or reported as a typed
+    // simulation error — never a panic.
+    let r = match oscache_core::try_run_spec_audited(
+        &trace,
+        sys.spec(),
+        oscache_core::Geometry::default(),
+        AuditLevel::Strict,
+    ) {
+        Ok(r) => r,
+        Err(e) if e.is_trace_error() => {
+            fail("trace-validation", &e.to_string(), EXIT_TRACE_INVALID)
+        }
+        Err(e) => fail("simulation", &e.to_string(), EXIT_SIM_FAILED),
+    };
     let t = r.stats.total();
     println!(
         "{} on {}: OS misses {} (block {} coherence {} other {}), OS time {}",
@@ -260,6 +303,9 @@ fn replay(path: &str, system: &str) {
         t.os_miss_other,
         oscache_core::OsTimeBreakdown::from_stats(&r.stats).total(),
     );
+    if inject.is_some() {
+        println!("replay completed with a clean invariant audit");
+    }
 }
 
 fn main() {
@@ -284,7 +330,28 @@ fn main() {
             "replay" => {
                 let path = args.next().unwrap_or_else(|| usage());
                 let sys = args.next().unwrap_or_else(|| usage());
-                replay(&path, &sys);
+                let mut inject = None;
+                let mut seed = 0u64;
+                while let Some(opt) = args.next() {
+                    match opt.as_str() {
+                        "--inject" => {
+                            let kind = args.next().unwrap_or_else(|| usage());
+                            inject = Some(
+                                oscache_memsys::faults::FaultKind::parse(&kind)
+                                    .unwrap_or_else(|| usage()),
+                            );
+                        }
+                        "--seed" => {
+                            seed = args
+                                .next()
+                                .unwrap_or_else(|| usage())
+                                .parse()
+                                .unwrap_or_else(|_| usage());
+                        }
+                        _ => usage(),
+                    }
+                }
+                replay(&path, &sys, inject.map(|k| (k, seed)));
                 return;
             }
             "conflicts" => {

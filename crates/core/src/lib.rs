@@ -26,4 +26,6 @@ pub use metrics::{
     BlockOpOverhead, CoherenceBreakdown, MissBreakdown, OsTimeBreakdown, WorkloadMetrics,
 };
 pub use scorecard::{Check, Scorecard};
-pub use sim::{run_spec, run_system, RunResult};
+pub use sim::{
+    run_spec, run_system, try_run_spec, try_run_spec_audited, try_run_system, RunResult,
+};

@@ -194,16 +194,18 @@ mod tests {
     use oscache_memsys::{MissKind, ModeSplit};
 
     fn stats() -> SimStats {
-        let mut c = CpuStats::default();
-        c.exec_cycles = ModeSplit { user: 500, os: 300 };
-        c.imiss_cycles = ModeSplit { user: 10, os: 90 };
-        c.dread_cycles = ModeSplit { user: 40, os: 60 };
-        c.dwrite_cycles = ModeSplit { user: 10, os: 40 };
-        c.pref_cycles = ModeSplit { user: 0, os: 10 };
-        c.sync_cycles = ModeSplit { user: 0, os: 50 };
-        c.idle_cycles = 100;
-        c.dreads = ModeSplit { user: 600, os: 400 };
-        c.l1d_read_misses = ModeSplit { user: 15, os: 35 };
+        let mut c = CpuStats {
+            exec_cycles: ModeSplit { user: 500, os: 300 },
+            imiss_cycles: ModeSplit { user: 10, os: 90 },
+            dread_cycles: ModeSplit { user: 40, os: 60 },
+            dwrite_cycles: ModeSplit { user: 10, os: 40 },
+            pref_cycles: ModeSplit { user: 0, os: 10 },
+            sync_cycles: ModeSplit { user: 0, os: 50 },
+            idle_cycles: 100,
+            dreads: ModeSplit { user: 600, os: 400 },
+            l1d_read_misses: ModeSplit { user: 15, os: 35 },
+            ..Default::default()
+        };
         use oscache_trace::DataClass;
         for _ in 0..10 {
             c.count_os_miss(MissKind::BlockOp, 1, DataClass::PageFrame);

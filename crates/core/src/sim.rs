@@ -4,7 +4,7 @@
 use crate::analysis;
 use crate::config::{Geometry, System, SystemSpec, UpdatePolicy};
 use crate::transform;
-use oscache_memsys::{Machine, SimStats};
+use oscache_memsys::{AuditLevel, Machine, SimError, SimStats};
 use oscache_trace::Trace;
 use std::collections::HashSet;
 
@@ -20,8 +20,19 @@ pub struct RunResult {
 }
 
 /// Runs `system` on `trace` at the default geometry.
+///
+/// # Panics
+///
+/// Panics on a malformed trace or a simulator invariant violation; use
+/// [`try_run_system`] to receive those as typed errors instead.
 pub fn run_system(trace: &Trace, system: System) -> RunResult {
     run_spec(trace, system.spec(), Geometry::default())
+}
+
+/// Fallible variant of [`run_system`]: malformed traces and invariant
+/// violations come back as a typed [`SimError`].
+pub fn try_run_system(trace: &Trace, system: System) -> Result<RunResult, SimError> {
+    try_run_spec_audited(trace, system.spec(), Geometry::default(), AuditLevel::Off)
 }
 
 /// Runs a fully-specified system at a given geometry.
@@ -35,6 +46,27 @@ pub fn run_system(trace: &Trace, system: System) -> RunResult {
 ///    the system without prefetches, rank sites by OS misses, insert
 ///    prefetches at the top 12, then run the final simulation.
 pub fn run_spec(trace: &Trace, spec: SystemSpec, geometry: Geometry) -> RunResult {
+    try_run_spec_audited(trace, spec, geometry, AuditLevel::Off)
+        .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+}
+
+/// Fallible variant of [`run_spec`] with no invariant auditing.
+pub fn try_run_spec(
+    trace: &Trace,
+    spec: SystemSpec,
+    geometry: Geometry,
+) -> Result<RunResult, SimError> {
+    try_run_spec_audited(trace, spec, geometry, AuditLevel::Off)
+}
+
+/// Runs a fully-specified system with the machine's invariant auditor set
+/// to `audit`, returning trace and invariant problems as typed errors.
+pub fn try_run_spec_audited(
+    trace: &Trace,
+    spec: SystemSpec,
+    geometry: Geometry,
+    audit: AuditLevel,
+) -> Result<RunResult, SimError> {
     let mut update_pages: HashSet<u32> = HashSet::new();
     let mut owned: Option<Trace> = None;
 
@@ -110,23 +142,24 @@ pub fn run_spec(trace: &Trace, spec: SystemSpec, geometry: Geometry) -> RunResul
     let mut cfg = geometry.machine_config(&spec);
     cfg.n_cpus = trace.n_cpus();
     cfg.update_pages = update_pages;
+    cfg.audit = audit;
 
     if spec.hotspot_prefetch {
         // Profiling run without the prefetches.
         let working = owned.as_ref().unwrap_or(trace);
-        let profile_stats = Machine::new(cfg.clone(), working).run();
+        let profile_stats = Machine::new(cfg.clone(), working)?.run()?;
         let hot = analysis::find_hot_spots(&profile_stats.total(), &working.meta.code);
         let t = transform::insert_hotspot_prefetches(working, &hot);
         owned = Some(t);
     }
 
     let working = owned.as_ref().unwrap_or(trace);
-    let stats = Machine::new(cfg, working).run();
-    RunResult {
+    let stats = Machine::new(cfg, working)?.run()?;
+    Ok(RunResult {
         stats,
         spec,
         geometry,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -629,7 +629,7 @@ mod tests {
         )));
         // The sequence read 0x... has no earlier reads; its prefetch is
         // hoisted before the rmw pair but not past the SetMode.
-        let first_pref = evs.iter().position(|e| is_prefetch(e)).unwrap();
+        let first_pref = evs.iter().position(is_prefetch).unwrap();
         let setmode = evs
             .iter()
             .position(|e| matches!(e, Event::SetMode { .. }))

@@ -2,7 +2,6 @@ use oscache_kernel::Kernel;
 use oscache_memsys::{Machine, MachineConfig};
 use oscache_trace::{CodeLayout, Mode, StreamBuilder, Trace, TraceMeta};
 use oscache_workloads::{UserProc, UserPrograms};
-use rand::SeedableRng;
 
 #[test]
 #[ignore]
@@ -10,7 +9,7 @@ fn user_only() {
     let mut code = CodeLayout::new();
     let k = Kernel::new(&mut code);
     let u = UserPrograms::new(&mut code, &k);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = oscache_trace::rng::SmallRng::seed_from_u64(1);
     for name in ["trfd", "arc2d", "cc1", "fsck", "shell"] {
         let mut b = StreamBuilder::new();
         b.set_mode(Mode::User);
@@ -34,7 +33,10 @@ fn user_only() {
             },
         );
         t.streams[0] = b.finish();
-        let s = Machine::new(MachineConfig::base(), &t).run();
+        let s = Machine::new(MachineConfig::base(), &t)
+            .unwrap()
+            .run()
+            .unwrap();
         let tot = s.total();
         println!(
             "{name:>6}: reads {} misses {} rate {:.2}%",

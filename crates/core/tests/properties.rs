@@ -1,10 +1,20 @@
-//! Property-based tests of the analysis and transform passes.
+//! Property-style tests of the analysis and transform passes, driven by
+//! the in-tree deterministic PRNG so every failure reproduces exactly.
 
 use oscache_core::transform::{
     insert_hotspot_prefetches, privatize_counters, relocate, RelocationMap,
 };
+use oscache_trace::rng::{Rng, SmallRng};
 use oscache_trace::{Addr, DataClass, Event, Mode, StreamBuilder, Trace, TraceMeta};
-use proptest::prelude::*;
+
+const SEEDS: std::ops::Range<u64> = 0..24;
+
+fn random_refs(rng: &mut SmallRng, max_addr: u32, max_len: usize) -> Vec<(u32, bool)> {
+    let n = rng.gen_range(1..max_len);
+    (0..n)
+        .map(|_| (rng.gen_range(0..max_addr), rng.gen_bool(0.5)))
+        .collect()
+}
 
 fn random_trace(refs: &[(u32, bool)]) -> Trace {
     let mut meta = TraceMeta::default();
@@ -30,56 +40,64 @@ fn random_trace(refs: &[(u32, bool)]) -> Trace {
     t
 }
 
-proptest! {
-    /// Relocation with an empty map is the identity.
-    #[test]
-    fn empty_relocation_is_identity(refs in prop::collection::vec((any::<u32>(), any::<bool>()), 1..100)) {
-        let t = random_trace(&refs);
+/// Relocation with an empty map is the identity.
+#[test]
+fn empty_relocation_is_identity() {
+    for seed in SEEDS {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let t = random_trace(&random_refs(&mut rng, u32::MAX, 100));
         let out = relocate(&t, &RelocationMap::new());
         for cpu in 0..2 {
-            prop_assert_eq!(out.streams[cpu].events(), t.streams[cpu].events());
+            assert_eq!(out.streams[cpu].events(), t.streams[cpu].events());
         }
     }
+}
 
-    /// Relocation preserves event counts and only rewrites covered
-    /// addresses, bijectively within a range.
-    #[test]
-    fn relocation_is_structure_preserving(
-        refs in prop::collection::vec((0u32..4096, any::<bool>()), 1..150),
-        start in 0u32..2048,
-        len in 4u32..512,
-    ) {
-        let t = random_trace(&refs);
+/// Relocation preserves event counts and only rewrites covered addresses,
+/// bijectively within a range.
+#[test]
+fn relocation_is_structure_preserving() {
+    for seed in SEEDS {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let t = random_trace(&random_refs(&mut rng, 4096, 150));
+        let start = rng.gen_range(0u32..2048);
+        let len = rng.gen_range(4u32..512);
         let mut m = RelocationMap::new();
         let old = Addr(0x0100_0000 + start * 4);
         let new = Addr(0x0900_0000);
         m.add(old, len, new);
         let out = relocate(&t, &m);
         for cpu in 0..2 {
-            prop_assert_eq!(out.streams[cpu].len(), t.streams[cpu].len());
-            for (a, b) in t.streams[cpu].events().iter().zip(out.streams[cpu].events()) {
+            assert_eq!(out.streams[cpu].len(), t.streams[cpu].len());
+            for (a, b) in t.streams[cpu]
+                .events()
+                .iter()
+                .zip(out.streams[cpu].events())
+            {
                 match (a.data_addr(), b.data_addr()) {
                     (Some(x), Some(y)) => {
                         if x.0 >= old.0 && x.0 < old.0 + len {
-                            prop_assert_eq!(y.0, new.0 + (x.0 - old.0));
+                            assert_eq!(y.0, new.0 + (x.0 - old.0));
                         } else {
-                            prop_assert_eq!(x, y);
+                            assert_eq!(x, y);
                         }
                     }
                     (None, None) => {}
-                    _ => prop_assert!(false, "event kind changed"),
+                    _ => panic!("event kind changed"),
                 }
             }
         }
     }
+}
 
-    /// Privatization removes every reference to the target words and
-    /// keeps per-CPU copies in distinct cache lines.
-    #[test]
-    fn privatization_removes_shared_addresses(
-        n_updates in 1usize..40,
-        n_lone_reads in 0usize..5,
-    ) {
+/// Privatization removes every reference to the target words and keeps
+/// per-CPU copies in distinct cache lines.
+#[test]
+fn privatization_removes_shared_addresses() {
+    for seed in SEEDS {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n_updates = rng.gen_range(1usize..40);
+        let n_lone_reads = rng.gen_range(0usize..5);
         let target = Addr(0x0100_0000);
         let mut meta = TraceMeta::default();
         let site = meta.code.add_site("s", false);
@@ -100,58 +118,54 @@ proptest! {
         for cpu in 0..2 {
             for e in out.streams[cpu].events() {
                 if let Some(a) = e.data_addr() {
-                    prop_assert_ne!(a, target, "shared counter survived");
+                    assert_ne!(a, target, "shared counter survived");
                     private_addrs.insert(a.line(64));
                 }
             }
             // updates unchanged in count: each rmw is still read+write
             let s = &out.streams[cpu];
-            prop_assert_eq!(
-                s.write_count(),
-                n_updates,
-                "updates must stay per-cpu writes"
-            );
+            assert_eq!(s.write_count(), n_updates, "updates must stay per-cpu");
             // each lone read expands into one read per CPU
-            prop_assert_eq!(s.read_count(), n_updates + n_lone_reads * 2);
+            assert_eq!(s.read_count(), n_updates + n_lone_reads * 2);
         }
         // the two CPUs' copies are in different 64-byte lines
-        prop_assert!(private_addrs.len() >= 2 || n_updates == 0);
+        assert!(private_addrs.len() >= 2 || n_updates == 0);
     }
+}
 
-    /// Hot-spot prefetch insertion only ever adds `Prefetch` events.
-    #[test]
-    fn prefetch_insertion_is_additive(
-        refs in prop::collection::vec((0u32..4096, any::<bool>()), 1..150),
-    ) {
-        let t = random_trace(&refs);
+/// Hot-spot prefetch insertion only ever adds `Prefetch` events.
+#[test]
+fn prefetch_insertion_is_additive() {
+    for seed in SEEDS {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let t = random_trace(&random_refs(&mut rng, 4096, 150));
         let out = insert_hotspot_prefetches(&t, &[0]);
         for cpu in 0..2 {
-            let orig: Vec<&Event> = t.streams[cpu]
-                .events()
-                .iter()
-                .collect();
+            let orig: Vec<&Event> = t.streams[cpu].events().iter().collect();
             let kept: Vec<&Event> = out.streams[cpu]
                 .events()
                 .iter()
                 .filter(|e| !matches!(e, Event::Prefetch { .. }))
                 .collect();
-            prop_assert_eq!(orig.len(), kept.len());
+            assert_eq!(orig.len(), kept.len());
             for (a, b) in orig.iter().zip(&kept) {
-                prop_assert_eq!(*a, *b);
+                assert_eq!(*a, *b);
             }
         }
     }
 }
 
-proptest! {
-    /// `apply_deferred_copy` never removes more events than the read-only
-    /// copies' footprints, and leaves a trace the machine can replay.
-    #[test]
-    fn deferred_copy_is_safe_on_random_copy_chains(
-        lens in prop::collection::vec(8u32..256, 1..10),
-        reread in any::<bool>(),
-    ) {
-        use oscache_core::deferred::{analyze, apply_deferred_copy};
+/// `apply_deferred_copy` never removes more events than the read-only
+/// copies' footprints, and leaves a trace the machine can replay.
+#[test]
+fn deferred_copy_is_safe_on_random_copy_chains() {
+    use oscache_core::deferred::{analyze, apply_deferred_copy};
+    for seed in SEEDS {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let lens: Vec<u32> = (0..rng.gen_range(1usize..10))
+            .map(|_| rng.gen_range(8u32..256))
+            .collect();
+        let reread = rng.gen_bool(0.5);
         let mut meta = TraceMeta::default();
         let site = meta.code.add_site("s", false);
         let _bb = meta.code.add_block(Addr(0x100), 4, site);
@@ -176,7 +190,7 @@ proptest! {
         }
         t.streams[0] = b.finish();
         let counts = analyze(&t);
-        prop_assert_eq!(counts.small_copies as usize, lens.len());
+        assert_eq!(counts.small_copies as usize, lens.len());
         let out = apply_deferred_copy(&t);
         // All copies are read-only (no later writes): every bracket goes.
         let remaining = out.streams[0]
@@ -184,11 +198,16 @@ proptest! {
             .iter()
             .filter(|e| matches!(e, Event::BlockOpBegin { .. }))
             .count();
-        prop_assert_eq!(remaining, 0);
+        assert_eq!(remaining, 0);
         // Replay must not panic and must account time.
         let mut t4 = Trace::new(4, out.meta.clone());
         t4.streams[0] = out.streams[0].clone();
-        let s = oscache_memsys::Machine::new(oscache_memsys::MachineConfig::base(), &t4).run();
-        prop_assert_eq!(s.cpus[0].accounted_cycles(), s.cpu_times[0]);
+        let cfg =
+            oscache_memsys::MachineConfig::base().with_audit(oscache_memsys::AuditLevel::Strict);
+        let s = oscache_memsys::Machine::new(cfg, &t4)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(s.cpus[0].accounted_cycles(), s.cpu_times[0]);
     }
 }

@@ -9,8 +9,8 @@
 //! attributes to them.
 
 use crate::{KernelCode, KernelLayout, KernelLock};
+use oscache_trace::rng::Rng;
 use oscache_trace::{Addr, DataClass, LockId, StreamBuilder, WORD_SIZE};
-use rand::Rng;
 
 /// Word stride (bytes) used by block-operation transfer loops: the machine
 /// moves 8 bytes per load/store pair (double-word moves).
@@ -101,7 +101,7 @@ impl Kernel {
         let base = self.layout.scratch_addr(cpu);
         // Skewed reuse: most of the work lands on the hottest KB (current
         // frames and arguments), the rest across the full working area.
-        let pick = |rng: &mut dyn rand::RngCore| {
+        let pick = |rng: &mut dyn oscache_trace::rng::RngCore| {
             if rng.gen_bool(0.8) {
                 rng.gen_range(0..256u32) * 4
             } else {
@@ -672,9 +672,8 @@ impl Kernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oscache_trace::rng::SmallRng;
     use oscache_trace::{CodeLayout, Event, Mode};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn kernel() -> (Kernel, CodeLayout) {
         let mut code = CodeLayout::new();
@@ -725,7 +724,7 @@ mod tests {
     #[test]
     fn page_fault_locks_balance_and_touch_expected_classes() {
         let (k, _) = kernel();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SmallRng::seed_from_u64(7);
         let mut b = StreamBuilder::new();
         b.set_mode(Mode::Os);
         k.page_fault(&mut b, &mut rng, 0, 5, 40, 100, Fill::Zero);
@@ -740,7 +739,7 @@ mod tests {
     #[test]
     fn fork_chains_copies() {
         let (k, _) = kernel();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SmallRng::seed_from_u64(3);
         let mut b = StreamBuilder::new();
         k.fork(&mut b, &mut rng, 1, 2, 3, &[10, 11], &[20, 21]);
         let s = b.finish();
@@ -755,7 +754,7 @@ mod tests {
     #[test]
     fn services_leave_no_locks_held() {
         let (k, _) = kernel();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SmallRng::seed_from_u64(11);
         let mut b = StreamBuilder::new();
         b.set_mode(Mode::Os);
         k.syscall_entry(&mut b, &mut rng, 2, 7);
@@ -773,7 +772,7 @@ mod tests {
     #[test]
     fn warm_block_fraction_controls_coverage() {
         let (k, _) = kernel();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SmallRng::seed_from_u64(5);
         let mut b = StreamBuilder::new();
         k.warm_block(
             &mut b,

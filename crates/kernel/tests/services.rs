@@ -3,9 +3,8 @@
 //! synchronization and sensible volumes.
 
 use oscache_kernel::{Fill, Kernel, KernelLock, N_COUNTERS};
+use oscache_trace::rng::SmallRng;
 use oscache_trace::{Addr, CodeLayout, DataClass, Event, Mode, StreamBuilder};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn kernel() -> Kernel {
     let mut code = CodeLayout::new();
@@ -23,7 +22,7 @@ fn count_class(s: &oscache_trace::Stream, c: DataClass) -> usize {
 #[test]
 fn syscall_touches_dispatch_table_and_current_proc() {
     let k = kernel();
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = SmallRng::seed_from_u64(1);
     let mut b = StreamBuilder::new();
     b.set_mode(Mode::Os);
     k.syscall_entry(&mut b, &mut rng, 1, 9);
@@ -37,7 +36,7 @@ fn syscall_touches_dispatch_table_and_current_proc() {
 #[test]
 fn page_fault_scans_ptes_sequentially() {
     let k = kernel();
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = SmallRng::seed_from_u64(2);
     let mut b = StreamBuilder::new();
     b.set_mode(Mode::Os);
     k.page_fault(&mut b, &mut rng, 0, 5, 100, 7, Fill::Soft);
@@ -70,7 +69,7 @@ fn page_fault_scans_ptes_sequentially() {
 #[test]
 fn page_fault_fill_kinds_differ() {
     let k = kernel();
-    let mut rng = StdRng::seed_from_u64(3);
+    let rng = SmallRng::seed_from_u64(3);
     let count_ops = |fill: Fill| {
         let mut b = StreamBuilder::new();
         b.set_mode(Mode::Os);
@@ -96,7 +95,7 @@ fn page_fault_fill_kinds_differ() {
 #[test]
 fn context_switch_reads_the_target_process() {
     let k = kernel();
-    let mut rng = StdRng::seed_from_u64(4);
+    let mut rng = SmallRng::seed_from_u64(4);
     let mut b = StreamBuilder::new();
     b.set_mode(Mode::Os);
     k.context_switch(&mut b, &mut rng, 2, 17);
@@ -118,7 +117,7 @@ fn context_switch_reads_the_target_process() {
 #[test]
 fn timer_tick_takes_timer_and_accounting_locks() {
     let k = kernel();
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = SmallRng::seed_from_u64(5);
     let mut b = StreamBuilder::new();
     b.set_mode(Mode::Os);
     k.timer_tick(&mut b, &mut rng, 0, 4);
@@ -139,7 +138,6 @@ fn timer_tick_takes_timer_and_accounting_locks() {
 #[test]
 fn xproc_pair_touches_cpievents_and_v_intr() {
     let k = kernel();
-    let mut rng = StdRng::seed_from_u64(6);
     let mut send = StreamBuilder::new();
     send.set_mode(Mode::Os);
     k.xproc_send(&mut send, 3);
@@ -162,7 +160,7 @@ fn xproc_pair_touches_cpievents_and_v_intr() {
 #[test]
 fn pager_sweep_reads_every_counter() {
     let k = kernel();
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SmallRng::seed_from_u64(7);
     let mut b = StreamBuilder::new();
     b.set_mode(Mode::Os);
     k.pager_sweep(&mut b, &mut rng);
@@ -179,7 +177,7 @@ fn pager_sweep_reads_every_counter() {
 #[test]
 fn fork_pages_copies_the_parents_address_space() {
     let k = kernel();
-    let mut rng = StdRng::seed_from_u64(8);
+    let mut rng = SmallRng::seed_from_u64(8);
     let mut b = StreamBuilder::new();
     b.set_mode(Mode::Os);
     let parent_base = k.layout.user_data(5);
@@ -211,7 +209,7 @@ fn work_scale_controls_service_volume() {
     let mut k_big = Kernel::new(&mut code2);
     k_big.work_scale = 2.0;
     let run = |k: &Kernel| {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SmallRng::seed_from_u64(9);
         let mut b = StreamBuilder::new();
         b.set_mode(Mode::Os);
         k.syscall_entry(&mut b, &mut rng, 0, 4);
@@ -228,7 +226,7 @@ fn work_scale_controls_service_volume() {
 #[test]
 fn file_ops_move_the_requested_bytes() {
     let k = kernel();
-    let mut rng = StdRng::seed_from_u64(10);
+    let mut rng = SmallRng::seed_from_u64(10);
     let mut b = StreamBuilder::new();
     b.set_mode(Mode::Os);
     k.file_read(&mut b, &mut rng, 0, 4, 512, 2);
@@ -253,7 +251,7 @@ fn misc_lookup_probability_gates_cold_chases() {
     let mut k = Kernel::new(&mut code);
     k.misc_lookup = 0.0;
     let count_proc_reads = |k: &Kernel| {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SmallRng::seed_from_u64(11);
         let mut n = 0;
         for _ in 0..50 {
             let mut b = StreamBuilder::new();

@@ -1,0 +1,240 @@
+//! Runtime MESI invariant auditing.
+//!
+//! The simulator is trace-driven, so a modelling bug does not crash — it
+//! silently produces wrong miss counts. The auditor re-derives, from the
+//! machine state itself, the invariants the model is supposed to maintain:
+//!
+//! * **single writer / multiple readers** — a line held Exclusive or
+//!   Modified by one L2 is held by no other cache;
+//! * **at most one owner** — no two L2s own the same line;
+//! * **inclusion** — every resident L1D/L1I line's covering L2 line is
+//!   resident (an L1D line is excused while a pending L2→bus write-buffer
+//!   entry or a write-merge carries its data, see below);
+//! * **FIFO write buffers** — the word buffer's entries complete in
+//!   insertion order and neither buffer exceeds its depth;
+//! * **monotone clocks** — no event moves a CPU's local clock backwards.
+//!
+//! [`crate::AuditLevel::Strict`] checks the lines each event touches as it
+//! replays plus the per-CPU buffer/clock invariants after every event;
+//! [`crate::AuditLevel::Final`] performs one full sweep after the last
+//! event. Violations surface as [`SimError`]s with
+//! [`SimErrorKind::Invariant`] naming the cycle, CPU, and line.
+//!
+//! One deliberate exemption: a write that merges into a still-pending
+//! L2→bus write-buffer entry installs its L1D line without refilling the
+//! (evicted) L2 line — the write data lives in the buffer, not the L2.
+//! The machine records such lines and the inclusion check excuses them
+//! until they are invalidated or refilled through a normal path.
+
+use crate::error::{InvariantKind, SimError, SimErrorKind};
+use crate::machine::Machine;
+use crate::{AuditLevel, WriteBuffer};
+use oscache_trace::{BlockOp, Event, LineAddr};
+
+impl Machine<'_> {
+    fn invariant_err(
+        &self,
+        cpu: Option<usize>,
+        line: Option<LineAddr>,
+        kind: InvariantKind,
+    ) -> SimError {
+        let cycle = cpu.map_or(0, |i| self.cpus[i].time);
+        SimError {
+            cycle,
+            cpu,
+            line,
+            kind: SimErrorKind::Invariant(kind),
+        }
+    }
+
+    /// Coherence invariants for one L2 line across every CPU: at most one
+    /// owner, and an owner excludes all other copies.
+    pub(crate) fn audit_line(&self, line2: LineAddr) -> Result<(), SimError> {
+        let mut owner: Option<(usize, crate::LineState)> = None;
+        let mut copy: Option<usize> = None;
+        for (j, c) in self.cpus.iter().enumerate() {
+            let st = c.l2.state(line2);
+            if !st.is_valid() {
+                continue;
+            }
+            if st.is_owned() {
+                if let Some((first, _)) = owner {
+                    return Err(self.invariant_err(
+                        Some(j),
+                        Some(line2),
+                        InvariantKind::MultipleOwners { first, second: j },
+                    ));
+                }
+                owner = Some((j, st));
+            } else {
+                copy = Some(j);
+            }
+        }
+        if let (Some((owner, owner_state)), Some(other)) = (owner, copy) {
+            return Err(self.invariant_err(
+                Some(owner),
+                Some(line2),
+                InvariantKind::OwnedLineShared {
+                    owner,
+                    owner_state,
+                    other,
+                },
+            ));
+        }
+        Ok(())
+    }
+
+    fn audit_wbuf(&self, i: usize, name: &'static str, wb: &WriteBuffer) -> Result<(), SimError> {
+        // `push` may transiently take a buffer one past its depth (the slot
+        // frees at the stall the caller already paid); beyond that is a bug.
+        if wb.len() > wb.depth() + 1 {
+            return Err(self.invariant_err(
+                Some(i),
+                None,
+                InvariantKind::WriteBufferOverfull {
+                    buffer: name,
+                    len: wb.len(),
+                    depth: wb.depth(),
+                },
+            ));
+        }
+        Ok(())
+    }
+
+    /// Per-CPU buffer invariants: bounded occupancy on both buffers, FIFO
+    /// completion order on the word buffer. (The line buffer's completion
+    /// times may legitimately invert: an invalidation-signal entry granted
+    /// after a memory-fetch entry can still complete first.)
+    pub(crate) fn audit_cpu_buffers(&self, i: usize) -> Result<(), SimError> {
+        let c = &self.cpus[i];
+        self.audit_wbuf(i, "wb1", &c.wb1)?;
+        self.audit_wbuf(i, "wb2", &c.wb2)?;
+        let mut prev = 0u64;
+        for t in c.wb1.completions() {
+            if t < prev {
+                return Err(self.invariant_err(
+                    Some(i),
+                    None,
+                    InvariantKind::WriteBufferOrder { buffer: "wb1" },
+                ));
+            }
+            prev = t;
+        }
+        Ok(())
+    }
+
+    fn line2_of(&self, addr: oscache_trace::Addr) -> LineAddr {
+        addr.line(self.cfg.l2.line)
+    }
+
+    /// Audits every L2 line a block operation's source and destination
+    /// ranges cover.
+    fn audit_block_range(&self, op: &BlockOp) -> Result<(), SimError> {
+        let l2 = self.cfg.l2.line;
+        for base in [op.src, op.dst] {
+            let mut a = base.line(l2).0;
+            let end = base.0.saturating_add(op.len);
+            while a < end {
+                self.audit_line(LineAddr(a))?;
+                match a.checked_add(l2) {
+                    Some(next) => a = next,
+                    None => break,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Strict-mode hook, called after every replayed event: the CPU's
+    /// clock must not have moved backwards, its buffers must be sane, and
+    /// the lines the event touched must satisfy the coherence invariants.
+    pub(crate) fn audit_step(&self, i: usize, before: u64, ev: &Event) -> Result<(), SimError> {
+        let after = self.cpus[i].time;
+        if after < before {
+            return Err(self.invariant_err(
+                Some(i),
+                None,
+                InvariantKind::ClockWentBackwards { before, after },
+            ));
+        }
+        self.audit_cpu_buffers(i)?;
+        match *ev {
+            Event::Read { addr, .. }
+            | Event::Write { addr, .. }
+            | Event::Prefetch { addr, .. }
+            | Event::LockAcquire { addr, .. }
+            | Event::LockRelease { addr, .. }
+            | Event::Barrier { addr, .. } => self.audit_line(self.line2_of(addr)),
+            Event::BlockOpBegin { op } => self.audit_block_range(&op),
+            Event::Exec { .. } | Event::SetMode { .. } | Event::Idle { .. } | Event::BlockOpEnd => {
+                Ok(())
+            }
+        }
+    }
+
+    /// Full sweep over the whole machine state: coherence invariants for
+    /// every resident L2 line, inclusion for every resident L1 line, and
+    /// the per-CPU buffer invariants. Runs at end of replay for
+    /// [`AuditLevel::Final`] and above.
+    pub(crate) fn audit_final(&self) -> Result<(), SimError> {
+        let mut lines: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for c in &self.cpus {
+            for (l, _) in c.l2.valid_lines() {
+                lines.insert(l.0);
+            }
+        }
+        for &l in &lines {
+            self.audit_line(LineAddr(l))?;
+        }
+        let l2_mask = !(self.cfg.l2.line - 1);
+        for (i, c) in self.cpus.iter().enumerate() {
+            for (l1, _) in c.l1d.valid_lines() {
+                let line2 = LineAddr(l1.0 & l2_mask);
+                if !c.l2.contains(line2)
+                    && !c.wb2.pending(line2.0)
+                    && !self.incl_exempt[i].contains(&l1.0)
+                {
+                    return Err(self.invariant_err(
+                        Some(i),
+                        Some(l1),
+                        InvariantKind::InclusionViolated { cache: "l1d" },
+                    ));
+                }
+            }
+            for (l1, _) in c.l1i.valid_lines() {
+                let line2 = LineAddr(l1.0 & l2_mask);
+                if !c.l2.contains(line2) {
+                    return Err(self.invariant_err(
+                        Some(i),
+                        Some(l1),
+                        InvariantKind::InclusionViolated { cache: "l1i" },
+                    ));
+                }
+            }
+            self.audit_cpu_buffers(i)?;
+        }
+        Ok(())
+    }
+
+    /// Bookkeeping for the inclusion exemption: called on every L1D fill
+    /// with the covering L2 line's residency at fill time, and on every
+    /// L1D departure.
+    pub(crate) fn note_l1d_fill(&mut self, i: usize, line1: LineAddr, l2_resident: bool) {
+        if self.cfg.audit == AuditLevel::Off {
+            return;
+        }
+        if l2_resident {
+            self.incl_exempt[i].remove(&line1.0);
+        } else {
+            self.incl_exempt[i].insert(line1.0);
+        }
+    }
+
+    /// Clears the exemption when an L1D line leaves the cache.
+    pub(crate) fn note_l1d_departure(&mut self, i: usize, line1: LineAddr) {
+        if self.cfg.audit == AuditLevel::Off {
+            return;
+        }
+        self.incl_exempt[i].remove(&line1.0);
+    }
+}

@@ -1,6 +1,7 @@
 //! Block-operation handling (§4): the per-scheme read/write paths and the
 //! DMA-like transfer engine of `Blk_Dma`.
 
+use crate::error::{SimError, SimErrorKind};
 use crate::machine::{ActiveOp, Bucket, Machine};
 use crate::{BlockOpScheme, BusOp, LineState};
 use oscache_trace::{Addr, BlockKind, BlockOp, DataClass, Event, LineAddr, PAGE_SIZE};
@@ -8,8 +9,9 @@ use oscache_trace::{Addr, BlockKind, BlockOp, DataClass, Event, LineAddr, PAGE_S
 impl Machine<'_> {
     /// Processes `BlockOpBegin`: records the Table 3 probes, arms
     /// scheme-specific state, and — for `Blk_Dma` — runs the whole transfer
-    /// on the bus and skips the bracketed references.
-    pub(crate) fn begin_block_op(&mut self, i: usize, op: BlockOp) {
+    /// on the bus and skips the bracketed references (failing with a typed
+    /// error if the bracket is malformed).
+    pub(crate) fn begin_block_op(&mut self, i: usize, op: BlockOp) -> Result<(), SimError> {
         self.probe_block_op(i, &op);
         self.cpus[i].block = Some(ActiveOp::new(op));
         match self.cfg.block_scheme {
@@ -22,13 +24,14 @@ impl Machine<'_> {
             }
             BlockOpScheme::Dma => {
                 self.run_dma(i, &op);
-                self.skip_to_block_end(i);
+                self.skip_to_block_end(i)?;
                 self.cpus[i].block = None;
-                return;
+                return Ok(());
             }
             _ => {}
         }
         self.cpus[i].cursor += 1;
+        Ok(())
     }
 
     /// Processes `BlockOpEnd`: flushes bypass registers and clears state.
@@ -133,11 +136,15 @@ impl Machine<'_> {
     /// Bypass source read: line registers in parallel with the caches; a
     /// cache access is performed only when the word is already cached.
     pub(crate) fn bypass_read(&mut self, i: usize, addr: Addr, class: DataClass) {
+        // Callers dispatch here only inside a block op; fall back to the
+        // plain path rather than panic if that ever changes.
+        let Some(active) = self.cpus[i].block else {
+            return self.demand_read(i, addr, class);
+        };
         let mode = self.cpus[i].mode;
         self.cpus[i].stats.dreads.add(mode, 1);
         let line1 = addr.line(self.cfg.l1d.line);
         let line2 = addr.line(self.cfg.l2.line);
-        let active = self.cpus[i].block.expect("bypass_read outside block op");
 
         if active.src_reg == Some(line1) {
             return; // register hit, as fast as the primary cache
@@ -176,9 +183,11 @@ impl Machine<'_> {
             self.demand_write(i, addr, class);
             return;
         }
+        let Some(active) = self.cpus[i].block else {
+            return self.demand_write(i, addr, class);
+        };
         let mode = self.cpus[i].mode;
         self.cpus[i].stats.dwrites.add(mode, 1);
-        let active = self.cpus[i].block.expect("bypass_write outside block op");
         if active.dst_reg != Some(line1) {
             self.flush_dst_reg(i);
             if let Some(a) = self.cpus[i].block.as_mut() {
@@ -200,7 +209,10 @@ impl Machine<'_> {
         let now = self.cpus[i].time;
         let stall = self.cpus[i].wb2.stall_for_slot(now);
         self.advance(i, stall, Bucket::DWrite);
-        let t = self.cpus[i].time.max(self.cpus[i].wb2.last_completion());
+        // The stall freed a slot at the new time; reclaim it before pushing.
+        let now = self.cpus[i].time;
+        self.cpus[i].wb2.drain(now);
+        let t = now.max(self.cpus[i].wb2.last_completion());
         // A 16-byte L1 line moves in half the occupancy of a 32-byte line.
         let occ = (self.cfg.timing.line_transfer * u64::from(self.cfg.l1d.line)
             / u64::from(self.cfg.l2.line))
@@ -224,7 +236,9 @@ impl Machine<'_> {
         // read from the caches, not the buffer).
         loop {
             let off = {
-                let a = self.cpus[i].block.as_mut().unwrap();
+                let Some(a) = self.cpus[i].block.as_mut() else {
+                    return;
+                };
                 let off = a.next_pbuf_off;
                 if off >= op.len {
                     return;
@@ -251,11 +265,13 @@ impl Machine<'_> {
     /// `Blk_ByPref` source read: prefetch buffer first, then caches, then a
     /// blocking register fetch.
     pub(crate) fn bypref_read(&mut self, i: usize, addr: Addr, class: DataClass) {
+        let Some(active) = self.cpus[i].block else {
+            return self.demand_read(i, addr, class);
+        };
         let mode = self.cpus[i].mode;
         self.cpus[i].stats.dreads.add(mode, 1);
         let line1 = addr.line(self.cfg.l1d.line);
         let line2 = addr.line(self.cfg.l2.line);
-        let active = self.cpus[i].block.expect("bypref_read outside block op");
 
         if active.src_reg == Some(line1) {
             return;
@@ -392,20 +408,36 @@ impl Machine<'_> {
     }
 
     /// Skips the bracketed word references of a DMA-executed block op.
-    pub(crate) fn skip_to_block_end(&mut self, i: usize) {
+    ///
+    /// Only plain references may appear between `BlockOpBegin` and
+    /// `BlockOpEnd`; anything else (or a stream that ends inside the
+    /// bracket) is reported as a [`SimErrorKind::MalformedBlockOp`] naming
+    /// the cycle, CPU, and offending event.
+    pub(crate) fn skip_to_block_end(&mut self, i: usize) -> Result<(), SimError> {
         let events = self.trace.streams[i].events();
         let mut k = self.cpus[i].cursor + 1;
         loop {
             match events.get(k) {
                 Some(Event::BlockOpEnd) => {
                     self.cpus[i].cursor = k + 1;
-                    return;
+                    return Ok(());
                 }
                 Some(Event::Read { .. })
                 | Some(Event::Write { .. })
                 | Some(Event::Exec { .. })
                 | Some(Event::Prefetch { .. }) => k += 1,
-                other => panic!("unexpected event inside block op: {other:?}"),
+                other => {
+                    let event = match other {
+                        Some(e) => format!("{e:?}"),
+                        None => "end of stream".to_string(),
+                    };
+                    return Err(SimError {
+                        cycle: self.cpus[i].time,
+                        cpu: Some(i),
+                        line: None,
+                        kind: SimErrorKind::MalformedBlockOp { event },
+                    });
+                }
             }
         }
     }

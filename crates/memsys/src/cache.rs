@@ -246,6 +246,15 @@ impl Cache {
         self.frames.iter().filter(|f| f.state.is_valid()).count()
     }
 
+    /// Iterates over every resident line and its state (invariant audits
+    /// and diagnostics).
+    pub fn valid_lines(&self) -> impl Iterator<Item = (LineAddr, LineState)> + '_ {
+        self.frames
+            .iter()
+            .filter(|f| f.state.is_valid())
+            .map(|f| (LineAddr(f.line), f.state))
+    }
+
     /// Clears the cache to all-invalid.
     pub fn clear(&mut self) {
         for f in &mut self.frames {

@@ -139,6 +139,25 @@ impl Default for Timing {
     }
 }
 
+/// How much runtime invariant auditing the machine performs.
+///
+/// The auditor re-derives the coherence and buffering invariants the model
+/// is supposed to maintain (single writer, at most one owner, L1 ⊆ L2
+/// inclusion, FIFO write-buffer drain, monotone clocks) and reports any
+/// violation as a typed [`crate::SimError`] instead of silently producing
+/// wrong statistics. Ordered: each level includes everything below it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum AuditLevel {
+    /// No auditing (the default; zero overhead).
+    #[default]
+    Off,
+    /// One full invariant sweep after the last event has replayed.
+    Final,
+    /// Per-event checks on the lines each event touches, plus the final
+    /// sweep. Slower; meant for tests and fault-injection runs.
+    Strict,
+}
+
 /// Complete machine configuration.
 ///
 /// [`MachineConfig::base`] reproduces the paper's simulated `Base` machine:
@@ -179,6 +198,8 @@ pub struct MachineConfig {
     /// (0 = none, the paper's machine). A conflict-miss mitigation in the
     /// spirit of the §7 discussion; see the `ablate_victim_cache` bench.
     pub victim_lines: usize,
+    /// Runtime invariant auditing level.
+    pub audit: AuditLevel,
 }
 
 impl MachineConfig {
@@ -209,7 +230,14 @@ impl MachineConfig {
             prefetch_buf_lines: 8,
             prefetch_distance: 4,
             victim_lines: 0,
+            audit: AuditLevel::Off,
         }
+    }
+
+    /// Returns a copy with a different auditing level.
+    pub fn with_audit(mut self, level: AuditLevel) -> Self {
+        self.audit = level;
+        self
     }
 
     /// Returns a copy with a different block-operation scheme.
@@ -357,6 +385,16 @@ mod tests {
         let c = MachineConfig::base().with_l1_line(64).with_l2_line(64);
         assert_eq!(c.l1d.line, 64);
         assert_eq!(c.l2.line, 64);
+        c.validate();
+    }
+
+    #[test]
+    fn audit_levels_are_ordered() {
+        assert!(AuditLevel::Off < AuditLevel::Final);
+        assert!(AuditLevel::Final < AuditLevel::Strict);
+        assert_eq!(AuditLevel::default(), AuditLevel::Off);
+        let c = MachineConfig::base().with_audit(AuditLevel::Strict);
+        assert_eq!(c.audit, AuditLevel::Strict);
         c.validate();
     }
 

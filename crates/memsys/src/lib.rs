@@ -23,11 +23,15 @@
 //!
 //! [`Machine::run`] replays an [`oscache_trace::Trace`] and returns
 //! [`SimStats`], from which every table and figure of the paper is derived.
+//! Malformed traces and violated machine invariants surface as typed
+//! [`SimError`]s rather than panics; [`AuditLevel`] selects how much
+//! invariant checking runs alongside the replay, and the [`faults`] module
+//! perturbs traces to exercise exactly those rejection paths.
 //!
 //! # Example
 //!
 //! ```
-//! use oscache_memsys::{Machine, MachineConfig};
+//! use oscache_memsys::{AuditLevel, Machine, MachineConfig};
 //! use oscache_trace::{Addr, DataClass, Mode, StreamBuilder, Trace, TraceMeta};
 //!
 //! let mut meta = TraceMeta::default();
@@ -40,17 +44,21 @@
 //! b.read(Addr(0x0100_0000), DataClass::RunQueue);
 //! trace.streams[0] = b.finish();
 //!
-//! let stats = Machine::new(MachineConfig::base(), &trace).run();
+//! let cfg = MachineConfig::base().with_audit(AuditLevel::Strict);
+//! let stats = Machine::new(cfg, &trace).unwrap().run().unwrap();
 //! assert_eq!(stats.total().l1d_read_misses.os, 1); // cold miss
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 mod blockop;
 mod bus;
 mod cache;
 mod config;
+mod error;
+pub mod faults;
 mod history;
 mod machine;
 mod prefetch;
@@ -59,7 +67,8 @@ mod wbuf;
 
 pub use bus::{Bus, BusOp, BusStats};
 pub use cache::{Cache, Evicted, LineState};
-pub use config::{BlockOpScheme, CacheGeom, MachineConfig, Timing};
+pub use config::{AuditLevel, BlockOpScheme, CacheGeom, MachineConfig, Timing};
+pub use error::{InvariantKind, SimError, SimErrorKind};
 pub use history::{BypassSet, Departure, HistoryMap};
 pub use machine::Machine;
 pub use prefetch::{MshrSet, PrefetchBuffer};

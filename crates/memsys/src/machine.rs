@@ -14,12 +14,13 @@
 //! the trace and make sure that their mutual exclusion functionality is
 //! maintained in the simulations" (§2.2).
 
+use crate::error::{SimError, SimErrorKind};
 use crate::history::{BypassSet, Departure, HistoryMap};
 use crate::prefetch::{MshrSet, PrefetchBuffer};
 use crate::stats::{CpuStats, MissKind, SimStats};
-use crate::{BlockOpScheme, Bus, BusOp, Cache, LineState, MachineConfig, WriteBuffer};
+use crate::{AuditLevel, BlockOpScheme, Bus, BusOp, Cache, LineState, MachineConfig, WriteBuffer};
 use oscache_trace::{Addr, BasicBlock, BlockOp, DataClass, Event, LineAddr, Mode, Trace};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Cycle-accounting bucket (Figure 3's execution-time decomposition).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -130,23 +131,31 @@ pub struct Machine<'t> {
     pub(crate) l2_hist: HistoryMap,
     pub(crate) bypassed: BypassSet,
     pub(crate) pending_class: HashMap<u64, PendingClass>,
+    /// L1D lines installed without a resident covering L2 line (the
+    /// write-merge path) — tolerated by the inclusion audit until they
+    /// leave the L1D. Maintained only when auditing is on.
+    pub(crate) incl_exempt: Vec<HashSet<u32>>,
     steps: u64,
 }
 
 impl<'t> Machine<'t> {
     /// Builds a machine ready to replay `trace` under `cfg`.
     ///
+    /// The trace is validated first (see [`Trace::validate_for_cpus`]):
+    /// malformed traces — wrong CPU count, unresolvable block ids,
+    /// unbalanced lock or block-operation brackets, inconsistent barriers —
+    /// are rejected with a typed [`SimError`] before any replay state is
+    /// built.
+    ///
     /// # Panics
     ///
-    /// Panics if `cfg` is invalid (see [`MachineConfig::validate`]) or the
-    /// trace has a different CPU count than `cfg.n_cpus`.
-    pub fn new(cfg: MachineConfig, trace: &'t Trace) -> Self {
+    /// Panics if `cfg` itself is invalid (see [`MachineConfig::validate`]) —
+    /// a programmer error, unlike trace problems, which are input errors.
+    pub fn new(cfg: MachineConfig, trace: &'t Trace) -> Result<Self, SimError> {
         cfg.validate();
-        assert_eq!(
-            cfg.n_cpus,
-            trace.n_cpus(),
-            "config/trace CPU count mismatch"
-        );
+        trace
+            .validate_for_cpus(cfg.n_cpus)
+            .map_err(SimError::from_trace)?;
         let cpus = (0..cfg.n_cpus)
             .map(|_| Cpu {
                 time: 0,
@@ -167,7 +176,8 @@ impl<'t> Machine<'t> {
                 stats: CpuStats::default(),
             })
             .collect();
-        Machine {
+        let n_cpus = cfg.n_cpus;
+        Ok(Machine {
             cfg,
             trace,
             cpus,
@@ -178,46 +188,55 @@ impl<'t> Machine<'t> {
             l2_hist: HistoryMap::new(),
             bypassed: BypassSet::new(),
             pending_class: HashMap::new(),
+            incl_exempt: vec![HashSet::new(); n_cpus],
             steps: 0,
-        }
+        })
     }
 
     /// Replays the whole trace and returns the collected statistics.
     ///
-    /// # Panics
-    ///
-    /// Panics on deadlock (a barrier some participant never reaches, or a
-    /// lock never released) — this indicates a malformed trace.
-    pub fn run(mut self) -> SimStats {
+    /// Fails with a typed [`SimError`] on deadlock (a barrier some
+    /// participant never reaches, or a lock never released), on replay
+    /// semantics the trace violates (e.g. a lock released by a non-holder),
+    /// and on any invariant violation the configured
+    /// [`AuditLevel`](crate::AuditLevel) catches.
+    pub fn run(mut self) -> Result<SimStats, SimError> {
         loop {
             let next = self.pick_next();
             match next {
-                Some(i) => self.step(i),
+                Some(i) => self.step(i)?,
                 None => break,
             }
         }
         // Check for deadlock and drain write buffers into the final times.
         let mut times = Vec::with_capacity(self.cpus.len());
         for (i, c) in self.cpus.iter_mut().enumerate() {
-            assert!(
-                c.status == Status::Done,
-                "deadlock: cpu{i} stuck in {:?} at t={} (cursor {}/{})",
-                c.status,
-                c.time,
-                c.cursor,
-                self.trace.streams[i].len()
-            );
+            if c.status != Status::Done {
+                return Err(SimError {
+                    cycle: c.time,
+                    cpu: Some(i),
+                    line: None,
+                    kind: SimErrorKind::Deadlock {
+                        waiting: format!("{:?}", c.status),
+                        cursor: c.cursor,
+                        stream_len: self.trace.streams[i].len(),
+                    },
+                });
+            }
             let drained = c.time.max(c.wb1.drained_at()).max(c.wb2.drained_at());
             let extra = drained - c.time;
             c.stats.dwrite_cycles.add(c.mode, extra);
             c.time = drained;
             times.push(c.time);
         }
-        SimStats {
+        if self.cfg.audit >= AuditLevel::Final {
+            self.audit_final()?;
+        }
+        Ok(SimStats {
             cpus: self.cpus.iter().map(|c| c.stats.clone()).collect(),
             bus: *self.bus.stats(),
             cpu_times: times,
-        }
+        })
     }
 
     fn pick_next(&self) -> Option<usize> {
@@ -286,14 +305,15 @@ impl<'t> Machine<'t> {
 
     // ---- main dispatch ---------------------------------------------------
 
-    fn step(&mut self, i: usize) {
+    fn step(&mut self, i: usize) -> Result<(), SimError> {
         self.steps += 1;
         let stream = &self.trace.streams[i];
         if self.cpus[i].cursor >= stream.len() {
             self.cpus[i].status = Status::Done;
-            return;
+            return Ok(());
         }
         let ev = stream.events()[self.cpus[i].cursor];
+        let t_before = self.cpus[i].time;
         match ev {
             Event::SetMode { mode } => {
                 self.cpus[i].mode = mode;
@@ -306,7 +326,16 @@ impl<'t> Machine<'t> {
                 c.cursor += 1;
             }
             Event::Exec { block } => {
-                let bb = *self.trace.meta.code.block(block);
+                // `Machine::new` validated every block id; re-check so a
+                // trace mutated after validation still cannot panic here.
+                let Some(&bb) = self.trace.meta.code.try_block(block) else {
+                    return Err(SimError {
+                        cycle: self.cpus[i].time,
+                        cpu: Some(i),
+                        line: None,
+                        kind: SimErrorKind::UnknownBlock { block: block.0 },
+                    });
+                };
                 self.cpus[i].cur_site = bb.site.0;
                 self.fetch_code(i, &bb);
                 self.advance(i, u64::from(bb.instrs), Bucket::Exec);
@@ -327,9 +356,9 @@ impl<'t> Machine<'t> {
                 self.cpus[i].cursor += 1;
             }
             Event::LockAcquire { lock, addr } => {
-                let free = self.locks.entry(lock.0).or_default().holder.is_none();
-                if free {
-                    self.locks.get_mut(&lock.0).unwrap().holder = Some(i);
+                let st = self.locks.entry(lock.0).or_default();
+                if st.holder.is_none() {
+                    st.holder = Some(i);
                     // test-and-set: read then write the lock word
                     self.demand_read(i, addr, DataClass::LockVar);
                     self.demand_write(i, addr, DataClass::LockVar);
@@ -342,11 +371,27 @@ impl<'t> Machine<'t> {
             Event::LockRelease { lock, addr } => {
                 self.demand_write(i, addr, DataClass::LockVar);
                 let release = self.cpus[i].time;
-                let st = self
-                    .locks
-                    .get_mut(&lock.0)
-                    .expect("release of unknown lock");
-                assert_eq!(st.holder, Some(i), "release by non-holder");
+                let line = addr.line(self.cfg.l2.line);
+                let Some(st) = self.locks.get_mut(&lock.0) else {
+                    return Err(SimError {
+                        cycle: release,
+                        cpu: Some(i),
+                        line: Some(line),
+                        kind: SimErrorKind::LockReleaseUnknown { lock: lock.0 },
+                    });
+                };
+                if st.holder != Some(i) {
+                    let holder = st.holder;
+                    return Err(SimError {
+                        cycle: release,
+                        cpu: Some(i),
+                        line: Some(line),
+                        kind: SimErrorKind::LockReleaseByNonHolder {
+                            lock: lock.0,
+                            holder,
+                        },
+                    });
+                }
                 st.holder = None;
                 for j in 0..self.cpus.len() {
                     if let Status::OnLock(l, _since) = self.cpus[j].status {
@@ -375,13 +420,17 @@ impl<'t> Machine<'t> {
                 self.cpus[i].cursor += 1;
                 let st = self.barriers.entry(barrier.0).or_default();
                 st.arrived.push(i);
-                if st.arrived.len() < participants as usize {
+                let done = st.arrived.len() >= participants as usize;
+                let arrived = if done {
+                    std::mem::take(&mut st.arrived)
+                } else {
+                    Vec::new()
+                };
+                if !done {
                     let t = self.cpus[i].time;
                     self.cpus[i].status = Status::AtBarrier(barrier.0, t);
                 } else {
                     let release = self.cpus[i].time;
-                    let arrived =
-                        std::mem::take(&mut self.barriers.get_mut(&barrier.0).unwrap().arrived);
                     for j in arrived {
                         if j == i {
                             continue;
@@ -396,16 +445,22 @@ impl<'t> Machine<'t> {
                 }
             }
             Event::BlockOpBegin { op } => {
-                self.begin_block_op(i, op);
+                self.begin_block_op(i, op)?;
             }
             Event::BlockOpEnd => {
                 self.end_block_op(i);
                 self.cpus[i].cursor += 1;
             }
         }
-        if self.cpus[i].cursor >= stream.len() && self.cpus[i].status == Status::Runnable {
+        if self.cpus[i].cursor >= self.trace.streams[i].len()
+            && self.cpus[i].status == Status::Runnable
+        {
             self.cpus[i].status = Status::Done;
         }
+        if self.cfg.audit == AuditLevel::Strict {
+            self.audit_step(i, t_before, &ev)?;
+        }
+        Ok(())
     }
 
     // ---- instruction fetch ----------------------------------------------
@@ -518,6 +573,7 @@ impl<'t> Machine<'t> {
             let l = LineAddr(a);
             if self.cpus[j].l1d.invalidate(l).is_valid() {
                 self.l1d_hist.record(j, l, why);
+                self.note_l1d_departure(j, l);
             }
             a += l1line;
         }
@@ -568,10 +624,15 @@ impl<'t> Machine<'t> {
         class: DataClass,
         by_blockop: bool,
     ) {
+        let l2_resident = self.cpus[i]
+            .l2
+            .contains(LineAddr(line1.0 & !(self.cfg.l2.line - 1)));
         let evicted = self.cpus[i]
             .l1d
             .fill(line1, LineState::Shared, class, by_blockop);
+        self.note_l1d_fill(i, line1, l2_resident);
         if let Some(ev) = evicted {
+            self.note_l1d_departure(i, ev.line);
             let why = if ev.evicted_by_blockop {
                 Departure::EvictedByBlockOp
             } else {
@@ -775,6 +836,7 @@ impl<'t> Machine<'t> {
         let stall = self.cpus[i].wb1.stall_for_slot(now);
         self.advance(i, stall, Bucket::DWrite);
         let now = self.cpus[i].time;
+        self.cpus[i].wb1.drain(now);
 
         // Drain in order behind older entries.
         let serv_start = now.max(self.cpus[i].wb1.last_completion());
@@ -808,6 +870,7 @@ impl<'t> Machine<'t> {
             }
             LineState::Shared => {
                 let t2 = t + self.cpus[i].wb2.stall_for_slot(t);
+                self.cpus[i].wb2.drain(t2);
                 if update {
                     // Firefly: broadcast the word; sharers stay valid.
                     let grant = self.bus.acquire(t2, timing.update_word, BusOp::UpdateWord);
@@ -834,6 +897,7 @@ impl<'t> Machine<'t> {
                     return self.cpus[i].wb2.last_completion().max(t);
                 }
                 let t2 = t + self.cpus[i].wb2.stall_for_slot(t);
+                self.cpus[i].wb2.drain(t2);
                 if update {
                     // Fetch the line; remote copies stay valid and receive
                     // the written word on the bus.

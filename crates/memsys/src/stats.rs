@@ -341,8 +341,10 @@ mod tests {
 
     #[test]
     fn simstats_aggregation() {
-        let mut s = SimStats::default();
-        s.cpus = vec![CpuStats::default(), CpuStats::default()];
+        let mut s = SimStats {
+            cpus: vec![CpuStats::default(), CpuStats::default()],
+            ..Default::default()
+        };
         s.cpus[0].idle_cycles = 3;
         s.cpus[1].idle_cycles = 4;
         s.cpu_times = vec![100, 120];

@@ -60,9 +60,21 @@ impl WriteBuffer {
         if self.entries.len() < self.depth {
             0
         } else {
-            // FIFO: the (len - depth + 1)-th oldest entry must complete.
+            // A slot frees when the oldest (len - depth + 1) entries have
+            // all drained. Completion times are not always monotone (an
+            // invalidation-signal entry can finish before an older
+            // memory-fetch entry), and `drain` pops strictly from the
+            // front, so wait for the prefix maximum — not just the
+            // (len - depth + 1)-th entry.
             let idx = self.entries.len() - self.depth;
-            self.entries[idx].complete_at.saturating_sub(now)
+            let free_at = self
+                .entries
+                .iter()
+                .take(idx + 1)
+                .map(|e| e.complete_at)
+                .max()
+                .unwrap_or(0);
+            free_at.saturating_sub(now)
         }
     }
 
@@ -95,6 +107,17 @@ impl WriteBuffer {
     /// Current occupancy.
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Configured capacity.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Pending completion times in insertion (FIFO) order, for the
+    /// invariant auditor.
+    pub fn completions(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().map(|e| e.complete_at)
     }
 
     /// True when no writes are pending.

@@ -34,7 +34,10 @@ fn copy_trace(len: u32) -> Trace {
 }
 
 fn run(t: &Trace, scheme: BlockOpScheme) -> SimStats {
-    Machine::new(MachineConfig::base().with_block_scheme(scheme), t).run()
+    let cfg = MachineConfig::base()
+        .with_block_scheme(scheme)
+        .with_audit(oscache_memsys::AuditLevel::Strict);
+    Machine::new(cfg, t).unwrap().run().unwrap()
 }
 
 #[test]

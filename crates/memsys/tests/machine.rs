@@ -32,11 +32,12 @@ fn trace_with(f: impl FnOnce(&mut [StreamBuilder; 4], BlockId)) -> Trace {
 }
 
 fn run(trace: &Trace) -> SimStats {
-    Machine::new(MachineConfig::base(), trace).run()
+    run_cfg(MachineConfig::base(), trace)
 }
 
 fn run_cfg(cfg: MachineConfig, trace: &Trace) -> SimStats {
-    Machine::new(cfg, trace).run()
+    let cfg = cfg.with_audit(oscache_memsys::AuditLevel::Strict);
+    Machine::new(cfg, trace).unwrap().run().unwrap()
 }
 
 const D: Addr = Addr(0x0200_0000);
@@ -411,7 +412,7 @@ fn instruction_fetch_misses_are_counted() {
         }
     }
     t.streams[0] = b.finish();
-    let s = Machine::new(MachineConfig::base(), &t).run();
+    let s = run_cfg(MachineConfig::base(), &t);
     assert!(s.cpus[0].l1i_misses.os >= 64);
     assert!(s.cpus[0].imiss_cycles.os > 0);
     assert!(s.cpus[0].exec_cycles.os >= 2 * 64 * 8);

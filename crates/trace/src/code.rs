@@ -128,6 +128,14 @@ impl CodeLayout {
         &self.blocks[id.index()]
     }
 
+    /// Looks up a block, returning `None` when `id` is not a block of this
+    /// layout (the non-panicking lookup replay paths use on trace-derived
+    /// ids).
+    #[inline]
+    pub fn try_block(&self, id: BlockId) -> Option<&BasicBlock> {
+        self.blocks.get(id.index())
+    }
+
     /// Looks up a site's description.
     ///
     /// # Panics

@@ -26,7 +26,7 @@
 
 use crate::{
     Addr, BarrierId, BlockId, BlockKind, BlockOp, CodeLayout, DataClass, Event, KernelVar, LockId,
-    Mode, SiteId, Stream, Trace, TraceMeta, VarRole,
+    Mode, SiteId, Stream, Trace, TraceError, TraceMeta, VarRole,
 };
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -36,16 +36,27 @@ use std::io::{self, BufRead, Write};
 pub enum ReadTraceError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// The input is not a valid trace dump; the message describes the
-    /// offending line.
-    Parse(String),
+    /// The input is not a valid trace dump; `line` is the 1-based offending
+    /// line and `msg` describes the problem.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong on that line.
+        msg: String,
+    },
+    /// The dump parsed, but the resulting trace violates a structural
+    /// invariant (see [`TraceError`]).
+    Invalid(TraceError),
 }
 
 impl fmt::Display for ReadTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ReadTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
-            ReadTraceError::Parse(m) => write!(f, "malformed trace dump: {m}"),
+            ReadTraceError::Parse { line, msg } => {
+                write!(f, "malformed trace dump: line {line}: {msg}")
+            }
+            ReadTraceError::Invalid(e) => write!(f, "invalid trace: {e}"),
         }
     }
 }
@@ -54,7 +65,8 @@ impl std::error::Error for ReadTraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ReadTraceError::Io(e) => Some(e),
-            ReadTraceError::Parse(_) => None,
+            ReadTraceError::Parse { .. } => None,
+            ReadTraceError::Invalid(e) => Some(e),
         }
     }
 }
@@ -62,6 +74,12 @@ impl std::error::Error for ReadTraceError {
 impl From<io::Error> for ReadTraceError {
     fn from(e: io::Error) -> Self {
         ReadTraceError::Io(e)
+    }
+}
+
+impl From<TraceError> for ReadTraceError {
+    fn from(e: TraceError) -> Self {
+        ReadTraceError::Invalid(e)
     }
 }
 
@@ -244,10 +262,10 @@ struct Parser {
 
 impl Parser {
     fn err<T>(&self, msg: impl fmt::Display) -> Result<T, ReadTraceError> {
-        Err(ReadTraceError::Parse(format!(
-            "line {}: {msg}",
-            self.line_no
-        )))
+        Err(ReadTraceError::Parse {
+            line: self.line_no,
+            msg: msg.to_string(),
+        })
     }
 
     fn hex(&self, s: &str) -> Result<u32, ReadTraceError> {
@@ -283,15 +301,21 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadTraceError> {
 
     let magic = next(&mut p)?.unwrap_or_default();
     if magic.trim() != "oscache-trace 1" {
-        return p.err(format!("bad magic {magic:?}"));
+        return match magic.trim().strip_prefix("oscache-trace ") {
+            Some(version) => p.err(format!("unsupported trace format version {version:?}")),
+            None => p.err(format!("bad magic {magic:?}")),
+        };
     }
 
     let mut meta = TraceMeta::default();
     let mut code = CodeLayout::new();
     let mut n_cpus = 0usize;
+    let mut cpus_declared = false;
     let mut streams: Vec<Vec<Event>> = Vec::new();
+    let mut seen_streams: Vec<bool> = Vec::new();
     let mut cur: Option<usize> = None;
     let mut site_names: Vec<&'static str> = Vec::new();
+    let mut saw_end = false;
 
     while let Some(line) = next(&mut p)? {
         let line = line.trim_end();
@@ -308,12 +332,20 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadTraceError> {
                 meta.workload = line["workload ".len().min(line.len())..].to_string();
             }
             "cpus" => {
+                if cpus_declared {
+                    return p.err("duplicate `cpus` declaration");
+                }
+                cpus_declared = true;
                 n_cpus = p.num(arg(&p)?)?;
                 streams = vec![Vec::new(); n_cpus];
+                seen_streams = vec![false; n_cpus];
             }
             "site" => {
                 let name = arg(&p)?.to_string();
                 let kind = arg(&p)?;
+                if kind != "loop" && kind != "seq" {
+                    return p.err(format!("unknown site kind {kind:?}"));
+                }
                 // Site names become 'static via leak: a trace load is a
                 // one-time operation and the layout lives as long as the
                 // trace.
@@ -323,7 +355,10 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadTraceError> {
             }
             "block" => {
                 let start = p.hex(arg(&p)?)?;
-                let instrs = p.num(arg(&p)?)?;
+                let instrs: u32 = p.num(arg(&p)?)?;
+                if instrs == 0 {
+                    return p.err("basic block with zero instructions");
+                }
                 let site: u16 = p.num(arg(&p)?)?;
                 if site as usize >= site_names.len() {
                     return p.err(format!("block references unknown site {site}"));
@@ -366,9 +401,16 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadTraceError> {
                 if cpu >= n_cpus {
                     return p.err(format!("stream {cpu} out of range"));
                 }
+                if seen_streams[cpu] {
+                    return p.err(format!("duplicate stream {cpu}"));
+                }
+                seen_streams[cpu] = true;
                 cur = Some(cpu);
             }
-            "end" => break,
+            "end" => {
+                saw_end = true;
+                break;
+            }
             ev => {
                 let Some(cpu) = cur else {
                     return p.err("event before any `stream` header");
@@ -440,11 +482,16 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadTraceError> {
         }
     }
 
+    if !saw_end {
+        return p.err("unexpected end of input: missing `end` (truncated dump?)");
+    }
+
     meta.code = code;
     let mut trace = Trace::new(n_cpus, meta);
     for (cpu, events) in streams.into_iter().enumerate() {
         trace.streams[cpu] = Stream::from_events(events);
     }
+    trace.validate()?;
     Ok(trace)
 }
 
@@ -521,8 +568,59 @@ mod tests {
     #[test]
     fn rejects_bad_magic() {
         let err = read_trace(&b"not a trace\n"[..]).unwrap_err();
-        assert!(matches!(err, ReadTraceError::Parse(_)));
+        assert!(matches!(err, ReadTraceError::Parse { line: 1, .. }));
         assert!(err.to_string().contains("bad magic"));
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let err = read_trace(&b"oscache-trace 99\ncpus 1\nend\n"[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Parse { line: 1, .. }));
+        assert!(
+            err.to_string().contains("unsupported trace format version"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_dump() {
+        // A full dump with the trailing `end` (and some events) cut off.
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let cut = buf.len() - "end\n".len();
+        assert!(buf[cut..].starts_with(b"end"));
+        let err = read_trace(&buf[..cut]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Parse { .. }));
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_stream() {
+        let input = b"oscache-trace 1\nworkload x\ncpus 2\nstream 0\nI 5\nstream 0\nend\n";
+        let err = read_trace(&input[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Parse { line: 6, .. }));
+        assert!(err.to_string().contains("duplicate stream 0"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_cpus_and_zero_instr_block() {
+        let input = b"oscache-trace 1\nworkload x\ncpus 2\ncpus 4\nend\n";
+        assert!(read_trace(&input[..]).is_err());
+        let input = b"oscache-trace 1\nworkload x\ncpus 1\nsite s seq\nblock 1000 0 0\nend\n";
+        let err = read_trace(&input[..]).unwrap_err();
+        assert!(err.to_string().contains("zero instructions"), "{err}");
+    }
+
+    #[test]
+    fn rejects_structurally_invalid_trace() {
+        // Parses fine, but the lock is never released: caught by validate().
+        let input = b"oscache-trace 1\nworkload x\ncpus 1\nstream 0\nLA 3 40\nend\n";
+        let err = read_trace(&input[..]).unwrap_err();
+        assert!(matches!(
+            err,
+            ReadTraceError::Invalid(TraceError::LockHeldAtEnd { .. })
+        ));
     }
 
     #[test]

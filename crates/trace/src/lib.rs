@@ -43,8 +43,10 @@ mod class;
 mod code;
 mod event;
 pub mod io;
+pub mod rng;
 mod stream;
 mod trace;
+mod validate;
 
 pub use addr::{Addr, CpuId, LineAddr, PAGE_SIZE, WORD_SIZE};
 pub use class::{CoherenceCategory, DataClass};
@@ -53,3 +55,4 @@ pub use event::{BarrierId, BlockKind, BlockOp, Event, LockId, Mode};
 pub use io::{read_trace, write_trace, ReadTraceError};
 pub use stream::{Stream, StreamBuilder};
 pub use trace::{KernelVar, Trace, TraceMeta, VarRole};
+pub use validate::TraceError;

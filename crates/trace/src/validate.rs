@@ -1,0 +1,574 @@
+//! Static trace validation.
+//!
+//! A trace crosses a trust boundary every time it is read back from disk or
+//! perturbed by the fault-injection harness, so before replay the simulator
+//! checks every structural invariant the generators promise: block ids
+//! resolve against the code layout, lock and block-operation brackets are
+//! well-nested per CPU, barrier arrivals agree on their participant count,
+//! kernel variables sit inside the declared kernel data ranges, and block
+//! operations stay inside the address space. [`Trace::validate`] reports the
+//! first violation as a typed [`TraceError`]; `read_trace` and
+//! `Machine::new` both call it so malformed input is rejected with a precise
+//! error instead of a panic deep inside replay.
+
+use crate::{BarrierId, BlockId, Event, LockId, Trace};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A structural violation found in a [`Trace`].
+///
+/// `cpu` is the stream index and `index` the offending event's position in
+/// that stream, so errors point at the exact event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// The trace has a different number of streams than the consumer
+    /// expects (e.g. the machine configuration's CPU count).
+    CpuCountMismatch {
+        /// Expected number of CPUs.
+        expected: usize,
+        /// Streams actually present.
+        actual: usize,
+    },
+    /// An `Exec` event names a basic block the code layout does not define.
+    UnknownBlock {
+        /// Stream index.
+        cpu: usize,
+        /// Event position.
+        index: usize,
+        /// The unresolved block id.
+        block: BlockId,
+    },
+    /// A lock was acquired while already held by the same CPU.
+    LockAlreadyHeld {
+        /// Stream index.
+        cpu: usize,
+        /// Event position.
+        index: usize,
+        /// The lock.
+        lock: LockId,
+    },
+    /// A lock was released by a CPU that does not hold it.
+    LockNotHeld {
+        /// Stream index.
+        cpu: usize,
+        /// Event position.
+        index: usize,
+        /// The lock.
+        lock: LockId,
+    },
+    /// A stream ended with a lock still held.
+    LockHeldAtEnd {
+        /// Stream index.
+        cpu: usize,
+        /// The leaked lock.
+        lock: LockId,
+    },
+    /// A barrier arrival declared a participant count of zero or more than
+    /// the number of CPUs.
+    BarrierParticipants {
+        /// Stream index.
+        cpu: usize,
+        /// Event position.
+        index: usize,
+        /// Declared participant count.
+        participants: u8,
+        /// CPUs in the trace.
+        n_cpus: usize,
+    },
+    /// Two arrivals at the same barrier declared different participant
+    /// counts.
+    InconsistentBarrier {
+        /// Stream index of the second, disagreeing arrival.
+        cpu: usize,
+        /// Event position of that arrival.
+        index: usize,
+        /// The barrier.
+        barrier: BarrierId,
+    },
+    /// A block operation began while another was still open (they do not
+    /// nest).
+    NestedBlockOp {
+        /// Stream index.
+        cpu: usize,
+        /// Event position.
+        index: usize,
+    },
+    /// A `BlockOpEnd` with no open block operation.
+    UnmatchedBlockOpEnd {
+        /// Stream index.
+        cpu: usize,
+        /// Event position.
+        index: usize,
+    },
+    /// A stream ended inside an open block operation.
+    UnterminatedBlockOp {
+        /// Stream index.
+        cpu: usize,
+    },
+    /// A block operation of zero length.
+    EmptyBlockOp {
+        /// Stream index.
+        cpu: usize,
+        /// Event position.
+        index: usize,
+    },
+    /// A block operation whose source or destination range overflows the
+    /// 32-bit address space.
+    BlockOpOutOfRange {
+        /// Stream index.
+        cpu: usize,
+        /// Event position.
+        index: usize,
+    },
+    /// An event that may not appear inside a block-operation bracket
+    /// (synchronization, mode switches, idle time, nested brackets).
+    ForeignEventInBlockOp {
+        /// Stream index.
+        cpu: usize,
+        /// Event position.
+        index: usize,
+        /// Short description of the offending event kind.
+        kind: &'static str,
+    },
+    /// A declared kernel variable lies (partly) outside every declared
+    /// kernel data range.
+    VarOutsideKernelData {
+        /// The variable's symbol name.
+        name: String,
+    },
+    /// A declared kernel variable's extent overflows the address space.
+    VarOverflow {
+        /// The variable's symbol name.
+        name: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::CpuCountMismatch { expected, actual } => {
+                write!(f, "trace has {actual} streams, expected {expected}")
+            }
+            TraceError::UnknownBlock { cpu, index, block } => {
+                write!(f, "cpu {cpu} event {index}: unknown basic block {block:?}")
+            }
+            TraceError::LockAlreadyHeld { cpu, index, lock } => {
+                write!(f, "cpu {cpu} event {index}: {lock:?} acquired while held")
+            }
+            TraceError::LockNotHeld { cpu, index, lock } => {
+                write!(f, "cpu {cpu} event {index}: {lock:?} released but not held")
+            }
+            TraceError::LockHeldAtEnd { cpu, lock } => {
+                write!(f, "cpu {cpu}: stream ends with {lock:?} still held")
+            }
+            TraceError::BarrierParticipants {
+                cpu,
+                index,
+                participants,
+                n_cpus,
+            } => write!(
+                f,
+                "cpu {cpu} event {index}: barrier declares {participants} \
+                 participants on a {n_cpus}-cpu trace"
+            ),
+            TraceError::InconsistentBarrier {
+                cpu,
+                index,
+                barrier,
+            } => write!(
+                f,
+                "cpu {cpu} event {index}: {barrier:?} arrivals disagree on \
+                 participant count"
+            ),
+            TraceError::NestedBlockOp { cpu, index } => {
+                write!(f, "cpu {cpu} event {index}: nested block operation")
+            }
+            TraceError::UnmatchedBlockOpEnd { cpu, index } => {
+                write!(f, "cpu {cpu} event {index}: block-op end without begin")
+            }
+            TraceError::UnterminatedBlockOp { cpu } => {
+                write!(f, "cpu {cpu}: stream ends inside a block operation")
+            }
+            TraceError::EmptyBlockOp { cpu, index } => {
+                write!(f, "cpu {cpu} event {index}: zero-length block operation")
+            }
+            TraceError::BlockOpOutOfRange { cpu, index } => {
+                write!(
+                    f,
+                    "cpu {cpu} event {index}: block operation overflows the \
+                     address space"
+                )
+            }
+            TraceError::ForeignEventInBlockOp { cpu, index, kind } => {
+                write!(
+                    f,
+                    "cpu {cpu} event {index}: {kind} inside a block operation"
+                )
+            }
+            TraceError::VarOutsideKernelData { name } => {
+                write!(f, "kernel variable `{name}` outside declared kernel ranges")
+            }
+            TraceError::VarOverflow { name } => {
+                write!(f, "kernel variable `{name}` overflows the address space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl Trace {
+    /// Checks every structural invariant a well-formed trace satisfies,
+    /// returning the first violation.
+    ///
+    /// Replay consumers (`Machine::new`) and the dump reader (`read_trace`)
+    /// call this so that malformed or adversarial traces are rejected with
+    /// a typed error before simulation starts.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        self.validate_meta()?;
+        let n_cpus = self.n_cpus();
+        let n_blocks = self.meta.code.block_count();
+        let mut barrier_sizes: HashMap<BarrierId, u8> = HashMap::new();
+        for (cpu, stream) in self.streams.iter().enumerate() {
+            let mut held: Vec<LockId> = Vec::new();
+            let mut in_block_op = false;
+            for (index, ev) in stream.events().iter().enumerate() {
+                if in_block_op {
+                    let foreign = match ev {
+                        Event::Exec { .. }
+                        | Event::Read { .. }
+                        | Event::Write { .. }
+                        | Event::Prefetch { .. }
+                        | Event::BlockOpEnd => None,
+                        Event::BlockOpBegin { .. } => {
+                            return Err(TraceError::NestedBlockOp { cpu, index })
+                        }
+                        Event::LockAcquire { .. } => Some("lock acquire"),
+                        Event::LockRelease { .. } => Some("lock release"),
+                        Event::Barrier { .. } => Some("barrier"),
+                        Event::SetMode { .. } => Some("mode switch"),
+                        Event::Idle { .. } => Some("idle"),
+                    };
+                    if let Some(kind) = foreign {
+                        return Err(TraceError::ForeignEventInBlockOp { cpu, index, kind });
+                    }
+                }
+                match *ev {
+                    Event::Exec { block } if block.index() >= n_blocks => {
+                        return Err(TraceError::UnknownBlock { cpu, index, block });
+                    }
+                    Event::LockAcquire { lock, .. } => {
+                        if held.contains(&lock) {
+                            return Err(TraceError::LockAlreadyHeld { cpu, index, lock });
+                        }
+                        held.push(lock);
+                    }
+                    Event::LockRelease { lock, .. } => match held.iter().position(|&l| l == lock) {
+                        Some(pos) => {
+                            held.remove(pos);
+                        }
+                        None => return Err(TraceError::LockNotHeld { cpu, index, lock }),
+                    },
+                    Event::Barrier {
+                        barrier,
+                        participants,
+                        ..
+                    } => {
+                        if participants == 0 || participants as usize > n_cpus {
+                            return Err(TraceError::BarrierParticipants {
+                                cpu,
+                                index,
+                                participants,
+                                n_cpus,
+                            });
+                        }
+                        match barrier_sizes.get(&barrier) {
+                            Some(&p) if p != participants => {
+                                return Err(TraceError::InconsistentBarrier {
+                                    cpu,
+                                    index,
+                                    barrier,
+                                })
+                            }
+                            Some(_) => {}
+                            None => {
+                                barrier_sizes.insert(barrier, participants);
+                            }
+                        }
+                    }
+                    Event::BlockOpBegin { op } => {
+                        if op.len == 0 {
+                            return Err(TraceError::EmptyBlockOp { cpu, index });
+                        }
+                        if op.src.0.checked_add(op.len).is_none()
+                            || op.dst.0.checked_add(op.len).is_none()
+                        {
+                            return Err(TraceError::BlockOpOutOfRange { cpu, index });
+                        }
+                        in_block_op = true;
+                    }
+                    Event::BlockOpEnd => {
+                        if !in_block_op {
+                            return Err(TraceError::UnmatchedBlockOpEnd { cpu, index });
+                        }
+                        in_block_op = false;
+                    }
+                    _ => {}
+                }
+            }
+            if in_block_op {
+                return Err(TraceError::UnterminatedBlockOp { cpu });
+            }
+            if let Some(&lock) = held.first() {
+                return Err(TraceError::LockHeldAtEnd { cpu, lock });
+            }
+        }
+        Ok(())
+    }
+
+    /// Like [`Trace::validate`], additionally requiring exactly `expected`
+    /// CPU streams.
+    pub fn validate_for_cpus(&self, expected: usize) -> Result<(), TraceError> {
+        if self.n_cpus() != expected {
+            return Err(TraceError::CpuCountMismatch {
+                expected,
+                actual: self.n_cpus(),
+            });
+        }
+        self.validate()
+    }
+
+    /// Metadata invariants: declared kernel variables sit inside the
+    /// declared kernel data ranges (when any are declared) and nothing
+    /// overflows the 32-bit address space.
+    fn validate_meta(&self) -> Result<(), TraceError> {
+        for v in &self.meta.vars {
+            let end = match v.addr.0.checked_add(v.size) {
+                Some(e) => e,
+                None => {
+                    return Err(TraceError::VarOverflow {
+                        name: v.name.clone(),
+                    })
+                }
+            };
+            if !self.meta.kernel_data.is_empty() {
+                let covered =
+                    self.meta.kernel_data.iter().any(|&(base, len)| {
+                        v.addr.0 >= base.0 && end <= base.0.saturating_add(len)
+                    });
+                if !covered {
+                    return Err(TraceError::VarOutsideKernelData {
+                        name: v.name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, DataClass, KernelVar, Mode, Stream, StreamBuilder, TraceMeta, VarRole};
+
+    fn one_cpu_trace(stream: Stream) -> Trace {
+        let mut t = Trace::new(1, TraceMeta::default());
+        t.streams[0] = stream;
+        t
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        let mut meta = TraceMeta::default();
+        let site = meta.code.add_site("p", false);
+        let bb = meta.code.add_block(Addr(0x100), 3, site);
+        let mut b = StreamBuilder::new();
+        b.set_mode(Mode::Os);
+        b.exec(bb);
+        b.lock_acquire(LockId(1), Addr(0x40));
+        b.read(Addr(0x0100_0000), DataClass::KernelOther);
+        b.lock_release(LockId(1), Addr(0x40));
+        b.begin_block_zero(Addr(0x2000), 64, DataClass::PageFrame);
+        b.write(Addr(0x2000), DataClass::PageFrame);
+        b.end_block_op();
+        let mut t = Trace::new(1, meta);
+        t.streams[0] = b.finish();
+        assert_eq!(t.validate(), Ok(()));
+        assert_eq!(t.validate_for_cpus(1), Ok(()));
+    }
+
+    #[test]
+    fn cpu_count_mismatch_detected() {
+        let t = Trace::new(2, TraceMeta::default());
+        assert_eq!(
+            t.validate_for_cpus(4),
+            Err(TraceError::CpuCountMismatch {
+                expected: 4,
+                actual: 2
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_block_detected() {
+        let t = one_cpu_trace(Stream::from_events(vec![Event::Exec { block: BlockId(7) }]));
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::UnknownBlock {
+                cpu: 0,
+                index: 0,
+                block: BlockId(7)
+            })
+        ));
+    }
+
+    #[test]
+    fn lock_protocol_violations_detected() {
+        let acquire = Event::LockAcquire {
+            lock: LockId(3),
+            addr: Addr(0x40),
+        };
+        let release = Event::LockRelease {
+            lock: LockId(3),
+            addr: Addr(0x40),
+        };
+        let t = one_cpu_trace(Stream::from_events(vec![acquire, acquire]));
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::LockAlreadyHeld { .. })
+        ));
+        let t = one_cpu_trace(Stream::from_events(vec![release]));
+        assert!(matches!(t.validate(), Err(TraceError::LockNotHeld { .. })));
+        let t = one_cpu_trace(Stream::from_events(vec![acquire]));
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::LockHeldAtEnd { .. })
+        ));
+    }
+
+    #[test]
+    fn barrier_violations_detected() {
+        let arrive = |participants| Event::Barrier {
+            barrier: BarrierId(0),
+            addr: Addr(0x80),
+            participants,
+        };
+        let mut t = Trace::new(2, TraceMeta::default());
+        t.streams[0] = Stream::from_events(vec![arrive(3)]);
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::BarrierParticipants { .. })
+        ));
+        t.streams[0] = Stream::from_events(vec![arrive(2)]);
+        t.streams[1] = Stream::from_events(vec![arrive(1)]);
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::InconsistentBarrier { cpu: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn block_op_bracket_violations_detected() {
+        let begin = Event::BlockOpBegin {
+            op: crate::BlockOp {
+                src: Addr(0x1000),
+                dst: Addr(0x2000),
+                len: 64,
+                kind: crate::BlockKind::Copy,
+                src_class: DataClass::PageFrame,
+                dst_class: DataClass::PageFrame,
+            },
+        };
+        let t = one_cpu_trace(Stream::from_events(vec![begin, begin]));
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::NestedBlockOp { .. })
+        ));
+        let t = one_cpu_trace(Stream::from_events(vec![Event::BlockOpEnd]));
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::UnmatchedBlockOpEnd { .. })
+        ));
+        let t = one_cpu_trace(Stream::from_events(vec![begin]));
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::UnterminatedBlockOp { cpu: 0 })
+        ));
+        let t = one_cpu_trace(Stream::from_events(vec![
+            begin,
+            Event::Idle { cycles: 5 },
+            Event::BlockOpEnd,
+        ]));
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::ForeignEventInBlockOp { kind: "idle", .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_block_op_detected() {
+        let begin = Event::BlockOpBegin {
+            op: crate::BlockOp {
+                src: Addr(0x1000),
+                dst: Addr(0xFFFF_FF00),
+                len: 0x1000,
+                kind: crate::BlockKind::Copy,
+                src_class: DataClass::PageFrame,
+                dst_class: DataClass::PageFrame,
+            },
+        };
+        let t = one_cpu_trace(Stream::from_events(vec![begin, Event::BlockOpEnd]));
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::BlockOpOutOfRange { .. })
+        ));
+        let zero = Event::BlockOpBegin {
+            op: crate::BlockOp {
+                src: Addr(0x1000),
+                dst: Addr(0x1000),
+                len: 0,
+                kind: crate::BlockKind::Zero,
+                src_class: DataClass::PageFrame,
+                dst_class: DataClass::PageFrame,
+            },
+        };
+        let t = one_cpu_trace(Stream::from_events(vec![zero, Event::BlockOpEnd]));
+        assert!(matches!(t.validate(), Err(TraceError::EmptyBlockOp { .. })));
+    }
+
+    #[test]
+    fn vars_outside_kernel_ranges_detected() {
+        let var = KernelVar {
+            name: "stray".into(),
+            addr: Addr(0x9000_0000),
+            size: 8,
+            class: DataClass::KernelOther,
+            role: VarRole::Plain,
+            false_shared_group: None,
+        };
+        let meta = TraceMeta {
+            workload: "t".into(),
+            code: Default::default(),
+            vars: vec![var],
+            kernel_data: vec![(Addr(0x0100_0000), 0x1000)],
+        };
+        let t = Trace::new(1, meta);
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::VarOutsideKernelData { .. })
+        ));
+    }
+
+    #[test]
+    fn errors_display_cleanly() {
+        let e = TraceError::UnknownBlock {
+            cpu: 2,
+            index: 17,
+            block: BlockId(9),
+        };
+        let s = e.to_string();
+        assert!(s.contains("cpu 2"), "{s}");
+        assert!(s.contains("17"), "{s}");
+    }
+}

@@ -1,38 +1,50 @@
-//! Property-based tests of the trace substrate.
+//! Property-based tests of the trace substrate, driven by the in-tree
+//! deterministic PRNG (seeded loops replace the former proptest harness so
+//! the suite stays dependency-free and reproducible).
 
+use oscache_trace::rng::{Rng, RngCore, SmallRng};
 use oscache_trace::{Addr, BlockKind, DataClass, Event, Mode, StreamBuilder, PAGE_SIZE};
-use proptest::prelude::*;
 
-proptest! {
-    /// Line extraction is idempotent and never increases the address.
-    #[test]
-    fn line_is_idempotent(addr in any::<u32>(), line_log in 2u32..8) {
-        let size = 1u32 << line_log;
+const CASES: u64 = 256;
+
+/// Line extraction is idempotent and never increases the address.
+#[test]
+fn line_is_idempotent() {
+    let mut rng = SmallRng::seed_from_u64(0xA11CE);
+    for _ in 0..CASES {
+        let addr = rng.next_u64() as u32;
+        let size = 1u32 << rng.gen_range(2..8u32);
         let a = Addr(addr);
         let l = a.line(size);
-        prop_assert!(l.0 <= a.0);
-        prop_assert!(a.0 - l.0 < size);
-        prop_assert_eq!(l.addr().line(size), l);
+        assert!(l.0 <= a.0);
+        assert!(a.0 - l.0 < size);
+        assert_eq!(l.addr().line(size), l);
     }
+}
 
-    /// Page number and offset decompose an address exactly.
-    #[test]
-    fn page_decomposition_roundtrips(addr in any::<u32>()) {
-        let a = Addr(addr);
-        prop_assert_eq!(a.page() * PAGE_SIZE + a.page_offset(), a.0);
-        prop_assert!(a.page_offset() < PAGE_SIZE);
+/// Page number and offset decompose an address exactly.
+#[test]
+fn page_decomposition_roundtrips() {
+    let mut rng = SmallRng::seed_from_u64(0xB0B);
+    for _ in 0..CASES {
+        let a = Addr(rng.next_u64() as u32);
+        assert_eq!(a.page() * PAGE_SIZE + a.page_offset(), a.0);
+        assert!(a.page_offset() < PAGE_SIZE);
     }
+}
 
-    /// A builder-produced stream has balanced block-op brackets and at
-    /// most one open mode per position (no two consecutive SetMode events
-    /// with the same mode).
-    #[test]
-    fn builder_streams_are_well_formed(
-        ops in prop::collection::vec((0u8..6, 0u32..100_000), 0..300),
-    ) {
+/// A builder-produced stream has balanced block-op brackets and no two
+/// consecutive SetMode events with the same mode.
+#[test]
+fn builder_streams_are_well_formed() {
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..CASES {
         let mut b = StreamBuilder::new();
         let mut in_block = false;
-        for (op, arg) in ops {
+        let n_ops = rng.gen_range(0..300usize);
+        for _ in 0..n_ops {
+            let op = rng.gen_range(0..6u32);
+            let arg = rng.gen_range(0..100_000u32);
             match op {
                 0 => b.read(Addr(arg), DataClass::UserData),
                 1 => b.write(Addr(arg), DataClass::UserData),
@@ -60,28 +72,30 @@ proptest! {
             match e {
                 Event::BlockOpBegin { .. } => {
                     depth += 1;
-                    prop_assert_eq!(depth, 1);
+                    assert_eq!(depth, 1);
                 }
                 Event::BlockOpEnd => {
                     depth -= 1;
-                    prop_assert_eq!(depth, 0);
+                    assert_eq!(depth, 0);
                 }
                 Event::SetMode { mode } => {
-                    prop_assert_ne!(Some(*mode), last_mode, "redundant mode switch");
+                    assert_ne!(Some(*mode), last_mode, "redundant mode switch");
                     last_mode = Some(*mode);
                 }
                 _ => {}
             }
         }
-        prop_assert_eq!(depth, 0);
+        assert_eq!(depth, 0);
     }
+}
 
-    /// Read/write counts match the events emitted.
-    #[test]
-    fn read_write_counts_are_exact(
-        reads in 0usize..100,
-        writes in 0usize..100,
-    ) {
+/// Read/write counts match the events emitted.
+#[test]
+fn read_write_counts_are_exact() {
+    let mut rng = SmallRng::seed_from_u64(0xD00D);
+    for _ in 0..CASES {
+        let reads = rng.gen_range(0..100usize);
+        let writes = rng.gen_range(0..100usize);
         let mut b = StreamBuilder::new();
         for k in 0..reads {
             b.read(Addr(k as u32 * 4), DataClass::UserData);
@@ -90,25 +104,67 @@ proptest! {
             b.write(Addr(k as u32 * 4), DataClass::UserData);
         }
         let s = b.finish();
-        prop_assert_eq!(s.read_count(), reads);
-        prop_assert_eq!(s.write_count(), writes);
-        prop_assert_eq!(s.len(), reads + writes);
+        assert_eq!(s.read_count(), reads);
+        assert_eq!(s.write_count(), writes);
+        assert_eq!(s.len(), reads + writes);
     }
+}
 
-    /// Zero block ops always have `src == dst` and a positive length.
-    #[test]
-    fn zero_ops_are_well_formed(dst in 0u32..1_000_000, len in 1u32..8192) {
+/// Zero block ops always have `src == dst` and a positive length.
+#[test]
+fn zero_ops_are_well_formed() {
+    let mut rng = SmallRng::seed_from_u64(0xE66);
+    for _ in 0..CASES {
+        let dst = rng.gen_range(0..1_000_000u32);
+        let len = rng.gen_range(1..8192u32);
         let mut b = StreamBuilder::new();
         b.begin_block_zero(Addr(dst), len, DataClass::PageFrame);
         b.end_block_op();
         let s = b.finish();
         match s.events()[0] {
             Event::BlockOpBegin { op } => {
-                prop_assert_eq!(op.kind, BlockKind::Zero);
-                prop_assert_eq!(op.src, op.dst);
-                prop_assert!(op.len > 0);
+                assert_eq!(op.kind, BlockKind::Zero);
+                assert_eq!(op.src, op.dst);
+                assert!(op.len > 0);
             }
-            ref other => prop_assert!(false, "unexpected {other:?}"),
+            ref other => panic!("unexpected {other:?}"),
         }
+    }
+}
+
+/// Every builder-produced stream passes `Trace::validate`, and a
+/// serialization round-trip through `write_trace`/`read_trace` (which also
+/// validates) preserves it.
+#[test]
+fn random_builder_streams_validate_and_roundtrip() {
+    use oscache_trace::{read_trace, write_trace, Trace, TraceMeta};
+    let mut rng = SmallRng::seed_from_u64(0xF00F);
+    for _ in 0..64 {
+        let mut meta = TraceMeta::default();
+        let site = meta.code.add_site("p", false);
+        let bb = meta.code.add_block(Addr(0x100), 3, site);
+        let mut b = StreamBuilder::new();
+        b.set_mode(Mode::Os);
+        for _ in 0..rng.gen_range(0..200usize) {
+            match rng.gen_range(0..4u32) {
+                0 => b.exec(bb),
+                1 => b.read(
+                    Addr(rng.gen_range(0..1_000_000u32) & !3),
+                    DataClass::KernelOther,
+                ),
+                2 => b.write(
+                    Addr(rng.gen_range(0..1_000_000u32) & !3),
+                    DataClass::KernelOther,
+                ),
+                _ => b.idle(rng.gen_range(1..50u32)),
+            }
+        }
+        let mut t = Trace::new(1, meta);
+        t.streams[0] = b.finish();
+        assert_eq!(t.validate(), Ok(()));
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back.streams[0].events(), t.streams[0].events());
     }
 }

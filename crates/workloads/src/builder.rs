@@ -9,9 +9,8 @@
 
 use crate::user::{UserProc, UserPrograms};
 use oscache_kernel::{Fill, Kernel, N_BARRIERS, N_BUFFERS, N_FRAMES};
+use oscache_trace::rng::{Rng, SmallRng};
 use oscache_trace::{BarrierId, CodeLayout, DataClass, Mode, StreamBuilder, Trace, TraceMeta};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Number of CPUs in every workload (the traced machine has 4).
 pub const N_CPUS: usize = 4;
@@ -292,7 +291,7 @@ struct Builder {
     users: UserPrograms,
     code: CodeLayout,
     streams: Vec<StreamBuilder>,
-    rng: StdRng,
+    rng: SmallRng,
     frame_next: u32,
     /// Per-CPU frames recently produced by block operations (zeroed pages,
     /// fork children) — the source pool for chained copies (§4.1.3).
@@ -329,7 +328,7 @@ impl Builder {
             users,
             code,
             streams,
-            rng: StdRng::seed_from_u64(opts.seed),
+            rng: SmallRng::seed_from_u64(opts.seed),
             frame_next: 64,
             recent_frames: vec![Vec::new(); n_cpus],
             fault_cursor: vec![0; n_cpus],
@@ -447,7 +446,7 @@ impl Builder {
     /// working on the buffer it just used, sometimes another of a small
     /// hot set, occasionally something cold.
     fn hot_buffer(&mut self, cpu: usize) -> u32 {
-        let x: f64 = self.rng.gen();
+        let x: f64 = self.rng.gen_f64();
         let b = if x < 0.68 {
             self.last_buffer[cpu]
         } else if x < 0.9 {

@@ -11,8 +11,8 @@
 //! shape.
 
 use oscache_kernel::Kernel;
+use oscache_trace::rng::Rng;
 use oscache_trace::{Addr, CodeLayout, DataClass, SiteId, StreamBuilder};
-use rand::Rng;
 
 /// One user program's code and data placement.
 #[derive(Clone, Debug)]
@@ -285,9 +285,8 @@ impl UserProc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use oscache_trace::rng::SmallRng;
     use oscache_trace::Mode;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn setup() -> (Kernel, UserPrograms, CodeLayout) {
         let mut code = CodeLayout::new();
@@ -323,7 +322,7 @@ mod tests {
     #[test]
     fn steps_emit_user_mode_references() {
         let (k, u, _) = setup();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SmallRng::seed_from_u64(1);
         let mut p = UserProc::new(&k, 9);
         let mut b = StreamBuilder::new();
         b.set_mode(Mode::User);

@@ -13,15 +13,14 @@
 use oscache::kernel::Kernel;
 use oscache::memsys::{BlockOpScheme, Machine, MachineConfig};
 use oscache::trace::{CodeLayout, Mode, Trace, TraceMeta};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use oscache_trace::rng::SmallRng;
 
 fn main() {
     // Build a 4-CPU trace in which each CPU runs a chain of forks: the
     // child address space of one fork is the parent of the next.
     let mut code = CodeLayout::new();
     let kernel = Kernel::new(&mut code);
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = SmallRng::seed_from_u64(42);
     let mut streams = Vec::new();
     for cpu in 0..4usize {
         let mut b = oscache::trace::StreamBuilder::new();
@@ -67,7 +66,10 @@ fn main() {
         BlockOpScheme::Dma,
     ] {
         let cfg = MachineConfig::base().with_block_scheme(scheme);
-        let stats = Machine::new(cfg, &trace).run();
+        let stats = Machine::new(cfg, &trace)
+            .expect("valid trace")
+            .run()
+            .expect("clean run");
         let t = stats.total();
         println!(
             "{:<12} {:>10} {:>10} {:>10} {:>12} {:>12}",

@@ -4,7 +4,7 @@
 use oscache::core::{run_system, Repro, System};
 use oscache::kernel::{Kernel, KernelLock};
 use oscache::memsys::{BlockOpScheme, Machine, MachineConfig};
-use oscache::trace::{Addr, CodeLayout, DataClass, Mode, StreamBuilder, Trace, TraceMeta};
+use oscache::trace::{CodeLayout, DataClass, Mode, StreamBuilder, Trace, TraceMeta};
 use oscache::workloads::{build, BuildOptions, Workload};
 
 #[test]
@@ -27,7 +27,10 @@ fn hand_built_trace_through_facade() {
         },
     );
     t.streams[0] = b.finish();
-    let stats = Machine::new(MachineConfig::base(), &t).run();
+    let stats = Machine::new(MachineConfig::base(), &t)
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(stats.total().dreads.os, 2); // lock word + runq head
 }
 
