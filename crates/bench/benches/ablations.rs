@@ -5,26 +5,31 @@
 //! metric of its configuration, and times the run. Run with
 //! `cargo bench -p oscache-bench --bench ablations`.
 
-use oscache_core::{run_spec, Geometry, System, UpdatePolicy};
+use oscache_core::runner::{run_cells, Cell};
+use oscache_core::{default_jobs, run_spec, Geometry, System, TraceCache, UpdatePolicy};
 use oscache_memsys::{Machine, MachineConfig, SimStats};
 use oscache_trace::Trace;
-use oscache_workloads::{build, BuildOptions, Workload};
-use std::sync::OnceLock;
+use oscache_workloads::{BuildOptions, Workload};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 const SCALE: f64 = 0.05;
 
-fn trfd() -> &'static Trace {
-    static T: OnceLock<Trace> = OnceLock::new();
-    T.get_or_init(|| {
-        build(
-            Workload::Trfd4,
-            BuildOptions {
-                scale: SCALE,
-                ..Default::default()
-            },
-        )
-    })
+/// Shared cache: the TRFD_4 trace is built once for every ablation group.
+fn cache() -> &'static TraceCache {
+    static C: OnceLock<TraceCache> = OnceLock::new();
+    C.get_or_init(TraceCache::new)
+}
+
+fn opts() -> BuildOptions {
+    BuildOptions {
+        scale: SCALE,
+        ..Default::default()
+    }
+}
+
+fn trfd() -> Arc<Trace> {
+    cache().base(Workload::Trfd4, opts())
 }
 
 fn timed<R>(group: &str, label: &str, f: impl Fn() -> R) -> R {
@@ -38,7 +43,21 @@ fn timed<R>(group: &str, label: &str, f: impl Fn() -> R) -> R {
 }
 
 fn run_cfg(cfg: &MachineConfig) -> SimStats {
-    Machine::new(cfg.clone(), trfd()).unwrap().run().unwrap()
+    Machine::new(cfg.clone(), &trfd()).unwrap().run().unwrap()
+}
+
+/// Fans a set of ablation cells out over the parallel runner and returns
+/// their results in cell order (bitwise-identical to running serially).
+fn run_ablation_cells(group: &str, cells: Vec<Cell>) -> Vec<oscache_core::RunResult> {
+    let t0 = Instant::now();
+    let report = run_cells(cache(), opts(), &cells, default_jobs()).unwrap();
+    println!(
+        "{group}/fanout      {:>9.3} ms  ({} cells, {} workers)",
+        1e3 * t0.elapsed().as_secs_f64(),
+        cells.len(),
+        report.jobs
+    );
+    report.outcomes.into_iter().map(|o| o.result).collect()
 }
 
 /// §4.1.2: "Obvious techniques to reduce this stall include deeper write
@@ -73,21 +92,34 @@ fn bench_prefetch_distance() {
 }
 
 /// §5.2: invalidate-only vs selective updates vs a pure update protocol.
+/// The three independent policy points run concurrently via the runner.
 fn bench_update_policy() {
-    for (label, policy) in [
+    let points = [
         ("invalidate", UpdatePolicy::None),
         ("selective", UpdatePolicy::Selective),
         ("full", UpdatePolicy::Full),
-    ] {
-        let mut spec = if policy == UpdatePolicy::Full {
-            System::BlkDma.spec()
-        } else {
-            System::BCohReloc.spec()
-        };
-        spec.update = policy;
-        let r = timed("ablate_update_policy", label, || {
-            run_spec(trfd(), spec, Geometry::default())
-        });
+    ];
+    let cells = points
+        .iter()
+        .map(|&(label, policy)| {
+            let mut spec = if policy == UpdatePolicy::Full {
+                System::BlkDma.spec()
+            } else {
+                System::BCohReloc.spec()
+            };
+            spec.update = policy;
+            Cell {
+                workload: Workload::Trfd4,
+                spec,
+                geometry: Geometry::default(),
+                tag: format!("update-{label}"),
+            }
+        })
+        .collect();
+    for ((label, _), r) in points
+        .iter()
+        .zip(run_ablation_cells("ablate_update_policy", cells))
+    {
         println!(
             "  {label}: coherence misses {} update words {}",
             r.stats.total().os_miss_coherence.iter().sum::<u64>(),
@@ -102,7 +134,7 @@ fn bench_deferred_copy() {
         let mut spec = System::Base.spec();
         spec.deferred_copy = on;
         timed("ablate_deferred_copy", &on.to_string(), || {
-            run_spec(trfd(), spec, Geometry::default())
+            run_spec(&trfd(), spec, Geometry::default())
         });
     }
 }
@@ -111,11 +143,19 @@ fn bench_deferred_copy() {
 /// cannot attack with off-the-shelf parts — associativity is the obvious
 /// hardware ablation.
 fn bench_associativity() {
-    for ways in [1u32, 2, 4] {
-        let geom = Geometry::default().with_ways(ways, ways);
-        let r = timed("ablate_associativity", &format!("{ways}way"), || {
-            run_spec(trfd(), System::Base.spec(), geom)
-        });
+    let cells = [1u32, 2, 4]
+        .iter()
+        .map(|&ways| Cell {
+            workload: Workload::Trfd4,
+            spec: System::Base.spec(),
+            geometry: Geometry::default().with_ways(ways, ways),
+            tag: format!("{ways}way"),
+        })
+        .collect();
+    for (ways, r) in [1u32, 2, 4]
+        .into_iter()
+        .zip(run_ablation_cells("ablate_associativity", cells))
+    {
         println!(
             "  {ways}-way: OS misses {} (other {})",
             r.stats.total().os_read_misses(),
@@ -131,7 +171,7 @@ fn bench_page_coloring() {
         let mut spec = System::Base.spec();
         spec.page_coloring = on;
         let r = timed("ablate_page_coloring", &on.to_string(), || {
-            run_spec(trfd(), spec, Geometry::default())
+            run_spec(&trfd(), spec, Geometry::default())
         });
         println!(
             "  coloring={on}: OS misses {} (other {})",

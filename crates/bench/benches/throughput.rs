@@ -2,13 +2,28 @@
 //! block-operation scheme. Plain `harness = false` benchmark: run with
 //! `cargo bench -p oscache-bench --bench throughput`.
 
-use oscache_core::{Geometry, System};
+use oscache_core::{Geometry, System, TraceCache};
 use oscache_memsys::{Machine, MachineConfig};
 use oscache_workloads::{build, BuildOptions, Workload};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 const SCALE: f64 = 0.05;
 const ITERS: u32 = 5;
+
+/// One shared trace cache for the whole suite: each workload trace is
+/// built exactly once, no matter how many benchmark groups replay it.
+fn cache() -> &'static TraceCache {
+    static C: OnceLock<TraceCache> = OnceLock::new();
+    C.get_or_init(TraceCache::new)
+}
+
+fn opts() -> BuildOptions {
+    BuildOptions {
+        scale: SCALE,
+        ..Default::default()
+    }
+}
 
 /// Times `f` over [`ITERS`] runs and reports the best-iteration rate.
 fn bench(group: &str, label: &str, events: u64, mut f: impl FnMut()) {
@@ -32,13 +47,7 @@ fn bench(group: &str, label: &str, events: u64, mut f: impl FnMut()) {
 
 fn bench_workload_replay() {
     for w in Workload::all() {
-        let trace = build(
-            w,
-            BuildOptions {
-                scale: SCALE,
-                ..Default::default()
-            },
-        );
+        let trace = cache().base(w, opts());
         let events = trace.total_events() as u64;
         bench("replay_base", w.name(), events, || {
             let s = Machine::new(MachineConfig::base(), &trace)
@@ -51,13 +60,8 @@ fn bench_workload_replay() {
 }
 
 fn bench_schemes() {
-    let trace = build(
-        Workload::Trfd4,
-        BuildOptions {
-            scale: SCALE,
-            ..Default::default()
-        },
-    );
+    // Cache hit: bench_workload_replay already built this trace.
+    let trace = cache().base(Workload::Trfd4, opts());
     let events = trace.total_events() as u64;
     for sys in [
         System::Base,

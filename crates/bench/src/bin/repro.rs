@@ -1,17 +1,23 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! Usage:
-//!   repro [--scale S] [table1|table2|table3|table4|table5|
-//!          fig1|fig2|fig3|fig4|fig5|fig6|fig7|headline|all]
+//!   repro [--scale S] [--jobs N] [--timings]
+//!         [table1|table2|table3|table4|table5|
+//!          fig1|fig2|fig3|fig4|fig5|fig6|fig7|headline|scorecard|all]
 //!
 //! With no experiment argument, everything is produced in paper order.
+//! Independent (workload, system) cells run in parallel across `--jobs`
+//! worker threads (default: one per hardware thread); each cell itself is
+//! a deterministic single-threaded simulation, so output is
+//! bitwise-identical for any job count. `repro all` also writes a
+//! machine-readable `BENCH_repro.json` with per-cell timings.
 
-use oscache_core::{Repro, System};
+use oscache_core::{Experiment, Repro, System, WarmStats};
 use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale S] [table1..table5 | fig1..fig7 | headline | all]\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n       experiments also include: scorecard (automated claim-by-claim verdicts)\n       exit codes: 1 i/o, 2 usage, 3 trace validation, 4 simulation invariant"
+        "usage: repro [--scale S] [--jobs N] [--timings] [table1..table5 | fig1..fig7 | headline | scorecard | all]\n                                                 cells run across N workers (default: all\n                                                 hardware threads); output is bitwise-identical\n                                                 for any N. `all` writes BENCH_repro.json.\n                repro golden <dir>               write each experiment's output to <dir>/<name>.txt\n                                                 (the golden-file corpus under tests/golden/)\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n       exit codes: 1 i/o, 2 usage, 3 trace validation, 4 simulation invariant"
     );
     std::process::exit(2);
 }
@@ -77,10 +83,20 @@ fn perturb(workload: &str, scale: f64) {
 }
 
 /// Writes one CSV per experiment into `dir` (plot-friendly output).
-fn csv(dir: &str, scale: f64) {
+fn csv(dir: &str, scale: f64, jobs: usize) {
     use oscache_core::paperref as p;
     std::fs::create_dir_all(dir).expect("create csv dir");
-    let mut r = Repro::new(scale);
+    let mut r = Repro::with_jobs(scale, jobs);
+    r.warm(&[
+        Experiment::Table1,
+        Experiment::Table2,
+        Experiment::Fig2,
+        Experiment::Fig3,
+        Experiment::Fig4,
+        Experiment::Fig5,
+        Experiment::Fig6,
+        Experiment::Fig7,
+    ]);
     let file = |name: &str| {
         std::io::BufWriter::new(
             std::fs::File::create(format!("{dir}/{name}.csv")).expect("create csv"),
@@ -310,6 +326,8 @@ fn replay(path: &str, system: &str, inject: Option<(oscache_memsys::faults::Faul
 
 fn main() {
     let mut scale = 1.0f64;
+    let mut jobs = 0usize; // 0 = one worker per hardware thread
+    let mut timings = false;
     let mut what: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -320,6 +338,22 @@ fn main() {
                     .unwrap_or_else(|| usage())
                     .parse()
                     .unwrap_or_else(|_| usage());
+            }
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                if jobs == 0 {
+                    usage();
+                }
+            }
+            "--timings" => timings = true,
+            "golden" => {
+                let dir = args.next().unwrap_or_else(|| usage());
+                golden(&dir, scale, jobs);
+                return;
             }
             "dump" => {
                 let w = args.next().unwrap_or_else(|| usage());
@@ -366,7 +400,7 @@ fn main() {
             }
             "csv" => {
                 let dir = args.next().unwrap_or_else(|| usage());
-                csv(&dir, scale);
+                csv(&dir, scale, jobs);
                 return;
             }
             "perturb" => {
@@ -381,50 +415,28 @@ fn main() {
     if what.is_empty() {
         what.push("all".to_string());
     }
-    let mut r = Repro::new(scale);
+    // Warm every cell the requested experiments need in one parallel
+    // fan-out, then render from the (now hot) run cache in paper order.
+    let mut exps: Vec<Experiment> = Vec::new();
+    for w in &what {
+        match w.as_str() {
+            "all" => exps.extend(Experiment::all()),
+            "bars" => exps.extend([Experiment::Fig2, Experiment::Fig3, Experiment::Fig5]),
+            other => exps.push(Experiment::parse(other).unwrap_or_else(|| usage())),
+        }
+    }
+    let mut r = Repro::with_jobs(scale, jobs);
+    let warm = r.warm(&exps);
     for w in what.clone() {
         let all = w == "all";
-        if all || w == "table1" {
-            println!("{}\n", r.table1());
-        }
-        if all || w == "table2" {
-            println!("{}\n", r.table2());
-        }
-        if all || w == "table3" {
-            println!("{}\n", r.table3());
-        }
-        if all || w == "table4" {
-            println!("{}\n", r.table4());
-        }
-        if all || w == "table5" {
-            println!("{}\n", r.table5());
-        }
-        if all || w == "fig1" {
-            println!("{}\n", r.figure1());
-        }
-        if all || w == "fig2" {
-            println!("{}\n", r.figure2());
-        }
-        if all || w == "fig3" {
-            println!("{}\n", r.figure3());
-        }
-        if all || w == "fig4" {
-            println!("{}\n", r.figure4());
-        }
-        if all || w == "fig5" {
-            println!("{}\n", r.figure5());
-        }
-        if all || w == "fig6" {
-            println!("{}\n", r.figure6());
-        }
-        if all || w == "fig7" {
-            println!("{}\n", r.figure7());
-        }
-        if all || w == "headline" {
-            headline(&mut r);
-        }
-        if all || w == "scorecard" {
-            println!("\n{}", r.scorecard());
+        for e in Experiment::all() {
+            if all || w == e.name() {
+                if e == Experiment::Scorecard {
+                    println!("\n{}", r.scorecard());
+                } else {
+                    print!("{}", render(&mut r, e));
+                }
+            }
         }
         if w == "bars" {
             println!("{}", r.figure2().bars());
@@ -432,46 +444,135 @@ fn main() {
             println!("{}", r.figure5().bars());
         }
     }
+    if timings {
+        print_timings(&r, &warm);
+    }
+    if what.iter().any(|w| w == "all") {
+        write_bench_json("BENCH_repro.json", scale, &r, &warm);
+    }
 }
 
-/// Prints the paper's headline claims next to the measured equivalents.
-fn headline(r: &mut Repro) {
-    use oscache_workloads::Workload;
-    let mut red = 0.0;
-    let mut speed = 0.0;
-    let mut dma_speed = Vec::new();
-    for w in Workload::all() {
-        let base = r.run(w, System::Base).stats.clone();
-        let bcpref = r.run(w, System::BCPref).stats.clone();
-        let dma = r.run(w, System::BlkDma).stats.clone();
-        let miss = |s: &oscache_memsys::SimStats| s.total().os_read_misses() as f64;
-        let os = |s: &oscache_memsys::SimStats| {
-            oscache_core::OsTimeBreakdown::from_stats(s).total() as f64
-        };
-        red += 1.0 - miss(&bcpref) / miss(&base);
-        speed += 1.0 - os(&bcpref) / os(&base);
-        dma_speed.push(1.0 - os(&dma) / os(&base));
+/// Renders one experiment exactly as `repro <name>` prints it (the bytes
+/// golden-filed under `tests/golden/`).
+fn render(r: &mut Repro, e: Experiment) -> String {
+    match e {
+        Experiment::Table1 => format!("{}\n\n", r.table1()),
+        Experiment::Table2 => format!("{}\n\n", r.table2()),
+        Experiment::Table3 => format!("{}\n\n", r.table3()),
+        Experiment::Table4 => format!("{}\n\n", r.table4()),
+        Experiment::Table5 => format!("{}\n\n", r.table5()),
+        Experiment::Fig1 => format!("{}\n\n", r.figure1()),
+        Experiment::Fig2 => format!("{}\n\n", r.figure2()),
+        Experiment::Fig3 => format!("{}\n\n", r.figure3()),
+        Experiment::Fig4 => format!("{}\n\n", r.figure4()),
+        Experiment::Fig5 => format!("{}\n\n", r.figure5()),
+        Experiment::Fig6 => format!("{}\n\n", r.figure6()),
+        Experiment::Fig7 => format!("{}\n\n", r.figure7()),
+        Experiment::Headline => r.headline().to_string(),
+        Experiment::Scorecard => format!("\n{}", r.scorecard()),
     }
-    red /= 4.0;
-    speed /= 4.0;
-    println!("Headline results [measured (paper)]");
-    println!("===================================");
-    println!(
-        "OS data misses eliminated or hidden:   {:.0}%  (paper: {:.0}%)",
-        100.0 * red,
-        100.0 * oscache_core::paperref::HEADLINE_MISS_REDUCTION
+}
+
+/// The golden-file experiments: everything except the scorecard (whose
+/// verdict vector is pinned by its own tier-1 test).
+fn golden_experiments() -> Vec<Experiment> {
+    Experiment::all()
+        .into_iter()
+        .filter(|e| *e != Experiment::Scorecard)
+        .collect()
+}
+
+/// Writes each experiment's exact output to `<dir>/<name>.txt` — the
+/// corpus `tests/golden/` pins and `UPDATE_GOLDEN=1 cargo test` refreshes.
+fn golden(dir: &str, scale: f64, jobs: usize) {
+    std::fs::create_dir_all(dir).expect("create golden dir");
+    let exps = golden_experiments();
+    let mut r = Repro::with_jobs(scale, jobs);
+    let warm = r.warm(&exps);
+    for e in &exps {
+        let text = render(&mut r, *e);
+        std::fs::write(format!("{dir}/{}.txt", e.name()), text).expect("write golden file");
+    }
+    eprintln!(
+        "wrote {} golden outputs into {dir}/ ({} cells, {} workers, {:.0} ms)",
+        exps.len(),
+        warm.cells.len(),
+        warm.jobs,
+        warm.wall_ms
     );
+}
+
+/// Prints the per-cell timing summary (`--timings`).
+fn print_timings(r: &Repro, warm: &WarmStats) {
+    println!("\nPer-cell timings ({} workers)", warm.jobs);
+    println!("{}", "-".repeat(72));
+    for b in r.cache().build_timings() {
+        println!(
+            "build {:<44} {:>9.1} ms {:>12} events",
+            format!("{:?}", b.key.workload),
+            b.ms,
+            b.events
+        );
+    }
+    for t in r.timings() {
+        println!(
+            "cell  {:<44} {:>9.1} ms {:>10} OS misses",
+            compact_key(&t.key),
+            t.ms,
+            t.os_misses
+        );
+    }
     println!(
-        "OS execution-time reduction:           {:.0}%  (paper: {:.0}%)",
-        100.0 * speed,
-        100.0 * oscache_core::paperref::HEADLINE_OS_SPEEDUP
+        "total {:<44} {:>9.1} ms wall, {} cells",
+        "",
+        warm.wall_ms,
+        warm.cells.len()
     );
-    println!(
-        "Blk_Dma alone, per workload:           {}  (paper: 11-17%)",
-        dma_speed
-            .iter()
-            .map(|d| format!("{:.0}%", 100.0 * d))
-            .collect::<Vec<_>>()
-            .join(" ")
-    );
+}
+
+/// Shortens a run key for display: the full geometry debug suffix is only
+/// interesting when it differs from the default.
+fn compact_key(key: &str) -> String {
+    let mut parts = key.splitn(3, '/');
+    let w = parts.next().unwrap_or("");
+    let tag = parts.next().unwrap_or("");
+    format!("{w}/{tag}")
+}
+
+/// Emits the machine-readable per-run benchmark record tracking the repro
+/// pipeline's performance trajectory.
+fn write_bench_json(path: &str, scale: f64, r: &Repro, warm: &WarmStats) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"scale\": {scale},\n"));
+    s.push_str(&format!("  \"jobs\": {},\n", warm.jobs));
+    s.push_str(&format!("  \"wall_ms\": {:.1},\n", warm.wall_ms));
+    s.push_str("  \"trace_builds\": [\n");
+    let builds = r.cache().build_timings();
+    for (i, b) in builds.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"workload\": \"{:?}\", \"ms\": {:.1}, \"events\": {}}}{}\n",
+            b.key.workload,
+            b.ms,
+            b.events,
+            if i + 1 < builds.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"cells\": [\n");
+    let cells = r.timings();
+    for (i, t) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"key\": \"{}\", \"ms\": {:.1}, \"os_misses\": {}}}{}\n",
+            compact_key(&t.key),
+            t.ms,
+            t.os_misses,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(path, s) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("wrote {path}");
+    }
 }

@@ -4,7 +4,7 @@
 use oscache_memsys::{BlockOpScheme, CacheGeom, MachineConfig};
 
 /// How widely the update protocol is applied (§5.2).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum UpdatePolicy {
     /// Pure Illinois invalidation everywhere.
     #[default]
@@ -18,7 +18,7 @@ pub enum UpdatePolicy {
 }
 
 /// One of the systems evaluated in the paper's figures.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum System {
     /// §2.4 baseline.
     Base,
@@ -106,7 +106,7 @@ impl std::fmt::Display for System {
 }
 
 /// A fully-specified system: hardware scheme plus software optimizations.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct SystemSpec {
     /// Block-operation handling (§4).
     pub block_scheme: BlockOpScheme,
@@ -128,7 +128,7 @@ pub struct SystemSpec {
 /// Cache geometry of a run (Figures 6 and 7 sweep size and line; the
 /// associativity fields support the ablation of the paper's §7 remark
 /// that the remaining misses are mostly conflicts).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Geometry {
     /// L1D size in bytes.
     pub l1d_size: u32,

@@ -5,13 +5,21 @@ use crate::config::{Geometry, System, SystemSpec};
 use crate::metrics::{
     BlockOpOverhead, CoherenceBreakdown, MissBreakdown, OsTimeBreakdown, WorkloadMetrics,
 };
-use crate::sim::{run_spec, RunResult};
+use crate::runner::{run_cell, run_cells, run_key, Cell, CellOutcome, Experiment, TraceCache};
+use crate::sim::RunResult;
 use crate::{deferred, paperref};
 use oscache_trace::Trace;
-use oscache_workloads::{build, BuildOptions, Workload};
-use std::collections::HashMap;
+use oscache_workloads::{BuildOptions, Workload};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Builds traces and caches simulation runs for the reproduction.
+///
+/// Simulation cells run through [`crate::runner`]: a shared [`TraceCache`]
+/// builds each calibrated trace once, and [`Repro::warm`] fans independent
+/// cells out over worker threads. Results are bitwise-identical regardless
+/// of worker count — each cell is a deterministic single-threaded run, and
+/// parallelism only schedules whole cells.
 ///
 /// # Examples
 ///
@@ -29,35 +37,122 @@ pub struct Repro {
     pub scale: f64,
     /// Workload seed.
     pub seed: u64,
-    traces: HashMap<&'static str, Trace>,
+    jobs: usize,
+    cache: Arc<TraceCache>,
     runs: HashMap<String, RunResult>,
+    timings: Vec<CellTiming>,
+}
+
+/// Wall-clock cost of one simulated cell (for `--timings` and
+/// `BENCH_repro.json`).
+#[derive(Clone, Debug)]
+pub struct CellTiming {
+    /// The cell's run-cache key (`workload/tag/geometry`).
+    pub key: String,
+    /// Milliseconds spent simulating the cell.
+    pub ms: f64,
+    /// OS read misses the cell observed (a cheap cross-run sanity metric).
+    pub os_misses: u64,
+}
+
+/// What a [`Repro::warm`] fan-out did: worker count, wall clock, and the
+/// cells it actually ran (already-cached cells are skipped).
+#[derive(Clone, Debug)]
+pub struct WarmStats {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock milliseconds for the fan-out.
+    pub wall_ms: f64,
+    /// Per-cell timings, in cell order.
+    pub cells: Vec<CellTiming>,
 }
 
 impl Repro {
-    /// Creates a driver at the given trace scale.
+    /// Creates a serial driver at the given trace scale.
     pub fn new(scale: f64) -> Self {
+        Repro::with_jobs(scale, 1)
+    }
+
+    /// Creates a driver that fans [`Repro::warm`] out over `jobs` worker
+    /// threads (`0` = one per hardware thread).
+    pub fn with_jobs(scale: f64, jobs: usize) -> Self {
+        Repro::with_cache(scale, jobs, Arc::new(TraceCache::new()))
+    }
+
+    /// Creates a driver sharing an existing trace cache (several `Repro`s
+    /// — e.g. one per benchmark — can then reuse the same built traces).
+    pub fn with_cache(scale: f64, jobs: usize, cache: Arc<TraceCache>) -> Self {
         Repro {
             scale,
             seed: BuildOptions::default().seed,
-            traces: HashMap::new(),
+            jobs,
+            cache,
             runs: HashMap::new(),
+            timings: Vec::new(),
         }
     }
 
-    /// The (cached) trace of a workload.
-    pub fn trace(&mut self, w: Workload) -> &Trace {
-        let scale = self.scale;
-        let seed = self.seed;
-        self.traces.entry(w.name()).or_insert_with(|| {
-            build(
-                w,
-                BuildOptions {
-                    scale,
-                    seed,
-                    ..Default::default()
-                },
-            )
-        })
+    /// The build options every trace of this driver is generated with.
+    pub fn build_options(&self) -> BuildOptions {
+        BuildOptions {
+            scale: self.scale,
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+
+    /// The shared trace cache.
+    pub fn cache(&self) -> &Arc<TraceCache> {
+        &self.cache
+    }
+
+    /// Per-cell timings of every simulation this driver ran so far.
+    pub fn timings(&self) -> &[CellTiming] {
+        &self.timings
+    }
+
+    /// The (cached, shared) trace of a workload.
+    pub fn trace(&mut self, w: Workload) -> Arc<Trace> {
+        self.cache.base(w, self.build_options())
+    }
+
+    /// Runs every cell the given experiments need, in parallel across
+    /// `jobs` workers, so the subsequent table/figure calls are pure cache
+    /// hits. Cells already simulated are not rerun.
+    pub fn warm(&mut self, experiments: &[Experiment]) -> WarmStats {
+        let mut cells: Vec<Cell> = Vec::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        for e in experiments {
+            for cell in e.cells() {
+                let key = cell.key();
+                if !self.runs.contains_key(&key) && seen.insert(key) {
+                    cells.push(cell);
+                }
+            }
+        }
+        let report = run_cells(&self.cache, self.build_options(), &cells, self.jobs)
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"));
+        let mut stats = WarmStats {
+            jobs: report.jobs,
+            wall_ms: report.wall_ms,
+            cells: Vec::with_capacity(report.outcomes.len()),
+        };
+        for outcome in report.outcomes {
+            stats.cells.push(self.absorb(outcome));
+        }
+        self.timings.extend(stats.cells.iter().cloned());
+        stats
+    }
+
+    /// Records one finished cell in the run cache and returns its timing.
+    fn absorb(&mut self, outcome: CellOutcome) -> CellTiming {
+        let timing = CellTiming {
+            key: outcome.cell.key(),
+            ms: outcome.ms,
+            os_misses: outcome.result.stats.total().os_read_misses(),
+        };
+        self.runs.insert(timing.key.clone(), outcome.result);
+        timing
     }
 
     /// Runs (or retrieves) a simulation of `system` on `w`.
@@ -74,11 +169,18 @@ impl Repro {
         geometry: Geometry,
         tag: &str,
     ) -> &RunResult {
-        let key = format!("{}/{}/{:?}", w.name(), tag, geometry);
+        let key = run_key(w, tag, geometry);
         if !self.runs.contains_key(&key) {
-            let trace = self.trace(w).clone();
-            let result = run_spec(&trace, spec, geometry);
-            self.runs.insert(key.clone(), result);
+            let cell = Cell {
+                workload: w,
+                spec,
+                geometry,
+                tag: tag.to_string(),
+            };
+            let outcome = run_cell(&self.cache, self.build_options(), &cell)
+                .unwrap_or_else(|e| panic!("simulation failed: {e}"));
+            let timing = self.absorb(outcome);
+            self.timings.push(timing);
         }
         &self.runs[&key]
     }
@@ -144,7 +246,7 @@ impl Repro {
     pub fn table4(&mut self) -> Table4 {
         let mut cols = Vec::new();
         for w in Workload::all() {
-            let counts = deferred::analyze(self.trace(w));
+            let counts = deferred::analyze(&self.trace(w));
             let base = self
                 .run(w, System::Base)
                 .stats
@@ -329,39 +431,69 @@ impl Repro {
 
     /// Figure 6: the L1D size sweep (16/32/64 KB, 16-B lines).
     pub fn figure6(&mut self) -> GeometryFigure {
-        let sweep: Vec<(String, Geometry)> = [16u32, 32, 64]
-            .iter()
-            .map(|&kb| {
-                (
-                    format!("{kb}KB"),
-                    Geometry {
-                        l1d_size: kb * 1024,
-                        ..Geometry::default()
-                    },
-                )
-            })
-            .collect();
-        self.geometry_figure("Figure 6", &sweep)
+        self.geometry_figure("Figure 6", &figure6_sweep())
     }
 
     /// Figure 7: the L1 line-size sweep (16/32/64 B, 32-KB cache, 64-B L2
     /// lines as in the paper).
     pub fn figure7(&mut self) -> GeometryFigure {
-        let sweep: Vec<(String, Geometry)> = [16u32, 32, 64]
-            .iter()
-            .map(|&b| {
-                (
-                    format!("{b}B"),
-                    Geometry {
-                        l1_line: b,
-                        l2_line: 64,
-                        ..Geometry::default()
-                    },
-                )
-            })
-            .collect();
-        self.geometry_figure("Figure 7", &sweep)
+        self.geometry_figure("Figure 7", &figure7_sweep())
     }
+
+    /// The paper's §8 headline claims next to the measured equivalents.
+    pub fn headline(&mut self) -> Headline {
+        let mut red = 0.0;
+        let mut speed = 0.0;
+        let mut dma_speed = Vec::new();
+        for w in Workload::all() {
+            let base = self.run(w, System::Base).stats.clone();
+            let bcpref = self.run(w, System::BCPref).stats.clone();
+            let dma = self.run(w, System::BlkDma).stats.clone();
+            let miss = |s: &oscache_memsys::SimStats| s.total().os_read_misses() as f64;
+            let os = |s: &oscache_memsys::SimStats| OsTimeBreakdown::from_stats(s).total() as f64;
+            red += 1.0 - miss(&bcpref) / miss(&base);
+            speed += 1.0 - os(&bcpref) / os(&base);
+            dma_speed.push(1.0 - os(&dma) / os(&base));
+        }
+        Headline {
+            miss_reduction: red / 4.0,
+            os_speedup: speed / 4.0,
+            dma_speedup: dma_speed.try_into().expect("four workloads"),
+        }
+    }
+}
+
+/// The geometry sweep of Figure 6 (L1D size).
+pub fn figure6_sweep() -> Vec<(String, Geometry)> {
+    [16u32, 32, 64]
+        .iter()
+        .map(|&kb| {
+            (
+                format!("{kb}KB"),
+                Geometry {
+                    l1d_size: kb * 1024,
+                    ..Geometry::default()
+                },
+            )
+        })
+        .collect()
+}
+
+/// The geometry sweep of Figure 7 (L1 line size, 64-B L2 lines).
+pub fn figure7_sweep() -> Vec<(String, Geometry)> {
+    [16u32, 32, 64]
+        .iter()
+        .map(|&b| {
+            (
+                format!("{b}B"),
+                Geometry {
+                    l1_line: b,
+                    l2_line: 64,
+                    ..Geometry::default()
+                },
+            )
+        })
+        .collect()
 }
 
 #[derive(Clone, Copy)]
@@ -497,6 +629,48 @@ pub struct GeometryFigure {
     pub systems: [&'static str; 3],
     /// `(sweep label, cells[workload][system])` rows.
     pub rows: Vec<(String, Vec<Vec<f64>>)>,
+}
+
+/// The paper's §8 headline numbers, measured.
+#[derive(Clone, Copy, Debug)]
+pub struct Headline {
+    /// Average fraction of OS data misses eliminated or hidden by the
+    /// full ladder (paper: ~0.75).
+    pub miss_reduction: f64,
+    /// Average OS execution-time reduction of the full ladder
+    /// (paper: ~0.19).
+    pub os_speedup: f64,
+    /// Per-workload OS-time reduction of `Blk_Dma` alone
+    /// (paper: 11–17%).
+    pub dma_speedup: [f64; 4],
+}
+
+impl std::fmt::Display for Headline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Headline results [measured (paper)]")?;
+        writeln!(f, "===================================")?;
+        writeln!(
+            f,
+            "OS data misses eliminated or hidden:   {:.0}%  (paper: {:.0}%)",
+            100.0 * self.miss_reduction,
+            100.0 * paperref::HEADLINE_MISS_REDUCTION
+        )?;
+        writeln!(
+            f,
+            "OS execution-time reduction:           {:.0}%  (paper: {:.0}%)",
+            100.0 * self.os_speedup,
+            100.0 * paperref::HEADLINE_OS_SPEEDUP
+        )?;
+        writeln!(
+            f,
+            "Blk_Dma alone, per workload:           {}  (paper: 11-17%)",
+            self.dma_speedup
+                .iter()
+                .map(|d| format!("{:.0}%", 100.0 * d))
+                .collect::<Vec<_>>()
+                .join(" ")
+        )
+    }
 }
 
 /// Convenience: the paper's workload labels.

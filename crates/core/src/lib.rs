@@ -16,16 +16,19 @@ pub mod experiments;
 pub mod metrics;
 pub mod paperref;
 mod report;
+pub mod runner;
 mod scorecard;
 mod sim;
 pub mod transform;
 
 pub use config::{Geometry, System, SystemSpec, UpdatePolicy};
-pub use experiments::Repro;
+pub use experiments::{CellTiming, Headline, Repro, WarmStats};
 pub use metrics::{
     BlockOpOverhead, CoherenceBreakdown, MissBreakdown, OsTimeBreakdown, WorkloadMetrics,
 };
+pub use runner::{default_jobs, Cell, CellFingerprint, Experiment, TraceCache};
 pub use scorecard::{Check, Scorecard};
 pub use sim::{
-    run_spec, run_system, try_run_spec, try_run_spec_audited, try_run_system, RunResult,
+    prepare_cell, run_prepared, run_spec, run_system, try_run_spec, try_run_spec_audited,
+    try_run_system, PreparedCell, RunResult,
 };

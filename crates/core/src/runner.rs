@@ -1,0 +1,455 @@
+//! Parallel experiment runner and shared trace cache.
+//!
+//! The reproduction's experiment grid — every (workload, system, geometry)
+//! cell behind the paper's tables and figures — is embarrassingly parallel
+//! *across* cells even though each simulation must stay single-threaded
+//! for reproducibility (DESIGN.md §5). This module supplies the two pieces
+//! that exploit that:
+//!
+//! * [`TraceCache`]: builds each calibrated workload trace exactly once
+//!   per [`TraceBuildKey`] `(workload, scale, seed, n_cpus)` and shares it
+//!   immutably via [`Arc`]; transform-derived traces (privatize/relocate/
+//!   prefetch/coloring rewrites) are cached per [`CellFingerprint`].
+//! * [`run_cells`]: a dependency-free fan-out over a work queue
+//!   (`std::thread::scope`, worker count from [`default_jobs`] or an
+//!   explicit `--jobs N`) that schedules whole cells onto workers and
+//!   returns results ordered by cell index, never by completion order.
+//!
+//! Determinism argument (DESIGN.md §10): every [`RunResult`] is produced
+//! by `sim::run_prepared`, a deterministic single-threaded `Machine` run
+//! over an immutable trace; workers share nothing mutable but the cache,
+//! whose entries are write-once values of pure functions of their keys.
+//! Therefore the outcome of a cell cannot depend on the number of workers
+//! or on scheduling, and `--jobs N` output is bitwise-identical to the
+//! serial path — which the determinism tests in `tests/runner.rs` and the
+//! golden files under `tests/golden/` pin down.
+
+use crate::config::{Geometry, System, SystemSpec};
+use crate::experiments::{figure6_sweep, figure7_sweep};
+use crate::sim::{self, PreparedCell, RunResult};
+use oscache_memsys::{AuditLevel, SimError};
+use oscache_trace::Trace;
+use oscache_workloads::{build_shared, BuildOptions, TraceBuildKey, Workload};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// The default worker count: every hardware thread the OS grants us.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Identity of a fully-prepared simulation input: base trace plus every
+/// configuration bit that can change the software passes' output.
+///
+/// Two equal fingerprints always denote bitwise-identical prepared traces;
+/// two distinct `(spec, geometry, audit)` combinations on the same base
+/// trace always compare unequal, so a cache collision between different
+/// systems of the ladder is impossible by construction (the cache is keyed
+/// by the full value, not by [`CellFingerprint::digest`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CellFingerprint {
+    /// The base trace build.
+    pub base: TraceBuildKey,
+    /// The system configuration (all software passes).
+    pub spec: SystemSpec,
+    /// Cache geometry (coloring and the prefetch profiling run see it).
+    pub geometry: Geometry,
+    /// Audit level (the profiling run inherits it).
+    pub audit: AuditLevel,
+}
+
+impl CellFingerprint {
+    /// A stable 64-bit digest of the fingerprint (for logs and JSON; the
+    /// cache itself never compares digests).
+    pub fn digest(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// One schedulable experiment cell: a (workload, system spec, geometry)
+/// point plus the tag that names it in experiment-level caches.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Workload whose trace the cell simulates.
+    pub workload: Workload,
+    /// Fully-specified system.
+    pub spec: SystemSpec,
+    /// Cache geometry.
+    pub geometry: Geometry,
+    /// Unique tag for the spec+geometry combination (the paper label for
+    /// ladder systems, e.g. `"Base"` or `"BCPref@16KB"`).
+    pub tag: String,
+}
+
+impl Cell {
+    /// A ladder system at the default geometry.
+    pub fn system(workload: Workload, system: System) -> Cell {
+        Cell {
+            workload,
+            spec: system.spec(),
+            geometry: Geometry::default(),
+            tag: system.label().to_string(),
+        }
+    }
+
+    /// The cell's key in [`crate::Repro`]'s run cache.
+    pub fn key(&self) -> String {
+        run_key(self.workload, &self.tag, self.geometry)
+    }
+
+    /// The cell's prepared-trace fingerprint under `opts`.
+    pub fn fingerprint(&self, opts: BuildOptions) -> CellFingerprint {
+        CellFingerprint {
+            base: opts.key(self.workload),
+            spec: self.spec,
+            geometry: self.geometry,
+            audit: AuditLevel::Off,
+        }
+    }
+}
+
+/// The canonical run-cache key of a (workload, tag, geometry) cell.
+pub fn run_key(workload: Workload, tag: &str, geometry: Geometry) -> String {
+    format!("{}/{}/{:?}", workload.name(), tag, geometry)
+}
+
+/// Timing of one trace build inside the cache.
+#[derive(Clone, Debug)]
+pub struct BuildTiming {
+    /// What was built.
+    pub key: TraceBuildKey,
+    /// Wall-clock build time in milliseconds.
+    pub ms: f64,
+    /// Events in the built trace.
+    pub events: u64,
+}
+
+/// Builds and shares workload traces across threads.
+///
+/// Base traces are built at most once per key: concurrent requests for the
+/// same key block on a [`OnceLock`] until the single builder finishes.
+/// Prepared (transform-derived) traces are cached per fingerprint with a
+/// first-writer-wins map — every writer computes the same value, so which
+/// one lands is unobservable.
+#[derive(Default)]
+pub struct TraceCache {
+    base: Mutex<HashMap<TraceBuildKey, Arc<OnceLock<Arc<Trace>>>>>,
+    prepared: Mutex<HashMap<CellFingerprint, Arc<PreparedCell>>>,
+    builds: Mutex<Vec<BuildTiming>>,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The (shared) base trace of `workload` under `opts`, built on first
+    /// use.
+    pub fn base(&self, workload: Workload, opts: BuildOptions) -> Arc<Trace> {
+        let key = opts.key(workload);
+        let slot = {
+            let mut map = self.base.lock().unwrap();
+            map.entry(key).or_default().clone()
+        };
+        slot.get_or_init(|| {
+            let t0 = Instant::now();
+            let trace = build_shared(workload, opts);
+            self.builds.lock().unwrap().push(BuildTiming {
+                key,
+                ms: 1e3 * t0.elapsed().as_secs_f64(),
+                events: trace.total_events() as u64,
+            });
+            trace
+        })
+        .clone()
+    }
+
+    /// The prepared (transform-applied) input for `fp`, derived from
+    /// `base` on first use.
+    pub fn prepared(
+        &self,
+        base: &Trace,
+        fp: CellFingerprint,
+    ) -> Result<Arc<PreparedCell>, SimError> {
+        if let Some(p) = self.prepared.lock().unwrap().get(&fp) {
+            return Ok(p.clone());
+        }
+        let built = Arc::new(sim::prepare_cell(base, fp.spec, fp.geometry, fp.audit)?);
+        let mut map = self.prepared.lock().unwrap();
+        Ok(map.entry(fp).or_insert(built).clone())
+    }
+
+    /// Timings of every base-trace build so far, in build order.
+    pub fn build_timings(&self) -> Vec<BuildTiming> {
+        self.builds.lock().unwrap().clone()
+    }
+
+    /// Number of distinct base traces built.
+    pub fn base_len(&self) -> usize {
+        self.base.lock().unwrap().len()
+    }
+
+    /// Number of distinct prepared cells cached.
+    pub fn prepared_len(&self) -> usize {
+        self.prepared.lock().unwrap().len()
+    }
+}
+
+/// The outcome of one cell, with its wall-clock cost.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// The cell that ran.
+    pub cell: Cell,
+    /// Its simulation result (bitwise-identical to a serial run).
+    pub result: RunResult,
+    /// Wall-clock milliseconds spent on this cell by its worker (trace
+    /// build time is attributed to whichever cell built first).
+    pub ms: f64,
+}
+
+/// What [`run_cells`] returns: per-cell outcomes in *cell index order*
+/// (never completion order), plus fan-out bookkeeping.
+pub struct RunnerReport {
+    /// One outcome per input cell, same order as the input.
+    pub outcomes: Vec<CellOutcome>,
+    /// Worker count actually used.
+    pub jobs: usize,
+    /// Wall-clock milliseconds for the whole fan-out.
+    pub wall_ms: f64,
+}
+
+/// Runs one cell through the cache: base trace, software passes, final
+/// single-threaded machine run.
+pub fn run_cell(
+    cache: &TraceCache,
+    opts: BuildOptions,
+    cell: &Cell,
+) -> Result<CellOutcome, SimError> {
+    let t0 = Instant::now();
+    let base = cache.base(cell.workload, opts);
+    let prepared = cache.prepared(&base, cell.fingerprint(opts))?;
+    let result = sim::run_prepared(&base, &prepared, cell.spec, cell.geometry, AuditLevel::Off)?;
+    Ok(CellOutcome {
+        cell: cell.clone(),
+        result,
+        ms: 1e3 * t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// Fans `cells` out over `jobs` workers (clamped to the cell count; `0`
+/// means [`default_jobs`]).
+///
+/// Each cell is simulated by exactly one worker via [`run_cell`];
+/// parallelism only schedules whole cells, so results are
+/// bitwise-identical to running the same cells serially. On error the
+/// lowest-indexed failing cell's error is returned, regardless of which
+/// worker hit it first.
+pub fn run_cells(
+    cache: &TraceCache,
+    opts: BuildOptions,
+    cells: &[Cell],
+    jobs: usize,
+) -> Result<RunnerReport, SimError> {
+    let t0 = Instant::now();
+    let jobs = if jobs == 0 { default_jobs() } else { jobs };
+    let jobs = jobs.min(cells.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<CellOutcome, SimError>>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                let out = run_cell(cache, opts, &cells[i]);
+                *slots[i].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    let mut outcomes = Vec::with_capacity(cells.len());
+    for slot in slots {
+        match slot
+            .into_inner()
+            .unwrap()
+            .expect("worker filled every slot")
+        {
+            Ok(o) => outcomes.push(o),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(RunnerReport {
+        outcomes,
+        jobs,
+        wall_ms: 1e3 * t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// One of the paper's reproducible experiments, as named on the `repro`
+/// command line.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Experiment {
+    /// Table 1: workload characteristics.
+    Table1,
+    /// Table 2: OS read-miss breakdown.
+    Table2,
+    /// Table 3: block-operation characteristics.
+    Table3,
+    /// Table 4: the deferred-copy study.
+    Table4,
+    /// Table 5: coherence-miss breakdown.
+    Table5,
+    /// Figure 1: block-operation overhead components.
+    Fig1,
+    /// Figure 2: block-operation schemes.
+    Fig2,
+    /// Figure 3: normalized OS execution time.
+    Fig3,
+    /// Figure 4: coherence optimizations.
+    Fig4,
+    /// Figure 5: hot-spot prefetching.
+    Fig5,
+    /// Figure 6: L1D size sweep.
+    Fig6,
+    /// Figure 7: L1 line-size sweep.
+    Fig7,
+    /// The paper's §8 headline claims.
+    Headline,
+    /// The claim-by-claim agreement scorecard.
+    Scorecard,
+}
+
+impl Experiment {
+    /// All experiments in `repro all` order.
+    pub fn all() -> [Experiment; 14] {
+        use Experiment::*;
+        [
+            Table1, Table2, Table3, Table4, Table5, Fig1, Fig2, Fig3, Fig4, Fig5, Fig6, Fig7,
+            Headline, Scorecard,
+        ]
+    }
+
+    /// The command-line name (`table1` … `fig7`, `headline`, `scorecard`).
+    pub fn name(self) -> &'static str {
+        use Experiment::*;
+        match self {
+            Table1 => "table1",
+            Table2 => "table2",
+            Table3 => "table3",
+            Table4 => "table4",
+            Table5 => "table5",
+            Fig1 => "fig1",
+            Fig2 => "fig2",
+            Fig3 => "fig3",
+            Fig4 => "fig4",
+            Fig5 => "fig5",
+            Fig6 => "fig6",
+            Fig7 => "fig7",
+            Headline => "headline",
+            Scorecard => "scorecard",
+        }
+    }
+
+    /// Parses a command-line experiment name.
+    pub fn parse(name: &str) -> Option<Experiment> {
+        Experiment::all()
+            .into_iter()
+            .find(|e| e.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Every simulation cell this experiment needs — exactly the cells the
+    /// serial table/figure code would run, so warming them in parallel
+    /// leaves nothing but cache hits for the render pass.
+    pub fn cells(self) -> Vec<Cell> {
+        use Experiment::*;
+        let mut cells = Vec::new();
+        let mut systems = |list: &[System]| {
+            for w in Workload::all() {
+                for &s in list {
+                    cells.push(Cell::system(w, s));
+                }
+            }
+        };
+        match self {
+            Table1 | Table2 | Table5 | Fig1 => systems(&[System::Base]),
+            Table3 => systems(&[System::Base, System::BlkBypass]),
+            Table4 => {
+                systems(&[System::Base]);
+                for w in Workload::all() {
+                    let mut spec = System::Base.spec();
+                    spec.deferred_copy = true;
+                    cells.push(Cell {
+                        workload: w,
+                        spec,
+                        geometry: Geometry::default(),
+                        tag: "Base+Deferred".to_string(),
+                    });
+                }
+            }
+            Fig2 => systems(&[
+                System::Base,
+                System::BlkPref,
+                System::BlkBypass,
+                System::BlkByPref,
+                System::BlkDma,
+            ]),
+            Fig3 => systems(&System::all()),
+            Fig4 => systems(&[
+                System::Base,
+                System::BlkDma,
+                System::BCohReloc,
+                System::BCohRelUp,
+            ]),
+            Fig5 => systems(&[
+                System::Base,
+                System::BlkDma,
+                System::BCohRelUp,
+                System::BCPref,
+            ]),
+            Fig6 | Fig7 => {
+                let sweep = if self == Fig6 {
+                    figure6_sweep()
+                } else {
+                    figure7_sweep()
+                };
+                for (label, geom) in sweep {
+                    for w in Workload::all() {
+                        for sys in [System::Base, System::BlkDma, System::BCPref] {
+                            cells.push(Cell {
+                                workload: w,
+                                spec: sys.spec(),
+                                geometry: geom,
+                                tag: format!("{}@{label}", sys.label()),
+                            });
+                        }
+                    }
+                }
+            }
+            Headline => systems(&[System::Base, System::BlkDma, System::BCPref]),
+            Scorecard => {
+                systems(&[
+                    System::Base,
+                    System::BlkPref,
+                    System::BlkBypass,
+                    System::BlkDma,
+                    System::BCPref,
+                ]);
+                for w in [Workload::Trfd4, Workload::Arc2dFsck] {
+                    cells.push(Cell::system(w, System::BCohReloc));
+                    cells.push(Cell::system(w, System::BCohRelUp));
+                }
+                cells.extend(Experiment::Table4.cells());
+            }
+        }
+        cells
+    }
+}

@@ -59,6 +59,23 @@ pub fn try_run_spec(
     try_run_spec_audited(trace, spec, geometry, AuditLevel::Off)
 }
 
+/// A trace fully prepared for its final machine run: every software pass
+/// of the spec (deferred copy, coloring, privatize/relocate/update
+/// planning, hot-spot prefetch insertion) has been applied.
+///
+/// Preparation is deterministic: equal `(trace, spec, geometry, audit)`
+/// inputs always produce an identical `PreparedCell`, which is what lets
+/// the runner's cache share prepared traces across experiments keyed by a
+/// config fingerprint.
+#[derive(Clone, Debug)]
+pub struct PreparedCell {
+    /// The rewritten trace, or `None` when no pass touched it (run the
+    /// original).
+    pub trace: Option<Trace>,
+    /// Pages mapped with the update protocol (§5.2).
+    pub update_pages: HashSet<u32>,
+}
+
 /// Runs a fully-specified system with the machine's invariant auditor set
 /// to `audit`, returning trace and invariant problems as typed errors.
 pub fn try_run_spec_audited(
@@ -67,6 +84,19 @@ pub fn try_run_spec_audited(
     geometry: Geometry,
     audit: AuditLevel,
 ) -> Result<RunResult, SimError> {
+    let prepared = prepare_cell(trace, spec, geometry, audit)?;
+    run_prepared(trace, &prepared, spec, geometry, audit)
+}
+
+/// The preparation half of [`try_run_spec_audited`]: applies every
+/// software pass (including the hot-spot profiling simulation, which is
+/// itself a deterministic single-threaded run).
+pub fn prepare_cell(
+    trace: &Trace,
+    spec: SystemSpec,
+    geometry: Geometry,
+    audit: AuditLevel,
+) -> Result<PreparedCell, SimError> {
     let mut update_pages: HashSet<u32> = HashSet::new();
     let mut owned: Option<Trace> = None;
 
@@ -139,21 +169,39 @@ pub fn try_run_spec_audited(
         update_pages = transform::full_update_pages(working);
     }
 
-    let mut cfg = geometry.machine_config(&spec);
-    cfg.n_cpus = trace.n_cpus();
-    cfg.update_pages = update_pages;
-    cfg.audit = audit;
-
     if spec.hotspot_prefetch {
         // Profiling run without the prefetches.
+        let mut cfg = geometry.machine_config(&spec);
+        cfg.n_cpus = trace.n_cpus();
+        cfg.update_pages = update_pages.clone();
+        cfg.audit = audit;
         let working = owned.as_ref().unwrap_or(trace);
-        let profile_stats = Machine::new(cfg.clone(), working)?.run()?;
+        let profile_stats = Machine::new(cfg, working)?.run()?;
         let hot = analysis::find_hot_spots(&profile_stats.total(), &working.meta.code);
         let t = transform::insert_hotspot_prefetches(working, &hot);
         owned = Some(t);
     }
 
-    let working = owned.as_ref().unwrap_or(trace);
+    Ok(PreparedCell {
+        trace: owned,
+        update_pages,
+    })
+}
+
+/// The execution half of [`try_run_spec_audited`]: one deterministic
+/// single-threaded machine run over the prepared trace.
+pub fn run_prepared(
+    trace: &Trace,
+    prepared: &PreparedCell,
+    spec: SystemSpec,
+    geometry: Geometry,
+    audit: AuditLevel,
+) -> Result<RunResult, SimError> {
+    let mut cfg = geometry.machine_config(&spec);
+    cfg.n_cpus = trace.n_cpus();
+    cfg.update_pages = prepared.update_pages.clone();
+    cfg.audit = audit;
+    let working = prepared.trace.as_ref().unwrap_or(trace);
     let stats = Machine::new(cfg, working)?.run()?;
     Ok(RunResult {
         stats,

@@ -1,0 +1,100 @@
+//! Tier-1 acceptance: the paper-agreement scorecard's claim-by-claim
+//! verdicts are pinned. A change that flips any single verdict — even one
+//! compensated by an improvement elsewhere — fails this test, so a
+//! regression can never hide inside a stable pass *count*.
+//!
+//! The expected vector was recorded at scale 0.1 (the same reduced scale
+//! the rest of the test suite uses). If an intentional change shifts a
+//! verdict, re-run `repro --scale 0.1 scorecard`, inspect the delta, and
+//! update the vector here alongside the change that caused it.
+
+use oscache_core::Repro;
+
+/// Every scorecard check in evaluation order, with its expected verdict.
+const EXPECTED: [(&str, bool); 34] = [
+    ("[T1] TRFD_4: OS causes the majority-ish of D-misses", true),
+    (
+        "[T1] TRFD+Make: OS causes the majority-ish of D-misses",
+        true,
+    ),
+    (
+        "[T1] ARC2D+Fsck: OS causes the majority-ish of D-misses",
+        true,
+    ),
+    ("[T1] Shell: OS causes the majority-ish of D-misses", true),
+    ("[T2] TRFD_4: block ops a major miss source (>=25%)", true),
+    (
+        "[T2] TRFD+Make: block ops a major miss source (>=25%)",
+        true,
+    ),
+    (
+        "[T2] ARC2D+Fsck: block ops a major miss source (>=25%)",
+        true,
+    ),
+    ("[T2] Shell: block ops a major miss source (>=25%)", true),
+    ("[F2] TRFD_4: Blk_Pref removes ~1/3 of misses", true),
+    ("[F2] TRFD_4: Blk_Bypass is the worst scheme", true),
+    ("[F2] TRFD_4: Blk_Dma removes all block misses", true),
+    ("[F2] TRFD+Make: Blk_Pref removes ~1/3 of misses", true),
+    ("[F2] TRFD+Make: Blk_Bypass is the worst scheme", true),
+    ("[F2] TRFD+Make: Blk_Dma removes all block misses", true),
+    ("[F2] ARC2D+Fsck: Blk_Pref removes ~1/3 of misses", true),
+    ("[F2] ARC2D+Fsck: Blk_Bypass is the worst scheme", true),
+    ("[F2] ARC2D+Fsck: Blk_Dma removes all block misses", true),
+    ("[F2] Shell: Blk_Pref removes ~1/3 of misses", true),
+    ("[F2] Shell: Blk_Bypass is the worst scheme", true),
+    ("[F2] Shell: Blk_Dma removes all block misses", true),
+    ("[F3] TRFD_4: Blk_Dma speeds up the OS 11-17%-ish", true),
+    ("[F3] TRFD+Make: Blk_Dma speeds up the OS 11-17%-ish", true),
+    ("[F3] ARC2D+Fsck: Blk_Dma speeds up the OS 11-17%-ish", true),
+    ("[F3] Shell: Blk_Dma speeds up the OS 11-17%-ish", true),
+    ("[§8] average OS speedup ~19%", true),
+    ("[§8] ~75% of OS misses eliminated or hidden", true),
+    (
+        "[F4] TRFD_4: selective updates remove most coherence misses",
+        true,
+    ),
+    (
+        "[F4] ARC2D+Fsck: selective updates remove most coherence misses",
+        true,
+    ),
+    ("[T5] TRFD_4 coherence is barrier-dominated", true),
+    ("[T5] Shell has almost no barrier misses", true),
+    ("[T4] TRFD_4: deferred copy saves only a little", true),
+    ("[T4] TRFD+Make: deferred copy saves only a little", true),
+    ("[T4] ARC2D+Fsck: deferred copy saves only a little", true),
+    ("[T4] Shell: deferred copy saves only a little", true),
+];
+
+#[test]
+fn scorecard_verdicts_do_not_regress() {
+    let mut r = Repro::new(0.1);
+    let sc = r.scorecard();
+    assert_eq!(
+        sc.checks.len(),
+        EXPECTED.len(),
+        "scorecard gained or lost checks; update EXPECTED deliberately"
+    );
+    let mut regressions = Vec::new();
+    for (check, (name, expected_ok)) in sc.checks.iter().zip(EXPECTED) {
+        assert_eq!(
+            check.name, name,
+            "scorecard check order or naming changed; update EXPECTED deliberately"
+        );
+        if check.ok != expected_ok {
+            regressions.push(format!(
+                "{}: expected {}, measured {:.2} (paper {:.2}) -> {}",
+                check.name,
+                if expected_ok { "PASS" } else { "FAIL" },
+                check.measured,
+                check.paper,
+                if check.ok { "PASS" } else { "FAIL" },
+            ));
+        }
+    }
+    assert!(
+        regressions.is_empty(),
+        "scorecard verdicts changed:\n{}",
+        regressions.join("\n")
+    );
+}

@@ -60,7 +60,7 @@ impl CacheGeom {
 }
 
 /// How block operations (§4) are carried out by the memory system.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum BlockOpScheme {
     /// `Base`: ordinary cached loads and stores.
     #[default]
@@ -146,7 +146,7 @@ impl Default for Timing {
 /// inclusion, FIFO write-buffer drain, monotone clocks) and reports any
 /// violation as a typed [`crate::SimError`] instead of silently producing
 /// wrong statistics. Ordered: each level includes everything below it.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub enum AuditLevel {
     /// No auditing (the default; zero overhead).
     #[default]

@@ -16,7 +16,7 @@ use oscache_trace::{BarrierId, CodeLayout, DataClass, Mode, StreamBuilder, Trace
 pub const N_CPUS: usize = 4;
 
 /// Which of the paper's workloads to build.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Workload {
     /// `TRFD_4`: four 4-process runs of the parallel TRFD code — highly
     /// parallel, synchronization-intensive, heavy page-fault and
@@ -248,6 +248,42 @@ impl Workload {
 /// Builds one of the paper's workload traces.
 pub fn build(workload: Workload, opts: BuildOptions) -> Trace {
     Builder::new(workload, rates(workload), opts).run()
+}
+
+/// Builds a trace behind an [`std::sync::Arc`] so it can be shared
+/// immutably across threads (the cache-friendly entry point used by
+/// `oscache-core`'s trace cache).
+pub fn build_shared(workload: Workload, opts: BuildOptions) -> std::sync::Arc<Trace> {
+    std::sync::Arc::new(build(workload, opts))
+}
+
+/// The identity of a calibrated trace build: two equal keys always denote
+/// bitwise-identical traces (generation is deterministic per key).
+///
+/// The float scale is captured by its IEEE-754 bit pattern so the key is
+/// hashable without tolerance games.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TraceBuildKey {
+    /// Which workload generator ran.
+    pub workload: Workload,
+    /// `scale.to_bits()` of the build.
+    pub scale_bits: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Processor count of the traced machine.
+    pub n_cpus: usize,
+}
+
+impl BuildOptions {
+    /// The cache key identifying the trace `build(workload, self)` returns.
+    pub fn key(&self, workload: Workload) -> TraceBuildKey {
+        TraceBuildKey {
+            workload,
+            scale_bits: self.scale.to_bits(),
+            seed: self.seed,
+            n_cpus: self.n_cpus,
+        }
+    }
 }
 
 /// Builds a trace from a custom activity [`Mix`].

@@ -29,5 +29,7 @@
 mod builder;
 mod user;
 
-pub use builder::{build, build_with_mix, BuildOptions, Mix, Workload, N_CPUS};
+pub use builder::{
+    build, build_shared, build_with_mix, BuildOptions, Mix, TraceBuildKey, Workload, N_CPUS,
+};
 pub use user::{UserProc, UserProgram, UserPrograms};

@@ -1,0 +1,128 @@
+//! Golden-file snapshot tests for `repro` output.
+//!
+//! `tests/golden/*.txt` pins the exact bytes `repro <experiment>` prints
+//! at the default scale (1.0) for table1–table5, fig1–fig7, and headline.
+//! Any change to simulator behaviour, calibration, or report formatting
+//! shows up here as a byte diff — a numeric regression in any experiment
+//! can no longer ship silently.
+//!
+//! Regenerating after an *intentional* change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! then commit the refreshed `tests/golden/*.txt` together with the change
+//! that moved the numbers (and say why in the commit message).
+//!
+//! Mechanics: the harness drives the release `repro` binary (building it
+//! first if needed — tier-1 CI always builds release before testing) and
+//! runs `repro --jobs 2 golden <tmpdir>`, so a passing comparison also
+//! re-proves that the parallel runner's output is bitwise-identical to
+//! the serial output the files were recorded from.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The golden-filed experiments, in paper order.
+const EXPERIMENTS: [&str; 13] = [
+    "table1", "table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4", "fig5",
+    "fig6", "fig7", "headline",
+];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The release `repro` binary, built on demand.
+fn repro_binary() -> PathBuf {
+    let target = std::env::var_os("CARGO_TARGET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| repo_root().join("target"));
+    let exe = target
+        .join("release")
+        .join(format!("repro{}", std::env::consts::EXE_SUFFIX));
+    if !exe.exists() {
+        let status = Command::new(env!("CARGO"))
+            .args([
+                "build",
+                "--release",
+                "-p",
+                "oscache-bench",
+                "--bin",
+                "repro",
+            ])
+            .current_dir(repo_root())
+            .status()
+            .expect("spawn cargo build");
+        assert!(status.success(), "building the release repro binary failed");
+    }
+    exe
+}
+
+#[test]
+fn repro_output_matches_golden_files() {
+    let golden_dir = repo_root().join("tests").join("golden");
+    let out_dir = std::env::temp_dir().join(format!("oscache-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+
+    let status = Command::new(repro_binary())
+        .args(["--jobs", "2", "golden"])
+        .arg(&out_dir)
+        .current_dir(repo_root())
+        .status()
+        .expect("spawn repro golden");
+    assert!(status.success(), "repro golden exited with {status}");
+
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(&golden_dir).expect("create tests/golden");
+        for e in EXPERIMENTS {
+            std::fs::copy(
+                out_dir.join(format!("{e}.txt")),
+                golden_dir.join(format!("{e}.txt")),
+            )
+            .expect("refresh golden file");
+        }
+        let _ = std::fs::remove_dir_all(&out_dir);
+        eprintln!("golden files refreshed in {}", golden_dir.display());
+        return;
+    }
+
+    let mut mismatches = Vec::new();
+    for e in EXPERIMENTS {
+        let expected = read(&golden_dir.join(format!("{e}.txt")));
+        let produced = read(&out_dir.join(format!("{e}.txt")));
+        match (expected, produced) {
+            (Some(want), Some(got)) if want == got => {}
+            (Some(want), Some(got)) => mismatches.push(format!(
+                "{e}: output diverges from tests/golden/{e}.txt ({} vs {} bytes); \
+                 first differing line: {}",
+                want.len(),
+                got.len(),
+                first_diff(&want, &got)
+            )),
+            (None, _) => mismatches.push(format!("{e}: tests/golden/{e}.txt is missing")),
+            (_, None) => mismatches.push(format!("{e}: repro golden produced no {e}.txt")),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&out_dir);
+    assert!(
+        mismatches.is_empty(),
+        "golden comparison failed:\n{}\n\
+         If the change is intentional, regenerate with UPDATE_GOLDEN=1 cargo test --test golden",
+        mismatches.join("\n")
+    );
+}
+
+fn read(path: &Path) -> Option<String> {
+    std::fs::read_to_string(path).ok()
+}
+
+fn first_diff(want: &str, got: &str) -> String {
+    for (i, (w, g)) in want.lines().zip(got.lines()).enumerate() {
+        if w != g {
+            return format!("line {}: {w:?} != {g:?}", i + 1);
+        }
+    }
+    "(one output is a prefix of the other)".to_string()
+}
