@@ -17,7 +17,7 @@ use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale S] [--jobs N] [--timings] [table1..table5 | fig1..fig7 | headline | scorecard | all]\n                                                 cells run across N workers (default: all\n                                                 hardware threads); output is bitwise-identical\n                                                 for any N. `all` writes BENCH_repro.json.\n                repro golden <dir>               write each experiment's output to <dir>/<name>.txt\n                                                 (the golden-file corpus under tests/golden/)\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n       exit codes: 1 i/o, 2 usage, 3 trace validation, 4 simulation invariant"
+        "usage: repro [--scale S] [--jobs N] [--timings] [table1..table5 | fig1..fig7 | headline | scorecard | all]\n                                                 cells run across N workers (default: all\n                                                 hardware threads); output is bitwise-identical\n                                                 for any N. `all` writes BENCH_repro.json.\n                repro golden <dir>               write each experiment's output to <dir>/<name>.txt\n                                                 (the golden-file corpus under tests/golden/)\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n                repro bench [--check]            perf smoke over 3 representative cells at reduced\n                                                 scale; without --check writes BENCH_smoke.json\n                                                 reference timings, with --check fails if any cell\n                                                 regressed more than 2x vs that reference\n       exit codes: 1 i/o, 2 usage, 3 trace validation, 4 simulation invariant, 5 perf regression"
     );
     std::process::exit(2);
 }
@@ -28,6 +28,18 @@ const EXIT_IO: i32 = 1;
 const EXIT_TRACE_INVALID: i32 = 3;
 /// Exit code for invariant violations or runtime errors during simulation.
 const EXIT_SIM_FAILED: i32 = 4;
+/// Exit code for a performance regression caught by `bench --check`.
+const EXIT_PERF_REGRESSION: i32 = 5;
+
+/// Trace scale of the `bench` perf smoke (fixed, so the committed
+/// reference stays comparable across runs).
+const SMOKE_SCALE: f64 = 0.2;
+/// Where `bench` writes — and `bench --check` reads — reference timings.
+const SMOKE_REF: &str = "BENCH_smoke.json";
+/// Regression threshold: a tracked cell failing at more than this ratio
+/// of its reference work time fails the smoke. Generous on purpose — the
+/// gate exists to catch gross (algorithmic) regressions, not CI jitter.
+const SMOKE_LIMIT: f64 = 2.0;
 
 /// Reports a structured error on stderr and exits with `code`.
 fn fail(class: &str, msg: &str, code: i32) -> ! {
@@ -403,6 +415,17 @@ fn main() {
                 csv(&dir, scale, jobs);
                 return;
             }
+            "bench" => {
+                let mut check = false;
+                for opt in args.by_ref() {
+                    match opt.as_str() {
+                        "--check" => check = true,
+                        _ => usage(),
+                    }
+                }
+                bench(check);
+                return;
+            }
             "perturb" => {
                 let w = args.next().unwrap_or_else(|| usage());
                 perturb(&w, scale);
@@ -502,32 +525,144 @@ fn golden(dir: &str, scale: f64, jobs: usize) {
     );
 }
 
-/// Prints the per-cell timing summary (`--timings`).
+/// Prints the per-cell timing summary (`--timings`), with each cell's
+/// wall time broken down into build / prepare / simulate phases.
 fn print_timings(r: &Repro, warm: &WarmStats) {
     println!("\nPer-cell timings ({} workers)", warm.jobs);
-    println!("{}", "-".repeat(72));
+    println!("{}", "-".repeat(96));
     for b in r.cache().build_timings() {
         println!(
-            "build {:<44} {:>9.1} ms {:>12} events",
+            "build {:<40} {:>9.1} ms {:>12} events",
             format!("{:?}", b.key.workload),
             b.ms,
             b.events
         );
     }
+    println!(
+        "{:<46} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "", "total", "build", "prepare", "sim", "OS misses"
+    );
     for t in r.timings() {
         println!(
-            "cell  {:<44} {:>9.1} ms {:>10} OS misses",
+            "cell  {:<40} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>10}",
             compact_key(&t.key),
             t.ms,
+            t.build_ms,
+            t.prepare_ms,
+            t.sim_ms,
             t.os_misses
         );
     }
     println!(
-        "total {:<44} {:>9.1} ms wall, {} cells",
+        "total {:<40} {:>9.1} ms wall, {} cells",
         "",
         warm.wall_ms,
         warm.cells.len()
     );
+}
+
+/// The `bench` perf smoke: three representative TRFD_4 cells — the cheap
+/// baseline, the transform-heavy relocate+update cell, and the full
+/// ladder top (hot-spot profiling simulation + prefetch insertion) — run
+/// serially at a reduced scale with per-phase timings.
+///
+/// Without `--check`, writes the measured timings to [`SMOKE_REF`] as the
+/// committed reference. With `--check`, compares against that reference
+/// and exits [`EXIT_PERF_REGRESSION`] if any cell's work time (prepare +
+/// simulate; trace build excluded as a one-off) exceeds [`SMOKE_LIMIT`]×
+/// its reference.
+fn bench(check: bool) {
+    use oscache_workloads::Workload;
+    let systems = [System::Base, System::BCohRelUp, System::BCPref];
+    let mut r = Repro::with_jobs(SMOKE_SCALE, 1);
+    println!("perf smoke: TRFD_4 at scale {SMOKE_SCALE}, 1 worker");
+    for sys in systems {
+        r.run(Workload::Trfd4, sys);
+    }
+    println!(
+        "{:<24} {:>9} {:>9} {:>9} {:>9}",
+        "cell", "total", "build", "prepare", "sim"
+    );
+    for t in r.timings() {
+        println!(
+            "{:<24} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            compact_key(&t.key),
+            t.ms,
+            t.build_ms,
+            t.prepare_ms,
+            t.sim_ms
+        );
+    }
+    if !check {
+        let cells = r.timings();
+        let mut s = String::from("{\n  \"scale\": ");
+        s.push_str(&format!("{SMOKE_SCALE},\n  \"cells\": [\n"));
+        for (i, t) in cells.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"key\": \"{}\", \"work_ms\": {:.1}}}{}\n",
+                compact_key(&t.key),
+                t.prepare_ms + t.sim_ms,
+                if i + 1 < cells.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(SMOKE_REF, s) {
+            fail("io", &format!("{SMOKE_REF}: {e}"), EXIT_IO);
+        }
+        eprintln!("wrote {SMOKE_REF} (reference for `repro bench --check`)");
+        return;
+    }
+    let reference = std::fs::read_to_string(SMOKE_REF).unwrap_or_else(|e| {
+        fail(
+            "io",
+            &format!("{SMOKE_REF}: {e} (generate with `repro bench`)"),
+            EXIT_IO,
+        )
+    });
+    let mut failed = false;
+    for t in r.timings() {
+        let key = compact_key(&t.key);
+        let Some(ref_ms) = smoke_reference_ms(&reference, &key) else {
+            eprintln!("warning: {key} not in {SMOKE_REF}; skipping");
+            continue;
+        };
+        let work = t.prepare_ms + t.sim_ms;
+        let ratio = work / ref_ms.max(0.1);
+        let verdict = if ratio > SMOKE_LIMIT {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "check {key:<24} work {work:>8.1} ms vs reference {ref_ms:>8.1} ms ({ratio:>4.2}x) {verdict}"
+        );
+    }
+    if failed {
+        fail(
+            "perf-regression",
+            &format!("a tracked cell regressed more than {SMOKE_LIMIT}x vs {SMOKE_REF}"),
+            EXIT_PERF_REGRESSION,
+        );
+    }
+    println!("perf smoke passed: no tracked cell regressed more than {SMOKE_LIMIT}x");
+}
+
+/// Extracts `work_ms` for `key` from the reference file's one-cell-per-line
+/// JSON (written by `bench`, no JSON dependency needed).
+fn smoke_reference_ms(reference: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"key\": \"{key}\"");
+    for line in reference.lines() {
+        if line.contains(&needle) {
+            let rest = line.split("\"work_ms\": ").nth(1)?;
+            let num: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect();
+            return num.parse().ok();
+        }
+    }
+    None
 }
 
 /// Shortens a run key for display: the full geometry debug suffix is only
@@ -562,9 +697,12 @@ fn write_bench_json(path: &str, scale: f64, r: &Repro, warm: &WarmStats) {
     let cells = r.timings();
     for (i, t) in cells.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"key\": \"{}\", \"ms\": {:.1}, \"os_misses\": {}}}{}\n",
+            "    {{\"key\": \"{}\", \"ms\": {:.1}, \"build_ms\": {:.1}, \"prepare_ms\": {:.1}, \"sim_ms\": {:.1}, \"os_misses\": {}}}{}\n",
             compact_key(&t.key),
             t.ms,
+            t.build_ms,
+            t.prepare_ms,
+            t.sim_ms,
             t.os_misses,
             if i + 1 < cells.len() { "," } else { "" }
         ));

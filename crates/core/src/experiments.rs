@@ -51,6 +51,13 @@ pub struct CellTiming {
     pub key: String,
     /// Milliseconds spent simulating the cell.
     pub ms: f64,
+    /// Milliseconds fetching/building the base trace (first cell per
+    /// workload pays the build; the rest hit the cache).
+    pub build_ms: f64,
+    /// Milliseconds in the software passes (`prepare_cell`).
+    pub prepare_ms: f64,
+    /// Milliseconds in the final machine run.
+    pub sim_ms: f64,
     /// OS read misses the cell observed (a cheap cross-run sanity metric).
     pub os_misses: u64,
 }
@@ -149,6 +156,9 @@ impl Repro {
         let timing = CellTiming {
             key: outcome.cell.key(),
             ms: outcome.ms,
+            build_ms: outcome.build_ms,
+            prepare_ms: outcome.prepare_ms,
+            sim_ms: outcome.sim_ms,
             os_misses: outcome.result.stats.total().os_read_misses(),
         };
         self.runs.insert(timing.key.clone(), outcome.result);

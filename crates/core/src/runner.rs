@@ -203,7 +203,7 @@ impl TraceCache {
     }
 }
 
-/// The outcome of one cell, with its wall-clock cost.
+/// The outcome of one cell, with its wall-clock cost broken down by phase.
 #[derive(Clone, Debug)]
 pub struct CellOutcome {
     /// The cell that ran.
@@ -213,6 +213,14 @@ pub struct CellOutcome {
     /// Wall-clock milliseconds spent on this cell by its worker (trace
     /// build time is attributed to whichever cell built first).
     pub ms: f64,
+    /// Milliseconds fetching (and, for the first cell per workload,
+    /// building) the base trace.
+    pub build_ms: f64,
+    /// Milliseconds in the software passes (`prepare_cell`), including the
+    /// hot-spot profiling simulation; near-zero on a prepared-cache hit.
+    pub prepare_ms: f64,
+    /// Milliseconds in the final machine run.
+    pub sim_ms: f64,
 }
 
 /// What [`run_cells`] returns: per-cell outcomes in *cell index order*
@@ -235,12 +243,18 @@ pub fn run_cell(
 ) -> Result<CellOutcome, SimError> {
     let t0 = Instant::now();
     let base = cache.base(cell.workload, opts);
+    let built = Instant::now();
     let prepared = cache.prepared(&base, cell.fingerprint(opts))?;
+    let prep = Instant::now();
     let result = sim::run_prepared(&base, &prepared, cell.spec, cell.geometry, AuditLevel::Off)?;
+    let done = Instant::now();
     Ok(CellOutcome {
         cell: cell.clone(),
         result,
-        ms: 1e3 * t0.elapsed().as_secs_f64(),
+        ms: 1e3 * (done - t0).as_secs_f64(),
+        build_ms: 1e3 * (built - t0).as_secs_f64(),
+        prepare_ms: 1e3 * (prep - built).as_secs_f64(),
+        sim_ms: 1e3 * (done - prep).as_secs_f64(),
     })
 }
 

@@ -4,7 +4,7 @@
 use crate::analysis;
 use crate::config::{Geometry, System, SystemSpec, UpdatePolicy};
 use crate::transform;
-use oscache_memsys::{AuditLevel, Machine, SimError, SimStats};
+use oscache_memsys::{AuditLevel, Machine, PageSet, SimError, SimStats};
 use oscache_trace::Trace;
 use std::collections::HashSet;
 
@@ -73,7 +73,7 @@ pub struct PreparedCell {
     /// original).
     pub trace: Option<Trace>,
     /// Pages mapped with the update protocol (§5.2).
-    pub update_pages: HashSet<u32>,
+    pub update_pages: PageSet,
 }
 
 /// Runs a fully-specified system with the machine's invariant auditor set
@@ -97,7 +97,7 @@ pub fn prepare_cell(
     geometry: Geometry,
     audit: AuditLevel,
 ) -> Result<PreparedCell, SimError> {
-    let mut update_pages: HashSet<u32> = HashSet::new();
+    let mut update_pages = PageSet::new();
     let mut owned: Option<Trace> = None;
 
     if spec.deferred_copy {
@@ -107,11 +107,15 @@ pub fn prepare_cell(
     }
 
     if spec.page_coloring {
+        // Coloring materializes before planning: the sharing profile and
+        // the hot-spot profiling run must observe colored addresses
+        // exactly as the sequential pass chain produced them.
         let l2_size = geometry.machine_config(&spec).l2.size;
-        owned = Some(transform::color_pages(
-            owned.as_ref().unwrap_or(trace),
-            l2_size,
-        ));
+        let working = owned.as_ref().unwrap_or(trace);
+        let colored = transform::TransformPipeline::new()
+            .coloring(working, l2_size)
+            .run(working);
+        owned = Some(colored);
     }
 
     if spec.privatize || spec.relocate || spec.update != UpdatePolicy::None {
@@ -129,7 +133,7 @@ pub fn prepare_cell(
         if spec.update == UpdatePolicy::Selective {
             let set = analysis::find_update_set(&profile, &privatized);
             let (upd_plan, pages) = transform::update_page_plan(working, &set);
-            update_pages = pages;
+            update_pages = pages.into_iter().collect();
             // Record which variables the update plan placed.
             for w in set.all_words() {
                 if let Some(v) = working.meta.var_at(w) {
@@ -154,19 +158,23 @@ pub fn prepare_cell(
                 }
             }
         }
-        let mut t = working.clone();
+        plan.finish();
+        // One fused walk applies privatization and relocation together —
+        // the old chain cloned and rewrote the trace once per pass.
+        let mut pipe = transform::TransformPipeline::new();
         if spec.privatize && !privatized.is_empty() {
-            t = transform::privatize_counters(&t, &privatized);
+            pipe = pipe.privatize(&privatized);
         }
         if !plan.is_empty() {
-            t = transform::relocate(&t, &plan);
+            pipe = pipe.relocate(&plan);
         }
-        owned = Some(t);
+        let rewritten = pipe.run(working);
+        owned = Some(rewritten);
     }
 
     if spec.update == UpdatePolicy::Full {
         let working = owned.as_ref().unwrap_or(trace);
-        update_pages = transform::full_update_pages(working);
+        update_pages = transform::full_update_pages(working).into_iter().collect();
     }
 
     if spec.hotspot_prefetch {
@@ -178,7 +186,9 @@ pub fn prepare_cell(
         let working = owned.as_ref().unwrap_or(trace);
         let profile_stats = Machine::new(cfg, working)?.run()?;
         let hot = analysis::find_hot_spots(&profile_stats.total(), &working.meta.code);
-        let t = transform::insert_hotspot_prefetches(working, &hot);
+        let t = transform::TransformPipeline::new()
+            .hotspot(&hot)
+            .run(working);
         owned = Some(t);
     }
 

@@ -8,10 +8,18 @@
 //! relocated variables move to fresh line-aligned homes, update-mapped
 //! variables are gathered into one page, and prefetch instructions appear
 //! ahead of the loads they cover.
+//!
+//! The rewrites are *fused*: [`TransformPipeline`] applies any combination
+//! of passes in one walk over each stream into one pre-sized buffer, in
+//! the fixed composition order coloring → privatization → relocation →
+//! escape instrumentation → hot-spot prefetching. The per-pass functions
+//! ([`privatize_counters`], [`relocate`], …) are thin wrappers over a
+//! single-stage pipeline; the original pass-by-pass implementations live
+//! on verbatim in [`compat`] as the equivalence oracle.
 
 use crate::analysis::UpdateSet;
 use oscache_trace::{Addr, DataClass, Event, Stream, Trace, WORD_SIZE};
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Base of the per-CPU private-counter area.
 pub const PRIVATE_BASE: u32 = 0x0300_0000;
@@ -38,66 +46,17 @@ pub fn private_copy_addr(idx: usize, cpu: usize) -> Addr {
 /// counter, [the pager] reads all the private sub-counters and adds them
 /// all up").
 pub fn privatize_counters(trace: &Trace, targets: &[Addr]) -> Trace {
-    let index: HashMap<u32, usize> = targets
-        .iter()
-        .enumerate()
-        .map(|(i, a)| (a.0 & !(WORD_SIZE - 1), i))
-        .collect();
-    let n_cpus = trace.n_cpus();
-    let mut out = trace.clone();
-    for (cpu, stream) in trace.streams.iter().enumerate() {
-        let events = stream.events();
-        let mut new = Vec::with_capacity(events.len());
-        let mut i = 0;
-        while i < events.len() {
-            match events[i] {
-                Event::Read { addr, class } => {
-                    let w = addr.0 & !(WORD_SIZE - 1);
-                    if let Some(&idx) = index.get(&w) {
-                        // Update (read+write pair) → private copy.
-                        if let Some(Event::Write { addr: wa, .. }) = events.get(i + 1) {
-                            if wa.0 & !(WORD_SIZE - 1) == w {
-                                let p = private_copy_addr(idx, cpu);
-                                new.push(Event::Read { addr: p, class });
-                                new.push(Event::Write { addr: p, class });
-                                i += 2;
-                                continue;
-                            }
-                        }
-                        // Aggregate use → read every CPU's copy.
-                        for c in 0..n_cpus {
-                            new.push(Event::Read {
-                                addr: private_copy_addr(idx, c),
-                                class,
-                            });
-                        }
-                        i += 1;
-                        continue;
-                    }
-                    new.push(events[i]);
-                }
-                Event::Write { addr, class } => {
-                    let w = addr.0 & !(WORD_SIZE - 1);
-                    if let Some(&idx) = index.get(&w) {
-                        new.push(Event::Write {
-                            addr: private_copy_addr(idx, cpu),
-                            class,
-                        });
-                        i += 1;
-                        continue;
-                    }
-                    new.push(events[i]);
-                }
-                e => new.push(e),
-            }
-            i += 1;
-        }
-        out.streams[cpu] = Stream::from_events(new);
-    }
-    out
+    TransformPipeline::new().privatize(targets).run(trace)
 }
 
 /// An address remapping built from byte ranges.
+///
+/// Ranges are appended unsorted; [`RelocationMap::finish`] sorts them once
+/// and checks for overlaps, enabling binary-search lookups. A map that has
+/// not been finished still answers [`RelocationMap::lookup`] correctly via
+/// a linear containment scan, so plans may interleave `add` and `lookup`
+/// while under construction — but callers should `finish()` a plan before
+/// rewriting a whole trace through it.
 ///
 /// # Examples
 ///
@@ -108,12 +67,17 @@ pub fn privatize_counters(trace: &Trace, targets: &[Addr]) -> Trace {
 /// let mut m = RelocationMap::new();
 /// m.add(Addr(0x100), 8, Addr(0x9000));
 /// assert_eq!(m.lookup(Addr(0x104)), Some(Addr(0x9004)));
+/// m.finish();
+/// assert_eq!(m.lookup(Addr(0x104)), Some(Addr(0x9004)));
 /// assert_eq!(m.lookup(Addr(0x108)), None);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct RelocationMap {
-    /// `(old_start, len, new_start)` triples, sorted by `old_start`.
+    /// `(old_start, len, new_start)` triples; sorted by `old_start` once
+    /// `finish()` has run.
     ranges: Vec<(u32, u32, u32)>,
+    /// True while ranges added since the last `finish()` remain unsorted.
+    dirty: bool,
 }
 
 impl RelocationMap {
@@ -122,9 +86,23 @@ impl RelocationMap {
         Self::default()
     }
 
-    /// Adds a range mapping; ranges must not overlap.
+    /// Appends a range mapping. O(1): sorting and the overlap check are
+    /// deferred to [`RelocationMap::finish`].
     pub fn add(&mut self, old: Addr, len: u32, new: Addr) {
         self.ranges.push((old.0, len, new.0));
+        self.dirty = true;
+    }
+
+    /// Sorts the ranges and checks them for overlaps, switching lookups to
+    /// binary search. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any two added ranges overlap.
+    pub fn finish(&mut self) {
+        if !self.dirty {
+            return;
+        }
         self.ranges.sort_unstable();
         for w in self.ranges.windows(2) {
             assert!(
@@ -132,10 +110,20 @@ impl RelocationMap {
                 "overlapping relocation ranges: {w:?}"
             );
         }
+        self.dirty = false;
     }
 
-    /// Remaps one address, if covered.
+    /// Remaps one address, if covered. Binary search after
+    /// [`RelocationMap::finish`]; a linear scan (first matching range wins)
+    /// on a map still under construction.
     pub fn lookup(&self, a: Addr) -> Option<Addr> {
+        if self.dirty {
+            return self
+                .ranges
+                .iter()
+                .find(|&&(s, len, _)| a.0 >= s && a.0 < s + len)
+                .map(|&(s, _, new)| Addr(new + (a.0 - s)));
+        }
         let i = match self.ranges.binary_search_by(|&(s, _, _)| s.cmp(&a.0)) {
             Ok(i) => i,
             Err(0) => return None,
@@ -168,6 +156,7 @@ pub fn false_sharing_plan(trace: &Trace, skip: &HashSet<u32>) -> RelocationMap {
         map.add(v.addr, v.size, Addr(next));
         next += v.size.div_ceil(SLOT).max(1) * SLOT;
     }
+    map.finish();
     map
 }
 
@@ -190,53 +179,13 @@ pub fn update_page_plan(trace: &Trace, set: &UpdateSet) -> (RelocationMap, HashS
         pages.insert(Addr(next).page());
         next += len.div_ceil(SLOT).max(1) * SLOT;
     }
+    map.finish();
     (map, pages)
 }
 
 /// Applies an address remapping to every reference in the trace.
 pub fn relocate(trace: &Trace, map: &RelocationMap) -> Trace {
-    let mut out = trace.clone();
-    let remap = |a: Addr| map.lookup(a).unwrap_or(a);
-    for stream in &mut out.streams {
-        let events = std::mem::take(stream).into_events();
-        let new: Vec<Event> = events
-            .into_iter()
-            .map(|e| match e {
-                Event::Read { addr, class } => Event::Read {
-                    addr: remap(addr),
-                    class,
-                },
-                Event::Write { addr, class } => Event::Write {
-                    addr: remap(addr),
-                    class,
-                },
-                Event::Prefetch { addr, class } => Event::Prefetch {
-                    addr: remap(addr),
-                    class,
-                },
-                Event::LockAcquire { lock, addr } => Event::LockAcquire {
-                    lock,
-                    addr: remap(addr),
-                },
-                Event::LockRelease { lock, addr } => Event::LockRelease {
-                    lock,
-                    addr: remap(addr),
-                },
-                Event::Barrier {
-                    barrier,
-                    addr,
-                    participants,
-                } => Event::Barrier {
-                    barrier,
-                    addr: remap(addr),
-                    participants,
-                },
-                other => other,
-            })
-            .collect();
-        *stream = Stream::from_events(new);
-    }
-    out
+    TransformPipeline::new().relocate(map).run(trace)
 }
 
 /// Prefetch look-ahead for loop hot spots, in bytes (§6 unrolls and
@@ -254,89 +203,7 @@ pub const HOIST_LIMIT: usize = 24;
 /// prefetch of the accessed line up to [`HOIST_LIMIT`] events earlier,
 /// never across synchronization, block operations, or mode switches.
 pub fn insert_hotspot_prefetches(trace: &Trace, hot_sites: &[u16]) -> Trace {
-    let hot: HashSet<u16> = hot_sites.iter().copied().collect();
-    let mut out = trace.clone();
-    for stream in &mut out.streams {
-        let events = std::mem::take(stream).into_events();
-        // insertions[i] = prefetches to emit immediately before event i.
-        let mut insertions: HashMap<usize, Vec<Event>> = HashMap::new();
-        let mut cur_site: Option<u16> = None;
-        let mut site_is_loop = false;
-        let mut in_blockop = false;
-        let mut recent_lines: Vec<u32> = Vec::new();
-        for (i, e) in events.iter().enumerate() {
-            match *e {
-                Event::Exec { block } => {
-                    let bb = trace.meta.code.block(block);
-                    if cur_site != Some(bb.site.0) {
-                        cur_site = Some(bb.site.0);
-                        site_is_loop = trace.meta.code.site(bb.site).is_loop;
-                        recent_lines.clear();
-                    }
-                }
-                Event::BlockOpBegin { .. } => in_blockop = true,
-                Event::BlockOpEnd => in_blockop = false,
-                Event::Read { addr, class }
-                    if !in_blockop && cur_site.map(|s| hot.contains(&s)).unwrap_or(false) =>
-                {
-                    let line = addr.0 & !15;
-                    if recent_lines.contains(&line) {
-                        continue;
-                    }
-                    recent_lines.push(line);
-                    if recent_lines.len() > 16 {
-                        recent_lines.remove(0);
-                    }
-                    if site_is_loop {
-                        // Software pipelining: prefetch the data of a later
-                        // iteration at this one.
-                        insertions.entry(i).or_default().push(Event::Prefetch {
-                            addr: addr.offset(LOOP_AHEAD),
-                            class,
-                        });
-                        // The prologue covers the first accesses.
-                        insertions
-                            .entry(i)
-                            .or_default()
-                            .push(Event::Prefetch { addr, class });
-                    } else {
-                        // Hoist backwards to the earliest safe position.
-                        let mut j = i;
-                        let mut hoisted = 0;
-                        while j > 0 && hoisted < HOIST_LIMIT {
-                            match events[j - 1] {
-                                Event::LockAcquire { .. }
-                                | Event::LockRelease { .. }
-                                | Event::Barrier { .. }
-                                | Event::BlockOpBegin { .. }
-                                | Event::BlockOpEnd
-                                | Event::SetMode { .. }
-                                | Event::Idle { .. } => break,
-                                _ => {
-                                    j -= 1;
-                                    hoisted += 1;
-                                }
-                            }
-                        }
-                        insertions
-                            .entry(j)
-                            .or_default()
-                            .push(Event::Prefetch { addr, class });
-                    }
-                }
-                _ => {}
-            }
-        }
-        let mut new = Vec::with_capacity(events.len() + insertions.len());
-        for (i, e) in events.into_iter().enumerate() {
-            if let Some(pre) = insertions.remove(&i) {
-                new.extend(pre);
-            }
-            new.push(e);
-        }
-        *stream = Stream::from_events(new);
-    }
-    out
+    TransformPipeline::new().hotspot(hot_sites).run(trace)
 }
 
 /// Marker class re-export used by tests.
@@ -351,24 +218,7 @@ pub fn is_prefetch(e: &Event) -> bool {
 /// metrics"; [`crate::Repro`]-level comparisons of an instrumented trace
 /// against the original reproduce that perturbation study.
 pub fn instrument_escapes(trace: &Trace) -> Trace {
-    let mut out = trace.clone();
-    for stream in &mut out.streams {
-        let events = std::mem::take(stream).into_events();
-        let mut new = Vec::with_capacity(events.len() * 2);
-        for e in events {
-            new.push(e);
-            if let Event::Exec { block } = e {
-                let bb = trace.meta.code.block(block);
-                // Escape: a data read of an odd code-segment address.
-                new.push(Event::Read {
-                    addr: Addr(bb.start.0 | 1),
-                    class: DataClass::KernelOther,
-                });
-            }
-        }
-        *stream = Stream::from_events(new);
-    }
-    out
+    TransformPipeline::new().escapes().run(trace)
 }
 
 /// Base of the recolored-page region (far above every generated region).
@@ -395,82 +245,7 @@ fn colorable(class: DataClass) -> bool {
 /// the many small data structures in the kernel" — which is why it is an
 /// extension here, not part of the §4–§6 ladder.
 pub fn color_pages(trace: &Trace, l2_size: u32) -> Trace {
-    let colors = (l2_size / oscache_trace::PAGE_SIZE).max(1);
-    let mut map: HashMap<u32, u32> = HashMap::new();
-    let mut next_color = 0u32;
-    let mut rounds = vec![0u32; colors as usize];
-    let mut assign = |map: &mut HashMap<u32, u32>, page: u32| {
-        map.entry(page).or_insert_with(|| {
-            let color = next_color % colors;
-            let round = rounds[color as usize];
-            rounds[color as usize] += 1;
-            next_color += 1;
-            COLOR_BASE_PAGE + round * colors + color
-        });
-    };
-    // First pass: assign new pages in first-touch order.
-    for stream in &trace.streams {
-        for e in stream.events() {
-            match *e {
-                Event::Read { addr, class }
-                | Event::Write { addr, class }
-                | Event::Prefetch { addr, class }
-                    if colorable(class) =>
-                {
-                    assign(&mut map, addr.page());
-                }
-                Event::BlockOpBegin { op } => {
-                    if colorable(op.src_class) {
-                        assign(&mut map, op.src.page());
-                    }
-                    if colorable(op.dst_class) {
-                        assign(&mut map, op.dst.page());
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    // Second pass: rewrite through the page map.
-    let remap = |a: Addr| -> Addr {
-        match map.get(&a.page()) {
-            Some(&new_page) => Addr(new_page * oscache_trace::PAGE_SIZE + a.page_offset()),
-            None => a,
-        }
-    };
-    let mut out = trace.clone();
-    for stream in &mut out.streams {
-        let events = std::mem::take(stream).into_events();
-        let new: Vec<Event> = events
-            .into_iter()
-            .map(|e| match e {
-                Event::Read { addr, class } if colorable(class) => Event::Read {
-                    addr: remap(addr),
-                    class,
-                },
-                Event::Write { addr, class } if colorable(class) => Event::Write {
-                    addr: remap(addr),
-                    class,
-                },
-                Event::Prefetch { addr, class } if colorable(class) => Event::Prefetch {
-                    addr: remap(addr),
-                    class,
-                },
-                Event::BlockOpBegin { mut op } => {
-                    if colorable(op.src_class) {
-                        op.src = remap(op.src);
-                    }
-                    if colorable(op.dst_class) {
-                        op.dst = remap(op.dst);
-                    }
-                    Event::BlockOpBegin { op }
-                }
-                other => other,
-            })
-            .collect();
-        *stream = Stream::from_events(new);
-    }
-    out
+    TransformPipeline::new().coloring(trace, l2_size).run(trace)
 }
 
 /// Collects the pages of every static kernel variable (for the
@@ -504,6 +279,707 @@ pub fn full_update_pages(trace: &Trace) -> HashSet<u32> {
         }
     }
     pages
+}
+
+/// A fused trace rewrite: any combination of the software passes applied
+/// in one walk over each stream into one pre-sized output buffer.
+///
+/// Stages run per event in the fixed order the old pass chain composed
+/// them: **coloring → privatization → relocation → escape instrumentation
+/// → hot-spot prefetching**. Coloring and relocation are pure per-event
+/// address maps; privatization's two-event peephole applies coloring to
+/// its lookahead on the fly, so the fused output is event-for-event
+/// identical to running the stages as separate whole-trace passes (the
+/// [`compat`] oracle, pinned by the equivalence tests).
+///
+/// Plans are still computed separately — the pipeline consumes a finished
+/// [`RelocationMap`], privatization targets, and hot-site list; it only
+/// fuses the *rewrites*, which is where the per-pass chain paid a full
+/// clone + walk each.
+#[derive(Default)]
+pub struct TransformPipeline<'a> {
+    /// First-touch page map for the coloring stage.
+    color: Option<HashMap<u32, u32>>,
+    /// Word → target-index map for the privatization stage.
+    privatize: Option<HashMap<u32, usize>>,
+    /// Finished relocation plan.
+    reloc: Option<&'a RelocationMap>,
+    /// Insert one escape read after every basic block.
+    escapes: bool,
+    /// Hot sites for the prefetch-insertion stage.
+    hot: Option<HashSet<u16>>,
+}
+
+/// Per-stream state of the fused hot-spot stage. Mirrors the bookkeeping
+/// of the pass-by-pass version, except insertion positions are tracked in
+/// the *output* buffer: the last [`HOIST_LIMIT`] stage-input events and
+/// their current output positions replace the old `insertions` side map.
+struct HotspotState {
+    cur_site: Option<u16>,
+    site_is_loop: bool,
+    in_blockop: bool,
+    recent_lines: Vec<u32>,
+    /// `(blocks_hoisting, output_position)` of the most recent stage-input
+    /// events, oldest first.
+    window: VecDeque<(bool, usize)>,
+}
+
+impl<'a> TransformPipeline<'a> {
+    /// Creates an identity pipeline (no stages).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables page coloring. The first-touch page map is computed here,
+    /// from `trace` — pass the same trace to [`TransformPipeline::run`].
+    pub fn coloring(mut self, trace: &Trace, l2_size: u32) -> Self {
+        let colors = (l2_size / oscache_trace::PAGE_SIZE).max(1);
+        let mut map: HashMap<u32, u32> = HashMap::new();
+        let mut next_color = 0u32;
+        let mut rounds = vec![0u32; colors as usize];
+        let mut assign = |map: &mut HashMap<u32, u32>, page: u32| {
+            map.entry(page).or_insert_with(|| {
+                let color = next_color % colors;
+                let round = rounds[color as usize];
+                rounds[color as usize] += 1;
+                next_color += 1;
+                COLOR_BASE_PAGE + round * colors + color
+            });
+        };
+        for stream in &trace.streams {
+            for e in stream.events() {
+                match *e {
+                    Event::Read { addr, class }
+                    | Event::Write { addr, class }
+                    | Event::Prefetch { addr, class }
+                        if colorable(class) =>
+                    {
+                        assign(&mut map, addr.page());
+                    }
+                    Event::BlockOpBegin { op } => {
+                        if colorable(op.src_class) {
+                            assign(&mut map, op.src.page());
+                        }
+                        if colorable(op.dst_class) {
+                            assign(&mut map, op.dst.page());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.color = Some(map);
+        self
+    }
+
+    /// Enables counter privatization for `targets`.
+    pub fn privatize(mut self, targets: &[Addr]) -> Self {
+        self.privatize = Some(
+            targets
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (a.0 & !(WORD_SIZE - 1), i))
+                .collect(),
+        );
+        self
+    }
+
+    /// Enables relocation through `map` (callers should have `finish()`ed
+    /// it; an unfinished map still works but looks up linearly).
+    pub fn relocate(mut self, map: &'a RelocationMap) -> Self {
+        self.reloc = Some(map);
+        self
+    }
+
+    /// Enables §2.2 escape instrumentation.
+    pub fn escapes(mut self) -> Self {
+        self.escapes = true;
+        self
+    }
+
+    /// Enables hot-spot prefetch insertion at `hot_sites`.
+    pub fn hotspot(mut self, hot_sites: &[u16]) -> Self {
+        self.hot = Some(hot_sites.iter().copied().collect());
+        self
+    }
+
+    /// True when no stage is enabled (run would copy the trace).
+    pub fn is_identity(&self) -> bool {
+        self.color.is_none()
+            && self.privatize.is_none()
+            && self.reloc.is_none()
+            && !self.escapes
+            && self.hot.is_none()
+    }
+
+    /// The coloring stage: a pure per-event address map.
+    fn apply_color(&self, e: Event) -> Event {
+        let Some(map) = &self.color else { return e };
+        let remap = |a: Addr| -> Addr {
+            match map.get(&a.page()) {
+                Some(&new_page) => Addr(new_page * oscache_trace::PAGE_SIZE + a.page_offset()),
+                None => a,
+            }
+        };
+        match e {
+            Event::Read { addr, class } if colorable(class) => Event::Read {
+                addr: remap(addr),
+                class,
+            },
+            Event::Write { addr, class } if colorable(class) => Event::Write {
+                addr: remap(addr),
+                class,
+            },
+            Event::Prefetch { addr, class } if colorable(class) => Event::Prefetch {
+                addr: remap(addr),
+                class,
+            },
+            Event::BlockOpBegin { mut op } => {
+                if colorable(op.src_class) {
+                    op.src = remap(op.src);
+                }
+                if colorable(op.dst_class) {
+                    op.dst = remap(op.dst);
+                }
+                Event::BlockOpBegin { op }
+            }
+            other => other,
+        }
+    }
+
+    /// The relocation stage: a pure per-event address map.
+    fn apply_reloc(&self, e: Event) -> Event {
+        let Some(map) = self.reloc else { return e };
+        let remap = |a: Addr| map.lookup(a).unwrap_or(a);
+        match e {
+            Event::Read { addr, class } => Event::Read {
+                addr: remap(addr),
+                class,
+            },
+            Event::Write { addr, class } => Event::Write {
+                addr: remap(addr),
+                class,
+            },
+            Event::Prefetch { addr, class } => Event::Prefetch {
+                addr: remap(addr),
+                class,
+            },
+            Event::LockAcquire { lock, addr } => Event::LockAcquire {
+                lock,
+                addr: remap(addr),
+            },
+            Event::LockRelease { lock, addr } => Event::LockRelease {
+                lock,
+                addr: remap(addr),
+            },
+            Event::Barrier {
+                barrier,
+                addr,
+                participants,
+            } => Event::Barrier {
+                barrier,
+                addr: remap(addr),
+                participants,
+            },
+            other => other,
+        }
+    }
+
+    /// Emits one post-privatization event through relocation, escape
+    /// instrumentation, and the hot-spot stage into `out`.
+    fn emit(&self, trace: &Trace, hs: &mut Option<HotspotState>, out: &mut Vec<Event>, e: Event) {
+        let e = self.apply_reloc(e);
+        self.hot_emit(trace, hs, out, e);
+        if self.escapes {
+            if let Event::Exec { block } = e {
+                let bb = trace.meta.code.block(block);
+                // Escape: a data read of an odd code-segment address.
+                self.hot_emit(
+                    trace,
+                    hs,
+                    out,
+                    Event::Read {
+                        addr: Addr(bb.start.0 | 1),
+                        class: DataClass::KernelOther,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The hot-spot stage: pushes `e` (a stage-input event), inserting
+    /// prefetches before it or at an earlier (hoisted) output position,
+    /// exactly as the pass-by-pass version keyed insertions by input index.
+    fn hot_emit(
+        &self,
+        trace: &Trace,
+        hs: &mut Option<HotspotState>,
+        out: &mut Vec<Event>,
+        e: Event,
+    ) {
+        let Some(st) = hs else {
+            out.push(e);
+            return;
+        };
+        let hot = self.hot.as_ref().expect("hotspot state implies hot set");
+        match e {
+            Event::Exec { block } => {
+                let bb = trace.meta.code.block(block);
+                if st.cur_site != Some(bb.site.0) {
+                    st.cur_site = Some(bb.site.0);
+                    st.site_is_loop = trace.meta.code.site(bb.site).is_loop;
+                    st.recent_lines.clear();
+                }
+            }
+            Event::BlockOpBegin { .. } => st.in_blockop = true,
+            Event::BlockOpEnd => st.in_blockop = false,
+            Event::Read { addr, class }
+                if !st.in_blockop && st.cur_site.map(|s| hot.contains(&s)).unwrap_or(false) =>
+            {
+                let line = addr.0 & !15;
+                if !st.recent_lines.contains(&line) {
+                    st.recent_lines.push(line);
+                    if st.recent_lines.len() > 16 {
+                        st.recent_lines.remove(0);
+                    }
+                    if st.site_is_loop {
+                        // Software pipelining: prefetch the data of a later
+                        // iteration at this one; the prologue covers the
+                        // first accesses.
+                        out.push(Event::Prefetch {
+                            addr: addr.offset(LOOP_AHEAD),
+                            class,
+                        });
+                        out.push(Event::Prefetch { addr, class });
+                    } else {
+                        // Hoist backwards to the earliest safe position:
+                        // walk the window of prior stage-input events until
+                        // a synchronization/mode/idle boundary or the hoist
+                        // limit.
+                        let mut pos = out.len();
+                        for (hoisted, &(blocks, p)) in st.window.iter().rev().enumerate() {
+                            if blocks || hoisted >= HOIST_LIMIT {
+                                break;
+                            }
+                            pos = p;
+                        }
+                        out.insert(pos, Event::Prefetch { addr, class });
+                        for w in st.window.iter_mut() {
+                            if w.1 >= pos {
+                                w.1 += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        let blocks = matches!(
+            e,
+            Event::LockAcquire { .. }
+                | Event::LockRelease { .. }
+                | Event::Barrier { .. }
+                | Event::BlockOpBegin { .. }
+                | Event::BlockOpEnd
+                | Event::SetMode { .. }
+                | Event::Idle { .. }
+        );
+        st.window.push_back((blocks, out.len()));
+        out.push(e);
+        if st.window.len() > HOIST_LIMIT {
+            st.window.pop_front();
+        }
+    }
+
+    /// Runs the enabled stages over `trace` in one walk per stream.
+    pub fn run(&self, trace: &Trace) -> Trace {
+        let n_cpus = trace.n_cpus();
+        let mut out = Trace::new(n_cpus, trace.meta.clone());
+        for (cpu, stream) in trace.streams.iter().enumerate() {
+            let events = stream.events();
+            let mut hs = self.hot.as_ref().map(|_| HotspotState {
+                cur_site: None,
+                site_is_loop: false,
+                in_blockop: false,
+                recent_lines: Vec::new(),
+                window: VecDeque::with_capacity(HOIST_LIMIT + 1),
+            });
+            // Pre-sized: privatization's aggregate expansion and the
+            // prefetch/escape insertions add a small fraction on top.
+            let mut buf: Vec<Event> = Vec::with_capacity(events.len() + events.len() / 8 + 16);
+            let mut i = 0;
+            while i < events.len() {
+                let e = self.apply_color(events[i]);
+                if let Some(index) = &self.privatize {
+                    match e {
+                        Event::Read { addr, class } => {
+                            let w = addr.0 & !(WORD_SIZE - 1);
+                            if let Some(&idx) = index.get(&w) {
+                                // Update (read+write pair) → private copy.
+                                // The lookahead sees the *colored* next
+                                // event, exactly as a privatization pass
+                                // running after a coloring pass would.
+                                let paired = events.get(i + 1).is_some_and(|&n| {
+                                    matches!(
+                                        self.apply_color(n),
+                                        Event::Write { addr: wa, .. }
+                                            if wa.0 & !(WORD_SIZE - 1) == w
+                                    )
+                                });
+                                if paired {
+                                    let p = private_copy_addr(idx, cpu);
+                                    self.emit(
+                                        trace,
+                                        &mut hs,
+                                        &mut buf,
+                                        Event::Read { addr: p, class },
+                                    );
+                                    self.emit(
+                                        trace,
+                                        &mut hs,
+                                        &mut buf,
+                                        Event::Write { addr: p, class },
+                                    );
+                                    i += 2;
+                                    continue;
+                                }
+                                // Aggregate use → read every CPU's copy.
+                                for c in 0..n_cpus {
+                                    self.emit(
+                                        trace,
+                                        &mut hs,
+                                        &mut buf,
+                                        Event::Read {
+                                            addr: private_copy_addr(idx, c),
+                                            class,
+                                        },
+                                    );
+                                }
+                                i += 1;
+                                continue;
+                            }
+                        }
+                        Event::Write { addr, class } => {
+                            let w = addr.0 & !(WORD_SIZE - 1);
+                            if let Some(&idx) = index.get(&w) {
+                                self.emit(
+                                    trace,
+                                    &mut hs,
+                                    &mut buf,
+                                    Event::Write {
+                                        addr: private_copy_addr(idx, cpu),
+                                        class,
+                                    },
+                                );
+                                i += 1;
+                                continue;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                self.emit(trace, &mut hs, &mut buf, e);
+                i += 1;
+            }
+            out.streams[cpu] = Stream::from_events(buf);
+        }
+        out
+    }
+}
+
+/// The original pass-by-pass rewrites, kept verbatim as the equivalence
+/// oracle for [`TransformPipeline`]: each function materializes a full
+/// trace per pass, which is exactly the cost the fused pipeline removes.
+/// The `pipeline_matches_*` tests pin output equality event-for-event.
+pub mod compat {
+    use super::*;
+
+    /// Oracle for the privatization stage (see [`super::privatize_counters`]).
+    pub fn privatize_counters(trace: &Trace, targets: &[Addr]) -> Trace {
+        let index: HashMap<u32, usize> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.0 & !(WORD_SIZE - 1), i))
+            .collect();
+        let n_cpus = trace.n_cpus();
+        let mut out = trace.clone();
+        for (cpu, stream) in trace.streams.iter().enumerate() {
+            let events = stream.events();
+            let mut new = Vec::with_capacity(events.len());
+            let mut i = 0;
+            while i < events.len() {
+                match events[i] {
+                    Event::Read { addr, class } => {
+                        let w = addr.0 & !(WORD_SIZE - 1);
+                        if let Some(&idx) = index.get(&w) {
+                            if let Some(Event::Write { addr: wa, .. }) = events.get(i + 1) {
+                                if wa.0 & !(WORD_SIZE - 1) == w {
+                                    let p = private_copy_addr(idx, cpu);
+                                    new.push(Event::Read { addr: p, class });
+                                    new.push(Event::Write { addr: p, class });
+                                    i += 2;
+                                    continue;
+                                }
+                            }
+                            for c in 0..n_cpus {
+                                new.push(Event::Read {
+                                    addr: private_copy_addr(idx, c),
+                                    class,
+                                });
+                            }
+                            i += 1;
+                            continue;
+                        }
+                        new.push(events[i]);
+                    }
+                    Event::Write { addr, class } => {
+                        let w = addr.0 & !(WORD_SIZE - 1);
+                        if let Some(&idx) = index.get(&w) {
+                            new.push(Event::Write {
+                                addr: private_copy_addr(idx, cpu),
+                                class,
+                            });
+                            i += 1;
+                            continue;
+                        }
+                        new.push(events[i]);
+                    }
+                    e => new.push(e),
+                }
+                i += 1;
+            }
+            out.streams[cpu] = Stream::from_events(new);
+        }
+        out
+    }
+
+    /// Oracle for the relocation stage (see [`super::relocate`]).
+    pub fn relocate(trace: &Trace, map: &RelocationMap) -> Trace {
+        let mut out = trace.clone();
+        let remap = |a: Addr| map.lookup(a).unwrap_or(a);
+        for stream in &mut out.streams {
+            let events = std::mem::take(stream).into_events();
+            let new: Vec<Event> = events
+                .into_iter()
+                .map(|e| match e {
+                    Event::Read { addr, class } => Event::Read {
+                        addr: remap(addr),
+                        class,
+                    },
+                    Event::Write { addr, class } => Event::Write {
+                        addr: remap(addr),
+                        class,
+                    },
+                    Event::Prefetch { addr, class } => Event::Prefetch {
+                        addr: remap(addr),
+                        class,
+                    },
+                    Event::LockAcquire { lock, addr } => Event::LockAcquire {
+                        lock,
+                        addr: remap(addr),
+                    },
+                    Event::LockRelease { lock, addr } => Event::LockRelease {
+                        lock,
+                        addr: remap(addr),
+                    },
+                    Event::Barrier {
+                        barrier,
+                        addr,
+                        participants,
+                    } => Event::Barrier {
+                        barrier,
+                        addr: remap(addr),
+                        participants,
+                    },
+                    other => other,
+                })
+                .collect();
+            *stream = Stream::from_events(new);
+        }
+        out
+    }
+
+    /// Oracle for the hot-spot stage (see [`super::insert_hotspot_prefetches`]).
+    pub fn insert_hotspot_prefetches(trace: &Trace, hot_sites: &[u16]) -> Trace {
+        let hot: HashSet<u16> = hot_sites.iter().copied().collect();
+        let mut out = trace.clone();
+        for stream in &mut out.streams {
+            let events = std::mem::take(stream).into_events();
+            // insertions[i] = prefetches to emit immediately before event i.
+            let mut insertions: HashMap<usize, Vec<Event>> = HashMap::new();
+            let mut cur_site: Option<u16> = None;
+            let mut site_is_loop = false;
+            let mut in_blockop = false;
+            let mut recent_lines: Vec<u32> = Vec::new();
+            for (i, e) in events.iter().enumerate() {
+                match *e {
+                    Event::Exec { block } => {
+                        let bb = trace.meta.code.block(block);
+                        if cur_site != Some(bb.site.0) {
+                            cur_site = Some(bb.site.0);
+                            site_is_loop = trace.meta.code.site(bb.site).is_loop;
+                            recent_lines.clear();
+                        }
+                    }
+                    Event::BlockOpBegin { .. } => in_blockop = true,
+                    Event::BlockOpEnd => in_blockop = false,
+                    Event::Read { addr, class }
+                        if !in_blockop && cur_site.map(|s| hot.contains(&s)).unwrap_or(false) =>
+                    {
+                        let line = addr.0 & !15;
+                        if recent_lines.contains(&line) {
+                            continue;
+                        }
+                        recent_lines.push(line);
+                        if recent_lines.len() > 16 {
+                            recent_lines.remove(0);
+                        }
+                        if site_is_loop {
+                            insertions.entry(i).or_default().push(Event::Prefetch {
+                                addr: addr.offset(LOOP_AHEAD),
+                                class,
+                            });
+                            insertions
+                                .entry(i)
+                                .or_default()
+                                .push(Event::Prefetch { addr, class });
+                        } else {
+                            let mut j = i;
+                            let mut hoisted = 0;
+                            while j > 0 && hoisted < HOIST_LIMIT {
+                                match events[j - 1] {
+                                    Event::LockAcquire { .. }
+                                    | Event::LockRelease { .. }
+                                    | Event::Barrier { .. }
+                                    | Event::BlockOpBegin { .. }
+                                    | Event::BlockOpEnd
+                                    | Event::SetMode { .. }
+                                    | Event::Idle { .. } => break,
+                                    _ => {
+                                        j -= 1;
+                                        hoisted += 1;
+                                    }
+                                }
+                            }
+                            insertions
+                                .entry(j)
+                                .or_default()
+                                .push(Event::Prefetch { addr, class });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let mut new = Vec::with_capacity(events.len() + insertions.len());
+            for (i, e) in events.into_iter().enumerate() {
+                if let Some(pre) = insertions.remove(&i) {
+                    new.extend(pre);
+                }
+                new.push(e);
+            }
+            *stream = Stream::from_events(new);
+        }
+        out
+    }
+
+    /// Oracle for escape instrumentation (see [`super::instrument_escapes`]).
+    pub fn instrument_escapes(trace: &Trace) -> Trace {
+        let mut out = trace.clone();
+        for stream in &mut out.streams {
+            let events = std::mem::take(stream).into_events();
+            let mut new = Vec::with_capacity(events.len() * 2);
+            for e in events {
+                new.push(e);
+                if let Event::Exec { block } = e {
+                    let bb = trace.meta.code.block(block);
+                    new.push(Event::Read {
+                        addr: Addr(bb.start.0 | 1),
+                        class: DataClass::KernelOther,
+                    });
+                }
+            }
+            *stream = Stream::from_events(new);
+        }
+        out
+    }
+
+    /// Oracle for the coloring stage (see [`super::color_pages`]).
+    pub fn color_pages(trace: &Trace, l2_size: u32) -> Trace {
+        let colors = (l2_size / oscache_trace::PAGE_SIZE).max(1);
+        let mut map: HashMap<u32, u32> = HashMap::new();
+        let mut next_color = 0u32;
+        let mut rounds = vec![0u32; colors as usize];
+        let mut assign = |map: &mut HashMap<u32, u32>, page: u32| {
+            map.entry(page).or_insert_with(|| {
+                let color = next_color % colors;
+                let round = rounds[color as usize];
+                rounds[color as usize] += 1;
+                next_color += 1;
+                COLOR_BASE_PAGE + round * colors + color
+            });
+        };
+        for stream in &trace.streams {
+            for e in stream.events() {
+                match *e {
+                    Event::Read { addr, class }
+                    | Event::Write { addr, class }
+                    | Event::Prefetch { addr, class }
+                        if colorable(class) =>
+                    {
+                        assign(&mut map, addr.page());
+                    }
+                    Event::BlockOpBegin { op } => {
+                        if colorable(op.src_class) {
+                            assign(&mut map, op.src.page());
+                        }
+                        if colorable(op.dst_class) {
+                            assign(&mut map, op.dst.page());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let remap = |a: Addr| -> Addr {
+            match map.get(&a.page()) {
+                Some(&new_page) => Addr(new_page * oscache_trace::PAGE_SIZE + a.page_offset()),
+                None => a,
+            }
+        };
+        let mut out = trace.clone();
+        for stream in &mut out.streams {
+            let events = std::mem::take(stream).into_events();
+            let new: Vec<Event> = events
+                .into_iter()
+                .map(|e| match e {
+                    Event::Read { addr, class } if colorable(class) => Event::Read {
+                        addr: remap(addr),
+                        class,
+                    },
+                    Event::Write { addr, class } if colorable(class) => Event::Write {
+                        addr: remap(addr),
+                        class,
+                    },
+                    Event::Prefetch { addr, class } if colorable(class) => Event::Prefetch {
+                        addr: remap(addr),
+                        class,
+                    },
+                    Event::BlockOpBegin { mut op } => {
+                        if colorable(op.src_class) {
+                            op.src = remap(op.src);
+                        }
+                        if colorable(op.dst_class) {
+                            op.dst = remap(op.dst);
+                        }
+                        Event::BlockOpBegin { op }
+                    }
+                    other => other,
+                })
+                .collect();
+            *stream = Stream::from_events(new);
+        }
+        out
+    }
 }
 
 // keep DataClass import used in doc examples
@@ -581,8 +1057,13 @@ mod tests {
     #[test]
     fn relocation_map_remaps_ranges() {
         let mut m = RelocationMap::new();
-        m.add(Addr(100), 8, Addr(1000));
+        // Deliberately out of order: finish() sorts once.
         m.add(Addr(200), 4, Addr(2000));
+        m.add(Addr(100), 8, Addr(1000));
+        // Lookups on the unfinished map already answer correctly.
+        assert_eq!(m.lookup(Addr(107)), Some(Addr(1007)));
+        assert_eq!(m.lookup(Addr(108)), None);
+        m.finish();
         assert_eq!(m.lookup(Addr(100)), Some(Addr(1000)));
         assert_eq!(m.lookup(Addr(107)), Some(Addr(1007)));
         assert_eq!(m.lookup(Addr(108)), None);
@@ -597,6 +1078,7 @@ mod tests {
         let mut m = RelocationMap::new();
         m.add(Addr(100), 8, Addr(1000));
         m.add(Addr(104), 8, Addr(2000));
+        m.finish();
     }
 
     #[test]
@@ -775,6 +1257,99 @@ mod tests {
         let evs = out.streams[0].events();
         assert_eq!(evs[0].data_addr().unwrap(), Addr(0x0100_0000));
         assert_ne!(evs[1].data_addr().unwrap(), Addr(0x1000_0000));
+    }
+
+    /// Asserts two traces are event-for-event identical.
+    fn assert_traces_equal(a: &Trace, b: &Trace, what: &str) {
+        assert_eq!(a.streams.len(), b.streams.len(), "{what}: stream count");
+        for (cpu, (sa, sb)) in a.streams.iter().zip(&b.streams).enumerate() {
+            assert_eq!(
+                sa.len(),
+                sb.len(),
+                "{what}: cpu{cpu} length {} vs {}",
+                sa.len(),
+                sb.len()
+            );
+            for (i, (ea, eb)) in sa.events().iter().zip(sb.events()).enumerate() {
+                assert_eq!(ea, eb, "{what}: cpu{cpu} event {i}");
+            }
+        }
+    }
+
+    fn workload_trace() -> Trace {
+        oscache_workloads::build(
+            oscache_workloads::Workload::Trfd4,
+            oscache_workloads::BuildOptions {
+                scale: 0.05,
+                seed: 7,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn pipeline_matches_compat_single_passes() {
+        let t = workload_trace();
+        let p = crate::analysis::profile_sharing(&t);
+        let privatized = crate::analysis::find_privatizable(&p);
+        assert!(!privatized.is_empty(), "need privatization targets");
+        assert_traces_equal(
+            &privatize_counters(&t, &privatized),
+            &compat::privatize_counters(&t, &privatized),
+            "privatize",
+        );
+        let plan = false_sharing_plan(&t, &HashSet::new());
+        assert!(!plan.is_empty(), "need relocation ranges");
+        assert_traces_equal(
+            &relocate(&t, &plan),
+            &compat::relocate(&t, &plan),
+            "relocate",
+        );
+        assert_traces_equal(
+            &instrument_escapes(&t),
+            &compat::instrument_escapes(&t),
+            "escapes",
+        );
+        assert_traces_equal(
+            &color_pages(&t, 256 * 1024),
+            &compat::color_pages(&t, 256 * 1024),
+            "coloring",
+        );
+        // Hot-spot insertion over every non-block-op site, loop and
+        // sequence alike, exercising both insertion shapes and hoisting.
+        let sites: Vec<u16> = t.meta.code.sites().map(|(id, _)| id.0).collect();
+        assert_traces_equal(
+            &insert_hotspot_prefetches(&t, &sites),
+            &compat::insert_hotspot_prefetches(&t, &sites),
+            "hotspot",
+        );
+    }
+
+    #[test]
+    fn fused_pipeline_matches_compat_composition() {
+        // The fused walk must equal the pass-by-pass *composition* in the
+        // pipeline's stage order, with every stage enabled at once.
+        let t = workload_trace();
+        let p = crate::analysis::profile_sharing(&t);
+        let privatized = crate::analysis::find_privatizable(&p);
+        let mut plan = false_sharing_plan(&t, &HashSet::new());
+        plan.finish();
+        let sites: Vec<u16> = t.meta.code.sites().map(|(id, _)| id.0).collect();
+
+        let fused = TransformPipeline::new()
+            .coloring(&t, 256 * 1024)
+            .privatize(&privatized)
+            .relocate(&plan)
+            .escapes()
+            .hotspot(&sites)
+            .run(&t);
+
+        let staged = compat::color_pages(&t, 256 * 1024);
+        let staged = compat::privatize_counters(&staged, &privatized);
+        let staged = compat::relocate(&staged, &plan);
+        let staged = compat::instrument_escapes(&staged);
+        let staged = compat::insert_hotspot_prefetches(&staged, &sites);
+        assert_traces_equal(&fused, &staged, "fused C+P+R+E+H");
     }
 
     #[test]

@@ -192,7 +192,7 @@ impl Machine<'_> {
                 let line2 = LineAddr(l1.0 & l2_mask);
                 if !c.l2.contains(line2)
                     && !c.wb2.pending(line2.0)
-                    && !self.incl_exempt[i].contains(&l1.0)
+                    && self.incl_exempt[i].binary_search(&l1.0).is_err()
                 {
                     return Err(self.invariant_err(
                         Some(i),
@@ -223,10 +223,13 @@ impl Machine<'_> {
         if self.cfg.audit == AuditLevel::Off {
             return;
         }
-        if l2_resident {
-            self.incl_exempt[i].remove(&line1.0);
-        } else {
-            self.incl_exempt[i].insert(line1.0);
+        let set = &mut self.incl_exempt[i];
+        match (set.binary_search(&line1.0), l2_resident) {
+            (Ok(pos), true) => {
+                set.remove(pos);
+            }
+            (Err(pos), false) => set.insert(pos, line1.0),
+            _ => {}
         }
     }
 
@@ -235,6 +238,8 @@ impl Machine<'_> {
         if self.cfg.audit == AuditLevel::Off {
             return;
         }
-        self.incl_exempt[i].remove(&line1.0);
+        if let Ok(pos) = self.incl_exempt[i].binary_search(&line1.0) {
+            self.incl_exempt[i].remove(pos);
+        }
     }
 }

@@ -105,6 +105,10 @@ pub struct Cache {
     geom: CacheGeom,
     frames: Vec<Frame>,
     tick: u64,
+    /// Count of valid frames, maintained incrementally by
+    /// [`Cache::fill`]/[`Cache::invalidate`]/[`Cache::clear`] so
+    /// [`Cache::valid_count`] never scans the frame array.
+    valid: usize,
 }
 
 impl Cache {
@@ -114,6 +118,7 @@ impl Cache {
             geom,
             frames: vec![Frame::default(); geom.n_lines() as usize],
             tick: 0,
+            valid: 0,
         }
     }
 
@@ -157,6 +162,20 @@ impl Cache {
             self.tick += 1;
             self.frames[i].lru = self.tick;
         }
+    }
+
+    /// One-pass hit probe: locates `line`, refreshes its LRU position, and
+    /// returns its `(way, state)`.
+    ///
+    /// This is `contains` + `touch` fused into a single set scan — the
+    /// machine's read/fetch hit paths use it so a cache hit costs exactly
+    /// one tag walk instead of two.
+    #[inline]
+    pub fn probe(&mut self, line: LineAddr) -> Option<(usize, LineState)> {
+        let i = self.find(line)?;
+        self.tick += 1;
+        self.frames[i].lru = self.tick;
+        Some((i - self.set_base(line), self.frames[i].state))
     }
 
     /// Changes the state of a resident line.
@@ -220,6 +239,9 @@ impl Cache {
             class,
             lru: tick,
         };
+        if evicted.is_none() {
+            self.valid += 1;
+        }
         evicted
     }
 
@@ -229,6 +251,7 @@ impl Cache {
             Some(i) => {
                 let old = self.frames[i].state;
                 self.frames[i].state = LineState::Invalid;
+                self.valid -= 1;
                 old
             }
             None => LineState::Invalid,
@@ -241,9 +264,14 @@ impl Cache {
         self.find(line).is_some_and(|i| self.frames[i].blockop_fill)
     }
 
-    /// Number of valid lines (for occupancy assertions in tests).
+    /// Number of valid lines. O(1): maintained incrementally rather than
+    /// derived by scanning every frame.
     pub fn valid_count(&self) -> usize {
-        self.frames.iter().filter(|f| f.state.is_valid()).count()
+        debug_assert_eq!(
+            self.valid,
+            self.frames.iter().filter(|f| f.state.is_valid()).count()
+        );
+        self.valid
     }
 
     /// Iterates over every resident line and its state (invariant audits
@@ -260,6 +288,7 @@ impl Cache {
         for f in &mut self.frames {
             f.state = LineState::Invalid;
         }
+        self.valid = 0;
     }
 }
 
@@ -379,6 +408,25 @@ mod tests {
         assert!(c.contains(la(0x40)));
         assert!(c.contains(la(0xc0)));
         assert_eq!(c.valid_count(), 2);
+    }
+
+    #[test]
+    fn probe_matches_contains_touch_and_reports_way_state() {
+        let mut c = Cache::new(geom2());
+        assert!(c.probe(la(0x40)).is_none());
+        c.fill(la(0x40), LineState::Modified, DataClass::UserData, false);
+        c.fill(la(0xc0), LineState::Shared, DataClass::UserData, false);
+        let (way0, st0) = c.probe(la(0x40)).expect("resident");
+        assert_eq!(st0, LineState::Modified);
+        let (way1, st1) = c.probe(la(0xc0)).expect("resident");
+        assert_eq!(st1, LineState::Shared);
+        assert_ne!(way0, way1);
+        // The probe refreshed 0xc0 last, so a conflicting fill evicts 0x40.
+        c.probe(la(0xc0));
+        let ev = c
+            .fill(la(0x140), LineState::Shared, DataClass::UserData, false)
+            .expect("set full: must evict");
+        assert_eq!(ev.line, la(0x40));
     }
 
     #[test]

@@ -1,7 +1,79 @@
 //! Machine configuration (the paper's §2.4 `Base` architecture and its
 //! variants).
 
-use std::collections::HashSet;
+/// A set of page numbers stored as a sorted vector.
+///
+/// [`MachineConfig::update_pages`] is membership-tested on *every*
+/// buffered write the machine replays, so the representation matters: a
+/// sorted `Vec<u32>` probed by binary search does no hashing and no
+/// allocation on that path, and — unlike a `HashSet` — has a
+/// deterministic iteration order for free.
+///
+/// # Examples
+///
+/// ```
+/// use oscache_memsys::PageSet;
+///
+/// let mut pages = PageSet::new();
+/// assert!(pages.insert(7));
+/// assert!(pages.insert(3));
+/// assert!(!pages.insert(7)); // already present
+/// assert!(pages.contains(3) && pages.contains(7));
+/// assert!(!pages.contains(4));
+/// assert_eq!(pages.iter().collect::<Vec<_>>(), vec![3, 7]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PageSet {
+    pages: Vec<u32>,
+}
+
+impl PageSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `page`; returns whether it was newly inserted.
+    pub fn insert(&mut self, page: u32) -> bool {
+        match self.pages.binary_search(&page) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.pages.insert(pos, page);
+                true
+            }
+        }
+    }
+
+    /// Membership test (binary search; no hashing).
+    #[inline]
+    pub fn contains(&self, page: u32) -> bool {
+        self.pages.binary_search(&page).is_ok()
+    }
+
+    /// Number of pages in the set.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// The pages in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.pages.iter().copied()
+    }
+}
+
+impl FromIterator<u32> for PageSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut pages: Vec<u32> = iter.into_iter().collect();
+        pages.sort_unstable();
+        pages.dedup();
+        PageSet { pages }
+    }
+}
 
 /// Geometry of one cache (direct-mapped unless `ways > 1`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -187,7 +259,7 @@ pub struct MachineConfig {
     pub block_scheme: BlockOpScheme,
     /// Pages whose lines are kept coherent with the Firefly update protocol
     /// instead of Illinois invalidations (§5.2's per-page TLB selection).
-    pub update_pages: HashSet<u32>,
+    pub update_pages: PageSet,
     /// Maximum outstanding prefetches (lockup-free L2 MSHRs).
     pub max_prefetches: usize,
     /// Source prefetch buffer capacity in L1 lines for `Blk_ByPref`.
@@ -225,7 +297,7 @@ impl MachineConfig {
             wb2_depth: 8,
             timing: Timing::default(),
             block_scheme: BlockOpScheme::Cached,
-            update_pages: HashSet::new(),
+            update_pages: PageSet::new(),
             max_prefetches: 8,
             prefetch_buf_lines: 8,
             prefetch_distance: 4,

@@ -20,7 +20,6 @@ use crate::prefetch::{MshrSet, PrefetchBuffer};
 use crate::stats::{CpuStats, MissKind, SimStats};
 use crate::{AuditLevel, BlockOpScheme, Bus, BusOp, Cache, LineState, MachineConfig, WriteBuffer};
 use oscache_trace::{Addr, BasicBlock, BlockOp, DataClass, Event, LineAddr, Mode, Trace};
-use std::collections::{HashMap, HashSet};
 
 /// Cycle-accounting bucket (Figure 3's execution-time decomposition).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -109,12 +108,20 @@ pub(crate) struct Cpu {
     pub stats: CpuStats,
 }
 
-#[derive(Default)]
-struct LockState {
-    holder: Option<usize>,
+/// State of one lock id in the dense lock table.
+///
+/// `Unknown` (never acquired in this run) is distinguished from `Free` so
+/// that releasing a lock the machine has never seen still reports the
+/// typed [`SimErrorKind::LockReleaseUnknown`] error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+enum LockSlot {
+    #[default]
+    Unknown,
+    Free,
+    Held(usize),
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct BarrierState {
     arrived: Vec<usize>,
 }
@@ -125,16 +132,19 @@ pub struct Machine<'t> {
     pub(crate) trace: &'t Trace,
     pub(crate) cpus: Vec<Cpu>,
     pub(crate) bus: Bus,
-    locks: HashMap<u16, LockState>,
-    barriers: HashMap<u16, BarrierState>,
+    /// Dense lock table indexed by lock id (grown on first sight of an
+    /// id); the replay path never hashes.
+    locks: Vec<LockSlot>,
+    /// Dense barrier table indexed by barrier id.
+    barriers: Vec<BarrierState>,
     pub(crate) l1d_hist: HistoryMap,
     pub(crate) l2_hist: HistoryMap,
     pub(crate) bypassed: BypassSet,
-    pub(crate) pending_class: HashMap<u64, PendingClass>,
     /// L1D lines installed without a resident covering L2 line (the
     /// write-merge path) — tolerated by the inclusion audit until they
-    /// leave the L1D. Maintained only when auditing is on.
-    pub(crate) incl_exempt: Vec<HashSet<u32>>,
+    /// leave the L1D. Maintained only when auditing is on; stored as
+    /// sorted vectors probed by binary search.
+    pub(crate) incl_exempt: Vec<Vec<u32>>,
     steps: u64,
 }
 
@@ -182,13 +192,12 @@ impl<'t> Machine<'t> {
             trace,
             cpus,
             bus: Bus::new(),
-            locks: HashMap::new(),
-            barriers: HashMap::new(),
+            locks: Vec::new(),
+            barriers: Vec::new(),
             l1d_hist: HistoryMap::new(),
             l2_hist: HistoryMap::new(),
             bypassed: BypassSet::new(),
-            pending_class: HashMap::new(),
-            incl_exempt: vec![HashSet::new(); n_cpus],
+            incl_exempt: vec![Vec::new(); n_cpus],
             steps: 0,
         })
     }
@@ -356,32 +365,43 @@ impl<'t> Machine<'t> {
                 self.cpus[i].cursor += 1;
             }
             Event::LockAcquire { lock, addr } => {
-                let st = self.locks.entry(lock.0).or_default();
-                if st.holder.is_none() {
-                    st.holder = Some(i);
+                let idx = usize::from(lock.0);
+                if idx >= self.locks.len() {
+                    self.locks.resize(idx + 1, LockSlot::Unknown);
+                }
+                if let LockSlot::Held(_) = self.locks[idx] {
+                    let t = self.cpus[i].time;
+                    self.cpus[i].status = Status::OnLock(lock.0, t);
+                } else {
+                    self.locks[idx] = LockSlot::Held(i);
                     // test-and-set: read then write the lock word
                     self.demand_read(i, addr, DataClass::LockVar);
                     self.demand_write(i, addr, DataClass::LockVar);
                     self.cpus[i].cursor += 1;
-                } else {
-                    let t = self.cpus[i].time;
-                    self.cpus[i].status = Status::OnLock(lock.0, t);
                 }
             }
             Event::LockRelease { lock, addr } => {
                 self.demand_write(i, addr, DataClass::LockVar);
                 let release = self.cpus[i].time;
                 let line = addr.line(self.cfg.l2.line);
-                let Some(st) = self.locks.get_mut(&lock.0) else {
+                let slot = self
+                    .locks
+                    .get(usize::from(lock.0))
+                    .copied()
+                    .unwrap_or_default();
+                if slot == LockSlot::Unknown {
                     return Err(SimError {
                         cycle: release,
                         cpu: Some(i),
                         line: Some(line),
                         kind: SimErrorKind::LockReleaseUnknown { lock: lock.0 },
                     });
-                };
-                if st.holder != Some(i) {
-                    let holder = st.holder;
+                }
+                if slot != LockSlot::Held(i) {
+                    let holder = match slot {
+                        LockSlot::Held(h) => Some(h),
+                        _ => None,
+                    };
                     return Err(SimError {
                         cycle: release,
                         cpu: Some(i),
@@ -392,7 +412,7 @@ impl<'t> Machine<'t> {
                         },
                     });
                 }
-                st.holder = None;
+                self.locks[usize::from(lock.0)] = LockSlot::Free;
                 for j in 0..self.cpus.len() {
                     if let Status::OnLock(l, _since) = self.cpus[j].status {
                         if l == lock.0 {
@@ -418,7 +438,11 @@ impl<'t> Machine<'t> {
                 self.demand_read(i, addr, DataClass::BarrierVar);
                 self.demand_write(i, addr, DataClass::BarrierVar);
                 self.cpus[i].cursor += 1;
-                let st = self.barriers.entry(barrier.0).or_default();
+                let idx = usize::from(barrier.0);
+                if idx >= self.barriers.len() {
+                    self.barriers.resize_with(idx + 1, BarrierState::default);
+                }
+                let st = &mut self.barriers[idx];
                 st.arrived.push(i);
                 let done = st.arrived.len() >= participants as usize;
                 let arrived = if done {
@@ -471,9 +495,7 @@ impl<'t> Machine<'t> {
         let end = bb.end().0;
         while a < end {
             let l = LineAddr(a);
-            if self.cpus[i].l1i.contains(l) {
-                self.cpus[i].l1i.touch(l);
-            } else {
+            if self.cpus[i].l1i.probe(l).is_none() {
                 let mode = self.cpus[i].mode;
                 self.cpus[i].stats.l1i_misses.add(mode, 1);
                 let stall = self.fetch_into_l2_shared(i, Addr(a));
@@ -492,8 +514,7 @@ impl<'t> Machine<'t> {
     fn fetch_into_l2_shared(&mut self, i: usize, addr: Addr) -> u64 {
         let line2 = addr.line(self.cfg.l2.line);
         let now = self.cpus[i].time;
-        if self.cpus[i].l2.contains(line2) {
-            self.cpus[i].l2.touch(line2);
+        if self.cpus[i].l2.probe(line2).is_some() {
             return self.l2_read_delay(i, now) + self.cfg.timing.l2_hit - 1;
         }
         let grant = self
@@ -754,10 +775,7 @@ impl<'t> Machine<'t> {
         let now = self.cpus[i].time;
 
         // In-flight or completed prefetch?
-        if let Some(ready) = self.cpus[i].mshr.pending(line1) {
-            self.cpus[i].mshr.take(line1);
-            let key = ((i as u64) << 32) | u64::from(line1.0);
-            let pc = self.pending_class.remove(&key);
+        if let Some((ready, pc)) = self.cpus[i].mshr.take_with(line1) {
             if ready <= now {
                 self.cpus[i].stats.prefetch_full_hits += 1;
                 return; // fully hidden: not a miss
@@ -771,8 +789,7 @@ impl<'t> Machine<'t> {
             return;
         }
 
-        if self.cpus[i].l1d.contains(line1) {
-            self.cpus[i].l1d.touch(line1);
+        if self.cpus[i].l1d.probe(line1).is_some() {
             return; // primary-cache hit, 1 cycle already in Exec
         }
         // Victim-cache hit: swap back into the L1D for a 2-cycle penalty;
@@ -794,8 +811,7 @@ impl<'t> Machine<'t> {
 
         // Primary-cache read miss.
         let pc = self.peek_classify(i, line1, line2, class);
-        let stall = if self.cpus[i].l2.contains(line2) {
-            self.cpus[i].l2.touch(line2);
+        let stall = if self.cpus[i].l2.probe(line2).is_some() {
             self.l2_read_delay(i, now) + self.cfg.timing.l2_hit - 1
         } else {
             let grant = self
@@ -861,7 +877,7 @@ impl<'t> Machine<'t> {
         by_blockop: bool,
     ) -> u64 {
         let timing = self.cfg.timing;
-        let update = self.cfg.update_pages.contains(&line2.page());
+        let update = self.cfg.update_pages.contains(line2.page());
         match self.cpus[i].l2.state(line2) {
             LineState::Modified => self.l2_port(i, t, timing.l2_write) + timing.l2_write,
             LineState::Exclusive => {
@@ -960,10 +976,8 @@ impl<'t> Machine<'t> {
         };
         let by_blk = self.cpus[i].block.is_some();
         self.l1d_fill(i, line1, class, by_blk);
-        let inserted = self.cpus[i].mshr.insert(now, line1, ready);
+        let inserted = self.cpus[i].mshr.insert_with(now, line1, ready, pc);
         debug_assert!(inserted, "MSHR capacity checked above");
-        self.pending_class
-            .insert(((i as u64) << 32) | u64::from(line1.0), pc);
     }
 
     /// Total events processed (diagnostics).

@@ -1,7 +1,21 @@
 //! Prefetch machinery: lockup-free miss-status registers and the
 //! `Blk_ByPref` source prefetch buffer.
 
+use crate::machine::PendingClass;
 use oscache_trace::LineAddr;
+
+/// One miss-status register: the in-flight line, its completion time, and
+/// the miss classification computed at issue time (consumed when a demand
+/// access hits the register). Keeping the classification *inside* the
+/// entry removes the machine's former side `HashMap` keyed by (cpu, line):
+/// the two had identical lifetimes, so the register itself is the natural
+/// owner.
+#[derive(Clone, Copy, Debug)]
+struct MshrEntry {
+    line: LineAddr,
+    ready: u64,
+    class: Option<PendingClass>,
+}
 
 /// Outstanding (in-flight) line fetches initiated by prefetch instructions.
 ///
@@ -12,7 +26,7 @@ use oscache_trace::LineAddr;
 #[derive(Clone, Debug)]
 pub struct MshrSet {
     max: usize,
-    entries: Vec<(LineAddr, u64)>,
+    entries: Vec<MshrEntry>,
 }
 
 impl MshrSet {
@@ -31,35 +45,66 @@ impl MshrSet {
 
     /// Drops entries whose fetch completed by `now`.
     pub fn expire(&mut self, now: u64) {
-        self.entries.retain(|&(_, ready)| ready > now);
+        self.entries.retain(|e| e.ready > now);
     }
 
     /// The completion time of an in-flight fetch of `line`, if any.
     pub fn pending(&self, line: LineAddr) -> Option<u64> {
         self.entries
             .iter()
-            .find(|&&(l, _)| l == line)
-            .map(|&(_, r)| r)
+            .find(|e| e.line == line)
+            .map(|e| e.ready)
     }
 
     /// Registers an in-flight fetch; returns `false` (fetch dropped) when
     /// all registers are busy at `now`.
     pub fn insert(&mut self, now: u64, line: LineAddr, ready: u64) -> bool {
+        self.insert_entry(now, line, ready, None)
+    }
+
+    /// [`MshrSet::insert`] carrying the issue-time miss classification.
+    pub(crate) fn insert_with(
+        &mut self,
+        now: u64,
+        line: LineAddr,
+        ready: u64,
+        class: PendingClass,
+    ) -> bool {
+        self.insert_entry(now, line, ready, Some(class))
+    }
+
+    fn insert_entry(
+        &mut self,
+        now: u64,
+        line: LineAddr,
+        ready: u64,
+        class: Option<PendingClass>,
+    ) -> bool {
         self.expire(now);
-        if self.pending(line).is_some() {
-            return true; // already in flight: merge
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+            // Already in flight: merge. The first fetch's completion time
+            // stands; the classification is refreshed by the newer issue.
+            e.class = class;
+            return true;
         }
         if self.entries.len() >= self.max {
             return false;
         }
-        self.entries.push((line, ready));
+        self.entries.push(MshrEntry { line, ready, class });
         true
     }
 
     /// Removes and returns the completion time of an in-flight fetch.
     pub fn take(&mut self, line: LineAddr) -> Option<u64> {
-        let idx = self.entries.iter().position(|&(l, _)| l == line)?;
-        Some(self.entries.swap_remove(idx).1)
+        self.take_with(line).map(|(ready, _)| ready)
+    }
+
+    /// Removes an in-flight fetch, returning its completion time and the
+    /// classification recorded at issue.
+    pub(crate) fn take_with(&mut self, line: LineAddr) -> Option<(u64, Option<PendingClass>)> {
+        let idx = self.entries.iter().position(|e| e.line == line)?;
+        let e = self.entries.swap_remove(idx);
+        Some((e.ready, e.class))
     }
 
     /// Number of fetches still in flight at `now`.
