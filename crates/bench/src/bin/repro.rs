@@ -539,18 +539,22 @@ fn print_timings(r: &Repro, warm: &WarmStats) {
         );
     }
     println!(
-        "{:<46} {:>9} {:>9} {:>9} {:>9} {:>10}",
-        "", "total", "build", "prepare", "sim", "OS misses"
+        "{:<46} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "", "total", "build", "prepare", "analyze", "profile", "rewrite", "sim", "OS misses"
     );
     for t in r.timings() {
         println!(
-            "cell  {:<40} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>10}",
+            "cell  {:<40} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>10}{}",
             compact_key(&t.key),
             t.ms,
             t.build_ms,
             t.prepare_ms,
+            t.analyze_ms,
+            t.profile_ms,
+            t.rewrite_ms,
             t.sim_ms,
-            t.os_misses
+            t.os_misses,
+            if t.cached { "  (cached)" } else { "" }
         );
     }
     println!(
@@ -561,10 +565,12 @@ fn print_timings(r: &Repro, warm: &WarmStats) {
     );
 }
 
-/// The `bench` perf smoke: three representative TRFD_4 cells — the cheap
-/// baseline, the transform-heavy relocate+update cell, and the full
-/// ladder top (hot-spot profiling simulation + prefetch insertion) — run
-/// serially at a reduced scale with per-phase timings.
+/// The `bench` perf smoke: four representative TRFD_4 cells — the cheap
+/// baseline, the transform-heavy relocate+update cell, the full ladder
+/// top (hot-spot profiling simulation + prefetch insertion), and the
+/// ladder top again at a second line size, whose preparation re-profiles
+/// and re-rewrites against a warm analysis cache — run serially at a
+/// reduced scale with per-phase timings.
 ///
 /// Without `--check`, writes the measured timings to [`SMOKE_REF`] as the
 /// committed reference. With `--check`, compares against that reference
@@ -579,6 +585,16 @@ fn bench(check: bool) {
     for sys in systems {
         r.run(Workload::Trfd4, sys);
     }
+    // The prepare-heavy cell: BCPref at a second line size repeats the
+    // geometry-dependent half of preparation (profiling replay + prefetch
+    // rewrite) against a warm analysis cache — exactly the path the
+    // bookkeeping-free profiler and the analysis cache optimize.
+    let wide = oscache_core::Geometry {
+        l1_line: 64,
+        l2_line: 64,
+        ..oscache_core::Geometry::default()
+    };
+    r.run_spec(Workload::Trfd4, System::BCPref.spec(), wide, "BCPref@64B");
     println!(
         "{:<24} {:>9} {:>9} {:>9} {:>9}",
         "cell", "total", "build", "prepare", "sim"
@@ -697,11 +713,15 @@ fn write_bench_json(path: &str, scale: f64, r: &Repro, warm: &WarmStats) {
     let cells = r.timings();
     for (i, t) in cells.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"key\": \"{}\", \"ms\": {:.1}, \"build_ms\": {:.1}, \"prepare_ms\": {:.1}, \"sim_ms\": {:.1}, \"os_misses\": {}}}{}\n",
+            "    {{\"key\": \"{}\", \"ms\": {:.1}, \"build_ms\": {:.1}, \"prepare_ms\": {:.1}, \"analyze_ms\": {:.1}, \"profile_ms\": {:.1}, \"rewrite_ms\": {:.1}, \"cached\": {}, \"sim_ms\": {:.1}, \"os_misses\": {}}}{}\n",
             compact_key(&t.key),
             t.ms,
             t.build_ms,
             t.prepare_ms,
+            t.analyze_ms,
+            t.profile_ms,
+            t.rewrite_ms,
+            t.cached,
             t.sim_ms,
             t.os_misses,
             if i + 1 < cells.len() { "," } else { "" }

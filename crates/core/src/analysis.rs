@@ -268,14 +268,18 @@ pub fn find_hot_spots(total: &CpuStats, code: &CodeLayout) -> Vec<u16> {
     let mut ranked: Vec<(u64, u16)> = total
         .os_miss_by_site
         .iter()
-        .filter(|(&site, _)| {
-            let name = code.site(oscache_trace::SiteId(site)).name;
+        .enumerate()
+        .filter(|&(site, &n)| {
+            if n == 0 {
+                return false;
+            }
+            let name = code.site(oscache_trace::SiteId(site as u16)).name;
             // Block-op loops belong to §4's schemes; the generic
             // data-work sequence is pointer-intensive, which the paper
             // says is hard to prefetch usefully (§7).
             name != "bcopy_loop" && name != "bzero_loop" && name != "kwork_seq"
         })
-        .map(|(&site, &n)| (n, site))
+        .map(|(site, &n)| (n, site as u16))
         .collect();
     ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
     let budget = (total.os_read_misses() as f64 * HOT_SPOT_COVERAGE) as u64;

@@ -56,6 +56,16 @@ pub struct CellTiming {
     pub build_ms: f64,
     /// Milliseconds in the software passes (`prepare_cell`).
     pub prepare_ms: f64,
+    /// Milliseconds of `prepare_ms` in the geometry-independent analysis
+    /// (zero when another cell already analyzed this working trace).
+    pub analyze_ms: f64,
+    /// Milliseconds of `prepare_ms` in the hot-spot profiling replay.
+    pub profile_ms: f64,
+    /// Milliseconds of `prepare_ms` in the prefetch-insertion rewrite.
+    pub rewrite_ms: f64,
+    /// Whether the fully-prepared trace came straight from the cache
+    /// (another cell with an identical fingerprint prepared it first).
+    pub cached: bool,
     /// Milliseconds in the final machine run.
     pub sim_ms: f64,
     /// OS read misses the cell observed (a cheap cross-run sanity metric).
@@ -158,6 +168,10 @@ impl Repro {
             ms: outcome.ms,
             build_ms: outcome.build_ms,
             prepare_ms: outcome.prepare_ms,
+            analyze_ms: outcome.phases.analyze_ms,
+            profile_ms: outcome.phases.profile_ms,
+            rewrite_ms: outcome.phases.rewrite_ms,
+            cached: outcome.phases.cached,
             sim_ms: outcome.sim_ms,
             os_misses: outcome.result.stats.total().os_read_misses(),
         };

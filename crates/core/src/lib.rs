@@ -29,6 +29,7 @@ pub use metrics::{
 pub use runner::{default_jobs, Cell, CellFingerprint, Experiment, TraceCache};
 pub use scorecard::{Check, Scorecard};
 pub use sim::{
-    prepare_cell, run_prepared, run_spec, run_system, try_run_spec, try_run_spec_audited,
-    try_run_system, PreparedCell, RunResult,
+    analyze_cell, prepare_cell, prepare_from_analysis, run_prepared, run_spec, run_system,
+    try_run_spec, try_run_spec_audited, try_run_system, AnalysisPrefix, AnalyzedCell, PrepPhases,
+    PreparedCell, RunResult,
 };

@@ -182,10 +182,7 @@ impl BlockOpOverhead {
 /// Sum of OS misses attributed to a set of sites (Figure 5's "hot spot"
 /// split).
 pub fn os_misses_at_sites(total: &CpuStats, sites: &[u16]) -> u64 {
-    sites
-        .iter()
-        .map(|s| total.os_miss_by_site.get(s).copied().unwrap_or(0))
-        .sum()
+    sites.iter().map(|&s| total.os_misses_at_site(s)).sum()
 }
 
 #[cfg(test)]

@@ -26,14 +26,14 @@
 
 use crate::config::{Geometry, System, SystemSpec};
 use crate::experiments::{figure6_sweep, figure7_sweep};
-use crate::sim::{self, PreparedCell, RunResult};
+use crate::sim::{self, AnalysisPrefix, AnalyzedCell, PrepPhases, PreparedCell, RunResult};
 use oscache_memsys::{AuditLevel, SimError};
 use oscache_trace::Trace;
 use oscache_workloads::{build_shared, BuildOptions, TraceBuildKey, Workload};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Instant;
 
 /// The default worker count: every hardware thread the OS grants us.
@@ -135,15 +135,33 @@ pub struct BuildTiming {
 ///
 /// Base traces are built at most once per key: concurrent requests for the
 /// same key block on a [`OnceLock`] until the single builder finishes.
-/// Prepared (transform-derived) traces are cached per fingerprint with a
-/// first-writer-wins map — every writer computes the same value, so which
-/// one lands is unobservable.
+/// The geometry-independent analysis of each working trace (sharing
+/// profile, privatization/relocation/update planning, and the fused
+/// rewrite — [`sim::analyze_cell`]) is likewise computed once per
+/// `(trace build, AnalysisPrefix)` and shared by every geometry and every
+/// spec with the same prefix. Prepared (transform-derived) traces are
+/// cached per fingerprint with a first-writer-wins map — every writer
+/// computes the same value, so which one lands is unobservable.
+///
+/// Prepared cells are held *weakly*: each rewritten trace is consumed by
+/// exactly one simulation unless the same fingerprint appears twice in a
+/// run, so pinning every retired multi-megabyte rewrite for the whole run
+/// only grows the process footprint until fresh allocations fault at
+/// host-paging speed (DESIGN.md §12.3). Cells whose fingerprint *does*
+/// recur within one [`run_cells`] fan-out are deduplicated at the result
+/// level instead ([`TraceCache::shared_result`]), which is strictly
+/// cheaper than re-simulating and keeps only kilobytes of counters alive.
 #[derive(Default)]
 pub struct TraceCache {
     base: Mutex<HashMap<TraceBuildKey, Arc<OnceLock<Arc<Trace>>>>>,
-    prepared: Mutex<HashMap<CellFingerprint, Arc<PreparedCell>>>,
+    analyzed: Mutex<AnalysisMap>,
+    prepared: Mutex<HashMap<CellFingerprint, Weak<PreparedCell>>>,
+    results: Mutex<HashMap<CellFingerprint, RunResult>>,
     builds: Mutex<Vec<BuildTiming>>,
 }
+
+/// Write-once analysis slots keyed by base trace and spec prefix.
+type AnalysisMap = HashMap<(TraceBuildKey, AnalysisPrefix), Arc<OnceLock<Arc<AnalyzedCell>>>>;
 
 impl TraceCache {
     /// An empty cache.
@@ -173,18 +191,79 @@ impl TraceCache {
     }
 
     /// The prepared (transform-applied) input for `fp`, derived from
-    /// `base` on first use.
+    /// `base` on first use, plus the wall-clock phase breakdown of what
+    /// this call actually computed (`cached: true` and all-zero phases on
+    /// a whole-fingerprint hit).
     pub fn prepared(
         &self,
         base: &Trace,
         fp: CellFingerprint,
-    ) -> Result<Arc<PreparedCell>, SimError> {
-        if let Some(p) = self.prepared.lock().unwrap().get(&fp) {
-            return Ok(p.clone());
+    ) -> Result<(Arc<PreparedCell>, PrepPhases), SimError> {
+        if let Some(p) = self
+            .prepared
+            .lock()
+            .unwrap()
+            .get(&fp)
+            .and_then(Weak::upgrade)
+        {
+            return Ok((
+                p,
+                PrepPhases {
+                    cached: true,
+                    ..PrepPhases::default()
+                },
+            ));
         }
-        let built = Arc::new(sim::prepare_cell(base, fp.spec, fp.geometry, fp.audit)?);
+        let analyzed = self.analyzed_for(base, fp);
+        let (built, mut phases) =
+            sim::prepare_from_analysis(base, &analyzed.0, fp.spec, fp.geometry, fp.audit)?;
+        phases.analyze_ms = analyzed.1;
+        let built = Arc::new(built);
+        // First live writer wins, so concurrent preparers agree.
         let mut map = self.prepared.lock().unwrap();
-        Ok(map.entry(fp).or_insert(built).clone())
+        Ok(match map.get(&fp).and_then(Weak::upgrade) {
+            Some(existing) => (existing, phases),
+            None => {
+                map.insert(fp, Arc::downgrade(&built));
+                (built, phases)
+            }
+        })
+    }
+
+    /// The cached final result for `fp`, if a cell with this fingerprint
+    /// already simulated in this process. Only fingerprints flagged as
+    /// recurring by [`run_cells`] are ever stored.
+    pub fn shared_result(&self, fp: &CellFingerprint) -> Option<RunResult> {
+        self.results.lock().unwrap().get(fp).cloned()
+    }
+
+    /// Stores `result` for reuse by later cells with the same fingerprint.
+    /// First writer wins; every writer computes an identical result
+    /// (simulation is deterministic in the fingerprint), so which one
+    /// lands is unobservable.
+    pub fn store_result(&self, fp: CellFingerprint, result: RunResult) {
+        self.results.lock().unwrap().entry(fp).or_insert(result);
+    }
+
+    /// The shared geometry-independent analysis for `fp`'s base trace and
+    /// spec prefix, plus the milliseconds this call spent computing it
+    /// (zero on a hit; concurrent requests block on the single analyzer).
+    fn analyzed_for(&self, base: &Trace, fp: CellFingerprint) -> (Arc<AnalyzedCell>, f64) {
+        let key = (fp.base, AnalysisPrefix::of(fp.spec));
+        let slot = {
+            let mut map = self.analyzed.lock().unwrap();
+            map.entry(key).or_default().clone()
+        };
+        let mut analyze_ms = 0.0;
+        let analyzed = slot
+            .get_or_init(|| {
+                let t0 = Instant::now();
+                let a = Arc::new(sim::analyze_cell(base, fp.spec));
+                analyze_ms = 1e3 * t0.elapsed().as_secs_f64();
+                a
+            })
+            .clone();
+        (analyzed, analyze_ms)
     }
 
     /// Timings of every base-trace build so far, in build order.
@@ -200,6 +279,11 @@ impl TraceCache {
     /// Number of distinct prepared cells cached.
     pub fn prepared_len(&self) -> usize {
         self.prepared.lock().unwrap().len()
+    }
+
+    /// Number of distinct geometry-independent analyses cached.
+    pub fn analyzed_len(&self) -> usize {
+        self.analyzed.lock().unwrap().len()
     }
 }
 
@@ -219,8 +303,12 @@ pub struct CellOutcome {
     /// Milliseconds in the software passes (`prepare_cell`), including the
     /// hot-spot profiling simulation; near-zero on a prepared-cache hit.
     pub prepare_ms: f64,
-    /// Milliseconds in the final machine run.
+    /// Milliseconds in the final machine run (near-zero when the result
+    /// was reused from an identical-fingerprint cell that already ran).
     pub sim_ms: f64,
+    /// Breakdown of `prepare_ms` by phase (analysis / profiling replay /
+    /// prefetch rewrite), with `cached: true` on a whole-fingerprint hit.
+    pub phases: PrepPhases,
 }
 
 /// What [`run_cells`] returns: per-cell outcomes in *cell index order*
@@ -241,12 +329,46 @@ pub fn run_cell(
     opts: BuildOptions,
     cell: &Cell,
 ) -> Result<CellOutcome, SimError> {
+    run_cell_inner(cache, opts, cell, false)
+}
+
+/// [`run_cell`], with result sharing for fingerprints known to recur in
+/// the current fan-out: the first such cell simulates and publishes its
+/// result, later ones reuse it (identical by determinism) without
+/// re-preparing or re-simulating.
+fn run_cell_inner(
+    cache: &TraceCache,
+    opts: BuildOptions,
+    cell: &Cell,
+    share_result: bool,
+) -> Result<CellOutcome, SimError> {
     let t0 = Instant::now();
     let base = cache.base(cell.workload, opts);
     let built = Instant::now();
-    let prepared = cache.prepared(&base, cell.fingerprint(opts))?;
+    let fp = cell.fingerprint(opts);
+    if share_result {
+        if let Some(result) = cache.shared_result(&fp) {
+            let done = Instant::now();
+            return Ok(CellOutcome {
+                cell: cell.clone(),
+                result,
+                ms: 1e3 * (done - t0).as_secs_f64(),
+                build_ms: 1e3 * (built - t0).as_secs_f64(),
+                prepare_ms: 0.0,
+                sim_ms: 1e3 * (done - built).as_secs_f64(),
+                phases: PrepPhases {
+                    cached: true,
+                    ..PrepPhases::default()
+                },
+            });
+        }
+    }
+    let (prepared, phases) = cache.prepared(&base, fp)?;
     let prep = Instant::now();
     let result = sim::run_prepared(&base, &prepared, cell.spec, cell.geometry, AuditLevel::Off)?;
+    if share_result {
+        cache.store_result(fp, result.clone());
+    }
     let done = Instant::now();
     Ok(CellOutcome {
         cell: cell.clone(),
@@ -255,6 +377,7 @@ pub fn run_cell(
         build_ms: 1e3 * (built - t0).as_secs_f64(),
         prepare_ms: 1e3 * (prep - built).as_secs_f64(),
         sim_ms: 1e3 * (done - prep).as_secs_f64(),
+        phases,
     })
 }
 
@@ -275,6 +398,17 @@ pub fn run_cells(
     let t0 = Instant::now();
     let jobs = if jobs == 0 { default_jobs() } else { jobs };
     let jobs = jobs.min(cells.len()).max(1);
+    // Fingerprints appearing more than once (e.g. a sweep point that
+    // coincides with the default geometry) share one simulation result.
+    let mut counts: HashMap<CellFingerprint, usize> = HashMap::new();
+    for cell in cells {
+        *counts.entry(cell.fingerprint(opts)).or_insert(0) += 1;
+    }
+    let recurring: HashSet<CellFingerprint> = counts
+        .into_iter()
+        .filter(|&(_, n)| n > 1)
+        .map(|(fp, _)| fp)
+        .collect();
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<CellOutcome, SimError>>>> =
         cells.iter().map(|_| Mutex::new(None)).collect();
@@ -285,7 +419,9 @@ pub fn run_cells(
                 if i >= cells.len() {
                     break;
                 }
-                let out = run_cell(cache, opts, &cells[i]);
+                let cell = &cells[i];
+                let share = recurring.contains(&cell.fingerprint(opts));
+                let out = run_cell_inner(cache, opts, cell, share);
                 *slots[i].lock().unwrap() = Some(out);
             });
         }

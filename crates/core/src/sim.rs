@@ -6,7 +6,9 @@ use crate::config::{Geometry, System, SystemSpec, UpdatePolicy};
 use crate::transform;
 use oscache_memsys::{AuditLevel, Machine, PageSet, SimError, SimStats};
 use oscache_trace::Trace;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
+use std::time::Instant;
 
 /// The outcome of simulating one (workload, system, geometry) point.
 #[derive(Clone, Debug)]
@@ -70,10 +72,82 @@ pub fn try_run_spec(
 #[derive(Clone, Debug)]
 pub struct PreparedCell {
     /// The rewritten trace, or `None` when no pass touched it (run the
-    /// original).
-    pub trace: Option<Trace>,
+    /// original). Shared: several cells that converge on the same rewrite
+    /// (e.g. two geometries with the same hot set) hold one allocation.
+    pub trace: Option<Arc<Trace>>,
     /// Pages mapped with the update protocol (§5.2).
     pub update_pages: PageSet,
+}
+
+/// The geometry-independent keys of a [`SystemSpec`]: two specs with equal
+/// prefixes produce identical [`AnalyzedCell`]s for the same base trace,
+/// whatever their geometry or `hotspot_prefetch` flag. This is the
+/// analysis-cache key — e.g. `BCoh_RelUp` and `BCPref` share one entry.
+///
+/// Soundness: every pass in [`analyze_cell`] reads only these flags and
+/// the trace. Page coloring also reads the L2 size, which [`Geometry`]
+/// never varies (it has no L2-size field; see
+/// [`Geometry::machine_config`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct AnalysisPrefix {
+    /// §4.2.1 deferred sub-page copies.
+    pub deferred_copy: bool,
+    /// §7 page coloring.
+    pub page_coloring: bool,
+    /// §5.1 counter privatization.
+    pub privatize: bool,
+    /// §5.1 false-sharing relocation.
+    pub relocate: bool,
+    /// §5.2 update policy.
+    pub update: UpdatePolicy,
+}
+
+impl AnalysisPrefix {
+    /// The prefix of `spec`.
+    pub fn of(spec: SystemSpec) -> Self {
+        AnalysisPrefix {
+            deferred_copy: spec.deferred_copy,
+            page_coloring: spec.page_coloring,
+            privatize: spec.privatize,
+            relocate: spec.relocate,
+            update: spec.update,
+        }
+    }
+}
+
+/// The geometry-independent half of cell preparation: the working trace
+/// after every software rewrite that precedes hot-spot profiling, plus the
+/// update-page set, plus lazily-built hot-spot machinery shared by every
+/// geometry probing this trace.
+#[derive(Debug, Default)]
+pub struct AnalyzedCell {
+    /// Working trace after the prefix passes, or `None` (base is usable).
+    pub trace: Option<Arc<Trace>>,
+    /// Pages mapped with the update protocol (§5.2).
+    pub update_pages: PageSet,
+    /// Per-site hot-spot insertion plan over the working trace, built on
+    /// the first hotspot-using preparation.
+    hot_plan: OnceLock<transform::HotspotPlan>,
+    /// Materialized hot-spot rewrites keyed by the hot-site vector: two
+    /// geometries that rank the same hot set share one rewritten trace.
+    /// Held weakly — a rewrite is used by exactly one simulation in the
+    /// common case, and pinning every retired multi-megabyte trace for the
+    /// whole run grows the process footprint until fresh allocations fault
+    /// at host-paging speed (see DESIGN.md §12.3).
+    hot: Mutex<HashMap<Vec<u16>, Weak<Trace>>>,
+}
+
+/// Wall-clock breakdown of one cell preparation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PrepPhases {
+    /// Prefix analysis + rewrite (zero on an analysis-cache hit).
+    pub analyze_ms: f64,
+    /// Hot-spot profiling replay.
+    pub profile_ms: f64,
+    /// Hot-spot prefetch-insertion rewrite (near-zero on a hot-set hit).
+    pub rewrite_ms: f64,
+    /// Whole-fingerprint cache hit: every phase was skipped.
+    pub cached: bool,
 }
 
 /// Runs a fully-specified system with the machine's invariant auditor set
@@ -91,12 +165,27 @@ pub fn try_run_spec_audited(
 /// The preparation half of [`try_run_spec_audited`]: applies every
 /// software pass (including the hot-spot profiling simulation, which is
 /// itself a deterministic single-threaded run).
+///
+/// Composition of the two cacheable phases; callers that prepare several
+/// geometries of one spec should call [`analyze_cell`] once and
+/// [`prepare_from_analysis`] per geometry instead (the runner's
+/// [`TraceCache`](crate::runner::TraceCache) does).
 pub fn prepare_cell(
     trace: &Trace,
     spec: SystemSpec,
     geometry: Geometry,
     audit: AuditLevel,
 ) -> Result<PreparedCell, SimError> {
+    let analyzed = analyze_cell(trace, spec);
+    let (prepared, _phases) = prepare_from_analysis(trace, &analyzed, spec, geometry, audit)?;
+    Ok(prepared)
+}
+
+/// The geometry-independent preparation prefix: deferred copy, page
+/// coloring, sharing profiling, privatization/relocation/update planning,
+/// and the fused rewrite. Deterministic in `(trace, AnalysisPrefix::of
+/// (spec))`; infallible because no machine runs here.
+pub fn analyze_cell(trace: &Trace, spec: SystemSpec) -> AnalyzedCell {
     let mut update_pages = PageSet::new();
     let mut owned: Option<Trace> = None;
 
@@ -109,8 +198,10 @@ pub fn prepare_cell(
     if spec.page_coloring {
         // Coloring materializes before planning: the sharing profile and
         // the hot-spot profiling run must observe colored addresses
-        // exactly as the sequential pass chain produced them.
-        let l2_size = geometry.machine_config(&spec).l2.size;
+        // exactly as the sequential pass chain produced them. The L2 size
+        // is geometry-independent (every Geometry maps to the base 256-KB
+        // L2), which is what lets this whole phase be geometry-free.
+        let l2_size = Geometry::default().machine_config(&spec).l2.size;
         let working = owned.as_ref().unwrap_or(trace);
         let colored = transform::TransformPipeline::new()
             .coloring(working, l2_size)
@@ -177,25 +268,87 @@ pub fn prepare_cell(
         update_pages = transform::full_update_pages(working).into_iter().collect();
     }
 
+    AnalyzedCell {
+        trace: owned.map(Arc::new),
+        update_pages,
+        hot_plan: OnceLock::new(),
+        hot: Mutex::new(HashMap::new()),
+    }
+}
+
+/// The geometry-dependent preparation suffix: the hot-spot profiling
+/// replay, hot-site ranking, and prefetch-insertion rewrite. For specs
+/// without `hotspot_prefetch` this just repackages the analysis.
+///
+/// With `audit == Off` the profiling run uses the bookkeeping-free
+/// [`profile_os_misses`](oscache_memsys::profile_os_misses) replay, whose
+/// per-site OS miss counts are exact by construction; any higher audit
+/// level falls back to the fully-recorded [`Machine`] so the step/final
+/// auditors see the bookkeeping they cross-check (see `DESIGN.md` §12).
+/// The rewrite is served from the analysis's hot-set cache when another
+/// geometry already ranked the same sites.
+pub fn prepare_from_analysis(
+    trace: &Trace,
+    analyzed: &AnalyzedCell,
+    spec: SystemSpec,
+    geometry: Geometry,
+    audit: AuditLevel,
+) -> Result<(PreparedCell, PrepPhases), SimError> {
+    let mut phases = PrepPhases::default();
+    let mut out = analyzed.trace.clone();
+
     if spec.hotspot_prefetch {
+        let working: &Trace = analyzed.trace.as_deref().unwrap_or(trace);
         // Profiling run without the prefetches.
+        let t0 = Instant::now();
         let mut cfg = geometry.machine_config(&spec);
         cfg.n_cpus = trace.n_cpus();
-        cfg.update_pages = update_pages.clone();
-        cfg.audit = audit;
-        let working = owned.as_ref().unwrap_or(trace);
-        let profile_stats = Machine::new(cfg, working)?.run()?;
+        cfg.update_pages = analyzed.update_pages.clone();
+        let profile_stats = if audit == AuditLevel::Off {
+            oscache_memsys::profile_os_misses(cfg, working)?
+        } else {
+            cfg.audit = audit;
+            Machine::new(cfg, working)?.run()?
+        };
         let hot = analysis::find_hot_spots(&profile_stats.total(), &working.meta.code);
-        let t = transform::TransformPipeline::new()
-            .hotspot(&hot)
-            .run(working);
-        owned = Some(t);
+        phases.profile_ms = 1e3 * t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let hit = analyzed
+            .hot
+            .lock()
+            .expect("hot cache poisoned")
+            .get(&hot)
+            .and_then(Weak::upgrade);
+        let rewritten = match hit {
+            Some(t) => t,
+            None => {
+                let plan = analyzed
+                    .hot_plan
+                    .get_or_init(|| transform::HotspotPlan::build(working));
+                let t = Arc::new(plan.materialize(working, &hot));
+                // First live writer wins, so concurrent preparers agree.
+                let mut map = analyzed.hot.lock().expect("hot cache poisoned");
+                match map.get(&hot).and_then(Weak::upgrade) {
+                    Some(existing) => existing,
+                    None => {
+                        map.insert(hot, Arc::downgrade(&t));
+                        t
+                    }
+                }
+            }
+        };
+        out = Some(rewritten);
+        phases.rewrite_ms = 1e3 * t1.elapsed().as_secs_f64();
     }
 
-    Ok(PreparedCell {
-        trace: owned,
-        update_pages,
-    })
+    Ok((
+        PreparedCell {
+            trace: out,
+            update_pages: analyzed.update_pages.clone(),
+        },
+        phases,
+    ))
 }
 
 /// The execution half of [`try_run_spec_audited`]: one deterministic
@@ -211,7 +364,7 @@ pub fn run_prepared(
     cfg.n_cpus = trace.n_cpus();
     cfg.update_pages = prepared.update_pages.clone();
     cfg.audit = audit;
-    let working = prepared.trace.as_ref().unwrap_or(trace);
+    let working = prepared.trace.as_deref().unwrap_or(trace);
     let stats = Machine::new(cfg, working)?.run()?;
     Ok(RunResult {
         stats,

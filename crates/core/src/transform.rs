@@ -206,6 +206,165 @@ pub fn insert_hotspot_prefetches(trace: &Trace, hot_sites: &[u16]) -> Trace {
     TransformPipeline::new().hotspot(hot_sites).run(trace)
 }
 
+/// One precomputed insertion of the hot-spot stage: `first` (and `second`
+/// for loop sites) go immediately before the input event at index
+/// `before`, after any insertion recorded earlier for the same boundary
+/// (build order is generation order, and the plan is sorted stably).
+#[derive(Clone, Copy, Debug)]
+struct HotInsertion {
+    before: u32,
+    site: u16,
+    first: Event,
+    second: Option<Event>,
+}
+
+/// The hot-spot stage split in two: [`HotspotPlan::build`] walks a trace
+/// once and records, for *every* site, the prefetches the stage would
+/// insert if that site were hot; [`HotspotPlan::materialize`] then emits
+/// the rewritten trace for one concrete hot set in a single merge pass.
+///
+/// A profiling caller that tries several cache geometries over one
+/// working trace pays the stage's walk once instead of once per distinct
+/// hot set. The split is sound because the stage's decisions are
+/// per-site-run: `recent_lines` resets whenever the current site changes
+/// and is consulted only for reads attributed to that site, and hoist
+/// targets are chosen from the input-event window alone — so whether
+/// *other* sites are hot never changes what one site inserts. The
+/// `hotspot_plan` tests pin event-for-event equality against
+/// [`TransformPipeline`].
+#[derive(Debug)]
+pub struct HotspotPlan {
+    /// Per input stream, insertions sorted by `before` (stable: equal
+    /// boundaries keep generation order).
+    streams: Vec<Vec<HotInsertion>>,
+}
+
+impl HotspotPlan {
+    /// Precomputes every site's would-be insertions over `trace`.
+    pub fn build(trace: &Trace) -> Self {
+        let streams = trace
+            .streams
+            .iter()
+            .map(|stream| {
+                let events = stream.events();
+                let mut ins: Vec<HotInsertion> = Vec::new();
+                let mut cur_site: Option<u16> = None;
+                let mut site_is_loop = false;
+                let mut in_blockop = false;
+                let mut recent_lines: Vec<u32> = Vec::new();
+                let mut window: VecDeque<(bool, u32)> = VecDeque::with_capacity(HOIST_LIMIT + 1);
+                for (i, &e) in events.iter().enumerate() {
+                    let i = i as u32;
+                    match e {
+                        Event::Exec { block } => {
+                            let bb = trace.meta.code.block(block);
+                            if cur_site != Some(bb.site.0) {
+                                cur_site = Some(bb.site.0);
+                                site_is_loop = trace.meta.code.site(bb.site).is_loop;
+                                recent_lines.clear();
+                            }
+                        }
+                        Event::BlockOpBegin { .. } => in_blockop = true,
+                        Event::BlockOpEnd => in_blockop = false,
+                        Event::Read { addr, class } if !in_blockop && cur_site.is_some() => {
+                            let site = cur_site.expect("guarded");
+                            let line = addr.0 & !15;
+                            if !recent_lines.contains(&line) {
+                                recent_lines.push(line);
+                                if recent_lines.len() > 16 {
+                                    recent_lines.remove(0);
+                                }
+                                if site_is_loop {
+                                    ins.push(HotInsertion {
+                                        before: i,
+                                        site,
+                                        first: Event::Prefetch {
+                                            addr: addr.offset(LOOP_AHEAD),
+                                            class,
+                                        },
+                                        second: Some(Event::Prefetch { addr, class }),
+                                    });
+                                } else {
+                                    let mut target = i;
+                                    for (hoisted, &(blocks, p)) in window.iter().rev().enumerate() {
+                                        if blocks || hoisted >= HOIST_LIMIT {
+                                            break;
+                                        }
+                                        target = p;
+                                    }
+                                    ins.push(HotInsertion {
+                                        before: target,
+                                        site,
+                                        first: Event::Prefetch { addr, class },
+                                        second: None,
+                                    });
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                    let blocks = matches!(
+                        e,
+                        Event::LockAcquire { .. }
+                            | Event::LockRelease { .. }
+                            | Event::Barrier { .. }
+                            | Event::BlockOpBegin { .. }
+                            | Event::BlockOpEnd
+                            | Event::SetMode { .. }
+                            | Event::Idle { .. }
+                    );
+                    window.push_back((blocks, i));
+                    if window.len() > HOIST_LIMIT {
+                        window.pop_front();
+                    }
+                }
+                ins.sort_by_key(|it| it.before);
+                ins
+            })
+            .collect();
+        HotspotPlan { streams }
+    }
+
+    /// Emits the rewrite for `hot_sites` over the same `trace` the plan
+    /// was built from — event-identical to
+    /// [`insert_hotspot_prefetches`]`(trace, hot_sites)`.
+    pub fn materialize(&self, trace: &Trace, hot_sites: &[u16]) -> Trace {
+        // Dense site mask: the plan holds one insertion per profiled read,
+        // so membership is tested millions of times per materialization.
+        let mut hot = vec![false; 1 << 16];
+        for &s in hot_sites {
+            hot[usize::from(s)] = true;
+        }
+        let mut out = Trace::new(trace.n_cpus(), trace.meta.clone());
+        for (cpu, stream) in trace.streams.iter().enumerate() {
+            let events = stream.events();
+            let ins = &self.streams[cpu];
+            let extra: usize = ins
+                .iter()
+                .filter(|it| hot[usize::from(it.site)])
+                .map(|it| 1 + usize::from(it.second.is_some()))
+                .sum();
+            // Chunked merge: memcpy the runs between live insertion points
+            // instead of pushing event-by-event. Insertions sharing one
+            // `before` keep their plan order (the gap copy is empty).
+            let mut buf: Vec<Event> = Vec::with_capacity(events.len() + extra);
+            let mut prev = 0usize;
+            for it in ins.iter().filter(|it| hot[usize::from(it.site)]) {
+                let before = it.before as usize;
+                buf.extend_from_slice(&events[prev..before]);
+                prev = before;
+                buf.push(it.first);
+                if let Some(second) = it.second {
+                    buf.push(second);
+                }
+            }
+            buf.extend_from_slice(&events[prev..]);
+            out.streams[cpu] = Stream::from_events(buf);
+        }
+        out
+    }
+}
+
 /// Marker class re-export used by tests.
 pub fn is_prefetch(e: &Event) -> bool {
     matches!(e, Event::Prefetch { .. })

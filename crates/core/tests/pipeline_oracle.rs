@@ -104,9 +104,9 @@ fn prepare_compat(
     (owned, update_pages)
 }
 
-fn assert_prepared_equal(a: &Option<Trace>, trace: &Trace, b: &Option<Trace>, what: &str) {
-    let a = a.as_ref().unwrap_or(trace);
-    let b = b.as_ref().unwrap_or(trace);
+fn assert_prepared_equal(a: Option<&Trace>, trace: &Trace, b: Option<&Trace>, what: &str) {
+    let a = a.unwrap_or(trace);
+    let b = b.unwrap_or(trace);
     assert_eq!(a.n_cpus(), b.n_cpus(), "{what}: cpu count differs");
     for (cpu, (sa, sb)) in a.streams.iter().zip(&b.streams).enumerate() {
         assert_eq!(
@@ -151,7 +151,7 @@ fn check_workload(workload: Workload, seed: u64) {
             fused.update_pages, oracle_pages,
             "{what}: update pages differ"
         );
-        assert_prepared_equal(&fused.trace, &t, &oracle, &what);
+        assert_prepared_equal(fused.trace.as_deref(), &t, oracle.as_ref(), &what);
     }
 }
 

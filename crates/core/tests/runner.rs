@@ -212,16 +212,53 @@ fn prepared_cells_are_cached_per_fingerprint() {
     let cache = TraceCache::new();
     let cell = Cell::system(Workload::Trfd4, System::BCohReloc);
     let base = cache.base(cell.workload, opts());
-    let a = cache.prepared(&base, cell.fingerprint(opts())).unwrap();
-    let b = cache.prepared(&base, cell.fingerprint(opts())).unwrap();
+    let (a, pa) = cache.prepared(&base, cell.fingerprint(opts())).unwrap();
+    let (b, pb) = cache.prepared(&base, cell.fingerprint(opts())).unwrap();
     assert!(
         Arc::ptr_eq(&a, &b),
         "prepared cell rebuilt on second lookup"
     );
+    assert!(!pa.cached, "first preparation misreported as a cache hit");
+    assert!(pb.cached, "second lookup did not hit the prepared cache");
     assert_eq!(cache.prepared_len(), 1);
     // A different spec gets its own entry.
     let other = Cell::system(Workload::Trfd4, System::BlkDma);
-    let c = cache.prepared(&base, other.fingerprint(opts())).unwrap();
+    let (c, _) = cache.prepared(&base, other.fingerprint(opts())).unwrap();
     assert!(!Arc::ptr_eq(&a, &c));
     assert_eq!(cache.prepared_len(), 2);
+}
+
+#[test]
+fn analysis_is_shared_across_geometries_and_prefix_equal_specs() {
+    // BCoh_RelUp and BCPref differ only in `hotspot_prefetch`, which the
+    // geometry-independent analysis ignores — so two geometries of BCPref
+    // plus one BCoh_RelUp cell must produce exactly one analysis entry,
+    // and the second BCPref geometry's analyze time must be a cache hit.
+    let cache = TraceCache::new();
+    let narrow = Cell::system(Workload::Trfd4, System::BCPref);
+    let wide = Cell {
+        geometry: Geometry {
+            l1_line: 64,
+            l2_line: 64,
+            ..Geometry::default()
+        },
+        tag: "BCPref@64B".to_string(),
+        ..narrow.clone()
+    };
+    let relup = Cell::system(Workload::Trfd4, System::BCohRelUp);
+    let base = cache.base(narrow.workload, opts());
+    let (_, p1) = cache.prepared(&base, narrow.fingerprint(opts())).unwrap();
+    let (_, p2) = cache.prepared(&base, wide.fingerprint(opts())).unwrap();
+    let (_, p3) = cache.prepared(&base, relup.fingerprint(opts())).unwrap();
+    assert_eq!(cache.analyzed_len(), 1, "prefix-equal specs split analyses");
+    assert_eq!(cache.prepared_len(), 3);
+    assert!(p1.analyze_ms > 0.0, "first cell did not run the analysis");
+    assert_eq!(p2.analyze_ms, 0.0, "second geometry re-ran the analysis");
+    assert_eq!(p3.analyze_ms, 0.0, "prefix-equal spec re-ran the analysis");
+    assert!(
+        p1.profile_ms > 0.0,
+        "hotspot cell skipped the profiling run"
+    );
+    assert_eq!(p3.profile_ms, 0.0, "non-hotspot cell ran a profiling run");
+    assert!(!p1.cached && !p2.cached && !p3.cached);
 }

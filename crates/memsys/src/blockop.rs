@@ -45,6 +45,11 @@ impl Machine<'_> {
 
     /// Table 3 rows 1–6: cache-state probes and the size histogram.
     fn probe_block_op(&mut self, i: usize, op: &BlockOp) {
+        if !self.record {
+            // Pure statistics over read-only probes (`contains`/`state`
+            // never touch LRU) — skip the whole src/dst scan.
+            return;
+        }
         let bucket = if op.len == PAGE_SIZE {
             0
         } else if op.len >= 1024 {
@@ -141,8 +146,10 @@ impl Machine<'_> {
         let Some(active) = self.cpus[i].block else {
             return self.demand_read(i, addr, class);
         };
-        let mode = self.cpus[i].mode;
-        self.cpus[i].stats.dreads.add(mode, 1);
+        if self.record {
+            let mode = self.cpus[i].mode;
+            self.cpus[i].stats.dreads.add(mode, 1);
+        }
         let line1 = addr.line(self.cfg.l1d.line);
         let line2 = addr.line(self.cfg.l2.line);
 
@@ -163,7 +170,9 @@ impl Machine<'_> {
                 .bus
                 .acquire(now, self.cfg.timing.line_transfer, BusOp::ReadLine);
             self.snoop_read(i, line2);
-            self.bypassed.mark(i, line1);
+            if self.record {
+                self.bypassed.mark(i, line1);
+            }
             (grant - now) + self.cfg.timing.mem - 1
         };
         if let Some(a) = self.cpus[i].block.as_mut() {
@@ -186,15 +195,19 @@ impl Machine<'_> {
         let Some(active) = self.cpus[i].block else {
             return self.demand_write(i, addr, class);
         };
-        let mode = self.cpus[i].mode;
-        self.cpus[i].stats.dwrites.add(mode, 1);
+        if self.record {
+            let mode = self.cpus[i].mode;
+            self.cpus[i].stats.dwrites.add(mode, 1);
+        }
         if active.dst_reg != Some(line1) {
             self.flush_dst_reg(i);
             if let Some(a) = self.cpus[i].block.as_mut() {
                 a.dst_reg = Some(line1);
             }
         }
-        self.bypassed.mark(i, line1);
+        if self.record {
+            self.bypassed.mark(i, line1);
+        }
     }
 
     /// Writes the full destination line register to memory over the bus.
@@ -268,8 +281,10 @@ impl Machine<'_> {
         let Some(active) = self.cpus[i].block else {
             return self.demand_read(i, addr, class);
         };
-        let mode = self.cpus[i].mode;
-        self.cpus[i].stats.dreads.add(mode, 1);
+        if self.record {
+            let mode = self.cpus[i].mode;
+            self.cpus[i].stats.dreads.add(mode, 1);
+        }
         let line1 = addr.line(self.cfg.l1d.line);
         let line2 = addr.line(self.cfg.l2.line);
 
@@ -284,14 +299,20 @@ impl Machine<'_> {
             if let Some(a) = self.cpus[i].block.as_mut() {
                 a.src_reg = Some(line1);
             }
-            self.bypassed.mark(i, line1);
+            if self.record {
+                self.bypassed.mark(i, line1);
+            }
             if ready <= now {
-                self.cpus[i].stats.prefetch_full_hits += 1;
+                if self.record {
+                    self.cpus[i].stats.prefetch_full_hits += 1;
+                }
             } else {
                 // Not issued early enough: a partially-hidden miss.
                 let pc = self.peek_classify(i, line1, line2, class);
                 self.count_miss(i, pc, ready - now);
-                self.cpus[i].stats.prefetch_partial_hits += 1;
+                if self.record {
+                    self.cpus[i].stats.prefetch_partial_hits += 1;
+                }
                 self.advance(i, ready - now, Bucket::Pref);
             }
             self.pbuf_fetch_next(i);
@@ -314,7 +335,9 @@ impl Machine<'_> {
             .bus
             .acquire(now, self.cfg.timing.line_transfer, BusOp::ReadLine);
         self.snoop_read(i, line2);
-        self.bypassed.mark(i, line1);
+        if self.record {
+            self.bypassed.mark(i, line1);
+        }
         if let Some(a) = self.cpus[i].block.as_mut() {
             a.src_reg = Some(line1);
         }
@@ -348,13 +371,15 @@ impl Machine<'_> {
                 }
                 // The originator's caches do not receive the source data;
                 // later reads of it are *reuses* (outside the op).
-                let mut b = a;
-                while b < a + l2line {
-                    let l1a = LineAddr(b);
-                    if !self.cpus[i].l1d.contains(l1a) {
-                        self.bypassed.mark(i, l1a);
+                if self.record {
+                    let mut b = a;
+                    while b < a + l2line {
+                        let l1a = LineAddr(b);
+                        if !self.cpus[i].l1d.contains(l1a) {
+                            self.bypassed.mark(i, l1a);
+                        }
+                        b += l1line;
                     }
-                    b += l1line;
                 }
                 a += l2line;
             }
@@ -378,7 +403,7 @@ impl Machine<'_> {
                     }
                 }
             }
-            if !cached_here {
+            if !cached_here && self.record {
                 let mut b = a;
                 while b < a + l2line {
                     let l1a = LineAddr(b);

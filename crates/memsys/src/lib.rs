@@ -62,6 +62,7 @@ pub mod faults;
 mod history;
 mod machine;
 mod prefetch;
+pub mod profiler;
 mod stats;
 mod wbuf;
 
@@ -72,5 +73,6 @@ pub use error::{InvariantKind, SimError, SimErrorKind};
 pub use history::{BypassSet, Departure, HistoryMap};
 pub use machine::Machine;
 pub use prefetch::{MshrSet, PrefetchBuffer};
+pub use profiler::profile_os_misses;
 pub use stats::{CpuStats, MissKind, ModeSplit, SimStats};
 pub use wbuf::WriteBuffer;

@@ -145,6 +145,14 @@ pub struct Machine<'t> {
     /// leave the L1D. Maintained only when auditing is on; stored as
     /// sorted vectors probed by binary search.
     pub(crate) incl_exempt: Vec<Vec<u32>>,
+    /// `false` in the bookkeeping-free profiling replay (see
+    /// [`crate::profiler`]): all record-only statistics — departure
+    /// histories, bypass marks, miss attribution beyond the per-site OS
+    /// count, cycle buckets, contention hashes — are skipped. Cache/MESI
+    /// state transitions and every clock update are identical either way,
+    /// so the interleaving, and with it `os_miss_by_site` and the OS miss
+    /// total, are preserved exactly by construction.
+    pub(crate) record: bool,
     steps: u64,
 }
 
@@ -162,6 +170,16 @@ impl<'t> Machine<'t> {
     /// Panics if `cfg` itself is invalid (see [`MachineConfig::validate`]) —
     /// a programmer error, unlike trace problems, which are input errors.
     pub fn new(cfg: MachineConfig, trace: &'t Trace) -> Result<Self, SimError> {
+        Self::with_recording(cfg, trace, true)
+    }
+
+    /// [`Machine::new`] with full statistics recording switched on or off
+    /// (`record = false` is the [`crate::profiler`] replay).
+    pub(crate) fn with_recording(
+        cfg: MachineConfig,
+        trace: &'t Trace,
+        record: bool,
+    ) -> Result<Self, SimError> {
         cfg.validate();
         trace
             .validate_for_cpus(cfg.n_cpus)
@@ -198,6 +216,7 @@ impl<'t> Machine<'t> {
             l2_hist: HistoryMap::new(),
             bypassed: BypassSet::new(),
             incl_exempt: vec![Vec::new(); n_cpus],
+            record,
             steps: 0,
         })
     }
@@ -218,6 +237,7 @@ impl<'t> Machine<'t> {
             }
         }
         // Check for deadlock and drain write buffers into the final times.
+        let record = self.record;
         let mut times = Vec::with_capacity(self.cpus.len());
         for (i, c) in self.cpus.iter_mut().enumerate() {
             if c.status != Status::Done {
@@ -233,8 +253,10 @@ impl<'t> Machine<'t> {
                 });
             }
             let drained = c.time.max(c.wb1.drained_at()).max(c.wb2.drained_at());
-            let extra = drained - c.time;
-            c.stats.dwrite_cycles.add(c.mode, extra);
+            if record {
+                let extra = drained - c.time;
+                c.stats.dwrite_cycles.add(c.mode, extra);
+            }
             c.time = drained;
             times.push(c.time);
         }
@@ -285,6 +307,9 @@ impl<'t> Machine<'t> {
         }
         let c = &mut self.cpus[i];
         c.time += cycles;
+        if !self.record {
+            return; // clock moved; bucket attribution is record-only
+        }
         let mode = c.mode;
         let in_blk = c.block.is_some();
         match bucket {
@@ -331,7 +356,9 @@ impl<'t> Machine<'t> {
             Event::Idle { cycles } => {
                 let c = &mut self.cpus[i];
                 c.time += u64::from(cycles);
-                c.stats.idle_cycles += u64::from(cycles);
+                if self.record {
+                    c.stats.idle_cycles += u64::from(cycles);
+                }
                 c.cursor += 1;
             }
             Event::Exec { block } => {
@@ -419,11 +446,13 @@ impl<'t> Machine<'t> {
                             let wait = release.saturating_sub(self.cpus[j].time);
                             self.cpus[j].status = Status::Runnable;
                             self.advance(j, wait, Bucket::Sync);
-                            *self.cpus[j]
-                                .stats
-                                .lock_wait_cycles
-                                .entry(lock.0)
-                                .or_insert(0) += wait;
+                            if self.record {
+                                *self.cpus[j]
+                                    .stats
+                                    .lock_wait_cycles
+                                    .entry(lock.0)
+                                    .or_insert(0) += wait;
+                            }
                         }
                     }
                 }
@@ -496,8 +525,10 @@ impl<'t> Machine<'t> {
         while a < end {
             let l = LineAddr(a);
             if self.cpus[i].l1i.probe(l).is_none() {
-                let mode = self.cpus[i].mode;
-                self.cpus[i].stats.l1i_misses.add(mode, 1);
+                if self.record {
+                    let mode = self.cpus[i].mode;
+                    self.cpus[i].stats.l1i_misses.add(mode, 1);
+                }
                 let stall = self.fetch_into_l2_shared(i, Addr(a));
                 self.advance(i, stall, Bucket::IMiss);
                 // Fill L1I (code is read-only; state is just "valid").
@@ -560,7 +591,9 @@ impl<'t> Machine<'t> {
                 continue;
             }
             if self.cpus[j].l2.invalidate(line2).is_valid() {
-                self.l2_hist.record(j, line2, Departure::InvalidatedRemote);
+                if self.record {
+                    self.l2_hist.record(j, line2, Departure::InvalidatedRemote);
+                }
                 self.invalidate_l1_range(j, line2, Departure::InvalidatedRemote);
             }
         }
@@ -593,7 +626,9 @@ impl<'t> Machine<'t> {
         while a < line2.0 + self.cfg.l2.line {
             let l = LineAddr(a);
             if self.cpus[j].l1d.invalidate(l).is_valid() {
-                self.l1d_hist.record(j, l, why);
+                if self.record {
+                    self.l1d_hist.record(j, l, why);
+                }
                 self.note_l1d_departure(j, l);
             }
             a += l1line;
@@ -631,10 +666,14 @@ impl<'t> Machine<'t> {
             } else {
                 Departure::Evicted
             };
-            self.l2_hist.record(i, ev.line, why);
+            if self.record {
+                self.l2_hist.record(i, ev.line, why);
+            }
             self.invalidate_l1_range(i, ev.line, why);
         }
-        self.l2_hist.forget(i, line2);
+        if self.record {
+            self.l2_hist.forget(i, line2);
+        }
     }
 
     /// Installs a line in CPU `i`'s L1D.
@@ -654,12 +693,8 @@ impl<'t> Machine<'t> {
         self.note_l1d_fill(i, line1, l2_resident);
         if let Some(ev) = evicted {
             self.note_l1d_departure(i, ev.line);
-            let why = if ev.evicted_by_blockop {
-                Departure::EvictedByBlockOp
-            } else {
-                Departure::Evicted
-            };
-            self.l1d_hist.record(i, ev.line, why);
+            // The victim cache is timing-relevant (it turns conflict misses
+            // into 2-cycle swaps), so it is maintained even when `!record`.
             if self.cfg.victim_lines > 0 {
                 let v = &mut self.cpus[i].victim;
                 v.retain(|&l| l != ev.line);
@@ -668,18 +703,31 @@ impl<'t> Machine<'t> {
                     v.remove(0);
                 }
             }
-            // Conflict-pair bookkeeping for the §6 analysis: which kernel
-            // structure displaced which.
-            if ev.class != class && ev.class.is_kernel_structure() && class.is_kernel_structure() {
-                *self.cpus[i]
-                    .stats
-                    .conflict_pairs
-                    .entry((ev.class, class))
-                    .or_insert(0) += 1;
+            if self.record {
+                let why = if ev.evicted_by_blockop {
+                    Departure::EvictedByBlockOp
+                } else {
+                    Departure::Evicted
+                };
+                self.l1d_hist.record(i, ev.line, why);
+                // Conflict-pair bookkeeping for the §6 analysis: which
+                // kernel structure displaced which.
+                if ev.class != class
+                    && ev.class.is_kernel_structure()
+                    && class.is_kernel_structure()
+                {
+                    *self.cpus[i]
+                        .stats
+                        .conflict_pairs
+                        .entry((ev.class, class))
+                        .or_insert(0) += 1;
+                }
             }
         }
-        self.l1d_hist.forget(i, line1);
-        self.bypassed.take(i, line1);
+        if self.record {
+            self.l1d_hist.forget(i, line1);
+            self.bypassed.take(i, line1);
+        }
     }
 
     // ---- classification ----------------------------------------------------
@@ -694,6 +742,16 @@ impl<'t> Machine<'t> {
         line2: LineAddr,
         class: DataClass,
     ) -> PendingClass {
+        if !self.record {
+            // The classification feeds only statistics, never state or
+            // timing; skip the history/bypass probes entirely.
+            return PendingClass {
+                kind: MissKind::Other,
+                class,
+                displaced: false,
+                reused: false,
+            };
+        }
         let in_blk = self.cpus[i].block.is_some();
         let l1h = self.l1d_hist.get(i, line1);
         let l2_miss = !self.cpus[i].l2.contains(line2);
@@ -721,8 +779,17 @@ impl<'t> Machine<'t> {
     /// Counts a classified read miss.
     pub(crate) fn count_miss(&mut self, i: usize, pc: PendingClass, stall: u64) {
         let mode = self.cpus[i].mode;
-        let in_blk = self.cpus[i].block.is_some();
         let site = self.cpus[i].cur_site;
+        if !self.record {
+            // Profiling replay: only the per-site OS miss count survives.
+            // One OS read miss still increments the total by exactly one
+            // (`os_miss_other`), so `os_read_misses()` stays exact too.
+            if mode.is_os() {
+                self.cpus[i].stats.count_os_miss_site_only(site);
+            }
+            return;
+        }
+        let in_blk = self.cpus[i].block.is_some();
         let st = &mut self.cpus[i].stats;
         st.l1d_read_misses.add(mode, 1);
         if pc.displaced {
@@ -768,8 +835,10 @@ impl<'t> Machine<'t> {
 
     /// The ordinary cached read path.
     pub(crate) fn demand_read(&mut self, i: usize, addr: Addr, class: DataClass) {
-        let mode = self.cpus[i].mode;
-        self.cpus[i].stats.dreads.add(mode, 1);
+        if self.record {
+            let mode = self.cpus[i].mode;
+            self.cpus[i].stats.dreads.add(mode, 1);
+        }
         let line1 = addr.line(self.cfg.l1d.line);
         let line2 = addr.line(self.cfg.l2.line);
         let now = self.cpus[i].time;
@@ -777,11 +846,15 @@ impl<'t> Machine<'t> {
         // In-flight or completed prefetch?
         if let Some((ready, pc)) = self.cpus[i].mshr.take_with(line1) {
             if ready <= now {
-                self.cpus[i].stats.prefetch_full_hits += 1;
+                if self.record {
+                    self.cpus[i].stats.prefetch_full_hits += 1;
+                }
                 return; // fully hidden: not a miss
             }
             let stall = ready - now;
-            self.cpus[i].stats.prefetch_partial_hits += 1;
+            if self.record {
+                self.cpus[i].stats.prefetch_partial_hits += 1;
+            }
             if let Some(pc) = pc {
                 self.count_miss(i, pc, stall);
             }
@@ -842,8 +915,10 @@ impl<'t> Machine<'t> {
     /// block operation's destination displace cached data (§4.1.3) and
     /// lets later reads of freshly-written blocks hit.
     pub(crate) fn demand_write(&mut self, i: usize, addr: Addr, class: DataClass) {
-        let mode = self.cpus[i].mode;
-        self.cpus[i].stats.dwrites.add(mode, 1);
+        if self.record {
+            let mode = self.cpus[i].mode;
+            self.cpus[i].stats.dwrites.add(mode, 1);
+        }
         let line1 = addr.line(self.cfg.l1d.line);
         let line2 = addr.line(self.cfg.l2.line);
 
@@ -950,7 +1025,9 @@ impl<'t> Machine<'t> {
         let line1 = addr.line(self.cfg.l1d.line);
         let line2 = addr.line(self.cfg.l2.line);
         let now = self.cpus[i].time;
-        self.cpus[i].stats.prefetches_issued += 1;
+        if self.record {
+            self.cpus[i].stats.prefetches_issued += 1;
+        }
         if self.cpus[i].l1d.contains(line1) || self.cpus[i].mshr.pending(line1).is_some() {
             return;
         }

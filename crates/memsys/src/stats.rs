@@ -102,9 +102,12 @@ pub struct CpuStats {
     pub os_miss_coherence: [u64; 5],
     /// OS read misses from all other causes.
     pub os_miss_other: u64,
-    /// OS read misses attributed to the code site executing at miss time
-    /// (keyed by raw [`oscache_trace::SiteId`] value; hot-spot analysis, §6).
-    pub os_miss_by_site: HashMap<u16, u64>,
+    /// OS read misses attributed to the code site executing at miss time,
+    /// indexed by raw [`oscache_trace::SiteId`] value (hot-spot analysis,
+    /// §6). Sites are small dense ids, so a length-grown `Vec` replaces the
+    /// former per-miss `HashMap` entry — no hashing on the miss path and no
+    /// iteration-order hazard for consumers.
+    pub os_miss_by_site: Vec<u64>,
     /// OS read misses attributed to the kernel structure being accessed
     /// (the paper's §2.2 data-structure attribution).
     pub os_miss_by_class: HashMap<DataClass, u64>,
@@ -191,8 +194,35 @@ impl CpuStats {
             MissKind::Coherence(cat) => self.os_miss_coherence[cat as usize] += 1,
             MissKind::Other => self.os_miss_other += 1,
         }
-        *self.os_miss_by_site.entry(site).or_insert(0) += 1;
+        let idx = usize::from(site);
+        if idx >= self.os_miss_by_site.len() {
+            self.os_miss_by_site.resize(idx + 1, 0);
+        }
+        self.os_miss_by_site[idx] += 1;
         *self.os_miss_by_class.entry(class).or_insert(0) += 1;
+    }
+
+    /// Records an OS read miss keeping only the per-site attribution — the
+    /// profiling replay's slim path. The miss lands in `os_miss_other`, so
+    /// [`CpuStats::os_read_misses`] still counts it exactly once; the
+    /// kind/class breakdowns are deliberately not maintained.
+    #[inline]
+    pub fn count_os_miss_site_only(&mut self, site: u16) {
+        self.os_miss_other += 1;
+        let idx = usize::from(site);
+        if idx >= self.os_miss_by_site.len() {
+            self.os_miss_by_site.resize(idx + 1, 0);
+        }
+        self.os_miss_by_site[idx] += 1;
+    }
+
+    /// OS read misses attributed to `site` (0 for never-seen sites).
+    #[inline]
+    pub fn os_misses_at_site(&self, site: u16) -> u64 {
+        self.os_miss_by_site
+            .get(usize::from(site))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Merges another CPU's counters into this one (aggregation).
@@ -213,8 +243,11 @@ impl CpuStats {
             self.os_miss_coherence[i] += o.os_miss_coherence[i];
         }
         self.os_miss_other += o.os_miss_other;
-        for (&site, &n) in &o.os_miss_by_site {
-            *self.os_miss_by_site.entry(site).or_insert(0) += n;
+        if o.os_miss_by_site.len() > self.os_miss_by_site.len() {
+            self.os_miss_by_site.resize(o.os_miss_by_site.len(), 0);
+        }
+        for (site, &n) in o.os_miss_by_site.iter().enumerate() {
+            self.os_miss_by_site[site] += n;
         }
         for (&class, &n) in &o.os_miss_by_class {
             *self.os_miss_by_class.entry(class).or_insert(0) += n;
@@ -320,7 +353,8 @@ mod tests {
         assert_eq!(s.os_miss_coherence[CoherenceCategory::Barriers as usize], 1);
         assert_eq!(s.os_miss_coherence[CoherenceCategory::Locks as usize], 1);
         assert_eq!(s.os_miss_other, 1);
-        assert_eq!(s.os_miss_by_site[&1], 2);
+        assert_eq!(s.os_misses_at_site(1), 2);
+        assert_eq!(s.os_misses_at_site(9), 0);
     }
 
     #[test]
@@ -335,7 +369,7 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.exec_cycles.os, 17);
         assert_eq!(a.os_miss_other, 2);
-        assert_eq!(a.os_miss_by_site[&3], 2);
+        assert_eq!(a.os_misses_at_site(3), 2);
         assert_eq!(a.accounted_cycles(), 22);
     }
 
