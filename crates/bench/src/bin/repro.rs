@@ -12,24 +12,33 @@
 //! bitwise-identical for any job count. `repro all` also writes a
 //! machine-readable `BENCH_repro.json` with per-cell timings.
 
-use oscache_core::{Experiment, Repro, System, WarmStats};
+use oscache_core::supervise::{Journal, JournalError, JournalHeader};
+use oscache_core::{
+    CellFailure, Experiment, FailureCause, Repro, RunPolicy, SupervisedWarmStats, System, WarmStats,
+};
+use oscache_memsys::faults::CellFault;
 use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale S] [--jobs N] [--timings] [table1..table5 | fig1..fig7 | headline | scorecard | all]\n                                                 cells run across N workers (default: all\n                                                 hardware threads); output is bitwise-identical\n                                                 for any N. `all` writes BENCH_repro.json.\n                repro golden <dir>               write each experiment's output to <dir>/<name>.txt\n                                                 (the golden-file corpus under tests/golden/)\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n                repro bench [--check]            perf smoke over 3 representative cells at reduced\n                                                 scale; without --check writes BENCH_smoke.json\n                                                 reference timings, with --check fails if any cell\n                                                 regressed more than 2x vs that reference\n       exit codes: 1 i/o, 2 usage, 3 trace validation, 4 simulation invariant, 5 perf regression"
+        "usage: repro [--scale S] [--jobs N] [--timings] [--keep-going] [--retries N]\n             [--deadline-ms N] [--journal <path> [--resume]] [--inject-cell-panic SPEC]\n             [table1..table5 | fig1..fig7 | headline | scorecard | all]\n                                                 cells run across N workers (default: all\n                                                 hardware threads); output is bitwise-identical\n                                                 for any N. `all` writes BENCH_repro.json.\n                                                 --keep-going renders every experiment whose cells\n                                                 completed and exits 6 if any cell failed;\n                                                 --retries N grants each failing cell N retries;\n                                                 --deadline-ms N flags (never kills) cells running\n                                                 longer; --journal records each completed cell\n                                                 crash-safely and --resume replays completed cells\n                                                 from it; --inject-cell-panic seed[:period[:attempts]]\n                                                 panics selected cells (testing the supervisor)\n                repro golden <dir>               write each experiment's output to <dir>/<name>.txt\n                                                 (the golden-file corpus under tests/golden/)\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n                repro bench [--check]            perf smoke over 3 representative cells at reduced\n                                                 scale; without --check writes BENCH_smoke.json\n                                                 reference timings, with --check fails if any cell\n                                                 regressed more than 2x vs that reference\n       exit codes: 1 i/o, 2 usage/journal mismatch, 3 trace validation, 4 simulation invariant,\n                   5 perf regression, 6 partial (some cells failed under --keep-going)"
     );
     std::process::exit(2);
 }
 
 /// Exit code for I/O failures.
 const EXIT_IO: i32 = 1;
+/// Exit code for usage errors and incompatible/corrupt journals.
+const EXIT_USAGE: i32 = 2;
 /// Exit code for traces rejected by parsing/validation.
 const EXIT_TRACE_INVALID: i32 = 3;
 /// Exit code for invariant violations or runtime errors during simulation.
 const EXIT_SIM_FAILED: i32 = 4;
 /// Exit code for a performance regression caught by `bench --check`.
 const EXIT_PERF_REGRESSION: i32 = 5;
+/// Exit code for a partial run: some cells failed under `--keep-going`,
+/// the completed experiments were still rendered.
+const EXIT_PARTIAL: i32 = 6;
 
 /// Trace scale of the `bench` perf smoke (fixed, so the committed
 /// reference stays comparable across runs).
@@ -45,6 +54,109 @@ const SMOKE_LIMIT: f64 = 2.0;
 fn fail(class: &str, msg: &str, code: i32) -> ! {
     eprintln!("error: class={class} msg={msg:?}");
     std::process::exit(code);
+}
+
+/// The supervision options (DESIGN.md §13) shared by the experiment and
+/// `golden` flows.
+#[derive(Default)]
+struct Supervision {
+    keep_going: bool,
+    journal_path: Option<String>,
+    resume: bool,
+    retries: u32,
+    deadline_ms: Option<u64>,
+    inject: Option<CellFault>,
+}
+
+impl Supervision {
+    /// The per-cell policy these options select.
+    fn policy(&self) -> RunPolicy {
+        RunPolicy {
+            max_retries: self.retries,
+            backoff_ms: if self.retries > 0 { 25 } else { 0 },
+            soft_deadline_ms: self.deadline_ms,
+            inject: self.inject,
+        }
+    }
+
+    /// Opens (with `--resume`: resumes) the run journal, exiting with a
+    /// structured error on an incompatible header (exit 2), a corrupt
+    /// record (exit 2), or an I/O failure (exit 1).
+    fn open_journal(&self, scale: f64) -> Option<Journal> {
+        let path = std::path::PathBuf::from(self.journal_path.as_ref()?);
+        let opts = oscache_workloads::BuildOptions {
+            scale,
+            ..Default::default()
+        };
+        let header = JournalHeader::new(&opts);
+        let result = if self.resume {
+            Journal::resume(&path, header)
+        } else {
+            Journal::create(&path, header)
+        };
+        match result {
+            Ok(j) => {
+                if self.resume && !j.is_empty() {
+                    eprintln!(
+                        "journal: resuming from {} ({} completed cells)",
+                        path.display(),
+                        j.len()
+                    );
+                }
+                Some(j)
+            }
+            Err(e @ JournalError::Io(_)) => fail("io", &e.to_string(), EXIT_IO),
+            Err(e) => fail("journal", &e.to_string(), EXIT_USAGE),
+        }
+    }
+}
+
+/// Prints the supervision telemetry and per-failure structured lines to
+/// stderr. Returns true when the run is partial (some cells failed).
+fn report_supervision(sup: &SupervisedWarmStats, journal: Option<&Journal>) -> bool {
+    for o in &sup.overruns {
+        eprintln!(
+            "warning: cell {} attempt {} exceeded the soft deadline ({} ms limit, ran {:.0} ms)",
+            o.key, o.attempt, o.deadline_ms, o.elapsed_ms
+        );
+    }
+    for e in &sup.journal_errors {
+        eprintln!("warning: journal write failed: {e}");
+    }
+    if sup.retries > 0 {
+        eprintln!("supervision: {} retry attempts granted", sup.retries);
+    }
+    if let Some(j) = journal {
+        eprintln!(
+            "journal: {} cells replayed, {} recorded at {}",
+            sup.journal_hits,
+            j.len(),
+            j.path().display()
+        );
+    }
+    for f in &sup.failures {
+        eprintln!(
+            "error: class=cell-failure cell={} attempt={} cause={} msg={:?}",
+            f.cell.key(),
+            f.attempt,
+            f.cause.class(),
+            f.cause.to_string()
+        );
+    }
+    !sup.failures.is_empty()
+}
+
+/// The exit code a failed fail-fast run reports: 3 when every failure is
+/// a trace-validation rejection, 4 otherwise (invariants, panics).
+fn failure_exit(failures: &[CellFailure]) -> i32 {
+    let all_trace = failures
+        .iter()
+        .all(|f| matches!(&f.cause, FailureCause::Sim(e) if e.is_trace_error()));
+    if all_trace {
+        EXIT_TRACE_INVALID
+    } else {
+        EXIT_SIM_FAILED
+    }
 }
 
 /// The §2.2 perturbation study: instrument every basic block with an
@@ -340,6 +452,7 @@ fn main() {
     let mut scale = 1.0f64;
     let mut jobs = 0usize; // 0 = one worker per hardware thread
     let mut timings = false;
+    let mut sup_opts = Supervision::default();
     let mut what: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -362,9 +475,33 @@ fn main() {
                 }
             }
             "--timings" => timings = true,
+            "--keep-going" => sup_opts.keep_going = true,
+            "--resume" => sup_opts.resume = true,
+            "--journal" => {
+                sup_opts.journal_path = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--retries" => {
+                sup_opts.retries = args
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
+            "--deadline-ms" => {
+                sup_opts.deadline_ms = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage())
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                );
+            }
+            "--inject-cell-panic" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                sup_opts.inject = Some(CellFault::parse(&spec).unwrap_or_else(|| usage()));
+            }
             "golden" => {
                 let dir = args.next().unwrap_or_else(|| usage());
-                golden(&dir, scale, jobs);
+                golden(&dir, scale, jobs, &sup_opts);
                 return;
             }
             "dump" => {
@@ -449,11 +586,33 @@ fn main() {
         }
     }
     let mut r = Repro::with_jobs(scale, jobs);
-    let warm = r.warm(&exps);
+    let journal = sup_opts.open_journal(scale);
+    let sup = r.warm_supervised(&exps, &sup_opts.policy(), journal.as_ref());
+    let partial = report_supervision(&sup, journal.as_ref());
+    if partial && !sup_opts.keep_going {
+        fail(
+            "cell-failure",
+            &format!(
+                "{} of {} cells failed (run with --keep-going for a partial report)",
+                sup.failures.len(),
+                sup.failures.len() + sup.cells.len()
+            ),
+            failure_exit(&sup.failures),
+        );
+    }
+    let warm = WarmStats {
+        jobs: sup.jobs,
+        wall_ms: sup.wall_ms,
+        cells: sup.cells.clone(),
+    };
     for w in what.clone() {
         let all = w == "all";
         for e in Experiment::all() {
             if all || w == e.name() {
+                if partial && !r.experiment_ready(e) {
+                    eprintln!("skipping {}: not all of its cells completed", e.name());
+                    continue;
+                }
                 if e == Experiment::Scorecard {
                     println!("\n{}", r.scorecard());
                 } else {
@@ -462,13 +621,31 @@ fn main() {
             }
         }
         if w == "bars" {
-            println!("{}", r.figure2().bars());
-            println!("{}", r.figure3().bars());
-            println!("{}", r.figure5().bars());
+            let ready = [Experiment::Fig2, Experiment::Fig3, Experiment::Fig5]
+                .into_iter()
+                .all(|e| r.experiment_ready(e));
+            if partial && !ready {
+                eprintln!("skipping bars: not all of its cells completed");
+            } else {
+                println!("{}", r.figure2().bars());
+                println!("{}", r.figure3().bars());
+                println!("{}", r.figure5().bars());
+            }
         }
     }
     if timings {
         print_timings(&r, &warm);
+    }
+    if partial {
+        // Partial runs never overwrite the benchmark record.
+        fail(
+            "partial",
+            &format!(
+                "{} cells failed; rendered the completed experiments",
+                sup.failures.len()
+            ),
+            EXIT_PARTIAL,
+        );
     }
     if what.iter().any(|w| w == "all") {
         write_bench_json("BENCH_repro.json", scale, &r, &warm);
@@ -507,22 +684,53 @@ fn golden_experiments() -> Vec<Experiment> {
 
 /// Writes each experiment's exact output to `<dir>/<name>.txt` — the
 /// corpus `tests/golden/` pins and `UPDATE_GOLDEN=1 cargo test` refreshes.
-fn golden(dir: &str, scale: f64, jobs: usize) {
+/// Runs under the same supervision options as the experiment flow, so a
+/// journaled golden run can be killed and resumed (the CI crash/resume
+/// smoke does exactly that).
+fn golden(dir: &str, scale: f64, jobs: usize, sup_opts: &Supervision) {
     std::fs::create_dir_all(dir).expect("create golden dir");
     let exps = golden_experiments();
     let mut r = Repro::with_jobs(scale, jobs);
-    let warm = r.warm(&exps);
+    let journal = sup_opts.open_journal(scale);
+    let warm = r.warm_supervised(&exps, &sup_opts.policy(), journal.as_ref());
+    let partial = report_supervision(&warm, journal.as_ref());
+    if partial && !sup_opts.keep_going {
+        fail(
+            "cell-failure",
+            &format!(
+                "{} of {} cells failed (run with --keep-going to write the completed experiments)",
+                warm.failures.len(),
+                warm.failures.len() + warm.cells.len()
+            ),
+            failure_exit(&warm.failures),
+        );
+    }
+    let mut written = 0usize;
     for e in &exps {
+        if partial && !r.experiment_ready(*e) {
+            eprintln!("skipping {}: not all of its cells completed", e.name());
+            continue;
+        }
         let text = render(&mut r, *e);
         std::fs::write(format!("{dir}/{}.txt", e.name()), text).expect("write golden file");
+        written += 1;
     }
     eprintln!(
-        "wrote {} golden outputs into {dir}/ ({} cells, {} workers, {:.0} ms)",
-        exps.len(),
+        "wrote {written} golden outputs into {dir}/ ({} cells, {} workers, {:.0} ms)",
         warm.cells.len(),
         warm.jobs,
         warm.wall_ms
     );
+    if partial {
+        fail(
+            "partial",
+            &format!(
+                "{} cells failed; wrote the completed experiments",
+                warm.failures.len()
+            ),
+            EXIT_PARTIAL,
+        );
+    }
 }
 
 /// Prints the per-cell timing summary (`--timings`), with each cell's
@@ -554,11 +762,18 @@ fn print_timings(r: &Repro, warm: &WarmStats) {
             t.rewrite_ms,
             t.sim_ms,
             t.os_misses,
-            if t.cached { "  (cached)" } else { "" }
+            if t.journaled {
+                "  (journal)"
+            } else if t.cached {
+                "  (cached)"
+            } else {
+                ""
+            }
         );
     }
+    let journaled = warm.cells.iter().filter(|c| c.journaled).count();
     println!(
-        "total {:<40} {:>9.1} ms wall, {} cells",
+        "total {:<40} {:>9.1} ms wall, {} cells ({journaled} from journal)",
         "",
         warm.wall_ms,
         warm.cells.len()

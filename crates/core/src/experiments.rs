@@ -5,8 +5,11 @@ use crate::config::{Geometry, System, SystemSpec};
 use crate::metrics::{
     BlockOpOverhead, CoherenceBreakdown, MissBreakdown, OsTimeBreakdown, WorkloadMetrics,
 };
-use crate::runner::{run_cell, run_cells, run_key, Cell, CellOutcome, Experiment, TraceCache};
+use crate::runner::{
+    run_cell, run_cells, run_cells_supervised, run_key, Cell, CellOutcome, Experiment, TraceCache,
+};
 use crate::sim::RunResult;
+use crate::supervise::{CellFailure, Journal, Overrun, RunPolicy};
 use crate::{deferred, paperref};
 use oscache_trace::Trace;
 use oscache_workloads::{BuildOptions, Workload};
@@ -70,6 +73,9 @@ pub struct CellTiming {
     pub sim_ms: f64,
     /// OS read misses the cell observed (a cheap cross-run sanity metric).
     pub os_misses: u64,
+    /// Whether the result was replayed from a run journal (`--resume`)
+    /// instead of simulated.
+    pub journaled: bool,
 }
 
 /// What a [`Repro::warm`] fan-out did: worker count, wall clock, and the
@@ -82,6 +88,31 @@ pub struct WarmStats {
     pub wall_ms: f64,
     /// Per-cell timings, in cell order.
     pub cells: Vec<CellTiming>,
+}
+
+/// What a [`Repro::warm_supervised`] fan-out did: [`WarmStats`] for the
+/// completed cells plus everything the supervision layer observed
+/// (DESIGN.md §13).
+#[derive(Debug)]
+pub struct SupervisedWarmStats {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock milliseconds for the fan-out.
+    pub wall_ms: f64,
+    /// Per-cell timings of the cells that completed, in cell order.
+    pub cells: Vec<CellTiming>,
+    /// Cells whose retries were exhausted, in cell order. Empty means the
+    /// run is complete and every table/figure can render.
+    pub failures: Vec<CellFailure>,
+    /// Soft-deadline overruns the watchdog flagged (advisory).
+    pub overruns: Vec<Overrun>,
+    /// Retry attempts granted across all cells.
+    pub retries: u64,
+    /// Cells replayed from the run journal instead of simulated.
+    pub journal_hits: usize,
+    /// Journal writes that failed (non-fatal; those cells will re-simulate
+    /// on a later resume).
+    pub journal_errors: Vec<String>,
 }
 
 impl Repro {
@@ -137,16 +168,7 @@ impl Repro {
     /// `jobs` workers, so the subsequent table/figure calls are pure cache
     /// hits. Cells already simulated are not rerun.
     pub fn warm(&mut self, experiments: &[Experiment]) -> WarmStats {
-        let mut cells: Vec<Cell> = Vec::new();
-        let mut seen: HashSet<String> = HashSet::new();
-        for e in experiments {
-            for cell in e.cells() {
-                let key = cell.key();
-                if !self.runs.contains_key(&key) && seen.insert(key) {
-                    cells.push(cell);
-                }
-            }
-        }
+        let cells = self.cells_to_run(experiments);
         let report = run_cells(&self.cache, self.build_options(), &cells, self.jobs)
             .unwrap_or_else(|e| panic!("simulation failed: {e}"));
         let mut stats = WarmStats {
@@ -159,6 +181,70 @@ impl Repro {
         }
         self.timings.extend(stats.cells.iter().cloned());
         stats
+    }
+
+    /// [`Repro::warm`] under a [`RunPolicy`] (DESIGN.md §13): failing
+    /// cells cost their own slot instead of panicking the driver, retries
+    /// and journal replay/record apply per the policy, and the returned
+    /// stats say exactly which cells did not complete — the caller decides
+    /// whether that is fatal (`repro` without `--keep-going`) or a partial
+    /// report (exit code 6).
+    pub fn warm_supervised(
+        &mut self,
+        experiments: &[Experiment],
+        policy: &RunPolicy,
+        journal: Option<&Journal>,
+    ) -> SupervisedWarmStats {
+        let cells = self.cells_to_run(experiments);
+        let report = run_cells_supervised(
+            &self.cache,
+            self.build_options(),
+            &cells,
+            self.jobs,
+            policy,
+            journal,
+        );
+        let mut stats = SupervisedWarmStats {
+            jobs: report.jobs,
+            wall_ms: report.wall_ms,
+            cells: Vec::new(),
+            failures: Vec::new(),
+            overruns: report.overruns,
+            retries: report.retries,
+            journal_hits: report.journal_hits,
+            journal_errors: report.journal_errors,
+        };
+        for slot in report.outcomes {
+            match slot {
+                Ok(outcome) => stats.cells.push(self.absorb(outcome)),
+                Err(failure) => stats.failures.push(failure),
+            }
+        }
+        self.timings.extend(stats.cells.iter().cloned());
+        stats
+    }
+
+    /// The deduplicated not-yet-simulated cells the given experiments
+    /// need, in experiment order.
+    fn cells_to_run(&self, experiments: &[Experiment]) -> Vec<Cell> {
+        let mut cells: Vec<Cell> = Vec::new();
+        let mut seen: HashSet<String> = HashSet::new();
+        for e in experiments {
+            for cell in e.cells() {
+                let key = cell.key();
+                if !self.runs.contains_key(&key) && seen.insert(key) {
+                    cells.push(cell);
+                }
+            }
+        }
+        cells
+    }
+
+    /// True when every cell `e` needs has already been simulated (or
+    /// replayed), so rendering it will not trigger new simulations — the
+    /// `--keep-going` path renders exactly the experiments this accepts.
+    pub fn experiment_ready(&self, e: Experiment) -> bool {
+        e.cells().iter().all(|c| self.runs.contains_key(&c.key()))
     }
 
     /// Records one finished cell in the run cache and returns its timing.
@@ -174,6 +260,7 @@ impl Repro {
             cached: outcome.phases.cached,
             sim_ms: outcome.sim_ms,
             os_misses: outcome.result.stats.total().os_read_misses(),
+            journaled: outcome.journaled,
         };
         self.runs.insert(timing.key.clone(), outcome.result);
         timing

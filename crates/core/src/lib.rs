@@ -19,17 +19,25 @@ mod report;
 pub mod runner;
 mod scorecard;
 mod sim;
+pub mod supervise;
 pub mod transform;
 
 pub use config::{Geometry, System, SystemSpec, UpdatePolicy};
-pub use experiments::{CellTiming, Headline, Repro, WarmStats};
+pub use experiments::{CellTiming, Headline, Repro, SupervisedWarmStats, WarmStats};
 pub use metrics::{
     BlockOpOverhead, CoherenceBreakdown, MissBreakdown, OsTimeBreakdown, WorkloadMetrics,
 };
-pub use runner::{default_jobs, Cell, CellFingerprint, Experiment, TraceCache};
+pub use runner::{
+    default_jobs, run_cells_supervised, Cell, CellFingerprint, Experiment, SupervisedReport,
+    TraceCache,
+};
 pub use scorecard::{Check, Scorecard};
 pub use sim::{
     analyze_cell, prepare_cell, prepare_from_analysis, run_prepared, run_spec, run_system,
     try_run_spec, try_run_spec_audited, try_run_system, AnalysisPrefix, AnalyzedCell, PrepPhases,
     PreparedCell, RunResult,
+};
+pub use supervise::{
+    CellFailure, FailureCause, Journal, JournalError, JournalHeader, JournalRecord, Overrun,
+    RunPolicy, RunnerError,
 };

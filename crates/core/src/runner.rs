@@ -24,17 +24,26 @@
 //! serial path — which the determinism tests in `tests/runner.rs` and the
 //! golden files under `tests/golden/` pin down.
 
+// Failure values carry the whole Cell (key, spec, geometry) so reports can
+// name exactly what failed; they only exist on the cold path.
+#![allow(clippy::result_large_err)]
+
 use crate::config::{Geometry, System, SystemSpec};
 use crate::experiments::{figure6_sweep, figure7_sweep};
 use crate::sim::{self, AnalysisPrefix, AnalyzedCell, PrepPhases, PreparedCell, RunResult};
+use crate::supervise::{
+    fnv1a, lock_tolerant, CellFailure, FailureCause, Journal, JournalRecord, OnceSlot, Overrun,
+    RunPolicy, RunnerError, Watchdog,
+};
 use oscache_memsys::{AuditLevel, SimError};
 use oscache_trace::Trace;
 use oscache_workloads::{build_shared, BuildOptions, TraceBuildKey, Workload};
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, Weak};
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, Weak};
+use std::time::{Duration, Instant};
 
 /// The default worker count: every hardware thread the OS grants us.
 pub fn default_jobs() -> usize {
@@ -70,6 +79,15 @@ impl CellFingerprint {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         self.hash(&mut h);
         h.finish()
+    }
+
+    /// A *build-stable* digest: FNV-1a over the fingerprint's canonical
+    /// (Debug) rendering. This is what the run journal keys records by —
+    /// unlike [`CellFingerprint::digest`], whose `DefaultHasher` keys the
+    /// standard library may change between releases, this value must let a
+    /// journal written by one binary be resumed by the next.
+    pub fn stable_digest(&self) -> u64 {
+        fnv1a(format!("{self:?}").as_bytes())
     }
 }
 
@@ -134,7 +152,7 @@ pub struct BuildTiming {
 /// Builds and shares workload traces across threads.
 ///
 /// Base traces are built at most once per key: concurrent requests for the
-/// same key block on a [`OnceLock`] until the single builder finishes.
+/// same key block until the single builder finishes.
 /// The geometry-independent analysis of each working trace (sharing
 /// profile, privatization/relocation/update planning, and the fused
 /// rewrite — [`sim::analyze_cell`]) is likewise computed once per
@@ -151,9 +169,16 @@ pub struct BuildTiming {
 /// recur within one [`run_cells`] fan-out are deduplicated at the result
 /// level instead ([`TraceCache::shared_result`]), which is strictly
 /// cheaper than re-simulating and keeps only kilobytes of counters alive.
+///
+/// The cache is **panic-tolerant** (DESIGN.md §13.1): write-once slots are
+/// [`OnceSlot`]s, which reset to empty when a builder panics instead of
+/// poisoning like `std::sync::OnceLock` (one crashed trace build would
+/// otherwise wedge every later cell needing that trace), and every lock is
+/// taken poison-tolerantly — all guarded state is write-once or
+/// append-only, so a panicked holder cannot leave it inconsistent.
 #[derive(Default)]
 pub struct TraceCache {
-    base: Mutex<HashMap<TraceBuildKey, Arc<OnceLock<Arc<Trace>>>>>,
+    base: Mutex<HashMap<TraceBuildKey, Arc<OnceSlot<Arc<Trace>>>>>,
     analyzed: Mutex<AnalysisMap>,
     prepared: Mutex<HashMap<CellFingerprint, Weak<PreparedCell>>>,
     results: Mutex<HashMap<CellFingerprint, RunResult>>,
@@ -161,7 +186,7 @@ pub struct TraceCache {
 }
 
 /// Write-once analysis slots keyed by base trace and spec prefix.
-type AnalysisMap = HashMap<(TraceBuildKey, AnalysisPrefix), Arc<OnceLock<Arc<AnalyzedCell>>>>;
+type AnalysisMap = HashMap<(TraceBuildKey, AnalysisPrefix), Arc<OnceSlot<Arc<AnalyzedCell>>>>;
 
 impl TraceCache {
     /// An empty cache.
@@ -174,20 +199,19 @@ impl TraceCache {
     pub fn base(&self, workload: Workload, opts: BuildOptions) -> Arc<Trace> {
         let key = opts.key(workload);
         let slot = {
-            let mut map = self.base.lock().unwrap();
+            let mut map = lock_tolerant(&self.base);
             map.entry(key).or_default().clone()
         };
-        slot.get_or_init(|| {
+        slot.get_or_build(|| {
             let t0 = Instant::now();
             let trace = build_shared(workload, opts);
-            self.builds.lock().unwrap().push(BuildTiming {
+            lock_tolerant(&self.builds).push(BuildTiming {
                 key,
                 ms: 1e3 * t0.elapsed().as_secs_f64(),
                 events: trace.total_events() as u64,
             });
             trace
         })
-        .clone()
     }
 
     /// The prepared (transform-applied) input for `fp`, derived from
@@ -199,10 +223,7 @@ impl TraceCache {
         base: &Trace,
         fp: CellFingerprint,
     ) -> Result<(Arc<PreparedCell>, PrepPhases), SimError> {
-        if let Some(p) = self
-            .prepared
-            .lock()
-            .unwrap()
+        if let Some(p) = lock_tolerant(&self.prepared)
             .get(&fp)
             .and_then(Weak::upgrade)
         {
@@ -220,7 +241,7 @@ impl TraceCache {
         phases.analyze_ms = analyzed.1;
         let built = Arc::new(built);
         // First live writer wins, so concurrent preparers agree.
-        let mut map = self.prepared.lock().unwrap();
+        let mut map = lock_tolerant(&self.prepared);
         Ok(match map.get(&fp).and_then(Weak::upgrade) {
             Some(existing) => (existing, phases),
             None => {
@@ -234,7 +255,7 @@ impl TraceCache {
     /// already simulated in this process. Only fingerprints flagged as
     /// recurring by [`run_cells`] are ever stored.
     pub fn shared_result(&self, fp: &CellFingerprint) -> Option<RunResult> {
-        self.results.lock().unwrap().get(fp).cloned()
+        lock_tolerant(&self.results).get(fp).cloned()
     }
 
     /// Stores `result` for reuse by later cells with the same fingerprint.
@@ -242,7 +263,7 @@ impl TraceCache {
     /// (simulation is deterministic in the fingerprint), so which one
     /// lands is unobservable.
     pub fn store_result(&self, fp: CellFingerprint, result: RunResult) {
-        self.results.lock().unwrap().entry(fp).or_insert(result);
+        lock_tolerant(&self.results).entry(fp).or_insert(result);
     }
 
     /// The shared geometry-independent analysis for `fp`'s base trace and
@@ -251,39 +272,37 @@ impl TraceCache {
     fn analyzed_for(&self, base: &Trace, fp: CellFingerprint) -> (Arc<AnalyzedCell>, f64) {
         let key = (fp.base, AnalysisPrefix::of(fp.spec));
         let slot = {
-            let mut map = self.analyzed.lock().unwrap();
+            let mut map = lock_tolerant(&self.analyzed);
             map.entry(key).or_default().clone()
         };
         let mut analyze_ms = 0.0;
-        let analyzed = slot
-            .get_or_init(|| {
-                let t0 = Instant::now();
-                let a = Arc::new(sim::analyze_cell(base, fp.spec));
-                analyze_ms = 1e3 * t0.elapsed().as_secs_f64();
-                a
-            })
-            .clone();
+        let analyzed = slot.get_or_build(|| {
+            let t0 = Instant::now();
+            let a = Arc::new(sim::analyze_cell(base, fp.spec));
+            analyze_ms = 1e3 * t0.elapsed().as_secs_f64();
+            a
+        });
         (analyzed, analyze_ms)
     }
 
     /// Timings of every base-trace build so far, in build order.
     pub fn build_timings(&self) -> Vec<BuildTiming> {
-        self.builds.lock().unwrap().clone()
+        lock_tolerant(&self.builds).clone()
     }
 
     /// Number of distinct base traces built.
     pub fn base_len(&self) -> usize {
-        self.base.lock().unwrap().len()
+        lock_tolerant(&self.base).len()
     }
 
     /// Number of distinct prepared cells cached.
     pub fn prepared_len(&self) -> usize {
-        self.prepared.lock().unwrap().len()
+        lock_tolerant(&self.prepared).len()
     }
 
     /// Number of distinct geometry-independent analyses cached.
     pub fn analyzed_len(&self) -> usize {
-        self.analyzed.lock().unwrap().len()
+        lock_tolerant(&self.analyzed).len()
     }
 }
 
@@ -309,6 +328,12 @@ pub struct CellOutcome {
     /// Breakdown of `prepare_ms` by phase (analysis / profiling replay /
     /// prefetch rewrite), with `cached: true` on a whole-fingerprint hit.
     pub phases: PrepPhases,
+    /// Attempt index that produced this outcome (0 unless a supervised run
+    /// retried the cell).
+    pub attempt: u32,
+    /// True when the result was replayed from a run journal instead of
+    /// simulated (`repro --journal … --resume`).
+    pub journaled: bool,
 }
 
 /// What [`run_cells`] returns: per-cell outcomes in *cell index order*
@@ -329,23 +354,24 @@ pub fn run_cell(
     opts: BuildOptions,
     cell: &Cell,
 ) -> Result<CellOutcome, SimError> {
-    run_cell_inner(cache, opts, cell, false)
+    run_cell_inner(cache, opts, cell, cell.fingerprint(opts), false)
 }
 
-/// [`run_cell`], with result sharing for fingerprints known to recur in
-/// the current fan-out: the first such cell simulates and publishes its
-/// result, later ones reuse it (identical by determinism) without
-/// re-preparing or re-simulating.
+/// [`run_cell`], with the cell's fingerprint precomputed by the caller
+/// (the fan-out computes it exactly once per cell) and result sharing for
+/// fingerprints known to recur in the current fan-out: the first such
+/// cell simulates and publishes its result, later ones reuse it
+/// (identical by determinism) without re-preparing or re-simulating.
 fn run_cell_inner(
     cache: &TraceCache,
     opts: BuildOptions,
     cell: &Cell,
+    fp: CellFingerprint,
     share_result: bool,
 ) -> Result<CellOutcome, SimError> {
     let t0 = Instant::now();
     let base = cache.base(cell.workload, opts);
     let built = Instant::now();
-    let fp = cell.fingerprint(opts);
     if share_result {
         if let Some(result) = cache.shared_result(&fp) {
             let done = Instant::now();
@@ -360,6 +386,8 @@ fn run_cell_inner(
                     cached: true,
                     ..PrepPhases::default()
                 },
+                attempt: 0,
+                journaled: false,
             });
         }
     }
@@ -378,7 +406,71 @@ fn run_cell_inner(
         prepare_ms: 1e3 * (prep - built).as_secs_f64(),
         sim_ms: 1e3 * (done - prep).as_secs_f64(),
         phases,
+        attempt: 0,
+        journaled: false,
     })
+}
+
+/// What [`run_cells_supervised`] returns: a per-cell `Ok | Err` slot in
+/// cell-index order plus everything the supervision layer observed.
+pub struct SupervisedReport {
+    /// One slot per input cell, same order as the input: the outcome, or
+    /// the typed failure that exhausted the cell's retries.
+    pub outcomes: Vec<Result<CellOutcome, CellFailure>>,
+    /// Worker count actually used.
+    pub jobs: usize,
+    /// Wall-clock milliseconds for the whole fan-out.
+    pub wall_ms: f64,
+    /// Soft-deadline overruns flagged by the watchdog (advisory — the
+    /// flagged cells kept running and usually completed).
+    pub overruns: Vec<Overrun>,
+    /// Total retry attempts granted across all cells.
+    pub retries: u64,
+    /// Cells replayed from the run journal instead of simulated.
+    pub journal_hits: usize,
+    /// Journal writes that failed (the run continues; the journal just
+    /// misses those cells on a later resume).
+    pub journal_errors: Vec<String>,
+}
+
+impl SupervisedReport {
+    /// Number of cells that completed successfully.
+    pub fn completed(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_ok()).count()
+    }
+
+    /// The failures, in cell-index order.
+    pub fn failures(&self) -> Vec<&CellFailure> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.as_ref().err())
+            .collect()
+    }
+
+    /// Collapses the report into the fail-fast shape: all outcomes, or the
+    /// lowest-indexed failure annotated with how much work had completed.
+    pub fn into_report(self) -> Result<RunnerReport, RunnerError> {
+        let completed = self.completed();
+        let total = self.outcomes.len();
+        let mut outcomes = Vec::with_capacity(total);
+        for slot in self.outcomes {
+            match slot {
+                Ok(o) => outcomes.push(o),
+                Err(failure) => {
+                    return Err(RunnerError {
+                        failure,
+                        completed,
+                        total,
+                    })
+                }
+            }
+        }
+        Ok(RunnerReport {
+            outcomes,
+            jobs: self.jobs,
+            wall_ms: self.wall_ms,
+        })
+    }
 }
 
 /// Fans `cells` out over `jobs` workers (clamped to the cell count; `0`
@@ -387,22 +479,54 @@ fn run_cell_inner(
 /// Each cell is simulated by exactly one worker via [`run_cell`];
 /// parallelism only schedules whole cells, so results are
 /// bitwise-identical to running the same cells serially. On error the
-/// lowest-indexed failing cell's error is returned, regardless of which
-/// worker hit it first.
+/// lowest-indexed failing cell's error is returned (regardless of which
+/// worker hit it first), annotated with how many cells had completed —
+/// completed work is counted, never silently discarded.
 pub fn run_cells(
     cache: &TraceCache,
     opts: BuildOptions,
     cells: &[Cell],
     jobs: usize,
-) -> Result<RunnerReport, SimError> {
+) -> Result<RunnerReport, RunnerError> {
+    run_cells_supervised(cache, opts, cells, jobs, &RunPolicy::fail_fast(), None).into_report()
+}
+
+/// [`run_cells`] under a [`RunPolicy`]: per-cell panic isolation, bounded
+/// retry, soft-deadline watchdog, and optional journal replay/record
+/// (DESIGN.md §13).
+///
+/// Every cell gets a slot in the report — a panicking or failing cell
+/// costs exactly its own slot, never the scope, the process, or the other
+/// cells' completed work. With `journal` set, cells whose stable
+/// fingerprint digest is already journaled are replayed without
+/// simulation, and every newly-completed cell is journaled (atomically,
+/// temp-file + rename) the moment it finishes, so a `SIGKILL` at any
+/// point loses at most the cells in flight.
+///
+/// Determinism: supervision adds no scheduling influence on results —
+/// retries rerun the same pure function, journal replay returns stats that
+/// function already produced, and the watchdog only observes. The same
+/// `(cells, opts, policy.inject)` therefore yields the same per-slot
+/// outcome pattern at any `jobs`.
+pub fn run_cells_supervised(
+    cache: &TraceCache,
+    opts: BuildOptions,
+    cells: &[Cell],
+    jobs: usize,
+    policy: &RunPolicy,
+    journal: Option<&Journal>,
+) -> SupervisedReport {
     let t0 = Instant::now();
     let jobs = if jobs == 0 { default_jobs() } else { jobs };
     let jobs = jobs.min(cells.len()).max(1);
+    // One fingerprint computation per cell, shared by the recurrence scan,
+    // the workers, and the journal keys.
+    let fps: Vec<CellFingerprint> = cells.iter().map(|c| c.fingerprint(opts)).collect();
     // Fingerprints appearing more than once (e.g. a sweep point that
     // coincides with the default geometry) share one simulation result.
     let mut counts: HashMap<CellFingerprint, usize> = HashMap::new();
-    for cell in cells {
-        *counts.entry(cell.fingerprint(opts)).or_insert(0) += 1;
+    for fp in &fps {
+        *counts.entry(*fp).or_insert(0) += 1;
     }
     let recurring: HashSet<CellFingerprint> = counts
         .into_iter()
@@ -410,38 +534,196 @@ pub fn run_cells(
         .map(|(fp, _)| fp)
         .collect();
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<CellOutcome, SimError>>>> =
+    let retries = AtomicU64::new(0);
+    let journal_hits = AtomicUsize::new(0);
+    let journal_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let slots: Vec<Mutex<Option<Result<CellOutcome, CellFailure>>>> =
         cells.iter().map(|_| Mutex::new(None)).collect();
+    let watchdog = policy
+        .soft_deadline_ms
+        .map(|ms| Watchdog::new(Duration::from_millis(ms.max(1))));
     std::thread::scope(|s| {
-        for _ in 0..jobs {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                let cell = &cells[i];
-                let share = recurring.contains(&cell.fingerprint(opts));
-                let out = run_cell_inner(cache, opts, cell, share);
-                *slots[i].lock().unwrap() = Some(out);
-            });
+        let dog_handle = watchdog.as_ref().map(|dog| s.spawn(|| dog.run()));
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let cell = &cells[i];
+                    let fp = fps[i];
+                    let key = cell.key();
+                    let out = supervise_one(
+                        SuperviseCtx {
+                            cache,
+                            opts,
+                            policy,
+                            journal,
+                            watchdog: watchdog.as_ref(),
+                            retries: &retries,
+                            journal_hits: &journal_hits,
+                            journal_errors: &journal_errors,
+                            share: recurring.contains(&fp),
+                        },
+                        cell,
+                        fp,
+                        &key,
+                    );
+                    *lock_tolerant(&slots[i]) = Some(out);
+                })
+            })
+            .collect();
+        for w in workers {
+            // A worker thread cannot panic (every fallible step runs under
+            // catch_unwind), but stay defensive: a dead worker costs only
+            // the slots it never filled.
+            let _ = w.join();
+        }
+        // Workers are done; tell the watchdog to exit its tick loop.
+        if let Some(dog) = &watchdog {
+            dog.shutdown();
+        }
+        if let Some(h) = dog_handle {
+            let _ = h.join();
         }
     });
-    let mut outcomes = Vec::with_capacity(cells.len());
-    for slot in slots {
-        match slot
-            .into_inner()
-            .unwrap()
-            .expect("worker filled every slot")
-        {
-            Ok(o) => outcomes.push(o),
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(RunnerReport {
+    let outcomes: Vec<Result<CellOutcome, CellFailure>> = slots
+        .into_iter()
+        .zip(cells)
+        .map(|(slot, cell)| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    // Unreachable today (see the join comment above), but
+                    // an unfilled slot must degrade to a typed failure, not
+                    // a collector panic.
+                    Err(CellFailure {
+                        cell: cell.clone(),
+                        attempt: 0,
+                        cause: FailureCause::Panic(
+                            "worker terminated before filling this cell's slot".to_string(),
+                        ),
+                    })
+                })
+        })
+        .collect();
+    SupervisedReport {
         outcomes,
         jobs,
         wall_ms: 1e3 * t0.elapsed().as_secs_f64(),
-    })
+        overruns: watchdog.map(|d| d.take_overruns()).unwrap_or_default(),
+        retries: retries.load(Ordering::Relaxed),
+        journal_hits: journal_hits.load(Ordering::Relaxed),
+        journal_errors: journal_errors
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner),
+    }
+}
+
+/// Everything [`supervise_one`] needs besides the cell itself (bundled so
+/// the worker loop stays readable).
+struct SuperviseCtx<'a> {
+    cache: &'a TraceCache,
+    opts: BuildOptions,
+    policy: &'a RunPolicy,
+    journal: Option<&'a Journal>,
+    watchdog: Option<&'a Watchdog>,
+    retries: &'a AtomicU64,
+    journal_hits: &'a AtomicUsize,
+    journal_errors: &'a Mutex<Vec<String>>,
+    share: bool,
+}
+
+/// Runs one cell under the supervision policy: journal replay, panic
+/// isolation, bounded retry, journal record.
+fn supervise_one(
+    ctx: SuperviseCtx<'_>,
+    cell: &Cell,
+    fp: CellFingerprint,
+    key: &str,
+) -> Result<CellOutcome, CellFailure> {
+    let digest = fp.stable_digest();
+    if let Some(j) = ctx.journal {
+        if let Some(stats) = j.lookup(digest) {
+            ctx.journal_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(CellOutcome {
+                cell: cell.clone(),
+                result: RunResult {
+                    stats,
+                    spec: cell.spec,
+                    geometry: cell.geometry,
+                },
+                ms: 0.0,
+                build_ms: 0.0,
+                prepare_ms: 0.0,
+                sim_ms: 0.0,
+                phases: PrepPhases {
+                    cached: true,
+                    ..PrepPhases::default()
+                },
+                attempt: 0,
+                journaled: true,
+            });
+        }
+    }
+    let mut attempt: u32 = 0;
+    let out = loop {
+        let watch = ctx.watchdog.map(|d| d.watch(key, attempt));
+        let attempt_result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(fault) = &ctx.policy.inject {
+                if fault.fires(key, attempt) {
+                    panic!(
+                        "injected cell fault (seed {}, attempt {attempt})",
+                        fault.seed
+                    );
+                }
+            }
+            run_cell_inner(ctx.cache, ctx.opts, cell, fp, ctx.share)
+        }));
+        drop(watch);
+        let cause = match attempt_result {
+            Ok(Ok(mut o)) => {
+                o.attempt = attempt;
+                break Ok(o);
+            }
+            Ok(Err(e)) => FailureCause::Sim(e),
+            Err(payload) => FailureCause::Panic(panic_message(payload)),
+        };
+        if attempt >= ctx.policy.max_retries {
+            break Err(CellFailure {
+                cell: cell.clone(),
+                attempt,
+                cause,
+            });
+        }
+        std::thread::sleep(ctx.policy.backoff(attempt));
+        attempt += 1;
+        ctx.retries.fetch_add(1, Ordering::Relaxed);
+    };
+    if let (Some(j), Ok(o)) = (ctx.journal, &out) {
+        if let Err(e) = j.append(JournalRecord {
+            digest,
+            key: key.to_string(),
+            attempt: o.attempt,
+            ms: o.ms,
+            stats: o.result.stats.clone(),
+        }) {
+            lock_tolerant(ctx.journal_errors).push(format!("{key}: {e}"));
+        }
+    }
+    out
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// One of the paper's reproducible experiments, as named on the `repro`

@@ -1,0 +1,458 @@
+//! Supervision-layer guarantees (DESIGN.md §13): an injected panic costs
+//! exactly its own cell, bounded retry is deterministic, the watchdog
+//! flags but never kills, and a journaled run killed at any cell boundary
+//! resumes to byte-identical results while re-simulating only the cells
+//! the journal does not yet hold.
+
+use oscache_core::runner::{run_cells, run_cells_supervised, Cell, TraceCache};
+use oscache_core::supervise::{
+    stats_from_json, stats_to_json, Journal, JournalError, JournalHeader,
+};
+use oscache_core::{FailureCause, RunPolicy, RunResult, SupervisedReport, System};
+use oscache_memsys::faults::CellFault;
+use oscache_memsys::{BusStats, CpuStats, ModeSplit, SimStats};
+use oscache_trace::rng::{Rng, RngCore, SmallRng};
+use oscache_trace::DataClass;
+use oscache_workloads::{BuildOptions, Workload};
+use std::path::PathBuf;
+
+const SCALE: f64 = 0.02;
+
+fn opts() -> BuildOptions {
+    BuildOptions {
+        scale: SCALE,
+        ..Default::default()
+    }
+}
+
+/// A small but heterogeneous cell set: two workloads, two block-op
+/// schemes — enough to have distinct fingerprints and visible failures.
+fn subset() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for w in [Workload::Trfd4, Workload::Shell] {
+        for sys in [System::Base, System::BlkDma] {
+            cells.push(Cell::system(w, sys));
+        }
+    }
+    cells
+}
+
+/// A stable bytewise report of one result (hash-map-free, same idea as
+/// tests/runner.rs).
+fn report(r: &RunResult) -> String {
+    let t = r.stats.total();
+    format!(
+        "spec={:?} geom={:?} osm={} blk={} coh={:?} other={} idle={} user={} os={} bus={}\n",
+        r.spec,
+        r.geometry,
+        t.os_read_misses(),
+        t.os_miss_blockop,
+        t.os_miss_coherence,
+        t.os_miss_other,
+        t.idle_cycles,
+        t.exec_cycles.user,
+        t.exec_cycles.os,
+        r.stats.bus.busy_cycles,
+    )
+}
+
+/// Renders a supervised report as stable bytes: the result for completed
+/// slots, a failure marker for failed ones.
+fn partial_report(rep: &SupervisedReport) -> String {
+    rep.outcomes
+        .iter()
+        .map(|slot| match slot {
+            Ok(o) => report(&o.result),
+            Err(f) => format!("FAILED {} cause={}\n", f.cell.key(), f.cause.class()),
+        })
+        .collect()
+}
+
+/// The smallest seed whose fault targets *some but not all* of the cells
+/// (so a run under it is genuinely partial). Pure scan — deterministic.
+fn partial_seed(keys: &[String], period: u32) -> u64 {
+    (0..10_000)
+        .find(|&seed| {
+            let f = CellFault {
+                seed,
+                period,
+                attempts: u32::MAX,
+            };
+            let hits = keys.iter().filter(|k| f.targets(k)).count();
+            hits > 0 && hits < keys.len()
+        })
+        .expect("some seed under 10000 must split the cell set")
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "oscache-supervise-{}-{name}.jsonl",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn injected_panic_costs_exactly_its_cell_and_is_deterministic() {
+    let cells = subset();
+    let keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
+    let fault = CellFault {
+        seed: partial_seed(&keys, 2),
+        period: 2,
+        attempts: u32::MAX,
+    };
+    let policy = RunPolicy {
+        inject: Some(fault),
+        ..RunPolicy::default()
+    };
+    let run =
+        |jobs: usize| run_cells_supervised(&TraceCache::new(), opts(), &cells, jobs, &policy, None);
+    let serial = run(1);
+    let par_a = run(4);
+    let par_b = run(4);
+    // Exactly the targeted cells fail, with the panic converted to a
+    // typed cause; everything else completes.
+    for (i, slot) in serial.outcomes.iter().enumerate() {
+        assert_eq!(
+            slot.is_err(),
+            fault.targets(&keys[i]),
+            "slot {i} does not match the fault's targeting"
+        );
+        if let Err(f) = slot {
+            assert!(matches!(&f.cause, FailureCause::Panic(m) if m.contains("injected")));
+            assert_eq!(f.attempt, 0, "fail-fast policy must not retry");
+        }
+    }
+    // Same seed ⇒ identical partial reports, at any job count.
+    assert_eq!(partial_report(&serial), partial_report(&par_a));
+    assert_eq!(partial_report(&par_a), partial_report(&par_b));
+    // The completed cells are bitwise-identical to an uninjected run.
+    let clean = run_cells(&TraceCache::new(), opts(), &cells, 1).expect("clean run");
+    for (slot, out) in serial.outcomes.iter().zip(&clean.outcomes) {
+        if let Ok(o) = slot {
+            assert_eq!(report(&o.result), report(&out.result));
+        }
+    }
+}
+
+#[test]
+fn bounded_retry_overcomes_transient_faults_deterministically() {
+    let cells = subset();
+    let keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
+    // Transient: each targeted cell panics on attempts 0 and 1, then
+    // succeeds on attempt 2 — within the 3 granted retries.
+    let fault = CellFault {
+        seed: partial_seed(&keys, 2),
+        period: 2,
+        attempts: 2,
+    };
+    let targeted = keys.iter().filter(|k| fault.targets(k)).count() as u64;
+    let policy = RunPolicy {
+        max_retries: 3,
+        backoff_ms: 0,
+        soft_deadline_ms: None,
+        inject: Some(fault),
+    };
+    let run = || run_cells_supervised(&TraceCache::new(), opts(), &cells, 2, &policy, None);
+    let a = run();
+    assert_eq!(a.completed(), cells.len(), "a transient fault must heal");
+    assert_eq!(a.retries, 2 * targeted, "two retries per targeted cell");
+    for (i, slot) in a.outcomes.iter().enumerate() {
+        let o = slot.as_ref().expect("all cells complete");
+        let want = if fault.targets(&keys[i]) { 2 } else { 0 };
+        assert_eq!(o.attempt, want, "attempt count for {}", keys[i]);
+    }
+    // Retrying must not perturb results: bitwise-identical to a clean run,
+    // and to a second supervised run.
+    let b = run();
+    assert_eq!(partial_report(&a), partial_report(&b));
+    let clean = run_cells(&TraceCache::new(), opts(), &cells, 1).expect("clean run");
+    for (slot, out) in a.outcomes.iter().zip(&clean.outcomes) {
+        assert_eq!(report(&slot.as_ref().unwrap().result), report(&out.result));
+    }
+}
+
+#[test]
+fn retry_exhaustion_keeps_the_cause_and_reports_completed_work() {
+    let cells = subset();
+    let keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
+    let fault = CellFault {
+        seed: partial_seed(&keys, 2),
+        period: 2,
+        attempts: u32::MAX, // permanent: retries cannot heal it
+    };
+    let policy = RunPolicy {
+        max_retries: 1,
+        backoff_ms: 0,
+        soft_deadline_ms: None,
+        inject: Some(fault),
+    };
+    let rep = run_cells_supervised(&TraceCache::new(), opts(), &cells, 2, &policy, None);
+    let completed = rep.completed();
+    let failed = rep.failures().len();
+    assert!(failed > 0 && completed > 0, "the fault must split the set");
+    for f in rep.failures() {
+        assert_eq!(f.attempt, 1, "exhaustion must report the last attempt");
+        assert!(matches!(&f.cause, FailureCause::Panic(m) if m.contains("injected")));
+    }
+    // Collapsing to the fail-fast shape names the lowest-indexed failure
+    // and how much had completed — never a silent discard.
+    let first_failed = keys.iter().find(|k| fault.targets(k)).unwrap().clone();
+    let err = match rep.into_report() {
+        Ok(_) => panic!("a failed run cannot collapse to Ok"),
+        Err(e) => e,
+    };
+    assert_eq!(err.failure.cell.key(), first_failed);
+    assert_eq!(err.completed, completed);
+    assert_eq!(err.total, cells.len());
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&format!("{} of {} cells completed", completed, cells.len())),
+        "unhelpful error: {msg}"
+    );
+}
+
+#[test]
+fn watchdog_flags_overruns_but_never_kills() {
+    let cells = subset();
+    let policy = RunPolicy {
+        soft_deadline_ms: Some(1), // everything overruns a 1 ms deadline
+        ..RunPolicy::default()
+    };
+    let rep = run_cells_supervised(&TraceCache::new(), opts(), &cells, 2, &policy, None);
+    assert_eq!(
+        rep.completed(),
+        cells.len(),
+        "a soft deadline must never fail a cell"
+    );
+    assert!(!rep.overruns.is_empty(), "1 ms deadline flagged nothing");
+    let mut sorted = rep.overruns.clone();
+    sorted.sort_by(|a, b| a.key.cmp(&b.key).then(a.attempt.cmp(&b.attempt)));
+    for (a, b) in rep.overruns.iter().zip(&sorted) {
+        assert_eq!(
+            (&a.key, a.attempt),
+            (&b.key, b.attempt),
+            "overruns unsorted"
+        );
+    }
+    for o in &rep.overruns {
+        assert_eq!(o.deadline_ms, 1);
+        assert!(o.elapsed_ms > 1.0, "flagged before the deadline elapsed");
+    }
+}
+
+/// Fills a [`CpuStats`] with random values in every field, including the
+/// three maps and the per-site vector.
+#[allow(clippy::field_reassign_with_default)]
+fn random_cpu(rng: &mut SmallRng) -> CpuStats {
+    let split = |r: &mut SmallRng| ModeSplit {
+        user: r.next_u64(),
+        os: r.next_u64(),
+    };
+    let mut c = CpuStats::default();
+    c.exec_cycles = split(rng);
+    c.imiss_cycles = split(rng);
+    c.dread_cycles = split(rng);
+    c.dwrite_cycles = split(rng);
+    c.pref_cycles = split(rng);
+    c.sync_cycles = split(rng);
+    c.dreads = split(rng);
+    c.dwrites = split(rng);
+    c.l1d_read_misses = split(rng);
+    c.l1i_misses = split(rng);
+    c.idle_cycles = rng.next_u64();
+    c.os_miss_blockop = rng.next_u64();
+    c.os_miss_coherence = [0; 5].map(|_| rng.next_u64());
+    c.os_miss_other = rng.next_u64();
+    c.os_miss_by_site = (0..rng.gen_range(0..8usize))
+        .map(|_| rng.next_u64())
+        .collect();
+    c.displ_inside = rng.next_u64();
+    c.displ_outside = rng.next_u64();
+    c.reuse_inside = rng.next_u64();
+    c.reuse_outside = rng.next_u64();
+    c.blk_read_stall = rng.next_u64();
+    c.blk_write_stall = rng.next_u64();
+    c.blk_exec_cycles = rng.next_u64();
+    c.blk_displ_stall = rng.next_u64();
+    c.blk_src_lines = rng.next_u64();
+    c.blk_src_lines_cached = rng.next_u64();
+    c.blk_dst_lines = rng.next_u64();
+    c.blk_dst_l2_owned = rng.next_u64();
+    c.blk_dst_l2_shared = rng.next_u64();
+    c.blk_size_buckets = [0; 3].map(|_| rng.next_u64());
+    c.blk_ops = rng.next_u64();
+    c.prefetches_issued = rng.next_u64();
+    c.prefetch_full_hits = rng.next_u64();
+    c.prefetch_partial_hits = rng.next_u64();
+    let classes = DataClass::all();
+    for _ in 0..rng.gen_range(0..6usize) {
+        let k = classes[rng.gen_range(0..classes.len())];
+        c.os_miss_by_class.insert(k, rng.next_u64());
+    }
+    for _ in 0..rng.gen_range(0..6usize) {
+        c.lock_wait_cycles
+            .insert(rng.gen_range(0..64u64) as u16, rng.next_u64());
+    }
+    for _ in 0..rng.gen_range(0..6usize) {
+        let a = classes[rng.gen_range(0..classes.len())];
+        let b = classes[rng.gen_range(0..classes.len())];
+        c.conflict_pairs.insert((a, b), rng.next_u64());
+    }
+    c
+}
+
+#[test]
+fn journal_stats_serde_round_trips_exactly() {
+    // Property test over seeded random stats: serialization is canonical
+    // (maps key-sorted), so serialize → parse → serialize must be a fixed
+    // point, and full-range u64 counters must survive exactly (numbers
+    // are kept as text, never bounced through f64).
+    for seed in 0..25u64 {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let stats = SimStats {
+            cpus: (0..rng.gen_range(1..5usize))
+                .map(|_| random_cpu(&mut rng))
+                .collect(),
+            bus: BusStats {
+                read_lines: rng.next_u64(),
+                read_exclusive: rng.next_u64(),
+                invalidations: rng.next_u64(),
+                write_backs: rng.next_u64(),
+                line_writes: rng.next_u64(),
+                update_words: rng.next_u64(),
+                dma_transfers: rng.next_u64(),
+                busy_cycles: rng.next_u64(),
+            },
+            cpu_times: (0..rng.gen_range(0..5usize))
+                .map(|_| rng.next_u64())
+                .collect(),
+        };
+        let json = stats_to_json(&stats);
+        let parsed = stats_from_json(&json).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(
+            stats_to_json(&parsed),
+            json,
+            "seed {seed}: round trip is not a fixed point"
+        );
+    }
+    assert!(stats_from_json("{\"cpus\":oops").is_err());
+    assert!(stats_from_json("{\"cpus\":[]}").is_err(), "missing fields");
+}
+
+#[test]
+fn journal_resume_from_any_cell_boundary_is_byte_identical() {
+    let cells = subset();
+    let path = tmp_path("resume");
+    let _ = std::fs::remove_file(&path);
+    let header = JournalHeader::new(&opts());
+    // The uninterrupted reference: serial, no journal.
+    let reference: String = run_cells(&TraceCache::new(), opts(), &cells, 1)
+        .expect("reference run")
+        .outcomes
+        .iter()
+        .map(|o| report(&o.result))
+        .collect();
+    // A full journaled run, which the boundary loop below re-truncates.
+    let full = {
+        let j = Journal::create(&path, header).expect("create journal");
+        let rep = run_cells_supervised(
+            &TraceCache::new(),
+            opts(),
+            &cells,
+            2,
+            &RunPolicy::fail_fast(),
+            Some(&j),
+        );
+        assert_eq!(rep.completed(), cells.len());
+        assert_eq!(rep.journal_hits, 0, "a fresh journal cannot hit");
+        assert_eq!(j.len(), cells.len(), "every cell must be journaled");
+        std::fs::read_to_string(&path).expect("read journal")
+    };
+    // Kill the run at every cell boundary k (k completed cells survived),
+    // then resume: exactly k journal hits, byte-identical results.
+    for k in 0..=cells.len() {
+        std::fs::write(&path, &full).expect("restore journal");
+        let j = Journal::resume(&path, header).expect("reopen journal");
+        j.truncate(k).expect("truncate journal");
+        drop(j);
+        let j = Journal::resume(&path, header).expect("resume journal");
+        assert_eq!(j.len(), k);
+        let rep = run_cells_supervised(
+            &TraceCache::new(),
+            opts(),
+            &cells,
+            2,
+            &RunPolicy::fail_fast(),
+            Some(&j),
+        );
+        assert_eq!(rep.completed(), cells.len(), "boundary {k}");
+        assert_eq!(rep.journal_hits, k, "boundary {k}: wrong replay count");
+        let journaled = rep
+            .outcomes
+            .iter()
+            .filter(|s| s.as_ref().is_ok_and(|o| o.journaled))
+            .count();
+        assert_eq!(journaled, k, "boundary {k}: wrong journaled flags");
+        let rendered: String = rep
+            .outcomes
+            .iter()
+            .map(|s| report(&s.as_ref().unwrap().result))
+            .collect();
+        assert_eq!(rendered, reference, "boundary {k}: results diverged");
+        assert_eq!(j.len(), cells.len(), "boundary {k}: journal not refilled");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn journal_rejects_mismatched_headers_and_corrupt_records() {
+    let path = tmp_path("hygiene");
+    let _ = std::fs::remove_file(&path);
+    let header = JournalHeader::new(&opts());
+    Journal::create(&path, header).expect("create journal");
+    // Scale mismatch.
+    let other_scale = BuildOptions {
+        scale: 0.1,
+        ..Default::default()
+    };
+    match Journal::resume(&path, JournalHeader::new(&other_scale)).err() {
+        Some(JournalError::HeaderMismatch { field, .. }) => assert_eq!(field, "scale_bits"),
+        other => panic!("scale mismatch not rejected: {other:?}"),
+    }
+    // Seed mismatch.
+    let other_seed = BuildOptions {
+        scale: SCALE,
+        seed: 99,
+        ..Default::default()
+    };
+    match Journal::resume(&path, JournalHeader::new(&other_seed)).err() {
+        Some(JournalError::HeaderMismatch { field, .. }) => assert_eq!(field, "seed"),
+        other => panic!("seed mismatch not rejected: {other:?}"),
+    }
+    // A matching header still resumes.
+    assert!(Journal::resume(&path, header).is_ok());
+    // External corruption: an undecodable record line is a typed error
+    // naming the line, not a silent skip.
+    let mut text = std::fs::read_to_string(&path).expect("read journal");
+    text.push_str("{definitely not a record\n");
+    std::fs::write(&path, text).expect("corrupt journal");
+    match Journal::resume(&path, header).err() {
+        Some(JournalError::Corrupt { line, .. }) => assert_eq!(line, 2),
+        other => panic!("corruption not rejected: {other:?}"),
+    }
+    // A missing journal is not an error: resume starts fresh.
+    let _ = std::fs::remove_file(&path);
+    let j = Journal::resume(&path, header).expect("fresh journal");
+    assert!(j.is_empty());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Failure types cross thread boundaries inside the runner; keep them
+/// `Send + Sync` so that stays true (compile-time check).
+#[test]
+fn failure_types_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<oscache_core::CellFailure>();
+    assert_send_sync::<oscache_core::RunnerError>();
+    assert_send_sync::<Journal>();
+}

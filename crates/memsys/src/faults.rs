@@ -15,6 +15,74 @@
 use oscache_trace::rng::{Rng, SmallRng};
 use oscache_trace::{Addr, BlockKind, BlockOp, DataClass, Event, Stream, Trace};
 
+/// Deterministic **runner-level** fault: makes selected experiment cells
+/// panic inside the supervised fan-out, so the supervision layer's panic
+/// isolation, bounded retry, and partial reporting can be exercised end to
+/// end (`repro --inject-cell-panic`, DESIGN.md §13.4).
+///
+/// Selection is a pure function of `(seed, cell key)` — no global state,
+/// no RNG stream to keep in sync across worker threads — so the same spec
+/// always fells the same cells regardless of `--jobs` or scheduling. A
+/// cell is *targeted* when the FNV-1a mix of the seed and its run key is
+/// divisible by `period`; a targeted cell's attempt `a` panics while
+/// `a < attempts`, so `attempts: u32::MAX` models a hard failure and a
+/// small `attempts` models a transient one that bounded retry overcomes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CellFault {
+    /// Seed decorrelating which cells are hit.
+    pub seed: u64,
+    /// One in `period` cells is targeted (1 targets every cell).
+    pub period: u32,
+    /// Attempts that panic before the cell starts succeeding
+    /// (`u32::MAX` = never succeeds).
+    pub attempts: u32,
+}
+
+impl CellFault {
+    /// Parses `seed[:period[:attempts]]` (decimal; `attempts` may be
+    /// `inf` for a permanent fault). Defaults: `period` 4, `attempts`
+    /// `u32::MAX`.
+    pub fn parse(s: &str) -> Option<CellFault> {
+        let mut parts = s.split(':');
+        let seed = parts.next()?.parse().ok()?;
+        let period = match parts.next() {
+            Some(p) => p.parse().ok().filter(|&p| p > 0)?,
+            None => 4,
+        };
+        let attempts = match parts.next() {
+            Some("inf") => u32::MAX,
+            Some(a) => a.parse().ok()?,
+            None => u32::MAX,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(CellFault {
+            seed,
+            period,
+            attempts,
+        })
+    }
+
+    /// True when the cell named `key` is one of the fault's targets.
+    pub fn targets(&self, key: &str) -> bool {
+        // FNV-1a over the seed bytes then the key bytes: stable across
+        // builds (journals and CI pin exit codes to specific seeds).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in self.seed.to_le_bytes().iter().chain(key.as_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h.is_multiple_of(u64::from(self.period))
+    }
+
+    /// True when attempt number `attempt` (0-based) of the cell named
+    /// `key` should panic.
+    pub fn fires(&self, key: &str, attempt: u32) -> bool {
+        self.targets(key) && attempt < self.attempts
+    }
+}
+
 /// One class of trace perturbation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FaultKind {
@@ -262,6 +330,61 @@ mod tests {
             let p = inject(&t, FaultKind::CorruptBlockOpLength, seed);
             assert!(p.validate().is_err(), "seed {seed} still valid");
         }
+    }
+
+    #[test]
+    fn cell_fault_spec_parses() {
+        assert_eq!(
+            CellFault::parse("7"),
+            Some(CellFault {
+                seed: 7,
+                period: 4,
+                attempts: u32::MAX
+            })
+        );
+        assert_eq!(
+            CellFault::parse("7:1:2"),
+            Some(CellFault {
+                seed: 7,
+                period: 1,
+                attempts: 2
+            })
+        );
+        assert_eq!(
+            CellFault::parse("0:3:inf"),
+            Some(CellFault {
+                seed: 0,
+                period: 3,
+                attempts: u32::MAX
+            })
+        );
+        assert_eq!(CellFault::parse(""), None);
+        assert_eq!(CellFault::parse("1:0"), None, "period 0 divides nothing");
+        assert_eq!(CellFault::parse("1:2:3:4"), None);
+    }
+
+    #[test]
+    fn cell_fault_is_deterministic_and_bounded() {
+        let f = CellFault::parse("11:1:2").unwrap();
+        assert!(f.targets("any/key"), "period 1 targets every cell");
+        assert!(f.fires("any/key", 0) && f.fires("any/key", 1));
+        assert!(!f.fires("any/key", 2), "attempts bound not honoured");
+        // Same (seed, key) always decides the same way; different seeds
+        // decorrelate.
+        let g = CellFault::parse("11:4").unwrap();
+        let keys = ["a/b/c", "d/e/f", "g/h/i", "j/k/l", "m/n/o"];
+        for k in keys {
+            assert_eq!(g.targets(k), g.targets(k));
+        }
+        let hit_11: Vec<bool> = keys.iter().map(|k| g.targets(k)).collect();
+        let hit_12: Vec<bool> = keys
+            .iter()
+            .map(|k| CellFault::parse("12:4").unwrap().targets(k))
+            .collect();
+        assert!(
+            hit_11 != hit_12 || hit_11.iter().any(|&h| h),
+            "seed has no effect on targeting"
+        );
     }
 
     #[test]
