@@ -12,16 +12,19 @@
 //! bitwise-identical for any job count. `repro all` also writes a
 //! machine-readable `BENCH_repro.json` with per-cell timings.
 
+use oscache_core::service::{self, RunRequest, Server, ServiceConfig};
 use oscache_core::supervise::{Journal, JournalError, JournalHeader};
 use oscache_core::{
-    CellFailure, Experiment, FailureCause, Repro, RunPolicy, SupervisedWarmStats, System, WarmStats,
+    render_experiment, CellFailure, Escalation, Experiment, FailureCause, Repro, RunPolicy,
+    SupervisedWarmStats, System, WarmStats,
 };
 use oscache_memsys::faults::CellFault;
 use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale S] [--jobs N] [--timings] [--keep-going] [--retries N]\n             [--deadline-ms N] [--journal <path> [--resume]] [--inject-cell-panic SPEC]\n             [table1..table5 | fig1..fig7 | headline | scorecard | all]\n                                                 cells run across N workers (default: all\n                                                 hardware threads); output is bitwise-identical\n                                                 for any N. `all` writes BENCH_repro.json.\n                                                 --keep-going renders every experiment whose cells\n                                                 completed and exits 6 if any cell failed;\n                                                 --retries N grants each failing cell N retries;\n                                                 --deadline-ms N flags (never kills) cells running\n                                                 longer; --journal records each completed cell\n                                                 crash-safely and --resume replays completed cells\n                                                 from it; --inject-cell-panic seed[:period[:attempts]]\n                                                 panics selected cells (testing the supervisor)\n                repro golden <dir>               write each experiment's output to <dir>/<name>.txt\n                                                 (the golden-file corpus under tests/golden/)\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n                repro bench [--check]            perf smoke over 3 representative cells at reduced\n                                                 scale; without --check writes BENCH_smoke.json\n                                                 reference timings, with --check fails if any cell\n                                                 regressed more than 2x vs that reference\n       exit codes: 1 i/o, 2 usage/journal mismatch, 3 trace validation, 4 simulation invariant,\n                   5 perf regression, 6 partial (some cells failed under --keep-going)"
+        "usage: repro [--scale S] [--jobs N] [--timings] [--keep-going] [--retries N]\n             [--deadline-ms N] [--deadline-action flag|cancel] [--deadline-grace-ms N]\n             [--journal <path> [--resume [--salvage]]] [--inject-cell-panic SPEC]\n             [table1..table5 | fig1..fig7 | headline | scorecard | all]\n                                                 cells run across N workers (default: all\n                                                 hardware threads); output is bitwise-identical\n                                                 for any N. `all` writes BENCH_repro.json.\n                                                 --keep-going renders every experiment whose cells\n                                                 completed and exits 6 if any cell failed;\n                                                 --retries N grants each failing cell N retries;\n                                                 --deadline-ms N flags cells running longer;\n                                                 --deadline-action cancel also cooperatively kills\n                                                 them --deadline-grace-ms (default 200) past the\n                                                 deadline; --journal records each completed cell\n                                                 crash-safely and --resume replays completed cells\n                                                 from it (--salvage drops a torn trailing record\n                                                 instead of rejecting the journal);\n                                                 --inject-cell-panic seed[:period[:attempts]]\n                                                 panics selected cells (testing the supervisor)\n                repro serve [--socket P|--tcp A] [--queue-limit N]\n                                                 resident service: accepts newline-JSON requests\n                                                 from concurrent clients on a Unix socket (default\n                                                 repro.sock) or TCP address, dedupes work via the\n                                                 shared cache and journal, drains on SIGTERM;\n                                                 honors --scale/--jobs/--journal/--resume/--salvage\n                                                 and the supervision flags above\n                repro submit [--socket P|--tcp A] [--client NAME]\n                            [--request-deadline-ms N] [experiments...]\n                                                 submit experiments to a running serve daemon and\n                                                 print the streamed report (byte-identical to\n                                                 running the same experiments locally)\n                repro golden <dir>               write each experiment's output to <dir>/<name>.txt\n                                                 (the golden-file corpus under tests/golden/)\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n                repro bench [--check]            perf smoke over 3 representative cells at reduced\n                                                 scale; without --check writes BENCH_smoke.json\n                                                 reference timings, with --check fails if any cell\n                                                 regressed more than 2x vs that reference\n       exit codes: 1 i/o, 2 usage/journal mismatch, 3 trace validation, 4 simulation invariant,\n                   5 perf regression, 6 partial (some cells failed under --keep-going, or a\n                   submitted request finished incomplete), 7 service overloaded (admission\n                   queue full), 8 service unavailable (daemon unreachable or shutting down)"
     );
     std::process::exit(2);
 }
@@ -37,8 +40,16 @@ const EXIT_SIM_FAILED: i32 = 4;
 /// Exit code for a performance regression caught by `bench --check`.
 const EXIT_PERF_REGRESSION: i32 = 5;
 /// Exit code for a partial run: some cells failed under `--keep-going`,
-/// the completed experiments were still rendered.
+/// the completed experiments were still rendered. `submit` reuses it for
+/// requests that finished incomplete (failed cells, deadline kills, or a
+/// drain that left cells unstarted).
 const EXIT_PARTIAL: i32 = 6;
+/// Exit code for a request the service rejected `overloaded` (its bounded
+/// admission queue was full; retry later).
+const EXIT_OVERLOADED: i32 = 7;
+/// Exit code for an unreachable service: connection failed, or the daemon
+/// was shutting down and never started the request.
+const EXIT_UNAVAILABLE: i32 = 8;
 
 /// Trace scale of the `bench` perf smoke (fixed, so the committed
 /// reference stays comparable across runs).
@@ -63,8 +74,11 @@ struct Supervision {
     keep_going: bool,
     journal_path: Option<String>,
     resume: bool,
+    salvage: bool,
     retries: u32,
     deadline_ms: Option<u64>,
+    deadline_cancel: bool,
+    deadline_grace_ms: Option<u64>,
     inject: Option<CellFault>,
 }
 
@@ -75,8 +89,56 @@ impl Supervision {
             max_retries: self.retries,
             backoff_ms: if self.retries > 0 { 25 } else { 0 },
             soft_deadline_ms: self.deadline_ms,
+            escalation: if self.deadline_cancel {
+                Escalation::CancelAfterGrace {
+                    grace_ms: self.deadline_grace_ms.unwrap_or(200),
+                }
+            } else {
+                Escalation::FlagOnly
+            },
             inject: self.inject,
         }
+    }
+
+    /// Opens the journal per the resume/salvage flags, reporting torn-tail
+    /// salvage as a structured warning. Factored out so the one-shot and
+    /// `serve` flows recover identically.
+    fn open_journal_at(
+        &self,
+        path: &std::path::Path,
+        scale: f64,
+        create_missing: bool,
+    ) -> Result<Journal, JournalError> {
+        let opts = oscache_workloads::BuildOptions {
+            scale,
+            ..Default::default()
+        };
+        let header = JournalHeader::new(&opts);
+        if !self.resume || (create_missing && !path.exists()) {
+            return Journal::create(path, header);
+        }
+        let journal = if self.salvage {
+            let (journal, salvage) = Journal::resume_salvage(path, header)?;
+            if let Some(s) = salvage {
+                eprintln!(
+                    "warning: class=journal-salvage path={} line={} dropped_bytes={} msg=\"dropped torn trailing record; resuming from the last intact record\"",
+                    path.display(),
+                    s.line,
+                    s.dropped_bytes
+                );
+            }
+            journal
+        } else {
+            Journal::resume(path, header)?
+        };
+        if !journal.is_empty() {
+            eprintln!(
+                "journal: resuming from {} ({} completed cells)",
+                path.display(),
+                journal.len()
+            );
+        }
+        Ok(journal)
     }
 
     /// Opens (with `--resume`: resumes) the run journal, exiting with a
@@ -84,27 +146,24 @@ impl Supervision {
     /// record (exit 2), or an I/O failure (exit 1).
     fn open_journal(&self, scale: f64) -> Option<Journal> {
         let path = std::path::PathBuf::from(self.journal_path.as_ref()?);
-        let opts = oscache_workloads::BuildOptions {
-            scale,
-            ..Default::default()
-        };
-        let header = JournalHeader::new(&opts);
-        let result = if self.resume {
-            Journal::resume(&path, header)
-        } else {
-            Journal::create(&path, header)
-        };
-        match result {
-            Ok(j) => {
-                if self.resume && !j.is_empty() {
-                    eprintln!(
-                        "journal: resuming from {} ({} completed cells)",
-                        path.display(),
-                        j.len()
-                    );
-                }
-                Some(j)
-            }
+        match self.open_journal_at(&path, scale, false) {
+            Ok(j) => Some(j),
+            Err(e @ JournalError::Io(_)) => fail("io", &e.to_string(), EXIT_IO),
+            Err(e) => fail("journal", &e.to_string(), EXIT_USAGE),
+        }
+    }
+
+    /// The `serve` flavor: creates the journal when `--resume` finds no
+    /// file yet (a daemon's first start), and switches it to O(1) append
+    /// mode — the daemon journals every completed cell for the lifetime
+    /// of the process.
+    fn open_service_journal(&self, scale: f64) -> Option<Journal> {
+        let path = std::path::PathBuf::from(self.journal_path.as_ref()?);
+        match self
+            .open_journal_at(&path, scale, true)
+            .and_then(Journal::into_append)
+        {
+            Ok(j) => Some(j),
             Err(e @ JournalError::Io(_)) => fail("io", &e.to_string(), EXIT_IO),
             Err(e) => fail("journal", &e.to_string(), EXIT_USAGE),
         }
@@ -477,6 +536,7 @@ fn main() {
             "--timings" => timings = true,
             "--keep-going" => sup_opts.keep_going = true,
             "--resume" => sup_opts.resume = true,
+            "--salvage" => sup_opts.salvage = true,
             "--journal" => {
                 sup_opts.journal_path = Some(args.next().unwrap_or_else(|| usage()));
             }
@@ -495,9 +555,74 @@ fn main() {
                         .unwrap_or_else(|_| usage()),
                 );
             }
+            "--deadline-action" => {
+                match args.next().unwrap_or_else(|| usage()).as_str() {
+                    "flag" => sup_opts.deadline_cancel = false,
+                    "cancel" => sup_opts.deadline_cancel = true,
+                    _ => usage(),
+                };
+            }
+            "--deadline-grace-ms" => {
+                sup_opts.deadline_grace_ms = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage())
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                );
+            }
             "--inject-cell-panic" => {
                 let spec = args.next().unwrap_or_else(|| usage());
                 sup_opts.inject = Some(CellFault::parse(&spec).unwrap_or_else(|| usage()));
+            }
+            "serve" => {
+                let mut socket = "repro.sock".to_string();
+                let mut tcp: Option<String> = None;
+                let mut queue_limit = 256usize;
+                while let Some(opt) = args.next() {
+                    match opt.as_str() {
+                        "--socket" => socket = args.next().unwrap_or_else(|| usage()),
+                        "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
+                        "--queue-limit" => {
+                            queue_limit = args
+                                .next()
+                                .unwrap_or_else(|| usage())
+                                .parse()
+                                .unwrap_or_else(|_| usage());
+                        }
+                        _ => usage(),
+                    }
+                }
+                serve(scale, jobs, queue_limit, &sup_opts, &socket, tcp.as_deref());
+                return;
+            }
+            "submit" => {
+                let mut socket = "repro.sock".to_string();
+                let mut tcp: Option<String> = None;
+                let mut client = format!("pid-{}", std::process::id());
+                let mut deadline_ms: Option<u64> = None;
+                let mut names: Vec<String> = Vec::new();
+                while let Some(opt) = args.next() {
+                    match opt.as_str() {
+                        "--socket" => socket = args.next().unwrap_or_else(|| usage()),
+                        "--tcp" => tcp = Some(args.next().unwrap_or_else(|| usage())),
+                        "--client" => client = args.next().unwrap_or_else(|| usage()),
+                        "--request-deadline-ms" => {
+                            deadline_ms = Some(
+                                args.next()
+                                    .unwrap_or_else(|| usage())
+                                    .parse()
+                                    .unwrap_or_else(|_| usage()),
+                            );
+                        }
+                        other if !other.starts_with('-') => names.push(other.to_string()),
+                        _ => usage(),
+                    }
+                }
+                if names.is_empty() {
+                    names.push("all".to_string());
+                }
+                let code = submit(&socket, tcp.as_deref(), &client, deadline_ms, &names);
+                std::process::exit(code);
             }
             "golden" => {
                 let dir = args.next().unwrap_or_else(|| usage());
@@ -613,11 +738,7 @@ fn main() {
                     eprintln!("skipping {}: not all of its cells completed", e.name());
                     continue;
                 }
-                if e == Experiment::Scorecard {
-                    println!("\n{}", r.scorecard());
-                } else {
-                    print!("{}", render(&mut r, e));
-                }
+                print!("{}", render_experiment(&mut r, e));
             }
         }
         if w == "bars" {
@@ -649,27 +770,6 @@ fn main() {
     }
     if what.iter().any(|w| w == "all") {
         write_bench_json("BENCH_repro.json", scale, &r, &warm);
-    }
-}
-
-/// Renders one experiment exactly as `repro <name>` prints it (the bytes
-/// golden-filed under `tests/golden/`).
-fn render(r: &mut Repro, e: Experiment) -> String {
-    match e {
-        Experiment::Table1 => format!("{}\n\n", r.table1()),
-        Experiment::Table2 => format!("{}\n\n", r.table2()),
-        Experiment::Table3 => format!("{}\n\n", r.table3()),
-        Experiment::Table4 => format!("{}\n\n", r.table4()),
-        Experiment::Table5 => format!("{}\n\n", r.table5()),
-        Experiment::Fig1 => format!("{}\n\n", r.figure1()),
-        Experiment::Fig2 => format!("{}\n\n", r.figure2()),
-        Experiment::Fig3 => format!("{}\n\n", r.figure3()),
-        Experiment::Fig4 => format!("{}\n\n", r.figure4()),
-        Experiment::Fig5 => format!("{}\n\n", r.figure5()),
-        Experiment::Fig6 => format!("{}\n\n", r.figure6()),
-        Experiment::Fig7 => format!("{}\n\n", r.figure7()),
-        Experiment::Headline => r.headline().to_string(),
-        Experiment::Scorecard => format!("\n{}", r.scorecard()),
     }
 }
 
@@ -711,7 +811,7 @@ fn golden(dir: &str, scale: f64, jobs: usize, sup_opts: &Supervision) {
             eprintln!("skipping {}: not all of its cells completed", e.name());
             continue;
         }
-        let text = render(&mut r, *e);
+        let text = render_experiment(&mut r, *e);
         std::fs::write(format!("{dir}/{}.txt", e.name()), text).expect("write golden file");
         written += 1;
     }
@@ -947,5 +1047,212 @@ fn write_bench_json(path: &str, scale: f64, r: &Repro, warm: &WarmStats) {
         eprintln!("warning: could not write {path}: {e}");
     } else {
         eprintln!("wrote {path}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The resident service: `repro serve` and `repro submit`
+// ---------------------------------------------------------------------------
+
+/// Set by SIGTERM/SIGINT; the serve loop watches it and drains.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    // An atomic store is async-signal-safe; everything else (draining,
+    // journaling, replying) happens on the normal threads that observe it.
+    STOP.store(true, Ordering::SeqCst);
+}
+
+extern "C" {
+    /// libc `signal(2)` — already linked by std, so installing a handler
+    /// needs no new dependency.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// `SIGINT` / `SIGTERM` on every platform this repo targets.
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+/// Runs the resident experiment service until SIGTERM/SIGINT or a
+/// `shutdown` op, then drains in-flight cells (journaling them) and
+/// answers queued requests `shutting-down` before exiting.
+fn serve(
+    scale: f64,
+    jobs: usize,
+    queue_limit: usize,
+    sup_opts: &Supervision,
+    socket: &str,
+    tcp: Option<&str>,
+) {
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+    STOP.store(false, Ordering::SeqCst);
+    let journal = sup_opts.open_service_journal(scale);
+    let journaled = journal.is_some();
+    let server = Server::start(
+        ServiceConfig {
+            scale,
+            jobs,
+            queue_limit,
+            policy: sup_opts.policy(),
+        },
+        journal,
+    );
+    match tcp {
+        Some(addr) => eprintln!(
+            "serve: listening on tcp {addr} (scale {scale}, queue limit {queue_limit} cells{})",
+            if journaled { ", journaled" } else { "" }
+        ),
+        None => eprintln!(
+            "serve: listening on unix socket {socket} (scale {scale}, queue limit {queue_limit} cells{})",
+            if journaled { ", journaled" } else { "" }
+        ),
+    }
+    let served = match tcp {
+        Some(addr) => service::serve_tcp(&server, addr, &STOP),
+        None => service::serve_unix(&server, std::path::Path::new(socket), &STOP),
+    };
+    server.stop();
+    for e in server.take_journal_errors() {
+        eprintln!("warning: journal write failed: {e}");
+    }
+    let st = server.stats();
+    eprintln!(
+        "serve: drained; {} requests finished ({} rejected overloaded, {} rejected shutting-down), {} cells completed ({} journal replays), {} trace builds",
+        st.finished,
+        st.rejected_overloaded,
+        st.rejected_shutdown,
+        st.cells_completed,
+        st.journal_replays,
+        st.trace_builds
+    );
+    if let Err(e) = served {
+        fail("io", &e.to_string(), EXIT_IO);
+    }
+}
+
+/// Submits one request to a running daemon, streams progress to stderr,
+/// prints the final report to stdout (byte-identical to a local run of
+/// the same experiments), and returns the process exit code.
+fn submit(
+    socket: &str,
+    tcp: Option<&str>,
+    client: &str,
+    deadline_ms: Option<u64>,
+    names: &[String],
+) -> i32 {
+    let mut experiments: Vec<Experiment> = Vec::new();
+    for name in names {
+        if name == "all" {
+            experiments.extend(Experiment::all());
+        } else {
+            experiments.push(Experiment::parse(name).unwrap_or_else(|| usage()));
+        }
+    }
+    let req = RunRequest {
+        client: client.to_string(),
+        experiments,
+        deadline_ms,
+    };
+    match tcp {
+        Some(addr) => match std::net::TcpStream::connect(addr) {
+            Ok(stream) => submit_over(stream, &req),
+            Err(e) => {
+                eprintln!("error: class=service msg=\"cannot reach daemon at tcp {addr}: {e}\"");
+                EXIT_UNAVAILABLE
+            }
+        },
+        None => match std::os::unix::net::UnixStream::connect(socket) {
+            Ok(stream) => submit_over(stream, &req),
+            Err(e) => {
+                eprintln!("error: class=service msg=\"cannot reach daemon at {socket}: {e}\"");
+                EXIT_UNAVAILABLE
+            }
+        },
+    }
+}
+
+/// The submit wire loop, generic over the transport.
+fn submit_over<S: std::io::Read + std::io::Write>(mut stream: S, req: &RunRequest) -> i32 {
+    use std::io::BufRead;
+    if let Err(e) = writeln!(stream, "{}", service::run_request_line(req)) {
+        fail("io", &e.to_string(), EXIT_IO);
+    }
+    let _ = stream.flush();
+    let mut reader = std::io::BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => fail(
+                "service",
+                "connection closed before the final reply",
+                EXIT_IO,
+            ),
+            Ok(_) => {}
+            Err(e) => fail("io", &e.to_string(), EXIT_IO),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match service::parse_reply(line.trim_end()) {
+            Ok(r) => r,
+            Err(msg) => fail("service", &format!("malformed reply: {msg}"), EXIT_IO),
+        };
+        match reply {
+            service::Reply::Accepted { id, total } => {
+                eprintln!("service: request {id} accepted ({total} cells)");
+            }
+            service::Reply::Cell(p) => {
+                eprintln!(
+                    "service: cell {}/{} {} {}{}",
+                    p.index + 1,
+                    p.total,
+                    p.key,
+                    if p.ok { "ok" } else { "failed" },
+                    if p.journaled { " (journal)" } else { "" }
+                );
+            }
+            service::Reply::Rejected { status } => {
+                eprintln!("error: class=service msg=\"request rejected: {status}\"");
+                return if status == "overloaded" {
+                    EXIT_OVERLOADED
+                } else {
+                    EXIT_UNAVAILABLE
+                };
+            }
+            service::Reply::Error(msg) => {
+                fail("service", &format!("request rejected: {msg}"), EXIT_USAGE)
+            }
+            service::Reply::Stats(_) => fail("service", "unexpected stats reply", EXIT_IO),
+            service::Reply::Done(rep) => {
+                print!("{}", rep.report);
+                let _ = std::io::stdout().flush();
+                for s in &rep.skipped {
+                    eprintln!("skipping {s}: not all of its cells completed");
+                }
+                for f in &rep.failures {
+                    eprintln!("error: class=cell-failure cell={f}");
+                }
+                if rep.journal_hits > 0 {
+                    eprintln!(
+                        "service: {} of {} cells replayed from the daemon's journal",
+                        rep.journal_hits, rep.total
+                    );
+                }
+                if rep.shutdown {
+                    eprintln!(
+                        "error: class=service msg=\"daemon was shutting down; request never started\""
+                    );
+                    return EXIT_UNAVAILABLE;
+                }
+                if rep.deadline_exceeded {
+                    eprintln!("error: class=service msg=\"request deadline exceeded\"");
+                }
+                return if rep.complete() { 0 } else { EXIT_PARTIAL };
+            }
+        }
     }
 }

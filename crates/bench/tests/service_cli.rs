@@ -1,0 +1,187 @@
+//! End-to-end tests for `repro serve` / `repro submit`: a real daemon on
+//! a real Unix socket, driven by real client processes.
+//!
+//! Pins the service acceptance bar (DESIGN.md §14): a submitted report is
+//! byte-identical to the one-shot CLI printing the same experiments,
+//! concurrent clients share one trace build per workload, a SIGKILLed
+//! daemon restarts onto its journal and replays instead of re-simulating,
+//! SIGTERM drains gracefully, and the admission/unavailability exit codes
+//! (7/8) are real.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const SCALE: &str = "0.02";
+/// The experiments every test submits; table1+table2 share the same four
+/// Base cells, so deduplication is visible in the daemon's counters.
+const EXPERIMENTS: [&str; 2] = ["table1", "table2"];
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn tmp(name: &str, ext: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("oscache-cli-{}-{name}.{ext}", std::process::id()))
+}
+
+/// Starts a daemon on `socket` and waits until it is accepting.
+fn start_daemon(socket: &Path, journal: Option<&PathBuf>, extra: &[&str]) -> Child {
+    let mut cmd = repro();
+    cmd.args(["--scale", SCALE, "--jobs", "2"]);
+    if let Some(j) = journal {
+        cmd.args(["--journal", j.to_str().unwrap(), "--resume"]);
+    }
+    cmd.args(["serve", "--socket", socket.to_str().unwrap()]);
+    cmd.args(extra);
+    let child = cmd
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let start = Instant::now();
+    while !socket.exists() {
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "daemon never bound its socket"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    child
+}
+
+/// SIGTERMs the daemon and returns its drained output.
+fn stop_daemon(child: Child) -> Output {
+    let ok = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(ok.success(), "kill -TERM failed");
+    child.wait_with_output().expect("daemon exit")
+}
+
+fn submit(socket: &Path, client: &str, experiments: &[&str]) -> Output {
+    repro()
+        .args([
+            "submit",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--client",
+            client,
+        ])
+        .args(experiments)
+        .output()
+        .expect("run submit")
+}
+
+fn stdout_of(out: &Output) -> &str {
+    std::str::from_utf8(&out.stdout).expect("utf8 stdout")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn concurrent_submits_match_the_one_shot_cli_and_share_trace_builds() {
+    // The byte-level reference: the one-shot CLI rendering the same
+    // experiments in the same order.
+    let local = repro()
+        .args(["--scale", SCALE, "--jobs", "2"])
+        .args(EXPERIMENTS)
+        .output()
+        .expect("run local reference");
+    assert!(local.status.success(), "{}", stderr_of(&local));
+    let reference = stdout_of(&local);
+    assert!(!reference.is_empty());
+
+    let socket = tmp("concurrent", "sock");
+    let daemon = start_daemon(&socket, None, &[]);
+    // Three clients at once.
+    let outs: Vec<Output> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let socket = &socket;
+                scope.spawn(move || submit(socket, &format!("client-{i}"), &EXPERIMENTS))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for out in &outs {
+        assert!(out.status.success(), "{}", stderr_of(out));
+        assert_eq!(
+            stdout_of(out),
+            reference,
+            "a submitted report must be byte-identical to the local run"
+        );
+    }
+    let drained = stop_daemon(daemon);
+    assert!(drained.status.success());
+    let log = stderr_of(&drained);
+    // Dedup at the process level: three concurrent requests, four
+    // workloads, four trace builds.
+    assert!(
+        log.contains("4 trace builds"),
+        "concurrent requests must share trace builds:\n{log}"
+    );
+    assert!(log.contains("serve: drained"), "no drain banner:\n{log}");
+}
+
+#[test]
+fn a_sigkilled_daemon_restarts_onto_its_journal_and_replays() {
+    let socket = tmp("kill9", "sock");
+    let journal = tmp("kill9", "jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    let daemon = start_daemon(&socket, Some(&journal), &[]);
+    let first = submit(&socket, "before-crash", &EXPERIMENTS);
+    assert!(first.status.success(), "{}", stderr_of(&first));
+    let reference = stdout_of(&first).to_string();
+    // kill -9: no drain, no goodbye — the journal is all that survives.
+    let mut daemon = daemon;
+    daemon.kill().expect("SIGKILL daemon");
+    let _ = daemon.wait();
+    // The stale socket file survives a SIGKILL; drop it so the readiness
+    // probe below sees the restarted daemon's bind, not the corpse.
+    let _ = std::fs::remove_file(&socket);
+
+    let daemon = start_daemon(&socket, Some(&journal), &[]);
+    let second = submit(&socket, "after-crash", &EXPERIMENTS);
+    assert!(second.status.success(), "{}", stderr_of(&second));
+    assert_eq!(
+        stdout_of(&second),
+        reference,
+        "a journal replay must be byte-identical to the original run"
+    );
+    let err = stderr_of(&second);
+    assert!(
+        err.contains("4 of 4 cells replayed from the daemon's journal"),
+        "restart must replay, not re-simulate:\n{err}"
+    );
+    let drained = stop_daemon(daemon);
+    assert!(drained.status.success());
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn overload_and_unavailability_have_their_own_exit_codes() {
+    // Exit 8: no daemon at that socket.
+    let missing = tmp("missing", "sock");
+    let out = submit(&missing, "nobody", &["table1"]);
+    assert_eq!(out.status.code(), Some(8), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("cannot reach daemon"));
+
+    // Exit 7: the admission queue cannot hold even one request.
+    let socket = tmp("overload", "sock");
+    let daemon = start_daemon(&socket, None, &["--queue-limit", "1"]);
+    let out = submit(&socket, "too-big", &["table1"]);
+    assert_eq!(
+        out.status.code(),
+        Some(7),
+        "a 4-cell plan must overflow a 1-cell queue: {}",
+        stderr_of(&out)
+    );
+    assert!(stderr_of(&out).contains("overloaded"));
+    let drained = stop_daemon(daemon);
+    assert!(drained.status.success());
+}

@@ -6,14 +6,15 @@ use crate::metrics::{
     BlockOpOverhead, CoherenceBreakdown, MissBreakdown, OsTimeBreakdown, WorkloadMetrics,
 };
 use crate::runner::{
-    run_cell, run_cells, run_cells_supervised, run_key, Cell, CellOutcome, Experiment, TraceCache,
+    run_cell, run_key, run_plan_supervised, Cell, CellOutcome, Experiment, RequestPlan, TraceCache,
 };
 use crate::sim::RunResult;
 use crate::supervise::{CellFailure, Journal, Overrun, RunPolicy};
 use crate::{deferred, paperref};
+use oscache_memsys::CancelToken;
 use oscache_trace::Trace;
 use oscache_workloads::{BuildOptions, Workload};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Builds traces and caches simulation runs for the reproduction.
@@ -168,9 +169,18 @@ impl Repro {
     /// `jobs` workers, so the subsequent table/figure calls are pure cache
     /// hits. Cells already simulated are not rerun.
     pub fn warm(&mut self, experiments: &[Experiment]) -> WarmStats {
-        let cells = self.cells_to_run(experiments);
-        let report = run_cells(&self.cache, self.build_options(), &cells, self.jobs)
-            .unwrap_or_else(|e| panic!("simulation failed: {e}"));
+        let plan = self.plan(experiments);
+        let report = run_plan_supervised(
+            &self.cache,
+            self.build_options(),
+            &plan,
+            self.jobs,
+            &RunPolicy::fail_fast(),
+            None,
+            &CancelToken::none(),
+        )
+        .into_report()
+        .unwrap_or_else(|e| panic!("simulation failed: {e}"));
         let mut stats = WarmStats {
             jobs: report.jobs,
             wall_ms: report.wall_ms,
@@ -195,14 +205,15 @@ impl Repro {
         policy: &RunPolicy,
         journal: Option<&Journal>,
     ) -> SupervisedWarmStats {
-        let cells = self.cells_to_run(experiments);
-        let report = run_cells_supervised(
+        let plan = self.plan(experiments);
+        let report = run_plan_supervised(
             &self.cache,
             self.build_options(),
-            &cells,
+            &plan,
             self.jobs,
             policy,
             journal,
+            &CancelToken::none(),
         );
         let mut stats = SupervisedWarmStats {
             jobs: report.jobs,
@@ -224,20 +235,14 @@ impl Repro {
         stats
     }
 
-    /// The deduplicated not-yet-simulated cells the given experiments
-    /// need, in experiment order.
-    fn cells_to_run(&self, experiments: &[Experiment]) -> Vec<Cell> {
-        let mut cells: Vec<Cell> = Vec::new();
-        let mut seen: HashSet<String> = HashSet::new();
-        for e in experiments {
-            for cell in e.cells() {
-                let key = cell.key();
-                if !self.runs.contains_key(&key) && seen.insert(key) {
-                    cells.push(cell);
-                }
-            }
-        }
-        cells
+    /// The execution plan for the given experiments: deduplicated cells
+    /// not yet in this driver's run cache, fingerprinted once. The same
+    /// planner the resident service uses ([`RequestPlan`]), so a request
+    /// over the wire and a single-shot CLI run enumerate identical cells.
+    pub fn plan(&self, experiments: &[Experiment]) -> RequestPlan {
+        RequestPlan::for_experiments(experiments, self.build_options(), |key| {
+            self.runs.contains_key(key)
+        })
     }
 
     /// True when every cell `e` needs has already been simulated (or
@@ -245,6 +250,16 @@ impl Repro {
     /// `--keep-going` path renders exactly the experiments this accepts.
     pub fn experiment_ready(&self, e: Experiment) -> bool {
         e.cells().iter().all(|c| self.runs.contains_key(&c.key()))
+    }
+
+    /// Records finished cells (e.g. streamed back from the resident
+    /// service) in the run cache so the table/figure methods render from
+    /// them without re-simulating.
+    pub fn absorb_outcomes(&mut self, outcomes: impl IntoIterator<Item = CellOutcome>) {
+        for outcome in outcomes {
+            let timing = self.absorb(outcome);
+            self.timings.push(timing);
+        }
     }
 
     /// Records one finished cell in the run cache and returns its timing.
@@ -571,6 +586,32 @@ impl Repro {
             os_speedup: speed / 4.0,
             dma_speedup: dma_speed.try_into().expect("four workloads"),
         }
+    }
+}
+
+/// Renders one experiment exactly as `repro <name>` prints it — the
+/// canonical byte stream golden-filed under `tests/golden/` and streamed
+/// back by the resident service, defined once so every consumer agrees.
+/// Tables and figures end with a blank line; the headline's `Display`
+/// carries its own framing; the scorecard is wrapped in one leading and
+/// one trailing newline (matching the CLI's historical
+/// `println!("\n{}", …)`).
+pub fn render_experiment(r: &mut Repro, e: Experiment) -> String {
+    match e {
+        Experiment::Table1 => format!("{}\n\n", r.table1()),
+        Experiment::Table2 => format!("{}\n\n", r.table2()),
+        Experiment::Table3 => format!("{}\n\n", r.table3()),
+        Experiment::Table4 => format!("{}\n\n", r.table4()),
+        Experiment::Table5 => format!("{}\n\n", r.table5()),
+        Experiment::Fig1 => format!("{}\n\n", r.figure1()),
+        Experiment::Fig2 => format!("{}\n\n", r.figure2()),
+        Experiment::Fig3 => format!("{}\n\n", r.figure3()),
+        Experiment::Fig4 => format!("{}\n\n", r.figure4()),
+        Experiment::Fig5 => format!("{}\n\n", r.figure5()),
+        Experiment::Fig6 => format!("{}\n\n", r.figure6()),
+        Experiment::Fig7 => format!("{}\n\n", r.figure7()),
+        Experiment::Headline => r.headline().to_string(),
+        Experiment::Scorecard => format!("\n{}\n", r.scorecard()),
     }
 }
 

@@ -18,18 +18,21 @@ pub mod paperref;
 mod report;
 pub mod runner;
 mod scorecard;
+pub mod service;
 mod sim;
 pub mod supervise;
 pub mod transform;
 
 pub use config::{Geometry, System, SystemSpec, UpdatePolicy};
-pub use experiments::{CellTiming, Headline, Repro, SupervisedWarmStats, WarmStats};
+pub use experiments::{
+    render_experiment, CellTiming, Headline, Repro, SupervisedWarmStats, WarmStats,
+};
 pub use metrics::{
     BlockOpOverhead, CoherenceBreakdown, MissBreakdown, OsTimeBreakdown, WorkloadMetrics,
 };
 pub use runner::{
-    default_jobs, run_cells_supervised, Cell, CellFingerprint, Experiment, SupervisedReport,
-    TraceCache,
+    default_jobs, run_cells_supervised, run_plan_supervised, Cell, CellFingerprint, Experiment,
+    PlannedCell, RequestPlan, SupervisedReport, TraceCache,
 };
 pub use scorecard::{Check, Scorecard};
 pub use sim::{
@@ -38,6 +41,6 @@ pub use sim::{
     PreparedCell, RunResult,
 };
 pub use supervise::{
-    CellFailure, FailureCause, Journal, JournalError, JournalHeader, JournalRecord, Overrun,
-    RunPolicy, RunnerError,
+    CellFailure, Escalation, FailureCause, Journal, JournalError, JournalHeader, JournalRecord,
+    Overrun, RunPolicy, RunnerError, Salvage,
 };

@@ -35,7 +35,7 @@ use crate::supervise::{
     fnv1a, lock_tolerant, CellFailure, FailureCause, Journal, JournalRecord, OnceSlot, Overrun,
     RunPolicy, RunnerError, Watchdog,
 };
-use oscache_memsys::{AuditLevel, SimError};
+use oscache_memsys::{AuditLevel, CancelToken, SimError};
 use oscache_trace::Trace;
 use oscache_workloads::{build_shared, BuildOptions, TraceBuildKey, Workload};
 use std::collections::{HashMap, HashSet};
@@ -138,6 +138,102 @@ pub fn run_key(workload: Workload, tag: &str, geometry: Geometry) -> String {
     format!("{}/{}/{:?}", workload.name(), tag, geometry)
 }
 
+/// One cell of a [`RequestPlan`], with its fingerprint, build-stable
+/// digest, and run key computed exactly once.
+#[derive(Clone, Debug)]
+pub struct PlannedCell {
+    /// The cell to run.
+    pub cell: Cell,
+    /// Its prepared-trace fingerprint.
+    pub fingerprint: CellFingerprint,
+    /// [`CellFingerprint::stable_digest`], the journal/dedup key.
+    pub digest: u64,
+    /// [`Cell::key`], the run-cache key.
+    pub key: String,
+}
+
+/// The execution plan for a set of cells or experiments: every cell paired
+/// with its fingerprint and digest, deduplicated at enumeration time.
+///
+/// This is the *single* place cell enumeration + fingerprinting happens —
+/// the one-shot CLI path ([`crate::Repro::warm_supervised`]), the direct
+/// fan-out ([`run_cells_supervised`]), and the resident service
+/// ([`crate::service`]) all consume plans, so a request submitted over the
+/// wire runs exactly the cells the CLI would.
+#[derive(Clone, Debug, Default)]
+pub struct RequestPlan {
+    /// The planned cells, in deterministic enumeration order.
+    pub cells: Vec<PlannedCell>,
+}
+
+impl RequestPlan {
+    /// Plans `cells` as given (no deduplication: slots map 1:1 to input).
+    pub fn from_cells(cells: &[Cell], opts: BuildOptions) -> RequestPlan {
+        RequestPlan {
+            cells: cells
+                .iter()
+                .map(|c| {
+                    let fingerprint = c.fingerprint(opts);
+                    PlannedCell {
+                        fingerprint,
+                        digest: fingerprint.stable_digest(),
+                        key: c.key(),
+                        cell: c.clone(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Every cell the given experiments need, deduplicated by run key
+    /// (experiments share ladder cells heavily), in first-appearance
+    /// order. `skip` drops cells whose key is already satisfied (e.g.
+    /// results already in a [`crate::Repro`]'s run cache).
+    pub fn for_experiments(
+        experiments: &[Experiment],
+        opts: BuildOptions,
+        mut skip: impl FnMut(&str) -> bool,
+    ) -> RequestPlan {
+        let mut seen: HashSet<String> = HashSet::new();
+        let mut cells = Vec::new();
+        for e in experiments {
+            for cell in e.cells() {
+                let key = cell.key();
+                if skip(&key) || !seen.insert(key) {
+                    continue;
+                }
+                cells.push(cell);
+            }
+        }
+        RequestPlan::from_cells(&cells, opts)
+    }
+
+    /// Number of planned cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when nothing needs to run.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Fingerprints appearing more than once in this plan (e.g. a sweep
+    /// point coinciding with the default geometry): these cells share one
+    /// simulation result.
+    pub fn recurring(&self) -> HashSet<CellFingerprint> {
+        let mut counts: HashMap<CellFingerprint, usize> = HashMap::new();
+        for pc in &self.cells {
+            *counts.entry(pc.fingerprint).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .filter(|&(_, n)| n > 1)
+            .map(|(fp, _)| fp)
+            .collect()
+    }
+}
+
 /// Timing of one trace build inside the cache.
 #[derive(Clone, Debug)]
 pub struct BuildTiming {
@@ -223,6 +319,18 @@ impl TraceCache {
         base: &Trace,
         fp: CellFingerprint,
     ) -> Result<(Arc<PreparedCell>, PrepPhases), SimError> {
+        self.prepared_cancellable(base, fp, &CancelToken::none())
+    }
+
+    /// [`TraceCache::prepared`] with a cancellation token threaded into
+    /// the profiling replay. A cancelled preparation caches nothing — the
+    /// next requester simply redoes the work.
+    pub fn prepared_cancellable(
+        &self,
+        base: &Trace,
+        fp: CellFingerprint,
+        cancel: &CancelToken,
+    ) -> Result<(Arc<PreparedCell>, PrepPhases), SimError> {
         if let Some(p) = lock_tolerant(&self.prepared)
             .get(&fp)
             .and_then(Weak::upgrade)
@@ -236,8 +344,14 @@ impl TraceCache {
             ));
         }
         let analyzed = self.analyzed_for(base, fp);
-        let (built, mut phases) =
-            sim::prepare_from_analysis(base, &analyzed.0, fp.spec, fp.geometry, fp.audit)?;
+        let (built, mut phases) = sim::prepare_from_analysis_cancellable(
+            base,
+            &analyzed.0,
+            fp.spec,
+            fp.geometry,
+            fp.audit,
+            cancel,
+        )?;
         phases.analyze_ms = analyzed.1;
         let built = Arc::new(built);
         // First live writer wins, so concurrent preparers agree.
@@ -354,7 +468,14 @@ pub fn run_cell(
     opts: BuildOptions,
     cell: &Cell,
 ) -> Result<CellOutcome, SimError> {
-    run_cell_inner(cache, opts, cell, cell.fingerprint(opts), false)
+    run_cell_inner(
+        cache,
+        opts,
+        cell,
+        cell.fingerprint(opts),
+        false,
+        &CancelToken::none(),
+    )
 }
 
 /// [`run_cell`], with the cell's fingerprint precomputed by the caller
@@ -362,12 +483,14 @@ pub fn run_cell(
 /// fingerprints known to recur in the current fan-out: the first such
 /// cell simulates and publishes its result, later ones reuse it
 /// (identical by determinism) without re-preparing or re-simulating.
+/// `cancel` reaches both machine runs (profiling replay and final run).
 fn run_cell_inner(
     cache: &TraceCache,
     opts: BuildOptions,
     cell: &Cell,
     fp: CellFingerprint,
     share_result: bool,
+    cancel: &CancelToken,
 ) -> Result<CellOutcome, SimError> {
     let t0 = Instant::now();
     let base = cache.base(cell.workload, opts);
@@ -391,9 +514,16 @@ fn run_cell_inner(
             });
         }
     }
-    let (prepared, phases) = cache.prepared(&base, fp)?;
+    let (prepared, phases) = cache.prepared_cancellable(&base, fp, cancel)?;
     let prep = Instant::now();
-    let result = sim::run_prepared(&base, &prepared, cell.spec, cell.geometry, AuditLevel::Off)?;
+    let result = sim::run_prepared_cancellable(
+        &base,
+        &prepared,
+        cell.spec,
+        cell.geometry,
+        AuditLevel::Off,
+        cancel,
+    )?;
     if share_result {
         cache.store_result(fp, result.clone());
     }
@@ -516,23 +646,40 @@ pub fn run_cells_supervised(
     policy: &RunPolicy,
     journal: Option<&Journal>,
 ) -> SupervisedReport {
+    let plan = RequestPlan::from_cells(cells, opts);
+    run_plan_supervised(
+        cache,
+        opts,
+        &plan,
+        jobs,
+        policy,
+        journal,
+        &CancelToken::none(),
+    )
+}
+
+/// [`run_cells_supervised`] over a pre-built [`RequestPlan`], with a
+/// request-level [`CancelToken`]: tripping it makes every still-running
+/// and not-yet-started cell of the fan-out fail as
+/// [`FailureCause::Timeout`] within the machine's polling latency. The
+/// resident service drives this directly; the CLI goes through
+/// [`run_cells_supervised`] with an inert token.
+pub fn run_plan_supervised(
+    cache: &TraceCache,
+    opts: BuildOptions,
+    plan: &RequestPlan,
+    jobs: usize,
+    policy: &RunPolicy,
+    journal: Option<&Journal>,
+    cancel: &CancelToken,
+) -> SupervisedReport {
     let t0 = Instant::now();
+    let cells = &plan.cells;
     let jobs = if jobs == 0 { default_jobs() } else { jobs };
     let jobs = jobs.min(cells.len()).max(1);
-    // One fingerprint computation per cell, shared by the recurrence scan,
-    // the workers, and the journal keys.
-    let fps: Vec<CellFingerprint> = cells.iter().map(|c| c.fingerprint(opts)).collect();
     // Fingerprints appearing more than once (e.g. a sweep point that
     // coincides with the default geometry) share one simulation result.
-    let mut counts: HashMap<CellFingerprint, usize> = HashMap::new();
-    for fp in &fps {
-        *counts.entry(*fp).or_insert(0) += 1;
-    }
-    let recurring: HashSet<CellFingerprint> = counts
-        .into_iter()
-        .filter(|&(_, n)| n > 1)
-        .map(|(fp, _)| fp)
-        .collect();
+    let recurring = plan.recurring();
     let next = AtomicUsize::new(0);
     let retries = AtomicU64::new(0);
     let journal_hits = AtomicUsize::new(0);
@@ -541,7 +688,7 @@ pub fn run_cells_supervised(
         cells.iter().map(|_| Mutex::new(None)).collect();
     let watchdog = policy
         .soft_deadline_ms
-        .map(|ms| Watchdog::new(Duration::from_millis(ms.max(1))));
+        .map(|ms| Watchdog::new(Duration::from_millis(ms.max(1)), policy.grace()));
     std::thread::scope(|s| {
         let dog_handle = watchdog.as_ref().map(|dog| s.spawn(|| dog.run()));
         let workers: Vec<_> = (0..jobs)
@@ -551,9 +698,7 @@ pub fn run_cells_supervised(
                     if i >= cells.len() {
                         break;
                     }
-                    let cell = &cells[i];
-                    let fp = fps[i];
-                    let key = cell.key();
+                    let pc = &cells[i];
                     let out = supervise_one(
                         SuperviseCtx {
                             cache,
@@ -564,11 +709,10 @@ pub fn run_cells_supervised(
                             retries: &retries,
                             journal_hits: &journal_hits,
                             journal_errors: &journal_errors,
-                            share: recurring.contains(&fp),
+                            share: recurring.contains(&pc.fingerprint),
+                            cancel,
                         },
-                        cell,
-                        fp,
-                        &key,
+                        pc,
                     );
                     *lock_tolerant(&slots[i]) = Some(out);
                 })
@@ -591,7 +735,7 @@ pub fn run_cells_supervised(
     let outcomes: Vec<Result<CellOutcome, CellFailure>> = slots
         .into_iter()
         .zip(cells)
-        .map(|(slot, cell)| {
+        .map(|(slot, pc)| {
             slot.into_inner()
                 .unwrap_or_else(PoisonError::into_inner)
                 .unwrap_or_else(|| {
@@ -599,7 +743,7 @@ pub fn run_cells_supervised(
                     // an unfilled slot must degrade to a typed failure, not
                     // a collector panic.
                     Err(CellFailure {
-                        cell: cell.clone(),
+                        cell: pc.cell.clone(),
                         attempt: 0,
                         cause: FailureCause::Panic(
                             "worker terminated before filling this cell's slot".to_string(),
@@ -622,28 +766,31 @@ pub fn run_cells_supervised(
 }
 
 /// Everything [`supervise_one`] needs besides the cell itself (bundled so
-/// the worker loop stays readable).
-struct SuperviseCtx<'a> {
-    cache: &'a TraceCache,
-    opts: BuildOptions,
-    policy: &'a RunPolicy,
-    journal: Option<&'a Journal>,
-    watchdog: Option<&'a Watchdog>,
-    retries: &'a AtomicU64,
-    journal_hits: &'a AtomicUsize,
-    journal_errors: &'a Mutex<Vec<String>>,
-    share: bool,
+/// the worker loop stays readable). `pub(crate)` because the resident
+/// service ([`crate::service`]) schedules cells through the same
+/// supervision path one at a time.
+pub(crate) struct SuperviseCtx<'a> {
+    pub(crate) cache: &'a TraceCache,
+    pub(crate) opts: BuildOptions,
+    pub(crate) policy: &'a RunPolicy,
+    pub(crate) journal: Option<&'a Journal>,
+    pub(crate) watchdog: Option<&'a Watchdog>,
+    pub(crate) retries: &'a AtomicU64,
+    pub(crate) journal_hits: &'a AtomicUsize,
+    pub(crate) journal_errors: &'a Mutex<Vec<String>>,
+    pub(crate) share: bool,
+    /// Request-level cancellation: tripped by a service deadline, a
+    /// vanished client, or a draining daemon. Inert for plain CLI runs.
+    pub(crate) cancel: &'a CancelToken,
 }
 
 /// Runs one cell under the supervision policy: journal replay, panic
-/// isolation, bounded retry, journal record.
-fn supervise_one(
+/// isolation, bounded retry, journal record, cooperative cancellation.
+pub(crate) fn supervise_one(
     ctx: SuperviseCtx<'_>,
-    cell: &Cell,
-    fp: CellFingerprint,
-    key: &str,
+    pc: &PlannedCell,
 ) -> Result<CellOutcome, CellFailure> {
-    let digest = fp.stable_digest();
+    let (cell, fp, key, digest) = (&pc.cell, pc.fingerprint, pc.key.as_str(), pc.digest);
     if let Some(j) = ctx.journal {
         if let Some(stats) = j.lookup(digest) {
             ctx.journal_hits.fetch_add(1, Ordering::Relaxed);
@@ -669,7 +816,20 @@ fn supervise_one(
     }
     let mut attempt: u32 = 0;
     let out = loop {
-        let watch = ctx.watchdog.map(|d| d.watch(key, attempt));
+        // The token the machine polls: the request's own token when the
+        // caller supplied a live one; otherwise a fresh per-attempt token
+        // when the watchdog may escalate (so a kill hits exactly the
+        // overrunning attempt); otherwise inert.
+        let attempt_cancel = if ctx.cancel.can_cancel() {
+            ctx.cancel.clone()
+        } else if ctx.watchdog.is_some() && ctx.policy.grace().is_some() {
+            CancelToken::new()
+        } else {
+            CancelToken::none()
+        };
+        let watch = ctx
+            .watchdog
+            .map(|d| d.watch(key, attempt, attempt_cancel.clone()));
         let attempt_result = catch_unwind(AssertUnwindSafe(|| {
             if let Some(fault) = &ctx.policy.inject {
                 if fault.fires(key, attempt) {
@@ -679,13 +839,23 @@ fn supervise_one(
                     );
                 }
             }
-            run_cell_inner(ctx.cache, ctx.opts, cell, fp, ctx.share)
+            run_cell_inner(ctx.cache, ctx.opts, cell, fp, ctx.share, &attempt_cancel)
         }));
         drop(watch);
         let cause = match attempt_result {
             Ok(Ok(mut o)) => {
                 o.attempt = attempt;
                 break Ok(o);
+            }
+            Ok(Err(e)) if e.is_cancelled() => {
+                // A cancelled attempt is a deadline death, not a cell
+                // defect: map to Timeout and never retry — the deadline
+                // is already spent.
+                break Err(CellFailure {
+                    cell: cell.clone(),
+                    attempt,
+                    cause: FailureCause::Timeout,
+                });
             }
             Ok(Err(e)) => FailureCause::Sim(e),
             Err(payload) => FailureCause::Panic(panic_message(payload)),

@@ -4,7 +4,7 @@
 use crate::analysis;
 use crate::config::{Geometry, System, SystemSpec, UpdatePolicy};
 use crate::transform;
-use oscache_memsys::{AuditLevel, Machine, PageSet, SimError, SimStats};
+use oscache_memsys::{AuditLevel, CancelToken, Machine, PageSet, SimError, SimStats};
 use oscache_trace::Trace;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
@@ -294,6 +294,21 @@ pub fn prepare_from_analysis(
     geometry: Geometry,
     audit: AuditLevel,
 ) -> Result<(PreparedCell, PrepPhases), SimError> {
+    prepare_from_analysis_cancellable(trace, analyzed, spec, geometry, audit, &CancelToken::none())
+}
+
+/// [`prepare_from_analysis`] with a cooperative-cancellation token wired
+/// into the profiling replay (the only machine run in this phase; the
+/// analysis transforms themselves are not cancellation points, so a
+/// cancellation grace period must absorb them).
+pub fn prepare_from_analysis_cancellable(
+    trace: &Trace,
+    analyzed: &AnalyzedCell,
+    spec: SystemSpec,
+    geometry: Geometry,
+    audit: AuditLevel,
+    cancel: &CancelToken,
+) -> Result<(PreparedCell, PrepPhases), SimError> {
     let mut phases = PrepPhases::default();
     let mut out = analyzed.trace.clone();
 
@@ -304,6 +319,7 @@ pub fn prepare_from_analysis(
         let mut cfg = geometry.machine_config(&spec);
         cfg.n_cpus = trace.n_cpus();
         cfg.update_pages = analyzed.update_pages.clone();
+        cfg.cancel = cancel.clone();
         let profile_stats = if audit == AuditLevel::Off {
             oscache_memsys::profile_os_misses(cfg, working)?
         } else {
@@ -360,10 +376,25 @@ pub fn run_prepared(
     geometry: Geometry,
     audit: AuditLevel,
 ) -> Result<RunResult, SimError> {
+    run_prepared_cancellable(trace, prepared, spec, geometry, audit, &CancelToken::none())
+}
+
+/// [`run_prepared`] with a cooperative-cancellation token wired into the
+/// machine's event loop; a tripped token surfaces as
+/// [`SimErrorKind::Cancelled`](oscache_memsys::SimErrorKind::Cancelled).
+pub fn run_prepared_cancellable(
+    trace: &Trace,
+    prepared: &PreparedCell,
+    spec: SystemSpec,
+    geometry: Geometry,
+    audit: AuditLevel,
+    cancel: &CancelToken,
+) -> Result<RunResult, SimError> {
     let mut cfg = geometry.machine_config(&spec);
     cfg.n_cpus = trace.n_cpus();
     cfg.update_pages = prepared.update_pages.clone();
     cfg.audit = audit;
+    cfg.cancel = cancel.clone();
     let working = prepared.trace.as_deref().unwrap_or(trace);
     let stats = Machine::new(cfg, working)?.run()?;
     Ok(RunResult {

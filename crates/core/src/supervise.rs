@@ -30,7 +30,7 @@
 
 use crate::runner::Cell;
 use oscache_memsys::faults::CellFault;
-use oscache_memsys::{BusStats, CpuStats, ModeSplit, SimError, SimStats};
+use oscache_memsys::{BusStats, CancelToken, CpuStats, ModeSplit, SimError, SimStats};
 use oscache_trace::DataClass;
 use oscache_workloads::BuildOptions;
 use std::collections::HashMap;
@@ -134,6 +134,27 @@ impl<T: Clone> Default for OnceSlot<T> {
 // Policy and failures
 // ---------------------------------------------------------------------------
 
+/// What the [`Watchdog`] does to an attempt that outlives the soft
+/// deadline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Escalation {
+    /// Record an [`Overrun`] and let the attempt keep running — the
+    /// historical behavior and the default, so existing CLI runs are
+    /// unchanged.
+    #[default]
+    FlagOnly,
+    /// Record the overrun at the deadline, then trip the attempt's
+    /// [`CancelToken`] once it has also outlived `grace_ms` more
+    /// milliseconds. The machine's event loop observes the token and the
+    /// attempt dies as [`FailureCause::Timeout`] within a bounded delay
+    /// (cancellation is cooperative: polled every ~1k simulated events,
+    /// plus any non-cancellable analysis pass in flight).
+    CancelAfterGrace {
+        /// Extra milliseconds past the soft deadline before the kill.
+        grace_ms: u64,
+    },
+}
+
 /// How a supervised fan-out treats failing cells.
 #[derive(Clone, Debug, Default)]
 pub struct RunPolicy {
@@ -144,9 +165,12 @@ pub struct RunPolicy {
     /// milliseconds (capped at one second). Zero disables sleeping.
     pub backoff_ms: u64,
     /// Soft per-cell deadline in milliseconds: a [`Watchdog`] thread flags
-    /// (never kills) attempts that run longer. `None` disables the
-    /// watchdog.
+    /// attempts that run longer (and, under
+    /// [`Escalation::CancelAfterGrace`], cancels them). `None` disables
+    /// the watchdog.
     pub soft_deadline_ms: Option<u64>,
+    /// What the watchdog does beyond flagging an overrun.
+    pub escalation: Escalation,
     /// Deterministic panic injection (tests, CI fault smoke): attempts it
     /// [`CellFault::fires`] on panic inside the supervised region.
     pub inject: Option<CellFault>,
@@ -166,6 +190,14 @@ impl RunPolicy {
             max_retries: retries,
             backoff_ms: 25,
             ..RunPolicy::default()
+        }
+    }
+
+    /// The watchdog's kill grace period, when escalation requests one.
+    pub fn grace(&self) -> Option<Duration> {
+        match self.escalation {
+            Escalation::FlagOnly => None,
+            Escalation::CancelAfterGrace { grace_ms } => Some(Duration::from_millis(grace_ms)),
         }
     }
 
@@ -189,11 +221,12 @@ pub enum FailureCause {
     Panic(String),
     /// The simulator rejected the cell with a typed error.
     Sim(SimError),
-    /// Reserved for hard-deadline enforcement. The current [`RunPolicy`]
-    /// deadline is *soft* (overruns are flagged by the watchdog, never
-    /// killed), so supervised runs do not produce this cause today; it
-    /// exists so journal records and failure summaries have a stable shape
-    /// when a hard deadline is added.
+    /// The attempt outlived its deadline and was cooperatively cancelled:
+    /// either the watchdog escalated under
+    /// [`Escalation::CancelAfterGrace`], or a service request's deadline
+    /// (or its client's disappearance) tripped the cell's
+    /// [`CancelToken`]. Under the default [`Escalation::FlagOnly`] policy
+    /// overruns are still only flagged and this cause is never produced.
     Timeout,
 }
 
@@ -286,11 +319,15 @@ pub struct Overrun {
 }
 
 /// Watches in-flight cell attempts and flags the ones that outlive the
-/// soft deadline. Runs on its own thread inside the fan-out's scope;
-/// workers register attempts via [`Watchdog::watch`] (an RAII guard
-/// deregisters on completion — including by unwinding).
+/// soft deadline — and, when built with a grace period
+/// ([`Escalation::CancelAfterGrace`]), trips each overrunning attempt's
+/// [`CancelToken`] once the grace is also spent. Runs on its own thread
+/// inside the fan-out's scope; workers register attempts via
+/// [`Watchdog::watch`] (an RAII guard deregisters on completion —
+/// including by unwinding).
 pub(crate) struct Watchdog {
     deadline: Duration,
+    grace: Option<Duration>,
     state: Mutex<WatchState>,
     cv: Condvar,
 }
@@ -307,12 +344,15 @@ struct ActiveAttempt {
     attempt: u32,
     started: Instant,
     flagged: bool,
+    cancel: CancelToken,
+    killed: bool,
 }
 
 impl Watchdog {
-    pub(crate) fn new(deadline: Duration) -> Self {
+    pub(crate) fn new(deadline: Duration, grace: Option<Duration>) -> Self {
         Watchdog {
             deadline,
+            grace,
             state: Mutex::new(WatchState {
                 active: HashMap::new(),
                 next_token: 0,
@@ -323,8 +363,10 @@ impl Watchdog {
         }
     }
 
-    /// Registers one attempt; dropping the guard deregisters it.
-    pub(crate) fn watch(&self, key: &str, attempt: u32) -> WatchGuard<'_> {
+    /// Registers one attempt; dropping the guard deregisters it. `cancel`
+    /// is the token the attempt's machine polls — inert under flag-only
+    /// escalation, in which case the kill path is unreachable.
+    pub(crate) fn watch(&self, key: &str, attempt: u32, cancel: CancelToken) -> WatchGuard<'_> {
         let mut st = lock_tolerant(&self.state);
         let token = st.next_token;
         st.next_token += 1;
@@ -335,15 +377,24 @@ impl Watchdog {
                 attempt,
                 started: Instant::now(),
                 flagged: false,
+                cancel,
+                killed: false,
             },
         );
         WatchGuard { dog: self, token }
     }
 
-    /// The watchdog loop: scan every quarter-deadline, flag overruns once
-    /// per attempt, exit when [`Watchdog::shutdown`] is signalled.
+    /// The watchdog loop: scan every quarter-deadline (bounded by half the
+    /// grace period, so escalation lands within one grace of the
+    /// deadline), flag overruns once per attempt, cancel flagged attempts
+    /// whose grace is spent, exit when [`Watchdog::shutdown`] is
+    /// signalled.
     pub(crate) fn run(&self) {
-        let tick = (self.deadline / 4).max(Duration::from_millis(1));
+        let mut tick = self.deadline / 4;
+        if let Some(g) = self.grace {
+            tick = tick.min(g / 2);
+        }
+        let tick = tick.max(Duration::from_millis(1));
         let mut st = lock_tolerant(&self.state);
         while !st.done {
             let (guard, _) = self
@@ -365,6 +416,12 @@ impl Watchdog {
                         deadline_ms: self.deadline.as_millis() as u64,
                         elapsed_ms: 1e3 * elapsed.as_secs_f64(),
                     });
+                }
+                if let Some(g) = self.grace {
+                    if a.flagged && !a.killed && elapsed > self.deadline + g {
+                        a.killed = true;
+                        a.cancel.cancel();
+                    }
                 }
             }
         }
@@ -475,9 +532,12 @@ pub enum JournalError {
         /// The value of the current invocation.
         current: String,
     },
-    /// A record line could not be decoded. The journal is written
+    /// A record line could not be decoded. The CLI journal is written
     /// atomically (temp file + rename), so this indicates external
-    /// corruption or truncation — delete the journal to start over.
+    /// corruption; a daemon journal in [append mode](Journal::into_append)
+    /// can legitimately leave one *torn final line* behind when killed
+    /// mid-write — [`Journal::resume_salvage`] truncates exactly that case
+    /// instead of failing.
     Corrupt {
         /// 1-based line number of the undecodable line.
         line: usize,
@@ -514,15 +574,29 @@ impl From<std::io::Error> for JournalError {
     }
 }
 
+/// What [`Journal::resume_salvage`] threw away to recover a journal with
+/// a torn final line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Salvage {
+    /// 1-based line number of the truncated line.
+    pub line: usize,
+    /// Bytes dropped from the end of the file.
+    pub dropped_bytes: usize,
+}
+
 /// A crash-safe run journal: JSONL on disk, one header line plus one
 /// self-contained record per completed cell.
 ///
-/// The journal is logically append-only, but each append persists by
-/// serializing the whole journal to `<path>.tmp` and renaming it over
-/// `<path>` — the file on disk is therefore *always* a complete,
-/// parseable journal, no matter when the process is killed (a `SIGKILL`
-/// between cells loses nothing; one mid-rename loses at most the record
-/// being appended).
+/// The journal is logically append-only. In the default *atomic* mode
+/// each append persists by serializing the whole journal to `<path>.tmp`
+/// and renaming it over `<path>` — the file on disk is therefore *always*
+/// a complete, parseable journal, no matter when the process is killed (a
+/// `SIGKILL` between cells loses nothing; one mid-rename loses at most
+/// the record being appended). A long-running daemon instead switches to
+/// *append* mode ([`Journal::into_append`]): each record is one buffered
+/// `write` + flush to an open handle, O(1) per cell instead of O(n), at
+/// the cost that a kill mid-write can leave a torn final line —
+/// recoverable with [`Journal::resume_salvage`].
 pub struct Journal {
     path: PathBuf,
     inner: Mutex<JournalInner>,
@@ -532,6 +606,8 @@ struct JournalInner {
     header: JournalHeader,
     records: Vec<JournalRecord>,
     by_digest: HashMap<u64, usize>,
+    /// Open handle for append mode; `None` = atomic whole-file persists.
+    appender: Option<std::fs::File>,
 }
 
 impl Journal {
@@ -544,6 +620,7 @@ impl Journal {
                 header,
                 records: Vec::new(),
                 by_digest: HashMap::new(),
+                appender: None,
             }),
         };
         j.persist(&lock_tolerant(&j.inner))?;
@@ -554,39 +631,113 @@ impl Journal {
     /// completed cells can be replayed. A missing file starts a fresh
     /// journal; an existing one must carry a matching header.
     pub fn resume(path: &Path, header: JournalHeader) -> Result<Journal, JournalError> {
+        Self::resume_inner(path, header, false).map(|(j, _)| j)
+    }
+
+    /// [`Journal::resume`], except a *torn final line* — the signature of
+    /// an append-mode writer killed mid-write — is truncated away instead
+    /// of failing the whole resume. Returns what was dropped, if
+    /// anything, so callers can log a structured warning. Corruption
+    /// anywhere other than the last non-empty line is still a
+    /// [`JournalError::Corrupt`]: a damaged middle means something other
+    /// than a torn tail happened and silently dropping records would be
+    /// wrong.
+    pub fn resume_salvage(
+        path: &Path,
+        header: JournalHeader,
+    ) -> Result<(Journal, Option<Salvage>), JournalError> {
+        Self::resume_inner(path, header, true)
+    }
+
+    fn resume_inner(
+        path: &Path,
+        header: JournalHeader,
+        salvage: bool,
+    ) -> Result<(Journal, Option<Salvage>), JournalError> {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Journal::create(path, header);
+                return Journal::create(path, header).map(|j| (j, None));
             }
             Err(e) => return Err(JournalError::Io(e)),
         };
+        // An empty file can only come from a writer killed between
+        // creating the file and writing the header; with salvage it is a
+        // fresh journal, without it the historical Corrupt error stands.
+        if salvage && text.trim().is_empty() && !text.is_empty() {
+            let dropped = Salvage {
+                line: 1,
+                dropped_bytes: text.len(),
+            };
+            return Journal::create(path, header).map(|j| (j, Some(dropped)));
+        }
         let mut records = Vec::new();
         let mut by_digest = HashMap::new();
-        let mut lines = text.lines().enumerate();
+        let mut lines = text.lines().enumerate().peekable();
         let (_, first) = lines.next().ok_or(JournalError::Corrupt {
             line: 1,
             msg: "empty journal (missing header line)".to_string(),
         })?;
         let found = parse_header(first).map_err(|msg| JournalError::Corrupt { line: 1, msg })?;
         check_header(&found, &header)?;
-        for (i, line) in lines {
+        let mut salvaged = None;
+        while let Some((i, line)) = lines.next() {
             if line.trim().is_empty() {
                 continue;
             }
-            let rec =
-                parse_record(line).map_err(|msg| JournalError::Corrupt { line: i + 1, msg })?;
-            by_digest.insert(rec.digest, records.len());
-            records.push(rec);
+            match parse_record(line) {
+                Ok(rec) => {
+                    by_digest.insert(rec.digest, records.len());
+                    records.push(rec);
+                }
+                Err(msg) => {
+                    let is_last = !lines.clone().any(|(_, l)| !l.trim().is_empty());
+                    if !(salvage && is_last) {
+                        return Err(JournalError::Corrupt { line: i + 1, msg });
+                    }
+                    // Torn tail: everything from this line on is dropped
+                    // and the truncated journal re-persisted below.
+                    salvaged = Some(Salvage {
+                        line: i + 1,
+                        dropped_bytes: text.len()
+                            - text.lines().take(i).map(|l| l.len() + 1).sum::<usize>(),
+                    });
+                    break;
+                }
+            }
         }
-        Ok(Journal {
+        let j = Journal {
             path: path.to_path_buf(),
             inner: Mutex::new(JournalInner {
                 header,
                 records,
                 by_digest,
+                appender: None,
             }),
-        })
+        };
+        if salvaged.is_some() {
+            j.persist(&lock_tolerant(&j.inner))?;
+        }
+        Ok((j, salvaged))
+    }
+
+    /// Switches this journal to append mode: the file as persisted so far
+    /// stays in place and every subsequent [`Journal::append`] writes one
+    /// record line to an open handle (O(1) per cell) instead of rewriting
+    /// the whole file. The daemon uses this; see the type docs for the
+    /// torn-tail trade-off.
+    pub fn into_append(self) -> Result<Journal, JournalError> {
+        {
+            let mut inner = lock_tolerant(&self.inner);
+            // Make the on-disk file match memory, then open for append.
+            self.persist(&inner)?;
+            let f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&self.path)
+                .map_err(JournalError::Io)?;
+            inner.appender = Some(f);
+        }
+        Ok(self)
     }
 
     /// The journal's on-disk path.
@@ -614,16 +765,25 @@ impl Journal {
             .map(|&i| inner.records[i].stats.clone())
     }
 
-    /// Appends one completed cell and persists the journal atomically.
+    /// Appends one completed cell and persists it — atomically (whole-file
+    /// rewrite) by default, or as one appended line in append mode.
     pub fn append(&self, rec: JournalRecord) -> Result<(), JournalError> {
         let mut inner = lock_tolerant(&self.inner);
         if inner.by_digest.contains_key(&rec.digest) {
             return Ok(()); // recurring fingerprint: first record stands
         }
+        let mut line = String::new();
+        write_record(&rec, &mut line);
         let idx = inner.records.len();
         inner.by_digest.insert(rec.digest, idx);
         inner.records.push(rec);
-        self.persist(&inner)
+        match &mut inner.appender {
+            Some(f) => {
+                use std::io::Write;
+                f.write_all(line.as_bytes()).map_err(JournalError::Io)
+            }
+            None => self.persist(&inner),
+        }
     }
 
     /// Truncates the journal to its first `n` records and persists (test
@@ -637,7 +797,17 @@ impl Journal {
             .enumerate()
             .map(|(i, d)| (d, i))
             .collect();
-        self.persist(&inner)
+        self.persist(&inner)?;
+        // The rename replaced the inode an append-mode handle pointed at;
+        // reopen so later appends land in the live file.
+        if inner.appender.is_some() {
+            let f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&self.path)
+                .map_err(JournalError::Io)?;
+            inner.appender = Some(f);
+        }
+        Ok(())
     }
 
     /// Serializes the whole journal and atomically replaces the file.
@@ -1009,7 +1179,7 @@ fn bus_from_value(j: &Json) -> Result<BusStats, String> {
     })
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {
@@ -1033,7 +1203,7 @@ fn json_escape(s: &str) -> String {
 /// A parsed JSON value. Numbers stay as their source text until a typed
 /// accessor parses them, so 64-bit counters round-trip exactly.
 #[derive(Clone, Debug, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     /// An object, in source order.
     Obj(Vec<(String, Json)>),
     /// An array.
@@ -1050,7 +1220,7 @@ enum Json {
 
 impl Json {
     /// Parses one JSON value from `text` (trailing whitespace allowed).
-    fn parse(text: &str) -> Result<Json, String> {
+    pub(crate) fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
         let v = parse_value(bytes, &mut pos)?;
@@ -1061,7 +1231,7 @@ impl Json {
         Ok(v)
     }
 
-    fn field(&self, name: &str) -> Result<&Json, String> {
+    pub(crate) fn field(&self, name: &str) -> Result<&Json, String> {
         match self {
             Json::Obj(fields) => fields
                 .iter()
@@ -1072,32 +1242,32 @@ impl Json {
         }
     }
 
-    fn field_u64(&self, name: &str) -> Result<u64, String> {
+    pub(crate) fn field_u64(&self, name: &str) -> Result<u64, String> {
         self.field(name)?.u64()
     }
 
-    fn u64(&self) -> Result<u64, String> {
+    pub(crate) fn u64(&self) -> Result<u64, String> {
         match self {
             Json::Num(s) => s.parse().map_err(|_| format!("not a u64: {s:?}")),
             other => Err(format!("expected number, got {other:?}")),
         }
     }
 
-    fn f64(&self) -> Result<f64, String> {
+    pub(crate) fn f64(&self) -> Result<f64, String> {
         match self {
             Json::Num(s) => s.parse().map_err(|_| format!("not a number: {s:?}")),
             other => Err(format!("expected number, got {other:?}")),
         }
     }
 
-    fn str(&self) -> Result<&str, String> {
+    pub(crate) fn str(&self) -> Result<&str, String> {
         match self {
             Json::Str(s) => Ok(s),
             other => Err(format!("expected string, got {other:?}")),
         }
     }
 
-    fn arr(&self) -> Result<&[Json], String> {
+    pub(crate) fn arr(&self) -> Result<&[Json], String> {
         match self {
             Json::Arr(v) => Ok(v),
             other => Err(format!("expected array, got {other:?}")),

@@ -8,7 +8,7 @@ use oscache_core::runner::{run_cells, run_cells_supervised, Cell, TraceCache};
 use oscache_core::supervise::{
     stats_from_json, stats_to_json, Journal, JournalError, JournalHeader,
 };
-use oscache_core::{FailureCause, RunPolicy, RunResult, SupervisedReport, System};
+use oscache_core::{Escalation, FailureCause, RunPolicy, RunResult, SupervisedReport, System};
 use oscache_memsys::faults::CellFault;
 use oscache_memsys::{BusStats, CpuStats, ModeSplit, SimStats};
 use oscache_trace::rng::{Rng, RngCore, SmallRng};
@@ -149,8 +149,8 @@ fn bounded_retry_overcomes_transient_faults_deterministically() {
     let policy = RunPolicy {
         max_retries: 3,
         backoff_ms: 0,
-        soft_deadline_ms: None,
         inject: Some(fault),
+        ..RunPolicy::default()
     };
     let run = || run_cells_supervised(&TraceCache::new(), opts(), &cells, 2, &policy, None);
     let a = run();
@@ -183,8 +183,8 @@ fn retry_exhaustion_keeps_the_cause_and_reports_completed_work() {
     let policy = RunPolicy {
         max_retries: 1,
         backoff_ms: 0,
-        soft_deadline_ms: None,
         inject: Some(fault),
+        ..RunPolicy::default()
     };
     let rep = run_cells_supervised(&TraceCache::new(), opts(), &cells, 2, &policy, None);
     let completed = rep.completed();
@@ -444,6 +444,104 @@ fn journal_rejects_mismatched_headers_and_corrupt_records() {
     let _ = std::fs::remove_file(&path);
     let j = Journal::resume(&path, header).expect("fresh journal");
     assert!(j.is_empty());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn escalated_watchdog_cancels_overruns_as_typed_timeouts_without_retry() {
+    let cells = subset();
+    // A 1 ms deadline with zero grace: every attempt outlives it, and
+    // under CancelAfterGrace the watchdog trips the attempt's token
+    // instead of only flagging. Retries are granted but must not be
+    // spent on a cancelled attempt (retrying a kill would loop).
+    let policy = RunPolicy {
+        max_retries: 2,
+        soft_deadline_ms: Some(1),
+        escalation: Escalation::CancelAfterGrace { grace_ms: 0 },
+        ..RunPolicy::default()
+    };
+    let rep = run_cells_supervised(&TraceCache::new(), opts(), &cells, 2, &policy, None);
+    assert!(
+        !rep.failures().is_empty(),
+        "a 1 ms deadline with zero grace must kill something"
+    );
+    for f in rep.failures() {
+        assert!(
+            matches!(f.cause, FailureCause::Timeout),
+            "kill must surface as a typed timeout, got {:?}",
+            f.cause
+        );
+        assert_eq!(f.attempt, 0, "a cancelled attempt must never be retried");
+    }
+    assert!(!rep.overruns.is_empty(), "the overrun is still recorded");
+}
+
+#[test]
+fn salvage_recovers_a_torn_tail_but_not_interior_corruption() {
+    let cells = subset();
+    let path = tmp_path("salvage");
+    let _ = std::fs::remove_file(&path);
+    let header = JournalHeader::new(&opts());
+    {
+        let j = Journal::create(&path, header).expect("create journal");
+        let rep = run_cells_supervised(
+            &TraceCache::new(),
+            opts(),
+            &cells,
+            2,
+            &RunPolicy::fail_fast(),
+            Some(&j),
+        );
+        assert_eq!(rep.completed(), cells.len());
+    }
+    let intact = std::fs::read_to_string(&path).expect("read journal");
+    // A writer killed mid-append leaves half a record with no newline.
+    let torn = format!("{intact}{{\"cell\":\"trfd4/Base\",\"digest\":\"ab");
+    std::fs::write(&path, &torn).expect("tear journal");
+    // Without salvage the historical strictness stands: a typed error
+    // naming the torn line, not a silent skip.
+    match Journal::resume(&path, header).err() {
+        Some(JournalError::Corrupt { line, .. }) => assert_eq!(line, cells.len() + 2),
+        other => panic!("torn tail not rejected without salvage: {other:?}"),
+    }
+    // With salvage: exactly the torn bytes are dropped, every intact
+    // record survives, and the truncation is reported, not silent.
+    let (j, salvage) = Journal::resume_salvage(&path, header).expect("salvage");
+    let s = salvage.expect("a truncation must be reported");
+    assert_eq!(s.line, cells.len() + 2);
+    assert_eq!(s.dropped_bytes, torn.len() - intact.len());
+    assert_eq!(j.len(), cells.len(), "intact records must survive");
+    drop(j);
+    // The truncated journal was re-persisted: a plain resume now works
+    // and replays every cell.
+    let j = Journal::resume(&path, header).expect("resume after salvage");
+    let rep = run_cells_supervised(
+        &TraceCache::new(),
+        opts(),
+        &cells,
+        2,
+        &RunPolicy::fail_fast(),
+        Some(&j),
+    );
+    assert_eq!(rep.completed(), cells.len());
+    assert_eq!(
+        rep.journal_hits,
+        cells.len(),
+        "salvaged records must replay"
+    );
+    // Interior corruption is not a torn tail; salvage must refuse to
+    // guess and keep the typed error.
+    let mut lines: Vec<&str> = intact.lines().collect();
+    lines[1] = "{definitely not a record";
+    let corrupted = format!("{}\n", lines.join("\n"));
+    std::fs::write(&path, &corrupted).expect("corrupt journal");
+    match Journal::resume_salvage(&path, header) {
+        Err(JournalError::Corrupt { line, .. }) => assert_eq!(line, 2),
+        other => panic!(
+            "interior corruption must stay fatal under salvage: {:?}",
+            other.map(|(j, s)| (j.len(), s))
+        ),
+    }
     let _ = std::fs::remove_file(&path);
 }
 

@@ -1,6 +1,87 @@
 //! Machine configuration (the paper's §2.4 `Base` architecture and its
 //! variants).
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared flag for cooperative cancellation of a running replay.
+///
+/// A replay is a pure function of its trace and configuration and can run
+/// for a long time; a supervisor that wants a *bounded-latency* kill path
+/// (a deadline, a disconnected client, a draining daemon) hands the machine
+/// a token and later calls [`CancelToken::cancel`]. [`crate::Machine::run`]
+/// polls the flag every few thousand events and returns
+/// [`crate::SimErrorKind::Cancelled`] instead of finishing, leaving no
+/// partial statistics behind.
+///
+/// The default token is inert: it can never be cancelled and costs nothing
+/// to poll, so configurations built by [`MachineConfig::base`] behave
+/// exactly as before.
+///
+/// # Examples
+///
+/// ```
+/// use oscache_memsys::CancelToken;
+///
+/// let inert = CancelToken::default();
+/// assert!(!inert.can_cancel());
+/// assert!(!inert.is_cancelled());
+///
+/// let live = CancelToken::new();
+/// assert!(live.can_cancel());
+/// let observer = live.clone(); // same underlying flag
+/// live.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Clone, Default)]
+pub struct CancelToken(Option<Arc<AtomicBool>>);
+
+impl CancelToken {
+    /// A live token that starts un-cancelled.
+    pub fn new() -> Self {
+        CancelToken(Some(Arc::new(AtomicBool::new(false))))
+    }
+
+    /// An inert token that can never be cancelled (the default).
+    pub fn none() -> Self {
+        CancelToken(None)
+    }
+
+    /// True when this token is live (was built by [`CancelToken::new`]).
+    pub fn can_cancel(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Requests cancellation. Idempotent; a no-op on an inert token.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.0 {
+            flag.store(true, Ordering::Release);
+        }
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on any clone of a
+    /// live token. Inert tokens always return false.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        match &self.0 {
+            Some(flag) => flag.load(Ordering::Acquire),
+            None => false,
+        }
+    }
+}
+
+// Manual impl: a token prints its capability, not its pointer, so
+// `Debug`-derived fingerprints of structures embedding a config stay
+// stable across runs.
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(_) => f.write_str("CancelToken(live)"),
+            None => f.write_str("CancelToken(inert)"),
+        }
+    }
+}
+
 /// A set of page numbers stored as a sorted vector.
 ///
 /// [`MachineConfig::update_pages`] is membership-tested on *every*
@@ -272,6 +353,9 @@ pub struct MachineConfig {
     pub victim_lines: usize,
     /// Runtime invariant auditing level.
     pub audit: AuditLevel,
+    /// Cooperative-cancellation token polled by the replay loop. Inert by
+    /// default; see [`CancelToken`].
+    pub cancel: CancelToken,
 }
 
 impl MachineConfig {
@@ -303,6 +387,7 @@ impl MachineConfig {
             prefetch_distance: 4,
             victim_lines: 0,
             audit: AuditLevel::Off,
+            cancel: CancelToken::none(),
         }
     }
 

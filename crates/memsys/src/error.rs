@@ -41,6 +41,14 @@ impl SimError {
     pub fn is_trace_error(&self) -> bool {
         matches!(self.kind, SimErrorKind::Trace(_))
     }
+
+    /// True when the replay stopped because its
+    /// [`CancelToken`](crate::CancelToken) was tripped rather than because
+    /// anything was wrong with the trace or the machine. Supervisors map
+    /// this to their deadline/timeout taxonomy instead of retrying.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self.kind, SimErrorKind::Cancelled)
+    }
 }
 
 /// The category of a [`SimError`].
@@ -83,6 +91,11 @@ pub enum SimErrorKind {
     },
     /// The runtime auditor caught a violated machine invariant.
     Invariant(InvariantKind),
+    /// The replay's [`CancelToken`](crate::CancelToken) was tripped and the
+    /// machine stopped cooperatively before finishing. Not a property of
+    /// the trace or configuration: the same cell re-run without the
+    /// cancellation completes normally.
+    Cancelled,
 }
 
 /// A machine invariant the runtime auditor found violated
@@ -174,6 +187,7 @@ impl fmt::Display for SimErrorKind {
                 "deadlock: stuck in {waiting} at event {cursor}/{stream_len}"
             ),
             SimErrorKind::Invariant(k) => write!(f, "invariant violated: {k}"),
+            SimErrorKind::Cancelled => write!(f, "replay cancelled cooperatively"),
         }
     }
 }

@@ -68,7 +68,9 @@ mod wbuf;
 
 pub use bus::{Bus, BusOp, BusStats};
 pub use cache::{Cache, Evicted, LineState};
-pub use config::{AuditLevel, BlockOpScheme, CacheGeom, MachineConfig, PageSet, Timing};
+pub use config::{
+    AuditLevel, BlockOpScheme, CacheGeom, CancelToken, MachineConfig, PageSet, Timing,
+};
 pub use error::{InvariantKind, SimError, SimErrorKind};
 pub use history::{BypassSet, Departure, HistoryMap};
 pub use machine::Machine;

@@ -341,6 +341,17 @@ impl<'t> Machine<'t> {
 
     fn step(&mut self, i: usize) -> Result<(), SimError> {
         self.steps += 1;
+        // Poll the cancellation token once every 1024 events: cheap enough
+        // to be free on the hot path, frequent enough that a cancelled
+        // replay stops within microseconds of the request.
+        if self.steps & 0x3FF == 0 && self.cfg.cancel.is_cancelled() {
+            return Err(SimError {
+                cycle: self.cpus[i].time,
+                cpu: Some(i),
+                line: None,
+                kind: SimErrorKind::Cancelled,
+            });
+        }
         let stream = &self.trace.streams[i];
         if self.cpus[i].cursor >= stream.len() {
             self.cpus[i].status = Status::Done;
