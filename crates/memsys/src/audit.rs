@@ -28,7 +28,8 @@
 
 use crate::error::{InvariantKind, SimError, SimErrorKind};
 use crate::machine::Machine;
-use crate::{AuditLevel, WriteBuffer};
+use crate::spec::Spec;
+use crate::WriteBuffer;
 use oscache_trace::{BlockOp, Event, LineAddr};
 
 impl Machine<'_> {
@@ -175,7 +176,7 @@ impl Machine<'_> {
     /// Full sweep over the whole machine state: coherence invariants for
     /// every resident L2 line, inclusion for every resident L1 line, and
     /// the per-CPU buffer invariants. Runs at end of replay for
-    /// [`AuditLevel::Final`] and above.
+    /// [`crate::AuditLevel::Final`] and above.
     pub(crate) fn audit_final(&self) -> Result<(), SimError> {
         let mut lines: std::collections::HashSet<u32> = std::collections::HashSet::new();
         for c in &self.cpus {
@@ -219,8 +220,8 @@ impl Machine<'_> {
     /// Bookkeeping for the inclusion exemption: called on every L1D fill
     /// with the covering L2 line's residency at fill time, and on every
     /// L1D departure.
-    pub(crate) fn note_l1d_fill(&mut self, i: usize, line1: LineAddr, l2_resident: bool) {
-        if self.cfg.audit == AuditLevel::Off {
+    pub(crate) fn note_l1d_fill<S: Spec>(&mut self, i: usize, line1: LineAddr, l2_resident: bool) {
+        if self.s_audit_off::<S>() {
             return;
         }
         let set = &mut self.incl_exempt[i];
@@ -234,8 +235,8 @@ impl Machine<'_> {
     }
 
     /// Clears the exemption when an L1D line leaves the cache.
-    pub(crate) fn note_l1d_departure(&mut self, i: usize, line1: LineAddr) {
-        if self.cfg.audit == AuditLevel::Off {
+    pub(crate) fn note_l1d_departure<S: Spec>(&mut self, i: usize, line1: LineAddr) {
+        if self.s_audit_off::<S>() {
             return;
         }
         if let Ok(pos) = self.incl_exempt[i].binary_search(&line1.0) {

@@ -3,6 +3,7 @@
 
 use crate::error::{SimError, SimErrorKind};
 use crate::machine::{ActiveOp, Bucket, Machine};
+use crate::spec::Spec;
 use crate::{BlockOpScheme, BusOp, LineState};
 use oscache_trace::{Addr, BlockKind, BlockOp, DataClass, Event, LineAddr, PAGE_SIZE};
 
@@ -11,11 +12,15 @@ impl Machine<'_> {
     /// scheme-specific state, and — for `Blk_Dma` — runs the whole transfer
     /// on the bus and skips the bracketed references (failing with a typed
     /// error if the bracket is malformed).
-    pub(crate) fn begin_block_op(&mut self, i: usize, op: BlockOp) -> Result<(), SimError> {
-        self.probe_block_op(i, &op);
+    pub(crate) fn begin_block_op<S: Spec>(
+        &mut self,
+        i: usize,
+        op: BlockOp,
+    ) -> Result<(), SimError> {
+        self.probe_block_op::<S>(i, &op);
         self.cpus[i].block = Some(ActiveOp::new(op));
         match self.cfg.block_scheme {
-            BlockOpScheme::Pref => self.pref_prolog(i, &op),
+            BlockOpScheme::Pref => self.pref_prolog::<S>(i, &op),
             BlockOpScheme::ByPref if op.kind == BlockKind::Copy => {
                 let n = self.cfg.prefetch_buf_lines as u32;
                 for _ in 0..n {
@@ -23,7 +28,7 @@ impl Machine<'_> {
                 }
             }
             BlockOpScheme::Dma => {
-                self.run_dma(i, &op);
+                self.run_dma::<S>(i, &op);
                 self.skip_to_block_end(i)?;
                 self.cpus[i].block = None;
                 return Ok(());
@@ -35,17 +40,17 @@ impl Machine<'_> {
     }
 
     /// Processes `BlockOpEnd`: flushes bypass registers and clears state.
-    pub(crate) fn end_block_op(&mut self, i: usize) {
+    pub(crate) fn end_block_op<S: Spec>(&mut self, i: usize) {
         if self.cfg.block_scheme == BlockOpScheme::Bypass {
-            self.flush_dst_reg(i);
+            self.flush_dst_reg::<S>(i);
         }
         self.cpus[i].pbuf.clear();
         self.cpus[i].block = None;
     }
 
     /// Table 3 rows 1–6: cache-state probes and the size histogram.
-    fn probe_block_op(&mut self, i: usize, op: &BlockOp) {
-        if !self.record {
+    fn probe_block_op<S: Spec>(&mut self, i: usize, op: &BlockOp) {
+        if !self.s_record::<S>() {
             // Pure statistics over read-only probes (`contains`/`state`
             // never touch LRU) — skip the whole src/dst scan.
             return;
@@ -101,7 +106,7 @@ impl Machine<'_> {
     /// Software-pipelining prolog: prefetch the first `distance` source
     /// lines. These are the prefetches that cannot be fully hidden ("not
     /// issued early enough", §4.2).
-    fn pref_prolog(&mut self, i: usize, op: &BlockOp) {
+    fn pref_prolog<S: Spec>(&mut self, i: usize, op: &BlockOp) {
         if op.kind != BlockKind::Copy {
             return;
         }
@@ -111,14 +116,14 @@ impl Machine<'_> {
             if a >= op.src.0 + op.len {
                 break;
             }
-            self.advance(i, 1, Bucket::Exec); // the prefetch instruction
-            self.issue_prefetch(i, Addr(a), op.src_class);
+            self.advance::<S>(i, 1, Bucket::Exec); // the prefetch instruction
+            self.issue_prefetch::<S>(i, Addr(a), op.src_class);
         }
     }
 
     /// Steady-state look-ahead: when the copy loop enters a new source
     /// line, prefetch the line `distance` lines ahead.
-    pub(crate) fn pref_lookahead(&mut self, i: usize, addr: Addr, class: DataClass) {
+    pub(crate) fn pref_lookahead<S: Spec>(&mut self, i: usize, addr: Addr, class: DataClass) {
         let l1 = self.cfg.l1d.line;
         let line1 = addr.line(l1);
         let Some(active) = self.cpus[i].block.as_mut() else {
@@ -131,8 +136,8 @@ impl Machine<'_> {
         let op = active.op;
         let ahead = line1.0 + self.cfg.prefetch_distance * l1;
         if ahead >= op.src.0 && ahead < op.src.0 + op.len {
-            self.advance(i, 1, Bucket::Exec);
-            self.issue_prefetch(i, Addr(ahead), class);
+            self.advance::<S>(i, 1, Bucket::Exec);
+            self.issue_prefetch::<S>(i, Addr(ahead), class);
         }
     }
 
@@ -140,13 +145,13 @@ impl Machine<'_> {
 
     /// Bypass source read: line registers in parallel with the caches; a
     /// cache access is performed only when the word is already cached.
-    pub(crate) fn bypass_read(&mut self, i: usize, addr: Addr, class: DataClass) {
+    pub(crate) fn bypass_read<S: Spec>(&mut self, i: usize, addr: Addr, class: DataClass) {
         // Callers dispatch here only inside a block op; fall back to the
         // plain path rather than panic if that ever changes.
         let Some(active) = self.cpus[i].block else {
-            return self.demand_read(i, addr, class);
+            return self.demand_read::<S>(i, addr, class);
         };
-        if self.record {
+        if self.s_record::<S>() {
             let mode = self.cpus[i].mode;
             self.cpus[i].stats.dreads.add(mode, 1);
         }
@@ -159,7 +164,7 @@ impl Machine<'_> {
         if self.cpus[i].l1d.contains(line1) {
             return; // already cached: access the cache
         }
-        let pc = self.peek_classify(i, line1, line2, class);
+        let pc = self.peek_classify::<S>(i, line1, line2, class);
         let now = self.cpus[i].time;
         let stall = if self.cpus[i].l2.contains(line2) {
             // Secondary-cache access, but no L1 fill (bypass).
@@ -170,7 +175,7 @@ impl Machine<'_> {
                 .bus
                 .acquire(now, self.cfg.timing.line_transfer, BusOp::ReadLine);
             self.snoop_read(i, line2);
-            if self.record {
+            if self.s_record::<S>() {
                 self.bypassed.mark(i, line1);
             }
             (grant - now) + self.cfg.timing.mem - 1
@@ -178,40 +183,40 @@ impl Machine<'_> {
         if let Some(a) = self.cpus[i].block.as_mut() {
             a.src_reg = Some(line1);
         }
-        self.count_miss(i, pc, stall);
-        self.advance(i, stall, Bucket::DRead);
+        self.count_miss::<S>(i, pc, stall);
+        self.advance::<S>(i, stall, Bucket::DRead);
     }
 
     /// Bypass destination write: words accumulate in a line register that
     /// is written to the bus as a full line when the loop moves on.
-    pub(crate) fn bypass_write(&mut self, i: usize, addr: Addr, class: DataClass) {
+    pub(crate) fn bypass_write<S: Spec>(&mut self, i: usize, addr: Addr, class: DataClass) {
         let line1 = addr.line(self.cfg.l1d.line);
         let line2 = addr.line(self.cfg.l2.line);
         // Already cached: perform a normal cache access.
         if self.cpus[i].l1d.contains(line1) || self.cpus[i].l2.contains(line2) {
-            self.demand_write(i, addr, class);
+            self.demand_write::<S>(i, addr, class);
             return;
         }
         let Some(active) = self.cpus[i].block else {
-            return self.demand_write(i, addr, class);
+            return self.demand_write::<S>(i, addr, class);
         };
-        if self.record {
+        if self.s_record::<S>() {
             let mode = self.cpus[i].mode;
             self.cpus[i].stats.dwrites.add(mode, 1);
         }
         if active.dst_reg != Some(line1) {
-            self.flush_dst_reg(i);
+            self.flush_dst_reg::<S>(i);
             if let Some(a) = self.cpus[i].block.as_mut() {
                 a.dst_reg = Some(line1);
             }
         }
-        if self.record {
+        if self.s_record::<S>() {
             self.bypassed.mark(i, line1);
         }
     }
 
     /// Writes the full destination line register to memory over the bus.
-    pub(crate) fn flush_dst_reg(&mut self, i: usize) {
+    pub(crate) fn flush_dst_reg<S: Spec>(&mut self, i: usize) {
         let Some(active) = self.cpus[i].block.as_mut() else {
             return;
         };
@@ -221,7 +226,7 @@ impl Machine<'_> {
         let line2 = LineAddr(line1.0 & !(self.cfg.l2.line - 1));
         let now = self.cpus[i].time;
         let stall = self.cpus[i].wb2.stall_for_slot(now);
-        self.advance(i, stall, Bucket::DWrite);
+        self.advance::<S>(i, stall, Bucket::DWrite);
         // The stall freed a slot at the new time; reclaim it before pushing.
         let now = self.cpus[i].time;
         self.cpus[i].wb2.drain(now);
@@ -232,7 +237,7 @@ impl Machine<'_> {
         .max(1);
         let grant = self.bus.acquire(t, occ, BusOp::LineWrite);
         // Memory now holds the newest data: remote copies are stale.
-        self.snoop_write(i, line2);
+        self.snoop_write::<S>(i, line2);
         self.cpus[i].wb2.push(line1.0, grant + occ);
     }
 
@@ -277,11 +282,11 @@ impl Machine<'_> {
 
     /// `Blk_ByPref` source read: prefetch buffer first, then caches, then a
     /// blocking register fetch.
-    pub(crate) fn bypref_read(&mut self, i: usize, addr: Addr, class: DataClass) {
+    pub(crate) fn bypref_read<S: Spec>(&mut self, i: usize, addr: Addr, class: DataClass) {
         let Some(active) = self.cpus[i].block else {
-            return self.demand_read(i, addr, class);
+            return self.demand_read::<S>(i, addr, class);
         };
-        if self.record {
+        if self.s_record::<S>() {
             let mode = self.cpus[i].mode;
             self.cpus[i].stats.dreads.add(mode, 1);
         }
@@ -299,51 +304,51 @@ impl Machine<'_> {
             if let Some(a) = self.cpus[i].block.as_mut() {
                 a.src_reg = Some(line1);
             }
-            if self.record {
+            if self.s_record::<S>() {
                 self.bypassed.mark(i, line1);
             }
             if ready <= now {
-                if self.record {
+                if self.s_record::<S>() {
                     self.cpus[i].stats.prefetch_full_hits += 1;
                 }
             } else {
                 // Not issued early enough: a partially-hidden miss.
-                let pc = self.peek_classify(i, line1, line2, class);
-                self.count_miss(i, pc, ready - now);
-                if self.record {
+                let pc = self.peek_classify::<S>(i, line1, line2, class);
+                self.count_miss::<S>(i, pc, ready - now);
+                if self.s_record::<S>() {
                     self.cpus[i].stats.prefetch_partial_hits += 1;
                 }
-                self.advance(i, ready - now, Bucket::Pref);
+                self.advance::<S>(i, ready - now, Bucket::Pref);
             }
             self.pbuf_fetch_next(i);
             return;
         }
         if self.cpus[i].l2.contains(line2) {
-            let pc = self.peek_classify(i, line1, line2, class);
+            let pc = self.peek_classify::<S>(i, line1, line2, class);
             let stall = self.cfg.timing.l2_hit - 1;
             if let Some(a) = self.cpus[i].block.as_mut() {
                 a.src_reg = Some(line1);
             }
-            self.count_miss(i, pc, stall);
-            self.advance(i, stall, Bucket::DRead);
+            self.count_miss::<S>(i, pc, stall);
+            self.advance::<S>(i, stall, Bucket::DRead);
             return;
         }
         // Fallback blocking fetch (line escaped the streaming window).
-        let pc = self.peek_classify(i, line1, line2, class);
+        let pc = self.peek_classify::<S>(i, line1, line2, class);
         let now = self.cpus[i].time;
         let grant = self
             .bus
             .acquire(now, self.cfg.timing.line_transfer, BusOp::ReadLine);
         self.snoop_read(i, line2);
-        if self.record {
+        if self.s_record::<S>() {
             self.bypassed.mark(i, line1);
         }
         if let Some(a) = self.cpus[i].block.as_mut() {
             a.src_reg = Some(line1);
         }
         let stall = (grant - now) + self.cfg.timing.mem - 1;
-        self.count_miss(i, pc, stall);
-        self.advance(i, stall, Bucket::DRead);
+        self.count_miss::<S>(i, pc, stall);
+        self.advance::<S>(i, stall, Bucket::DRead);
     }
 
     // ---- Blk_Dma ------------------------------------------------------------
@@ -352,7 +357,7 @@ impl Machine<'_> {
     /// 19 cycles of startup, 8 bytes per 2 bus cycles, plus a penalty per
     /// snooping-cache intervention; the processor stalls for the duration
     /// and the caches are bypassed but kept coherent.
-    fn run_dma(&mut self, i: usize, op: &BlockOp) {
+    fn run_dma<S: Spec>(&mut self, i: usize, op: &BlockOp) {
         let timing = self.cfg.timing;
         let l2line = self.cfg.l2.line;
         let l1line = self.cfg.l1d.line;
@@ -371,7 +376,7 @@ impl Machine<'_> {
                 }
                 // The originator's caches do not receive the source data;
                 // later reads of it are *reuses* (outside the op).
-                if self.record {
+                if self.s_record::<S>() {
                     let mut b = a;
                     while b < a + l2line {
                         let l1a = LineAddr(b);
@@ -403,7 +408,7 @@ impl Machine<'_> {
                     }
                 }
             }
-            if !cached_here && self.record {
+            if !cached_here && self.s_record::<S>() {
                 let mut b = a;
                 while b < a + l2line {
                     let l1a = LineAddr(b);
@@ -424,12 +429,12 @@ impl Machine<'_> {
         let now = self.cpus[i].time;
         let grant = self.bus.acquire(now, occ, BusOp::DmaTransfer);
         // Setup instructions (the scheme "requires very few instructions").
-        self.advance(i, 10, Bucket::Exec);
+        self.advance::<S>(i, 10, Bucket::Exec);
         // The originating processor is stalled for the whole transfer; the
         // paper assigns this stall to D Read Miss (§4.2).
         let done = grant + occ;
         let stall = done.saturating_sub(self.cpus[i].time);
-        self.advance(i, stall, Bucket::DRead);
+        self.advance::<S>(i, stall, Bucket::DRead);
     }
 
     /// Skips the bracketed word references of a DMA-executed block op.

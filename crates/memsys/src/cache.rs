@@ -37,29 +37,22 @@ impl LineState {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Frame {
-    line: u32,
-    state: LineState,
-    /// The fill that installed this line happened during a block operation
-    /// (needed to label later misses as *block displacement misses*, §4.1.3).
-    blockop_fill: bool,
-    /// Attribution of the reference that installed the line (conflict-pair
-    /// analysis, §6).
-    class: DataClass,
-    /// LRU timestamp (larger = more recent).
-    lru: u64,
-}
+/// Low bits of a packed tag word holding the MESI code.
+///
+/// Line addresses are line-aligned and lines are at least 4 bytes, so the
+/// two low bits of a line address are always zero — the packed word
+/// `line | state_code` is unambiguous, and `0` (line 0, code `Invalid`)
+/// can represent "empty frame" without colliding with a resident line 0
+/// (which carries a non-zero state code).
+const STATE_MASK: u32 = 0b11;
 
-impl Default for Frame {
-    fn default() -> Self {
-        Frame {
-            line: 0,
-            state: LineState::Invalid,
-            blockop_fill: false,
-            class: DataClass::KernelOther,
-            lru: 0,
-        }
+#[inline]
+fn word_state(w: u32) -> LineState {
+    match w & STATE_MASK {
+        0 => LineState::Invalid,
+        1 => LineState::Shared,
+        2 => LineState::Exclusive,
+        _ => LineState::Modified,
     }
 }
 
@@ -103,7 +96,27 @@ pub struct Evicted {
 #[derive(Clone, Debug)]
 pub struct Cache {
     geom: CacheGeom,
-    frames: Vec<Frame>,
+    /// `log2(geom.line)`, precomputed so the per-lookup set computation is
+    /// a shift and a mask instead of two integer divisions (every
+    /// dimension is a power of two; see [`CacheGeom::new_assoc`]).
+    line_shift: u32,
+    /// `geom.n_sets() - 1`.
+    set_mask: u32,
+    /// Packed tag words, one per frame: `line | mesi_code` (see
+    /// [`STATE_MASK`]), `0` for an empty frame. The hit path (find/probe/
+    /// state/contains) reads *only* this array — 4 bytes per frame keeps
+    /// the whole tag store of the paper's caches inside the host's own L1.
+    words: Vec<u32>,
+    /// The fill that installed each line happened during a block operation
+    /// (labels later misses *block displacement misses*, §4.1.3). Fill- and
+    /// audit-path only.
+    blockop: Vec<bool>,
+    /// Attribution of the reference that installed each line
+    /// (conflict-pair analysis, §6). Fill-path only.
+    class: Vec<DataClass>,
+    /// LRU timestamps (larger = more recent). Consulted only by
+    /// associative victim choice; never read when `ways == 1`.
+    lru: Vec<u64>,
     tick: u64,
     /// Count of valid frames, maintained incrementally by
     /// [`Cache::fill`]/[`Cache::invalidate`]/[`Cache::clear`] so
@@ -114,9 +127,16 @@ pub struct Cache {
 impl Cache {
     /// Creates an empty (all-invalid) cache.
     pub fn new(geom: CacheGeom) -> Self {
+        assert!(geom.line >= 4, "tag packing needs two spare low bits");
+        let n = geom.n_lines() as usize;
         Cache {
             geom,
-            frames: vec![Frame::default(); geom.n_lines() as usize],
+            line_shift: geom.line.trailing_zeros(),
+            set_mask: geom.n_sets() - 1,
+            words: vec![0; n],
+            blockop: vec![false; n],
+            class: vec![DataClass::KernelOther; n],
+            lru: vec![0; n],
             tick: 0,
             valid: 0,
         }
@@ -131,22 +151,31 @@ impl Cache {
     /// Index of the first frame of `line`'s set.
     #[inline]
     fn set_base(&self, line: LineAddr) -> usize {
-        (self.geom.set_of(line.0) * self.geom.ways) as usize
+        (((line.0 >> self.line_shift) & self.set_mask) * self.geom.ways) as usize
     }
 
     /// Finds the way holding `line`, if resident.
     #[inline]
     fn find(&self, line: LineAddr) -> Option<usize> {
+        debug_assert_eq!(line.0 & (self.geom.line - 1), 0, "unaligned line");
         let base = self.set_base(line);
-        (base..base + self.geom.ways as usize)
-            .find(|&i| self.frames[i].state.is_valid() && self.frames[i].line == line.0)
+        if self.geom.ways == 1 {
+            // Direct-mapped (the paper's configuration, and the hot case):
+            // a single packed-word compare, no way loop.
+            let w = self.words[base];
+            return (w & !STATE_MASK == line.0 && w & STATE_MASK != 0).then_some(base);
+        }
+        (base..base + self.geom.ways as usize).find(|&i| {
+            let w = self.words[i];
+            w & !STATE_MASK == line.0 && w & STATE_MASK != 0
+        })
     }
 
     /// The state of `line`, or [`LineState::Invalid`] if not resident.
     #[inline]
     pub fn state(&self, line: LineAddr) -> LineState {
         self.find(line)
-            .map_or(LineState::Invalid, |i| self.frames[i].state)
+            .map_or(LineState::Invalid, |i| word_state(self.words[i]))
     }
 
     /// True if `line` is resident in any valid state. Touches LRU state is
@@ -158,9 +187,12 @@ impl Cache {
 
     /// Refreshes the LRU position of a resident line (call on hits).
     pub fn touch(&mut self, line: LineAddr) {
+        if self.geom.ways == 1 {
+            return; // direct-mapped: replacement never consults LRU
+        }
         if let Some(i) = self.find(line) {
             self.tick += 1;
-            self.frames[i].lru = self.tick;
+            self.lru[i] = self.tick;
         }
     }
 
@@ -173,9 +205,14 @@ impl Cache {
     #[inline]
     pub fn probe(&mut self, line: LineAddr) -> Option<(usize, LineState)> {
         let i = self.find(line)?;
-        self.tick += 1;
-        self.frames[i].lru = self.tick;
-        Some((i - self.set_base(line), self.frames[i].state))
+        if self.geom.ways > 1 {
+            // Direct-mapped sets skip the LRU refresh: a 1-way set's victim
+            // choice never consults it, so the tick/lru stores would be
+            // pure memory traffic on the hottest path in the simulator.
+            self.tick += 1;
+            self.lru[i] = self.tick;
+        }
+        Some((i - self.set_base(line), word_state(self.words[i])))
     }
 
     /// Changes the state of a resident line.
@@ -189,7 +226,7 @@ impl Cache {
         let i = self
             .find(line)
             .unwrap_or_else(|| panic!("set_state on non-resident line {line}"));
-        self.frames[i].state = state;
+        self.words[i] = line.0 | state as u32;
     }
 
     /// Installs `line` with `state`, returning the displaced victim (if a
@@ -207,11 +244,10 @@ impl Cache {
         self.tick += 1;
         let tick = self.tick;
         if let Some(i) = self.find(line) {
-            let f = &mut self.frames[i];
-            f.state = state;
-            f.blockop_fill = by_blockop;
-            f.class = class;
-            f.lru = tick;
+            self.words[i] = line.0 | state as u32;
+            self.blockop[i] = by_blockop;
+            self.class[i] = class;
+            self.lru[i] = tick;
             return None;
         }
         // Choose a victim: an invalid way if any, else the LRU way.
@@ -219,26 +255,23 @@ impl Cache {
         let ways = base..base + self.geom.ways as usize;
         let victim = ways
             .clone()
-            .find(|&i| !self.frames[i].state.is_valid())
+            .find(|&i| self.words[i] & STATE_MASK == 0)
             .unwrap_or_else(|| {
-                ways.min_by_key(|&i| self.frames[i].lru)
+                ways.min_by_key(|&i| self.lru[i])
                     .expect("set has at least one way")
             });
-        let f = &mut self.frames[victim];
-        let evicted = f.state.is_valid().then_some(Evicted {
-            line: LineAddr(f.line),
-            state: f.state,
-            blockop_fill: f.blockop_fill,
+        let w = self.words[victim];
+        let evicted = (w & STATE_MASK != 0).then_some(Evicted {
+            line: LineAddr(w & !STATE_MASK),
+            state: word_state(w),
+            blockop_fill: self.blockop[victim],
             evicted_by_blockop: by_blockop,
-            class: f.class,
+            class: self.class[victim],
         });
-        *f = Frame {
-            line: line.0,
-            state,
-            blockop_fill: by_blockop,
-            class,
-            lru: tick,
-        };
+        self.words[victim] = line.0 | state as u32;
+        self.blockop[victim] = by_blockop;
+        self.class[victim] = class;
+        self.lru[victim] = tick;
         if evicted.is_none() {
             self.valid += 1;
         }
@@ -249,8 +282,8 @@ impl Cache {
     pub fn invalidate(&mut self, line: LineAddr) -> LineState {
         match self.find(line) {
             Some(i) => {
-                let old = self.frames[i].state;
-                self.frames[i].state = LineState::Invalid;
+                let old = word_state(self.words[i]);
+                self.words[i] = 0;
                 self.valid -= 1;
                 old
             }
@@ -261,7 +294,7 @@ impl Cache {
     /// Whether the resident copy of `line` was installed by a block
     /// operation. False if not resident.
     pub fn filled_by_blockop(&self, line: LineAddr) -> bool {
-        self.find(line).is_some_and(|i| self.frames[i].blockop_fill)
+        self.find(line).is_some_and(|i| self.blockop[i])
     }
 
     /// Number of valid lines. O(1): maintained incrementally rather than
@@ -269,7 +302,7 @@ impl Cache {
     pub fn valid_count(&self) -> usize {
         debug_assert_eq!(
             self.valid,
-            self.frames.iter().filter(|f| f.state.is_valid()).count()
+            self.words.iter().filter(|&&w| w & STATE_MASK != 0).count()
         );
         self.valid
     }
@@ -277,17 +310,15 @@ impl Cache {
     /// Iterates over every resident line and its state (invariant audits
     /// and diagnostics).
     pub fn valid_lines(&self) -> impl Iterator<Item = (LineAddr, LineState)> + '_ {
-        self.frames
+        self.words
             .iter()
-            .filter(|f| f.state.is_valid())
-            .map(|f| (LineAddr(f.line), f.state))
+            .filter(|&&w| w & STATE_MASK != 0)
+            .map(|&w| (LineAddr(w & !STATE_MASK), word_state(w)))
     }
 
     /// Clears the cache to all-invalid.
     pub fn clear(&mut self) {
-        for f in &mut self.frames {
-            f.state = LineState::Invalid;
-        }
+        self.words.fill(0);
         self.valid = 0;
     }
 }

@@ -1,7 +1,7 @@
 //! Machine configuration (the paper's §2.4 `Base` architecture and its
 //! variants).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A shared flag for cooperative cancellation of a running replay.
@@ -10,7 +10,8 @@ use std::sync::Arc;
 /// for a long time; a supervisor that wants a *bounded-latency* kill path
 /// (a deadline, a disconnected client, a draining daemon) hands the machine
 /// a token and later calls [`CancelToken::cancel`]. [`crate::Machine::run`]
-/// polls the flag every few thousand events and returns
+/// polls the flag once every [`crate::CANCEL_POLL_STRIDE`] events — a fixed
+/// stride independent of the event mix — and returns
 /// [`crate::SimErrorKind::Cancelled`] instead of finishing, leaving no
 /// partial statistics behind.
 ///
@@ -34,12 +35,25 @@ use std::sync::Arc;
 /// assert!(observer.is_cancelled());
 /// ```
 #[derive(Clone, Default)]
-pub struct CancelToken(Option<Arc<AtomicBool>>);
+pub struct CancelToken(Option<CancelInner>);
+
+#[derive(Clone)]
+enum CancelInner {
+    /// Ordinary token: an externally-settable flag.
+    Flag(Arc<AtomicBool>),
+    /// Deterministic test token: trips on the n-th poll. Because both the
+    /// generic and the specialized replay loops poll on the same
+    /// fixed-stride schedule (see [`crate::CANCEL_POLL_STRIDE`]), two
+    /// machines given fresh countdown tokens with the same count cancel at
+    /// the *same event index* — the property `tests/specialize_matrix.rs`
+    /// asserts.
+    Countdown(Arc<AtomicU64>),
+}
 
 impl CancelToken {
     /// A live token that starts un-cancelled.
     pub fn new() -> Self {
-        CancelToken(Some(Arc::new(AtomicBool::new(false))))
+        CancelToken(Some(CancelInner::Flag(Arc::new(AtomicBool::new(false)))))
     }
 
     /// An inert token that can never be cancelled (the default).
@@ -47,24 +61,44 @@ impl CancelToken {
         CancelToken(None)
     }
 
-    /// True when this token is live (was built by [`CancelToken::new`]).
+    /// A deterministic token that trips on its `polls`-th
+    /// [`CancelToken::is_cancelled`] call (counted across clones) and stays
+    /// tripped. `countdown(1)` trips on the very first poll; `countdown(0)`
+    /// behaves like `countdown(1)`. Built for reproducible
+    /// cancellation-path tests; see [`crate::CANCEL_POLL_STRIDE`].
+    pub fn countdown(polls: u64) -> Self {
+        CancelToken(Some(CancelInner::Countdown(Arc::new(AtomicU64::new(
+            polls,
+        )))))
+    }
+
+    /// True when this token is live (was built by [`CancelToken::new`] or
+    /// [`CancelToken::countdown`]).
     pub fn can_cancel(&self) -> bool {
         self.0.is_some()
     }
 
     /// Requests cancellation. Idempotent; a no-op on an inert token.
     pub fn cancel(&self) {
-        if let Some(flag) = &self.0 {
-            flag.store(true, Ordering::Release);
+        match &self.0 {
+            Some(CancelInner::Flag(flag)) => flag.store(true, Ordering::Release),
+            Some(CancelInner::Countdown(left)) => left.store(0, Ordering::Release),
+            None => {}
         }
     }
 
     /// True once [`CancelToken::cancel`] has been called on any clone of a
-    /// live token. Inert tokens always return false.
+    /// live token, or once a countdown token's polls are exhausted. Inert
+    /// tokens always return false.
     #[inline]
     pub fn is_cancelled(&self) -> bool {
         match &self.0 {
-            Some(flag) => flag.load(Ordering::Acquire),
+            Some(CancelInner::Flag(flag)) => flag.load(Ordering::Acquire),
+            Some(CancelInner::Countdown(left)) => {
+                // Consume one poll; tripped once the counter hits zero.
+                left.fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+                    .map_or(true, |prev| prev <= 1)
+            }
             None => false,
         }
     }
@@ -206,9 +240,14 @@ impl CacheGeom {
     }
 
     /// Set index a line address maps to.
+    ///
+    /// All geometry dimensions are powers of two (enforced by the
+    /// constructors), so the division and modulus reduce to a shift and a
+    /// mask — this runs on the simulator's hottest path (every tag lookup).
     #[inline]
     pub fn set_of(&self, line_addr: u32) -> u32 {
-        (line_addr / self.line) % self.n_sets()
+        debug_assert!(self.line.is_power_of_two() && self.n_sets().is_power_of_two());
+        (line_addr >> self.line.trailing_zeros()) & (self.n_sets() - 1)
     }
 }
 

@@ -47,7 +47,7 @@ impl SimError {
     /// anything was wrong with the trace or the machine. Supervisors map
     /// this to their deadline/timeout taxonomy instead of retrying.
     pub fn is_cancelled(&self) -> bool {
-        matches!(self.kind, SimErrorKind::Cancelled)
+        matches!(self.kind, SimErrorKind::Cancelled { .. })
     }
 }
 
@@ -95,7 +95,13 @@ pub enum SimErrorKind {
     /// machine stopped cooperatively before finishing. Not a property of
     /// the trace or configuration: the same cell re-run without the
     /// cancellation completes normally.
-    Cancelled,
+    Cancelled {
+        /// Global event index the replay stopped at (the machine's step
+        /// counter when the poll observed the tripped token). Deterministic
+        /// for a given trace, configuration, and poll schedule — the
+        /// specialized and generic loops report the same index.
+        step: u64,
+    },
 }
 
 /// A machine invariant the runtime auditor found violated
@@ -187,7 +193,9 @@ impl fmt::Display for SimErrorKind {
                 "deadlock: stuck in {waiting} at event {cursor}/{stream_len}"
             ),
             SimErrorKind::Invariant(k) => write!(f, "invariant violated: {k}"),
-            SimErrorKind::Cancelled => write!(f, "replay cancelled cooperatively"),
+            SimErrorKind::Cancelled { step } => {
+                write!(f, "replay cancelled cooperatively at event {step}")
+            }
         }
     }
 }

@@ -9,6 +9,39 @@
 
 use oscache_trace::LineAddr;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for the packed `(cpu, line)` keys.
+///
+/// These maps sit on the miss-classification path — several probes per
+/// cache miss — where the default SipHash costs more than the lookup
+/// itself. The keys are single `u64`s we control, so a Fibonacci multiply
+/// with an avalanche shift is collision-adequate and an order of magnitude
+/// cheaper. Deterministic (no per-process seed), but nothing iterates
+/// these maps, so ordering never reaches any output.
+#[derive(Clone, Default)]
+pub struct KeyHasher(u64);
+
+impl Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let h = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 29);
+    }
+}
+
+type KeyMap<V> = HashMap<u64, V, BuildHasherDefault<KeyHasher>>;
 
 /// Why a line last left a cache.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -29,7 +62,7 @@ fn key(cpu: usize, line: LineAddr) -> u64 {
 /// Departure reasons keyed by `(cpu, line)`.
 #[derive(Clone, Debug, Default)]
 pub struct HistoryMap {
-    map: HashMap<u64, Departure>,
+    map: KeyMap<Departure>,
 }
 
 impl HistoryMap {
@@ -67,7 +100,7 @@ impl HistoryMap {
 /// Lines whose block-operation data skipped the caches, per CPU.
 #[derive(Clone, Debug, Default)]
 pub struct BypassSet {
-    set: HashMap<u64, ()>,
+    set: KeyMap<()>,
 }
 
 impl BypassSet {

@@ -63,6 +63,7 @@ mod history;
 mod machine;
 mod prefetch;
 pub mod profiler;
+mod spec;
 mod stats;
 mod wbuf;
 
@@ -73,8 +74,9 @@ pub use config::{
 };
 pub use error::{InvariantKind, SimError, SimErrorKind};
 pub use history::{BypassSet, Departure, HistoryMap};
-pub use machine::Machine;
+pub use machine::{Machine, CANCEL_POLL_STRIDE};
 pub use prefetch::{MshrSet, PrefetchBuffer};
 pub use profiler::profile_os_misses;
+pub use spec::SpecKey;
 pub use stats::{CpuStats, MissKind, ModeSplit, SimStats};
 pub use wbuf::WriteBuffer;

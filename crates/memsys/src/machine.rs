@@ -13,13 +13,37 @@
 //! — the paper does the same: "we identify the synchronization events in
 //! the trace and make sure that their mutual exclusion functionality is
 //! maintained in the simulations" (§2.2).
+//!
+//! The event loop is *config-specialized* (DESIGN.md §15): [`Machine::run`]
+//! derives a [`SpecKey`] from the configuration and dispatches to a
+//! monomorphized copy of the loop in which the per-replay decisions
+//! (recording, auditing, update pages, victim cache, cancellation) are
+//! compile-time constants. The generic loop — the same body instantiated
+//! with every decision dynamic — is kept as the equivalence oracle behind
+//! [`Machine::run_generic`] and the `REPRO_NO_SPECIALIZE=1` escape hatch.
 
 use crate::error::{SimError, SimErrorKind};
 use crate::history::{BypassSet, Departure, HistoryMap};
 use crate::prefetch::{MshrSet, PrefetchBuffer};
+use crate::spec::{self, Gen, Spec, SpecKey, K};
 use crate::stats::{CpuStats, MissKind, SimStats};
 use crate::{AuditLevel, BlockOpScheme, Bus, BusOp, Cache, LineState, MachineConfig, WriteBuffer};
 use oscache_trace::{Addr, BasicBlock, BlockOp, DataClass, Event, LineAddr, Mode, Trace};
+
+/// Number of events between cancellation polls, shared by the generic and
+/// the specialized replay loops.
+///
+/// The poll sits in the loop preamble — *before* an event is dispatched —
+/// so a tripped [`CancelToken`](crate::CancelToken) stops the replay at a
+/// deterministic event index (`steps % CANCEL_POLL_STRIDE == 0`) that
+/// depends only on the stride, never on the event mix. (The poll formerly
+/// lived inside the event handler of a subset of event kinds, which made
+/// cancellation latency depend on which events a trace happened to
+/// contain.) 1024 events is a few microseconds of replay: cheap enough to
+/// be free on the hot path, frequent enough that a cancelled replay stops
+/// within microseconds of the request. Must be a power of two (the poll
+/// uses it as a mask).
+pub const CANCEL_POLL_STRIDE: u64 = 1024;
 
 /// Cycle-accounting bucket (Figure 3's execution-time decomposition).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -173,17 +197,63 @@ impl<'t> Machine<'t> {
         Self::with_recording(cfg, trace, true)
     }
 
-    /// [`Machine::new`] with full statistics recording switched on or off
-    /// (`record = false` is the [`crate::profiler`] replay).
-    pub(crate) fn with_recording(
+    /// [`Machine::new`] with full statistics recording switched on or off.
+    ///
+    /// `record = false` is the bookkeeping-free profiling replay (see
+    /// [`crate::profiler`]): every state- and time-affecting mechanism is
+    /// kept, only record-only statistics are skipped, so the per-site OS
+    /// miss counts and the clocks are exact. Public so differential tests
+    /// can drive the profiling replay through either loop explicitly;
+    /// ordinary callers want [`crate::profile_os_misses`].
+    pub fn with_recording(
         cfg: MachineConfig,
         trace: &'t Trace,
         record: bool,
     ) -> Result<Self, SimError> {
-        cfg.validate();
         trace
             .validate_for_cpus(cfg.n_cpus)
             .map_err(SimError::from_trace)?;
+        Self::assemble(cfg, trace, record)
+    }
+
+    /// [`Machine::with_recording`] minus the full-trace validation scan.
+    ///
+    /// `Trace::validate` walks every event — a few milliseconds on real
+    /// traces, which [`Machine::new`] pays *per construction* even though a
+    /// pipeline typically validates a trace once and then replays it
+    /// several times (profiling replay, final run, differential oracle).
+    /// This constructor is for exactly that caller: it demands that the
+    /// same, unmodified trace has already passed [`Trace::validate`]
+    /// (asserted in debug builds), and keeps only the O(1) CPU-count check
+    /// that the replay loops' stream indexing depends on.
+    ///
+    /// Replaying a trace that was *not* validated stays memory-safe and
+    /// panic-free — the loops re-check dynamically everything they rely on
+    /// (block ids, lock pairing, barrier completion) — but malformed inputs
+    /// then surface as replay-time [`SimError`]s or unspecified statistics
+    /// instead of the precise rejection [`Machine::new`] gives.
+    pub fn with_recording_prevalidated(
+        cfg: MachineConfig,
+        trace: &'t Trace,
+        record: bool,
+    ) -> Result<Self, SimError> {
+        if trace.n_cpus() != cfg.n_cpus {
+            return Err(SimError::from_trace(
+                oscache_trace::TraceError::CpuCountMismatch {
+                    expected: cfg.n_cpus,
+                    actual: trace.n_cpus(),
+                },
+            ));
+        }
+        debug_assert!(
+            trace.validate().is_ok(),
+            "with_recording_prevalidated requires a validated trace"
+        );
+        Self::assemble(cfg, trace, record)
+    }
+
+    fn assemble(cfg: MachineConfig, trace: &'t Trace, record: bool) -> Result<Self, SimError> {
+        cfg.validate();
         let cpus = (0..cfg.n_cpus)
             .map(|_| Cpu {
                 time: 0,
@@ -221,7 +291,40 @@ impl<'t> Machine<'t> {
         })
     }
 
+    /// The specialization key this machine's replay dispatches on
+    /// (DESIGN.md §15).
+    pub fn spec_key(&self) -> SpecKey {
+        SpecKey::of(&self.cfg, self.record)
+    }
+
+    // ---- specialization helpers ------------------------------------------
+
+    /// Recording decision through the witness (folds under [`K`]).
+    #[inline(always)]
+    pub(crate) fn s_record<S: Spec>(&self) -> bool {
+        S::RECORD.resolve(self.record)
+    }
+
+    /// Audit-off decision through the witness (folds under [`K`]).
+    #[inline(always)]
+    pub(crate) fn s_audit_off<S: Spec>(&self) -> bool {
+        S::AUDIT_OFF.resolve(self.cfg.audit == AuditLevel::Off)
+    }
+
+    /// Victim-cache decision through the witness (folds under [`K`]).
+    #[inline(always)]
+    pub(crate) fn s_victim<S: Spec>(&self) -> bool {
+        S::VICTIM.resolve(self.cfg.victim_lines > 0)
+    }
+
     /// Replays the whole trace and returns the collected statistics.
+    ///
+    /// Dispatches once to the monomorphized event loop selected by
+    /// [`Machine::spec_key`] — or to the generic loop when the key is not
+    /// specializable (auditing on) or `REPRO_NO_SPECIALIZE` is set. The
+    /// choice never changes any output: `tests/specialize_oracle.rs` and
+    /// `tests/specialize_matrix.rs` pin every specialized variant bitwise
+    /// against the generic oracle.
     ///
     /// Fails with a typed [`SimError`] on deadlock (a barrier some
     /// participant never reaches, or a lock never released), on replay
@@ -229,15 +332,127 @@ impl<'t> Machine<'t> {
     /// and on any invariant violation the configured
     /// [`AuditLevel`](crate::AuditLevel) catches.
     pub fn run(mut self) -> Result<SimStats, SimError> {
-        loop {
-            let next = self.pick_next();
-            match next {
-                Some(i) => self.step(i)?,
-                None => break,
+        self.run_mut()
+    }
+
+    /// [`Machine::run`] on a borrowed machine, leaving the final state
+    /// inspectable (see [`Machine::state_digest`]). Running a machine that
+    /// has already replayed returns its (unchanged) statistics again.
+    pub fn run_mut(&mut self) -> Result<SimStats, SimError> {
+        let key = self.spec_key();
+        if !key.specializable() || spec::disabled_by_env() {
+            return self.run_loop_generic();
+        }
+        // The 16-arm dispatch table: one monomorphized loop per
+        // (record, updates, victim, cancel) combination, audit off.
+        match (key.record, key.updates, key.victim, key.cancel) {
+            (false, false, false, false) => self.run_loop_spec::<K<false, false, false, false>>(),
+            (false, false, false, true) => self.run_loop_spec::<K<false, false, false, true>>(),
+            (false, false, true, false) => self.run_loop_spec::<K<false, false, true, false>>(),
+            (false, false, true, true) => self.run_loop_spec::<K<false, false, true, true>>(),
+            (false, true, false, false) => self.run_loop_spec::<K<false, true, false, false>>(),
+            (false, true, false, true) => self.run_loop_spec::<K<false, true, false, true>>(),
+            (false, true, true, false) => self.run_loop_spec::<K<false, true, true, false>>(),
+            (false, true, true, true) => self.run_loop_spec::<K<false, true, true, true>>(),
+            (true, false, false, false) => self.run_loop_spec::<K<true, false, false, false>>(),
+            (true, false, false, true) => self.run_loop_spec::<K<true, false, false, true>>(),
+            (true, false, true, false) => self.run_loop_spec::<K<true, false, true, false>>(),
+            (true, false, true, true) => self.run_loop_spec::<K<true, false, true, true>>(),
+            (true, true, false, false) => self.run_loop_spec::<K<true, true, false, false>>(),
+            (true, true, false, true) => self.run_loop_spec::<K<true, true, false, true>>(),
+            (true, true, true, false) => self.run_loop_spec::<K<true, true, true, false>>(),
+            (true, true, true, true) => self.run_loop_spec::<K<true, true, true, true>>(),
+        }
+    }
+
+    /// Replays on the generic (all-decisions-dynamic) loop regardless of
+    /// the specialization key: the equivalence oracle the differential
+    /// harnesses compare [`Machine::run`] against.
+    pub fn run_generic(mut self) -> Result<SimStats, SimError> {
+        self.run_generic_mut()
+    }
+
+    /// [`Machine::run_generic`] on a borrowed machine.
+    pub fn run_generic_mut(&mut self) -> Result<SimStats, SimError> {
+        self.run_loop_generic()
+    }
+
+    /// The generic replay loop: one full scheduling scan per event, every
+    /// decision dynamic. Kept structurally independent of the batched
+    /// specialized loop so the oracle exercises genuinely different control
+    /// flow.
+    fn run_loop_generic(&mut self) -> Result<SimStats, SimError> {
+        while let Some(i) = self.pick_next() {
+            self.poll_cancel::<Gen>(i)?;
+            self.step::<Gen>(i)?;
+        }
+        self.finish::<Gen>()
+    }
+
+    /// The specialized replay loop: monomorphized over `S` and *batched* —
+    /// once a CPU is scheduled it keeps stepping, without rescanning, until
+    /// an event may have changed another CPU's clock or status, it blocks
+    /// or finishes, or its clock passes the runner-up CPU's.
+    fn run_loop_spec<S: Spec>(&mut self) -> Result<SimStats, SimError> {
+        // `self.trace` is a `&'t Trace`; copying the reference out lets the
+        // batch hold the scheduled CPU's event slice without borrowing
+        // `self`, saving the per-event stream re-dereference `step` pays.
+        let trace = self.trace;
+        'schedule: while let Some((i, limit)) = self.pick_two() {
+            let events = trace.streams[i].events();
+            let n = events.len();
+            loop {
+                self.poll_cancel::<S>(i)?;
+                // Mirrors `step`: count the dispatch, then the end-of-stream
+                // check, then the event itself.
+                self.steps += 1;
+                let cursor = self.cpus[i].cursor;
+                if cursor >= n {
+                    self.cpus[i].status = Status::Done;
+                    continue 'schedule;
+                }
+                let resched = self.dispatch_ev::<S>(i, events[cursor], n)?;
+                if resched || self.cpus[i].status != Status::Runnable {
+                    continue 'schedule;
+                }
+                if let Some((lt, lj)) = limit {
+                    let t = self.cpus[i].time;
+                    // Ties go to the lower index, exactly as in pick_next.
+                    let still_first = if lj < i { t < lt } else { t <= lt };
+                    if !still_first {
+                        continue 'schedule;
+                    }
+                }
             }
         }
-        // Check for deadlock and drain write buffers into the final times.
-        let record = self.record;
+        self.finish::<S>()
+    }
+
+    /// The cancellation poll, hoisted into the loop preamble of both
+    /// replay loops: before the event at index `steps` is dispatched, every
+    /// [`CANCEL_POLL_STRIDE`]-th index checks the token. Folds away
+    /// entirely when the witness pins the token unarmed.
+    #[inline(always)]
+    fn poll_cancel<S: Spec>(&self, i: usize) -> Result<(), SimError> {
+        if S::CANCEL.maybe()
+            && self.steps & (CANCEL_POLL_STRIDE - 1) == 0
+            && self.cfg.cancel.is_cancelled()
+        {
+            return Err(SimError {
+                cycle: self.cpus[i].time,
+                cpu: Some(i),
+                line: None,
+                kind: SimErrorKind::Cancelled { step: self.steps },
+            });
+        }
+        Ok(())
+    }
+
+    /// Post-loop epilogue shared by both loops: deadlock detection, write
+    /// buffer drain into the final times, the final audit, and statistics
+    /// assembly.
+    fn finish<S: Spec>(&mut self) -> Result<SimStats, SimError> {
+        let record = self.s_record::<S>();
         let mut times = Vec::with_capacity(self.cpus.len());
         for (i, c) in self.cpus.iter_mut().enumerate() {
             if c.status != Status::Done {
@@ -260,7 +475,7 @@ impl<'t> Machine<'t> {
             c.time = drained;
             times.push(c.time);
         }
-        if self.cfg.audit >= AuditLevel::Final {
+        if !self.s_audit_off::<S>() && self.cfg.audit >= AuditLevel::Final {
             self.audit_final()?;
         }
         Ok(SimStats {
@@ -283,6 +498,35 @@ impl<'t> Machine<'t> {
         best
     }
 
+    /// [`Machine::pick_next`] and the runner-up in one scan, for the
+    /// batched loop: returns the scheduled CPU plus the lexicographically
+    /// smallest `(time, index)` among the *other* runnable CPUs. The
+    /// scheduled CPU stays the scheduler's choice exactly while its own
+    /// `(time, index)` precedes that runner-up.
+    fn pick_two(&self) -> Option<(usize, Option<(u64, usize)>)> {
+        let mut best: Option<(u64, usize)> = None;
+        let mut second: Option<(u64, usize)> = None;
+        for (j, c) in self.cpus.iter().enumerate() {
+            if c.status != Status::Runnable {
+                continue;
+            }
+            let cand = (c.time, j);
+            match best {
+                None => best = Some(cand),
+                Some(b) if cand < b => {
+                    second = Some(b);
+                    best = Some(cand);
+                }
+                _ => {
+                    if second.is_none_or(|s| cand < s) {
+                        second = Some(cand);
+                    }
+                }
+            }
+        }
+        best.map(|(_, i)| (i, second))
+    }
+
     /// Reserves CPU `i`'s L2 port at `t` for `occupancy` cycles; returns
     /// the grant time. Buffered writes serialize on the port; demand reads
     /// have priority ("reads bypass writes", §2.4) and pay only the port's
@@ -301,13 +545,15 @@ impl<'t> Machine<'t> {
 
     // ---- accounting -----------------------------------------------------
 
-    pub(crate) fn advance(&mut self, i: usize, cycles: u64, bucket: Bucket) {
+    #[inline]
+    pub(crate) fn advance<S: Spec>(&mut self, i: usize, cycles: u64, bucket: Bucket) {
         if cycles == 0 {
             return;
         }
+        let record = self.s_record::<S>();
         let c = &mut self.cpus[i];
         c.time += cycles;
-        if !self.record {
+        if !record {
             return; // clock moved; bucket attribution is record-only
         }
         let mode = c.mode;
@@ -339,35 +585,44 @@ impl<'t> Machine<'t> {
 
     // ---- main dispatch ---------------------------------------------------
 
-    fn step(&mut self, i: usize) -> Result<(), SimError> {
+    /// Replays one event of CPU `i`. Returns `true` when the event may have
+    /// changed *another* CPU's clock or scheduling status (or this CPU's
+    /// own schedulability) — the batched loop's signal to rescan.
+    fn step<S: Spec>(&mut self, i: usize) -> Result<bool, SimError> {
         self.steps += 1;
-        // Poll the cancellation token once every 1024 events: cheap enough
-        // to be free on the hot path, frequent enough that a cancelled
-        // replay stops within microseconds of the request.
-        if self.steps & 0x3FF == 0 && self.cfg.cancel.is_cancelled() {
-            return Err(SimError {
-                cycle: self.cpus[i].time,
-                cpu: Some(i),
-                line: None,
-                kind: SimErrorKind::Cancelled,
-            });
-        }
         let stream = &self.trace.streams[i];
-        if self.cpus[i].cursor >= stream.len() {
+        let n = stream.len();
+        if self.cpus[i].cursor >= n {
             self.cpus[i].status = Status::Done;
-            return Ok(());
+            return Ok(true);
         }
         let ev = stream.events()[self.cpus[i].cursor];
+        self.dispatch_ev::<S>(i, ev, n)
+    }
+
+    /// The per-event dispatch shared by [`Machine::step`] and the batched
+    /// loop (which fetches the event itself from a hoisted slice). Both
+    /// callers have already counted the step and ruled out end-of-stream;
+    /// `stream_len` is passed in so the post-event Done check does not
+    /// re-dereference the stream.
+    fn dispatch_ev<S: Spec>(
+        &mut self,
+        i: usize,
+        ev: Event,
+        stream_len: usize,
+    ) -> Result<bool, SimError> {
         let t_before = self.cpus[i].time;
+        let mut resched = false;
         match ev {
             Event::SetMode { mode } => {
                 self.cpus[i].mode = mode;
                 self.cpus[i].cursor += 1;
             }
             Event::Idle { cycles } => {
+                let record = self.s_record::<S>();
                 let c = &mut self.cpus[i];
                 c.time += u64::from(cycles);
-                if self.record {
+                if record {
                     c.stats.idle_cycles += u64::from(cycles);
                 }
                 c.cursor += 1;
@@ -384,22 +639,22 @@ impl<'t> Machine<'t> {
                     });
                 };
                 self.cpus[i].cur_site = bb.site.0;
-                self.fetch_code(i, &bb);
-                self.advance(i, u64::from(bb.instrs), Bucket::Exec);
+                self.fetch_code::<S>(i, &bb);
+                self.advance::<S>(i, u64::from(bb.instrs), Bucket::Exec);
                 self.cpus[i].cursor += 1;
             }
             Event::Read { addr, class } => {
-                self.handle_read(i, addr, class);
+                self.handle_read::<S>(i, addr, class);
                 self.cpus[i].cursor += 1;
             }
             Event::Write { addr, class } => {
-                self.handle_write(i, addr, class);
+                self.handle_write::<S>(i, addr, class);
                 self.cpus[i].cursor += 1;
             }
             Event::Prefetch { addr, class } => {
                 // One inserted prefetch instruction.
-                self.advance(i, 1, Bucket::Exec);
-                self.issue_prefetch(i, addr, class);
+                self.advance::<S>(i, 1, Bucket::Exec);
+                self.issue_prefetch::<S>(i, addr, class);
                 self.cpus[i].cursor += 1;
             }
             Event::LockAcquire { lock, addr } => {
@@ -410,16 +665,18 @@ impl<'t> Machine<'t> {
                 if let LockSlot::Held(_) = self.locks[idx] {
                     let t = self.cpus[i].time;
                     self.cpus[i].status = Status::OnLock(lock.0, t);
+                    resched = true;
                 } else {
                     self.locks[idx] = LockSlot::Held(i);
                     // test-and-set: read then write the lock word
-                    self.demand_read(i, addr, DataClass::LockVar);
-                    self.demand_write(i, addr, DataClass::LockVar);
+                    self.demand_read::<S>(i, addr, DataClass::LockVar);
+                    self.demand_write::<S>(i, addr, DataClass::LockVar);
                     self.cpus[i].cursor += 1;
                 }
             }
             Event::LockRelease { lock, addr } => {
-                self.demand_write(i, addr, DataClass::LockVar);
+                resched = true;
+                self.demand_write::<S>(i, addr, DataClass::LockVar);
                 let release = self.cpus[i].time;
                 let line = addr.line(self.cfg.l2.line);
                 let slot = self
@@ -456,8 +713,8 @@ impl<'t> Machine<'t> {
                         if l == lock.0 {
                             let wait = release.saturating_sub(self.cpus[j].time);
                             self.cpus[j].status = Status::Runnable;
-                            self.advance(j, wait, Bucket::Sync);
-                            if self.record {
+                            self.advance::<S>(j, wait, Bucket::Sync);
+                            if self.s_record::<S>() {
                                 *self.cpus[j]
                                     .stats
                                     .lock_wait_cycles
@@ -474,9 +731,10 @@ impl<'t> Machine<'t> {
                 addr,
                 participants,
             } => {
+                resched = true;
                 // arrival: fetch-and-increment of the barrier word
-                self.demand_read(i, addr, DataClass::BarrierVar);
-                self.demand_write(i, addr, DataClass::BarrierVar);
+                self.demand_read::<S>(i, addr, DataClass::BarrierVar);
+                self.demand_write::<S>(i, addr, DataClass::BarrierVar);
                 self.cpus[i].cursor += 1;
                 let idx = usize::from(barrier.0);
                 if idx >= self.barriers.len() {
@@ -501,47 +759,60 @@ impl<'t> Machine<'t> {
                         }
                         let wait = release.saturating_sub(self.cpus[j].time);
                         self.cpus[j].status = Status::Runnable;
-                        self.advance(j, wait, Bucket::Sync);
+                        self.advance::<S>(j, wait, Bucket::Sync);
                         // resume: re-read the barrier word (a coherence miss
                         // under invalidation, a hit under updates)
-                        self.demand_read(j, addr, DataClass::BarrierVar);
+                        self.demand_read::<S>(j, addr, DataClass::BarrierVar);
                     }
                 }
             }
             Event::BlockOpBegin { op } => {
-                self.begin_block_op(i, op)?;
+                resched = true;
+                self.begin_block_op::<S>(i, op)?;
             }
             Event::BlockOpEnd => {
-                self.end_block_op(i);
+                self.end_block_op::<S>(i);
                 self.cpus[i].cursor += 1;
             }
         }
-        if self.cpus[i].cursor >= self.trace.streams[i].len()
-            && self.cpus[i].status == Status::Runnable
-        {
+        if self.cpus[i].cursor >= stream_len && self.cpus[i].status == Status::Runnable {
             self.cpus[i].status = Status::Done;
+            resched = true;
         }
-        if self.cfg.audit == AuditLevel::Strict {
+        if !self.s_audit_off::<S>() && self.cfg.audit == AuditLevel::Strict {
             self.audit_step(i, t_before, &ev)?;
         }
-        Ok(())
+        Ok(resched)
     }
 
     // ---- instruction fetch ----------------------------------------------
 
-    fn fetch_code(&mut self, i: usize, bb: &BasicBlock) {
+    fn fetch_code<S: Spec>(&mut self, i: usize, bb: &BasicBlock) {
         let line = self.cfg.l1i.line;
         let mut a = bb.start.line(line).0;
         let end = bb.end().0;
+        // Fast path: walk the block's lines under one CPU borrow until the
+        // first miss (usually never — code re-executes hot blocks). Probing
+        // a missing line has no side effect, so the slow loop below may
+        // safely re-probe it.
+        {
+            let c = &mut self.cpus[i];
+            while a < end {
+                if c.l1i.probe(LineAddr(a)).is_none() {
+                    break;
+                }
+                a += line;
+            }
+        }
         while a < end {
             let l = LineAddr(a);
             if self.cpus[i].l1i.probe(l).is_none() {
-                if self.record {
+                if self.s_record::<S>() {
                     let mode = self.cpus[i].mode;
                     self.cpus[i].stats.l1i_misses.add(mode, 1);
                 }
-                let stall = self.fetch_into_l2_shared(i, Addr(a));
-                self.advance(i, stall, Bucket::IMiss);
+                let stall = self.fetch_into_l2_shared::<S>(i, Addr(a));
+                self.advance::<S>(i, stall, Bucket::IMiss);
                 // Fill L1I (code is read-only; state is just "valid").
                 self.cpus[i]
                     .l1i
@@ -553,7 +824,7 @@ impl<'t> Machine<'t> {
 
     /// Ensures the L2 line containing `addr` is present (for code fetches);
     /// returns the stall beyond the 1-cycle base cost.
-    fn fetch_into_l2_shared(&mut self, i: usize, addr: Addr) -> u64 {
+    fn fetch_into_l2_shared<S: Spec>(&mut self, i: usize, addr: Addr) -> u64 {
         let line2 = addr.line(self.cfg.l2.line);
         let now = self.cpus[i].time;
         if self.cpus[i].l2.probe(line2).is_some() {
@@ -568,7 +839,7 @@ impl<'t> Machine<'t> {
         } else {
             LineState::Exclusive
         };
-        self.l2_fill(i, line2, state, DataClass::KernelOther, false);
+        self.l2_fill::<S>(i, line2, state, DataClass::KernelOther, false);
         (grant - now) + self.cfg.timing.mem - 1
     }
 
@@ -596,16 +867,16 @@ impl<'t> Machine<'t> {
 
     /// Bus write/upgrade snoop: invalidates all remote copies, recording
     /// the invalidation so later misses classify as coherence misses.
-    pub(crate) fn snoop_write(&mut self, i: usize, line2: LineAddr) {
+    pub(crate) fn snoop_write<S: Spec>(&mut self, i: usize, line2: LineAddr) {
         for j in 0..self.cpus.len() {
             if j == i {
                 continue;
             }
             if self.cpus[j].l2.invalidate(line2).is_valid() {
-                if self.record {
+                if self.s_record::<S>() {
                     self.l2_hist.record(j, line2, Departure::InvalidatedRemote);
                 }
-                self.invalidate_l1_range(j, line2, Departure::InvalidatedRemote);
+                self.invalidate_l1_range::<S>(j, line2, Departure::InvalidatedRemote);
             }
         }
     }
@@ -631,16 +902,16 @@ impl<'t> Machine<'t> {
 
     /// Invalidates every L1 line covered by an L2 line (inclusion), with
     /// `why` recorded for the data cache.
-    fn invalidate_l1_range(&mut self, j: usize, line2: LineAddr, why: Departure) {
+    fn invalidate_l1_range<S: Spec>(&mut self, j: usize, line2: LineAddr, why: Departure) {
         let l1line = self.cfg.l1d.line;
         let mut a = line2.0;
         while a < line2.0 + self.cfg.l2.line {
             let l = LineAddr(a);
             if self.cpus[j].l1d.invalidate(l).is_valid() {
-                if self.record {
+                if self.s_record::<S>() {
                     self.l1d_hist.record(j, l, why);
                 }
-                self.note_l1d_departure(j, l);
+                self.note_l1d_departure::<S>(j, l);
             }
             a += l1line;
         }
@@ -657,7 +928,7 @@ impl<'t> Machine<'t> {
 
     /// Installs a line in CPU `i`'s L2, handling victim write-back,
     /// inclusion invalidation, and history bookkeeping.
-    pub(crate) fn l2_fill(
+    pub(crate) fn l2_fill<S: Spec>(
         &mut self,
         i: usize,
         line2: LineAddr,
@@ -677,18 +948,18 @@ impl<'t> Machine<'t> {
             } else {
                 Departure::Evicted
             };
-            if self.record {
+            if self.s_record::<S>() {
                 self.l2_hist.record(i, ev.line, why);
             }
-            self.invalidate_l1_range(i, ev.line, why);
+            self.invalidate_l1_range::<S>(i, ev.line, why);
         }
-        if self.record {
+        if self.s_record::<S>() {
             self.l2_hist.forget(i, line2);
         }
     }
 
     /// Installs a line in CPU `i`'s L1D.
-    pub(crate) fn l1d_fill(
+    pub(crate) fn l1d_fill<S: Spec>(
         &mut self,
         i: usize,
         line1: LineAddr,
@@ -701,12 +972,12 @@ impl<'t> Machine<'t> {
         let evicted = self.cpus[i]
             .l1d
             .fill(line1, LineState::Shared, class, by_blockop);
-        self.note_l1d_fill(i, line1, l2_resident);
+        self.note_l1d_fill::<S>(i, line1, l2_resident);
         if let Some(ev) = evicted {
-            self.note_l1d_departure(i, ev.line);
+            self.note_l1d_departure::<S>(i, ev.line);
             // The victim cache is timing-relevant (it turns conflict misses
             // into 2-cycle swaps), so it is maintained even when `!record`.
-            if self.cfg.victim_lines > 0 {
+            if self.s_victim::<S>() {
                 let v = &mut self.cpus[i].victim;
                 v.retain(|&l| l != ev.line);
                 v.push(ev.line);
@@ -714,7 +985,7 @@ impl<'t> Machine<'t> {
                     v.remove(0);
                 }
             }
-            if self.record {
+            if self.s_record::<S>() {
                 let why = if ev.evicted_by_blockop {
                     Departure::EvictedByBlockOp
                 } else {
@@ -735,7 +1006,7 @@ impl<'t> Machine<'t> {
                 }
             }
         }
-        if self.record {
+        if self.s_record::<S>() {
             self.l1d_hist.forget(i, line1);
             self.bypassed.take(i, line1);
         }
@@ -746,14 +1017,14 @@ impl<'t> Machine<'t> {
     /// Computes how a miss on `line1` would classify, *without* counting it.
     /// (Counting happens either immediately at a demand miss or later when a
     /// partially-covered prefetch is consumed.)
-    pub(crate) fn peek_classify(
+    pub(crate) fn peek_classify<S: Spec>(
         &self,
         i: usize,
         line1: LineAddr,
         line2: LineAddr,
         class: DataClass,
     ) -> PendingClass {
-        if !self.record {
+        if !self.s_record::<S>() {
             // The classification feeds only statistics, never state or
             // timing; skip the history/bypass probes entirely.
             return PendingClass {
@@ -788,10 +1059,10 @@ impl<'t> Machine<'t> {
     }
 
     /// Counts a classified read miss.
-    pub(crate) fn count_miss(&mut self, i: usize, pc: PendingClass, stall: u64) {
+    pub(crate) fn count_miss<S: Spec>(&mut self, i: usize, pc: PendingClass, stall: u64) {
         let mode = self.cpus[i].mode;
         let site = self.cpus[i].cur_site;
-        if !self.record {
+        if !self.s_record::<S>() {
             // Profiling replay: only the per-site OS miss count survives.
             // One OS read miss still increments the total by exactly one
             // (`os_miss_other`), so `os_read_misses()` stays exact too.
@@ -825,64 +1096,68 @@ impl<'t> Machine<'t> {
 
     // ---- demand read ---------------------------------------------------------
 
-    fn handle_read(&mut self, i: usize, addr: Addr, class: DataClass) {
+    fn handle_read<S: Spec>(&mut self, i: usize, addr: Addr, class: DataClass) {
         match (self.cpus[i].block.is_some(), self.cfg.block_scheme) {
-            (true, BlockOpScheme::Bypass) => self.bypass_read(i, addr, class),
-            (true, BlockOpScheme::ByPref) => self.bypref_read(i, addr, class),
+            (true, BlockOpScheme::Bypass) => self.bypass_read::<S>(i, addr, class),
+            (true, BlockOpScheme::ByPref) => self.bypref_read::<S>(i, addr, class),
             (true, BlockOpScheme::Pref) => {
-                self.pref_lookahead(i, addr, class);
-                self.demand_read(i, addr, class);
+                self.pref_lookahead::<S>(i, addr, class);
+                self.demand_read::<S>(i, addr, class);
             }
-            _ => self.demand_read(i, addr, class),
+            _ => self.demand_read::<S>(i, addr, class),
         }
     }
 
-    fn handle_write(&mut self, i: usize, addr: Addr, class: DataClass) {
+    fn handle_write<S: Spec>(&mut self, i: usize, addr: Addr, class: DataClass) {
         match (self.cpus[i].block.is_some(), self.cfg.block_scheme) {
-            (true, BlockOpScheme::Bypass) => self.bypass_write(i, addr, class),
-            _ => self.demand_write(i, addr, class),
+            (true, BlockOpScheme::Bypass) => self.bypass_write::<S>(i, addr, class),
+            _ => self.demand_write::<S>(i, addr, class),
         }
     }
 
     /// The ordinary cached read path.
-    pub(crate) fn demand_read(&mut self, i: usize, addr: Addr, class: DataClass) {
-        if self.record {
-            let mode = self.cpus[i].mode;
-            self.cpus[i].stats.dreads.add(mode, 1);
-        }
+    pub(crate) fn demand_read<S: Spec>(&mut self, i: usize, addr: Addr, class: DataClass) {
         let line1 = addr.line(self.cfg.l1d.line);
         let line2 = addr.line(self.cfg.l2.line);
-        let now = self.cpus[i].time;
+        // Single borrow of the CPU for the hit path: the common case (L1D
+        // hit, no pending prefetch) touches nothing else, so keeping one
+        // `&mut` avoids re-indexing `self.cpus[i]` per field access.
+        let record = S::RECORD.resolve(self.record);
+        let c = &mut self.cpus[i];
+        if record {
+            c.stats.dreads.add(c.mode, 1);
+        }
+        let now = c.time;
 
         // In-flight or completed prefetch?
-        if let Some((ready, pc)) = self.cpus[i].mshr.take_with(line1) {
+        if let Some((ready, pc)) = c.mshr.take_with(line1) {
             if ready <= now {
-                if self.record {
-                    self.cpus[i].stats.prefetch_full_hits += 1;
+                if record {
+                    c.stats.prefetch_full_hits += 1;
                 }
                 return; // fully hidden: not a miss
             }
             let stall = ready - now;
-            if self.record {
-                self.cpus[i].stats.prefetch_partial_hits += 1;
+            if record {
+                c.stats.prefetch_partial_hits += 1;
             }
             if let Some(pc) = pc {
-                self.count_miss(i, pc, stall);
+                self.count_miss::<S>(i, pc, stall);
             }
-            self.advance(i, stall, Bucket::Pref);
+            self.advance::<S>(i, stall, Bucket::Pref);
             return;
         }
 
-        if self.cpus[i].l1d.probe(line1).is_some() {
+        if c.l1d.probe(line1).is_some() {
             return; // primary-cache hit, 1 cycle already in Exec
         }
         // Victim-cache hit: swap back into the L1D for a 2-cycle penalty;
         // the conflict miss is avoided entirely.
-        if self.cfg.victim_lines > 0 {
+        if self.s_victim::<S>() {
             if let Some(pos) = self.cpus[i].victim.iter().position(|&l| l == line1) {
                 self.cpus[i].victim.remove(pos);
-                self.l1d_fill(i, line1, class, self.cpus[i].block.is_some());
-                self.advance(i, 2, Bucket::DRead);
+                self.l1d_fill::<S>(i, line1, class, self.cpus[i].block.is_some());
+                self.advance::<S>(i, 2, Bucket::DRead);
                 return;
             }
         }
@@ -894,7 +1169,7 @@ impl<'t> Machine<'t> {
         }
 
         // Primary-cache read miss.
-        let pc = self.peek_classify(i, line1, line2, class);
+        let pc = self.peek_classify::<S>(i, line1, line2, class);
         let stall = if self.cpus[i].l2.probe(line2).is_some() {
             self.l2_read_delay(i, now) + self.cfg.timing.l2_hit - 1
         } else {
@@ -908,13 +1183,13 @@ impl<'t> Machine<'t> {
                 LineState::Exclusive
             };
             let by_blk = self.cpus[i].block.is_some();
-            self.l2_fill(i, line2, state, class, by_blk);
+            self.l2_fill::<S>(i, line2, state, class, by_blk);
             (grant - now) + self.cfg.timing.mem - 1
         };
         let by_blk = self.cpus[i].block.is_some();
-        self.l1d_fill(i, line1, class, by_blk);
-        self.count_miss(i, pc, stall);
-        self.advance(i, stall, Bucket::DRead);
+        self.l1d_fill::<S>(i, line1, class, by_blk);
+        self.count_miss::<S>(i, pc, stall);
+        self.advance::<S>(i, stall, Bucket::DRead);
     }
 
     // ---- demand write -----------------------------------------------------------
@@ -925,8 +1200,8 @@ impl<'t> Machine<'t> {
     /// overflow (release consistency). Write allocation is what lets a
     /// block operation's destination displace cached data (§4.1.3) and
     /// lets later reads of freshly-written blocks hit.
-    pub(crate) fn demand_write(&mut self, i: usize, addr: Addr, class: DataClass) {
-        if self.record {
+    pub(crate) fn demand_write<S: Spec>(&mut self, i: usize, addr: Addr, class: DataClass) {
+        if self.s_record::<S>() {
             let mode = self.cpus[i].mode;
             self.cpus[i].stats.dwrites.add(mode, 1);
         }
@@ -936,25 +1211,25 @@ impl<'t> Machine<'t> {
         // Stall if the word buffer is full.
         let now = self.cpus[i].time;
         let stall = self.cpus[i].wb1.stall_for_slot(now);
-        self.advance(i, stall, Bucket::DWrite);
+        self.advance::<S>(i, stall, Bucket::DWrite);
         let now = self.cpus[i].time;
         self.cpus[i].wb1.drain(now);
 
         // Drain in order behind older entries.
         let serv_start = now.max(self.cpus[i].wb1.last_completion());
         let by_blk = self.cpus[i].block.is_some();
-        let complete = self.l2_side_write(i, line2, serv_start, class, by_blk);
+        let complete = self.l2_side_write::<S>(i, line2, serv_start, class, by_blk);
         self.cpus[i].wb1.push(addr.0, complete);
         // Write-allocate: the line is installed in the L1 in the
         // background (posted, so it adds no processor stall).
         if !self.cpus[i].l1d.contains(line1) {
-            self.l1d_fill(i, line1, class, by_blk);
+            self.l1d_fill::<S>(i, line1, class, by_blk);
         }
     }
 
     /// Handles the L2/bus side of one buffered write; returns the drain
     /// completion time.
-    fn l2_side_write(
+    fn l2_side_write<S: Spec>(
         &mut self,
         i: usize,
         line2: LineAddr,
@@ -963,7 +1238,9 @@ impl<'t> Machine<'t> {
         by_blockop: bool,
     ) -> u64 {
         let timing = self.cfg.timing;
-        let update = self.cfg.update_pages.contains(line2.page());
+        // `UPDATES = Off` folds the page-set probe away entirely; `On`
+        // still probes (a non-empty set covers only *some* pages).
+        let update = S::UPDATES.maybe() && self.cfg.update_pages.contains(line2.page());
         match self.cpus[i].l2.state(line2) {
             LineState::Modified => self.l2_port(i, t, timing.l2_write) + timing.l2_write,
             LineState::Exclusive => {
@@ -986,7 +1263,7 @@ impl<'t> Machine<'t> {
                 } else {
                     // Illinois: invalidation signal, then write locally.
                     let grant = self.bus.acquire(t2, timing.inval_signal, BusOp::Invalidate);
-                    self.snoop_write(i, line2);
+                    self.snoop_write::<S>(i, line2);
                     self.cpus[i].l2.set_state(line2, LineState::Modified);
                     let complete = grant + timing.inval_signal;
                     self.cpus[i].wb2.push(line2.0, complete);
@@ -1010,7 +1287,7 @@ impl<'t> Machine<'t> {
                     } else {
                         LineState::Modified
                     };
-                    self.l2_fill(i, line2, state, class, by_blockop);
+                    self.l2_fill::<S>(i, line2, state, class, by_blockop);
                     let complete = grant + timing.mem;
                     self.cpus[i].wb2.push(line2.0, complete);
                     complete
@@ -1019,8 +1296,8 @@ impl<'t> Machine<'t> {
                     let grant = self
                         .bus
                         .acquire(t2, timing.line_transfer, BusOp::ReadExclusive);
-                    self.snoop_write(i, line2);
-                    self.l2_fill(i, line2, LineState::Modified, class, by_blockop);
+                    self.snoop_write::<S>(i, line2);
+                    self.l2_fill::<S>(i, line2, LineState::Modified, class, by_blockop);
                     let complete = grant + timing.mem;
                     self.cpus[i].wb2.push(line2.0, complete);
                     complete
@@ -1032,11 +1309,11 @@ impl<'t> Machine<'t> {
     // ---- prefetch -----------------------------------------------------------
 
     /// Issues a software prefetch of `addr`'s line into L1D + L2.
-    pub(crate) fn issue_prefetch(&mut self, i: usize, addr: Addr, class: DataClass) {
+    pub(crate) fn issue_prefetch<S: Spec>(&mut self, i: usize, addr: Addr, class: DataClass) {
         let line1 = addr.line(self.cfg.l1d.line);
         let line2 = addr.line(self.cfg.l2.line);
         let now = self.cpus[i].time;
-        if self.record {
+        if self.s_record::<S>() {
             self.cpus[i].stats.prefetches_issued += 1;
         }
         if self.cpus[i].l1d.contains(line1) || self.cpus[i].mshr.pending(line1).is_some() {
@@ -1045,7 +1322,7 @@ impl<'t> Machine<'t> {
         if self.cpus[i].mshr.in_flight(now) >= self.cfg.max_prefetches {
             return; // all MSHRs busy: drop
         }
-        let pc = self.peek_classify(i, line1, line2, class);
+        let pc = self.peek_classify::<S>(i, line1, line2, class);
         let ready = if self.cpus[i].l2.contains(line2) {
             now + self.cfg.timing.l2_hit
         } else {
@@ -1059,11 +1336,11 @@ impl<'t> Machine<'t> {
                 LineState::Exclusive
             };
             let by_blk = self.cpus[i].block.is_some();
-            self.l2_fill(i, line2, state, class, by_blk);
+            self.l2_fill::<S>(i, line2, state, class, by_blk);
             grant + self.cfg.timing.mem
         };
         let by_blk = self.cpus[i].block.is_some();
-        self.l1d_fill(i, line1, class, by_blk);
+        self.l1d_fill::<S>(i, line1, class, by_blk);
         let inserted = self.cpus[i].mshr.insert_with(now, line1, ready, pc);
         debug_assert!(inserted, "MSHR capacity checked above");
     }
@@ -1071,5 +1348,93 @@ impl<'t> Machine<'t> {
     /// Total events processed (diagnostics).
     pub fn steps(&self) -> u64 {
         self.steps
+    }
+
+    /// An order-deterministic FNV-1a digest of the machine's complete
+    /// timing-relevant state: per-CPU clocks, cursors, modes, scheduling
+    /// statuses, cache contents and MESI states, victim-cache and
+    /// write-buffer contents, in-flight prefetches, bus occupancy and
+    /// traffic, and lock/barrier tables.
+    ///
+    /// Two machines that replayed the same trace through behaviorally
+    /// identical loops digest identically; the differential harnesses use
+    /// this (after [`Machine::run_mut`]) to pin *final machine state*, not
+    /// just returned statistics. Record-only bookkeeping (departure
+    /// histories, bypass marks) is deliberately excluded — it never feeds
+    /// back into state or timing.
+    pub fn state_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut put = |h: &mut u64, v: u64| {
+            for byte in v.to_le_bytes() {
+                *h ^= u64::from(byte);
+                *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        let cache = |h: &mut u64, put: &mut dyn FnMut(&mut u64, u64), c: &Cache| {
+            for (l, st) in c.valid_lines() {
+                put(h, u64::from(l.0));
+                put(h, st as u64);
+            }
+            put(h, u64::MAX); // cache delimiter
+        };
+        for c in &self.cpus {
+            put(&mut h, c.time);
+            put(&mut h, c.l2_port_free);
+            put(&mut h, c.cursor as u64);
+            put(&mut h, u64::from(c.mode.is_os()));
+            let (s, a, b) = match c.status {
+                Status::Runnable => (0u64, 0u64, 0u64),
+                Status::OnLock(l, t) => (1, u64::from(l), t),
+                Status::AtBarrier(bar, t) => (2, u64::from(bar), t),
+                Status::Done => (3, 0, 0),
+            };
+            put(&mut h, s);
+            put(&mut h, a);
+            put(&mut h, b);
+            cache(&mut h, &mut put, &c.l1i);
+            cache(&mut h, &mut put, &c.l1d);
+            cache(&mut h, &mut put, &c.l2);
+            for &v in &c.victim {
+                put(&mut h, u64::from(v.0));
+            }
+            put(&mut h, u64::MAX);
+            for t in c.wb1.completions() {
+                put(&mut h, t);
+            }
+            for t in c.wb2.completions() {
+                put(&mut h, t);
+            }
+            put(&mut h, c.wb1.drained_at());
+            put(&mut h, c.wb2.drained_at());
+            for (l, r) in c.mshr.snapshot() {
+                put(&mut h, u64::from(l.0));
+                put(&mut h, r);
+            }
+            for (l, r) in c.pbuf.snapshot() {
+                put(&mut h, u64::from(l.0));
+                put(&mut h, r);
+            }
+            put(&mut h, u64::MAX); // cpu delimiter
+        }
+        put(&mut h, self.bus.free_at());
+        let bs = self.bus.stats();
+        put(&mut h, bs.transactions());
+        put(&mut h, bs.busy_cycles);
+        for slot in &self.locks {
+            let v = match slot {
+                LockSlot::Unknown => 0u64,
+                LockSlot::Free => 1,
+                LockSlot::Held(i) => 2 + *i as u64,
+            };
+            put(&mut h, v);
+        }
+        for b in &self.barriers {
+            for &j in &b.arrived {
+                put(&mut h, j as u64);
+            }
+            put(&mut h, u64::MAX);
+        }
+        put(&mut h, self.steps);
+        h
     }
 }

@@ -112,6 +112,11 @@ impl MshrSet {
         self.expire(now);
         self.entries.len()
     }
+
+    /// Registered entries in insertion order, for state digests.
+    pub(crate) fn snapshot(&self) -> impl Iterator<Item = (LineAddr, u64)> + '_ {
+        self.entries.iter().map(|e| (e.line, e.ready))
+    }
 }
 
 /// The 8-line source prefetch buffer of `Blk_ByPref` (§4.2).
@@ -171,6 +176,11 @@ impl PrefetchBuffer {
     /// Empties the buffer (at block-operation end).
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+
+    /// Buffered entries in insertion order, for state digests.
+    pub(crate) fn snapshot(&self) -> impl Iterator<Item = (LineAddr, u64)> + '_ {
+        self.entries.iter().copied()
     }
 }
 

@@ -66,7 +66,7 @@ pub enum MissKind {
 }
 
 /// Per-CPU counters.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CpuStats {
     // ---- cycle buckets (mutually exclusive; they sum to elapsed time) ----
     /// Instruction-execution cycles (includes the 1-cycle base cost of each
@@ -282,7 +282,7 @@ impl CpuStats {
 }
 
 /// Full simulation result: per-CPU counters, bus traffic, and wall time.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SimStats {
     /// Per-CPU counters.
     pub cpus: Vec<CpuStats>,
