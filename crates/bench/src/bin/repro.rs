@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale S] [--jobs N] [--timings] [--keep-going] [--retries N]\n             [--deadline-ms N] [--deadline-action flag|cancel] [--deadline-grace-ms N]\n             [--journal <path> [--resume [--salvage]]] [--inject-cell-panic SPEC]\n             [table1..table5 | fig1..fig7 | headline | scorecard | all]\n                                                 cells run across N workers (default: all\n                                                 hardware threads); output is bitwise-identical\n                                                 for any N. `all` writes BENCH_repro.json.\n                                                 --keep-going renders every experiment whose cells\n                                                 completed and exits 6 if any cell failed;\n                                                 --retries N grants each failing cell N retries;\n                                                 --deadline-ms N flags cells running longer;\n                                                 --deadline-action cancel also cooperatively kills\n                                                 them --deadline-grace-ms (default 200) past the\n                                                 deadline; --journal records each completed cell\n                                                 crash-safely and --resume replays completed cells\n                                                 from it (--salvage drops a torn trailing record\n                                                 instead of rejecting the journal);\n                                                 --inject-cell-panic seed[:period[:attempts]]\n                                                 panics selected cells (testing the supervisor)\n                repro serve [--socket P|--tcp A] [--queue-limit N]\n                                                 resident service: accepts newline-JSON requests\n                                                 from concurrent clients on a Unix socket (default\n                                                 repro.sock) or TCP address, dedupes work via the\n                                                 shared cache and journal, drains on SIGTERM;\n                                                 honors --scale/--jobs/--journal/--resume/--salvage\n                                                 and the supervision flags above\n                repro submit [--socket P|--tcp A] [--client NAME]\n                            [--request-deadline-ms N] [experiments...]\n                                                 submit experiments to a running serve daemon and\n                                                 print the streamed report (byte-identical to\n                                                 running the same experiments locally)\n                repro golden <dir>               write each experiment's output to <dir>/<name>.txt\n                                                 (the golden-file corpus under tests/golden/)\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n                repro bench [--check]            perf smoke over 4 representative cells at reduced\n                                                 scale; without --check writes BENCH_smoke.json\n                                                 reference timings, with --check fails if any cell\n                                                 regressed more than 2x vs that reference\n       exit codes: 1 i/o, 2 usage/journal mismatch, 3 trace validation, 4 simulation invariant,\n                   5 perf regression, 6 partial (some cells failed under --keep-going, or a\n                   submitted request finished incomplete), 7 service overloaded (admission\n                   queue full), 8 service unavailable (daemon unreachable or shutting down)"
+        "usage: repro [--scale S] [--jobs N] [--timings] [--keep-going] [--retries N]\n             [--deadline-ms N] [--deadline-action flag|cancel] [--deadline-grace-ms N]\n             [--journal <path> [--resume [--salvage]]] [--inject-cell-panic SPEC]\n             [table1..table5 | fig1..fig7 | headline | scorecard | all]\n                                                 cells run across N workers (default: all\n                                                 hardware threads); output is bitwise-identical\n                                                 for any N. `all` writes BENCH_repro.json.\n                                                 --keep-going renders every experiment whose cells\n                                                 completed and exits 6 if any cell failed;\n                                                 --retries N grants each failing cell N retries;\n                                                 --deadline-ms N flags cells running longer;\n                                                 --deadline-action cancel also cooperatively kills\n                                                 them --deadline-grace-ms (default 200) past the\n                                                 deadline; --journal records each completed cell\n                                                 crash-safely and --resume replays completed cells\n                                                 from it (--salvage drops a torn trailing record\n                                                 instead of rejecting the journal);\n                                                 --inject-cell-panic seed[:period[:attempts]]\n                                                 panics selected cells (testing the supervisor)\n                repro serve [--socket P|--tcp A] [--queue-limit N]\n                                                 resident service: accepts newline-JSON requests\n                                                 from concurrent clients on a Unix socket (default\n                                                 repro.sock) or TCP address, dedupes work via the\n                                                 shared cache and journal, drains on SIGTERM;\n                                                 honors --scale/--jobs/--journal/--resume/--salvage\n                                                 and the supervision flags above\n                repro submit [--socket P|--tcp A] [--client NAME]\n                            [--request-deadline-ms N] [experiments...]\n                                                 submit experiments to a running serve daemon and\n                                                 print the streamed report (byte-identical to\n                                                 running the same experiments locally)\n                repro golden <dir>               write each experiment's output to <dir>/<name>.txt\n                                                 (the golden-file corpus under tests/golden/)\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro simulate <workload> <system> [--scale S]\n                                                 build and run one cell, print counters and peak\n                                                 RSS; honors REPRO_NO_STREAMING=1 (materialized\n                                                 engine) — the CI memory-ceiling probe\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n                repro bench [--check]            perf smoke over 4 representative cells at reduced\n                                                 scale; without --check writes BENCH_smoke.json\n                                                 reference timings, with --check fails if any cell\n                                                 regressed more than 2x vs that reference\n       exit codes: 1 i/o, 2 usage/journal mismatch, 3 trace validation, 4 simulation invariant,\n                   5 perf regression, 6 partial (some cells failed under --keep-going, or a\n                   submitted request finished incomplete), 7 service overloaded (admission\n                   queue full), 8 service unavailable (daemon unreachable or shutting down)"
     );
     std::process::exit(2);
 }
@@ -53,6 +53,11 @@ const EXIT_UNAVAILABLE: i32 = 8;
 /// Trace scale of the `bench` perf smoke (fixed, so the committed
 /// reference stays comparable across runs).
 const SMOKE_SCALE: f64 = 0.2;
+/// Scale of the smoke's streaming cell: 10x the smoke scale, double the
+/// paper's full-size traces. Only viable because the chunked engine keeps
+/// peak memory at O(chunks in flight) (DESIGN.md §16); a regression that
+/// re-materializes whole traces shows up here first.
+const SMOKE_SCALE_STREAMING: f64 = 2.0;
 /// Where `bench` writes — and `bench --check` reads — reference timings.
 const SMOKE_REF: &str = "BENCH_smoke.json";
 /// Regression threshold: a tracked cell failing at more than this ratio
@@ -64,6 +69,17 @@ const SMOKE_LIMIT: f64 = 2.0;
 fn fail(class: &str, msg: &str, code: i32) -> ! {
     eprintln!("error: class={class} msg={msg:?}");
     std::process::exit(code);
+}
+
+/// The process's peak resident set size in MB, from `/proc/self/status`
+/// `VmHWM` (the kernel's high-water mark — monotone, so reading it after
+/// a phase bounds that phase's true footprint from above). `None` where
+/// the proc file is unavailable (non-Linux).
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
 }
 
 /// The supervision options (DESIGN.md §13) shared by the experiment and
@@ -434,6 +450,42 @@ fn conflicts(workload: &str, scale: f64) {
     );
 }
 
+/// `repro simulate <workload> <system> [--scale S]`: builds and runs one
+/// cell end to end and reports its counters plus the process peak RSS.
+///
+/// This is the memory-ceiling probe (DESIGN.md §16): CI runs it at
+/// `--scale 10` under `ulimit -v`, where the streaming engine completes
+/// inside the ceiling and the materialized path (`REPRO_NO_STREAMING=1`)
+/// must die trying to hold the whole trace.
+fn simulate(workload: &str, system: &str, scale: f64) {
+    use oscache_workloads::Workload;
+    let w = Workload::all()
+        .into_iter()
+        .find(|w| w.name().eq_ignore_ascii_case(workload))
+        .unwrap_or_else(|| usage());
+    let sys = System::all()
+        .into_iter()
+        .find(|s| s.label().eq_ignore_ascii_case(system))
+        .unwrap_or_else(|| usage());
+    let mode = if oscache_core::streaming_enabled() {
+        "streaming"
+    } else {
+        "materialized"
+    };
+    let t0 = std::time::Instant::now();
+    let mut r = Repro::new(scale);
+    let t = r.run(w, sys).stats.total();
+    let wall = 1e3 * t0.elapsed().as_secs_f64();
+    let events: u64 = r.cache().build_timings().iter().map(|b| b.events).sum();
+    println!(
+        "{} on {} at scale {scale} ({mode}): {events} events, OS misses {} in {wall:.0} ms",
+        sys.label(),
+        w.name(),
+        t.os_read_misses(),
+    );
+    println!("peak_rss_mb {:.1}", peak_rss_mb().unwrap_or(-1.0));
+}
+
 fn dump(workload: &str, path: &str, scale: f64) {
     use oscache_workloads::{build, BuildOptions, Workload};
     let w = Workload::all()
@@ -661,6 +713,24 @@ fn main() {
                 replay(&path, &sys, inject.map(|k| (k, seed)));
                 return;
             }
+            "simulate" => {
+                let w = args.next().unwrap_or_else(|| usage());
+                let sys = args.next().unwrap_or_else(|| usage());
+                while let Some(opt) = args.next() {
+                    match opt.as_str() {
+                        "--scale" => {
+                            scale = args
+                                .next()
+                                .unwrap_or_else(|| usage())
+                                .parse()
+                                .unwrap_or_else(|_| usage());
+                        }
+                        _ => usage(),
+                    }
+                }
+                simulate(&w, &sys, scale);
+                return;
+            }
             "conflicts" => {
                 let w = args.next().unwrap_or_else(|| usage());
                 conflicts(&w, scale);
@@ -877,6 +947,9 @@ fn print_timings(r: &Repro, warm: &WarmStats) {
         warm.wall_ms,
         warm.cells.len()
     );
+    if let Some(mb) = peak_rss_mb() {
+        println!("peak RSS {mb:.1} MB");
+    }
 }
 
 /// The `bench` perf smoke: four representative TRFD_4 cells — the cheap
@@ -896,8 +969,10 @@ fn bench(check: bool) {
     let systems = [System::Base, System::BCohRelUp, System::BCPref];
     let mut r = Repro::with_jobs(SMOKE_SCALE, 1);
     println!("perf smoke: TRFD_4 at scale {SMOKE_SCALE}, 1 worker");
+    let mut rss_after: Vec<Option<f64>> = Vec::new();
     for sys in systems {
         r.run(Workload::Trfd4, sys);
+        rss_after.push(peak_rss_mb());
     }
     // The prepare-heavy cell: BCPref at a second line size repeats the
     // geometry-dependent half of preparation (profiling replay + prefetch
@@ -909,11 +984,23 @@ fn bench(check: bool) {
         ..oscache_core::Geometry::default()
     };
     r.run_spec(Workload::Trfd4, System::BCPref.spec(), wide, "BCPref@64B");
+    rss_after.push(peak_rss_mb());
+    // The streaming memory cell: one Base run at SMOKE_SCALE_STREAMING
+    // through its own driver (the scale is part of the trace key), with
+    // the process peak RSS recorded alongside its work time.
+    let mut r2 = Repro::with_jobs(SMOKE_SCALE_STREAMING, 1);
+    r2.run_spec(
+        Workload::Trfd4,
+        System::Base.spec(),
+        oscache_core::Geometry::default(),
+        "Base@scale2",
+    );
+    let rss2 = peak_rss_mb();
     println!(
         "{:<24} {:>9} {:>9} {:>9} {:>9}",
         "cell", "total", "build", "prepare", "sim"
     );
-    for t in r.timings() {
+    for t in r.timings().iter().chain(r2.timings()) {
         println!(
             "{:<24} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
             compact_key(&t.key),
@@ -923,12 +1010,19 @@ fn bench(check: bool) {
             t.sim_ms
         );
     }
+    if let Some(mb) = rss2 {
+        println!("peak RSS after streaming cell: {mb:.1} MB");
+    }
+    rss_after.push(rss2);
     let cells: Vec<gate::GateCell> = r
         .timings()
         .iter()
-        .map(|t| gate::GateCell {
+        .chain(r2.timings())
+        .zip(&rss_after)
+        .map(|(t, rss)| gate::GateCell {
             key: compact_key(&t.key),
             work_ms: t.prepare_ms + t.sim_ms,
+            peak_rss_mb: *rss,
         })
         .collect();
     if !check {
@@ -981,6 +1075,9 @@ fn write_bench_json(path: &str, scale: f64, r: &Repro, warm: &WarmStats) {
     s.push_str(&format!("  \"scale\": {scale},\n"));
     s.push_str(&format!("  \"jobs\": {},\n", warm.jobs));
     s.push_str(&format!("  \"wall_ms\": {:.1},\n", warm.wall_ms));
+    if let Some(mb) = peak_rss_mb() {
+        s.push_str(&format!("  \"peak_rss_mb\": {mb:.1},\n"));
+    }
     s.push_str("  \"trace_builds\": [\n");
     let builds = r.cache().build_timings();
     for (i, b) in builds.iter().enumerate() {

@@ -17,6 +17,10 @@ pub struct GateCell {
     pub key: String,
     /// Measured work time in milliseconds.
     pub work_ms: f64,
+    /// Process peak RSS (MB) observed right after this cell completed, if
+    /// the platform exposes it. Informational: recorded in the reference
+    /// file for the memory trajectory, never part of the gate verdict.
+    pub peak_rss_mb: Option<f64>,
 }
 
 /// One cell's verdict against the reference.
@@ -83,8 +87,12 @@ pub fn render_reference(scale: f64, cells: &[GateCell]) -> String {
     let mut s = String::from("{\n  \"scale\": ");
     s.push_str(&format!("{scale},\n  \"cells\": [\n"));
     for (i, c) in cells.iter().enumerate() {
+        let rss = c
+            .peak_rss_mb
+            .map(|mb| format!(", \"peak_rss_mb\": {mb:.1}"))
+            .unwrap_or_default();
         s.push_str(&format!(
-            "    {{\"key\": \"{}\", \"work_ms\": {:.1}}}{}\n",
+            "    {{\"key\": \"{}\", \"work_ms\": {:.1}{rss}}}{}\n",
             c.key,
             c.work_ms,
             if i + 1 < cells.len() { "," } else { "" }
@@ -144,6 +152,7 @@ mod tests {
         GateCell {
             key: key.to_string(),
             work_ms,
+            peak_rss_mb: None,
         }
     }
 
@@ -215,6 +224,15 @@ mod tests {
         assert!(!report.failed());
         assert_eq!(report.rows[0].ref_ms, None);
         assert_eq!(report.rows[0].ratio, None);
+    }
+
+    #[test]
+    fn peak_rss_field_renders_and_does_not_break_parsing() {
+        let mut c = cell("TRFD_4/Base@scale2", 120.0);
+        c.peak_rss_mb = Some(87.5);
+        let r = render_reference(2.0, &[c]);
+        assert!(r.contains("\"peak_rss_mb\": 87.5"), "{r}");
+        assert_eq!(reference_ms(&r, "TRFD_4/Base@scale2"), Some(120.0));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!    misses in a profiling simulation.
 
 use oscache_memsys::CpuStats;
-use oscache_trace::{Addr, CodeLayout, DataClass, Event, Trace, WORD_SIZE};
+use oscache_trace::{
+    Addr, ChunkedTrace, CodeLayout, DataClass, Event, Trace, TraceMeta, WORD_SIZE,
+};
 use std::collections::{HashMap, HashSet};
 
 /// Maximum CPUs the profile tracks.
@@ -86,8 +88,30 @@ pub struct SharingProfile {
 /// analysis likewise excludes dynamically-allocated structures so results
 /// are repeatable across reboots (§6).
 pub fn profile_sharing(trace: &Trace) -> SharingProfile {
+    profile_streams(
+        &trace.meta,
+        trace.streams.iter().map(|s| s.events().iter().copied()),
+    )
+}
+
+/// [`profile_sharing`] over a chunked trace: the same one-pass profile,
+/// pulling events through each stream's chunk iterator so memory stays at
+/// one decode window per stream.
+pub fn profile_sharing_chunked(trace: &ChunkedTrace) -> SharingProfile {
+    profile_streams(&trace.meta, trace.streams.iter().map(|s| s.iter()))
+}
+
+/// The profiling walk, generic over the event source. The rmw peephole
+/// (adjacent read+write of one word counts as a single update) needs only
+/// a one-event lookahead, which the peekable iterator supplies across
+/// chunk boundaries.
+fn profile_streams<S, I>(meta: &TraceMeta, streams: S) -> SharingProfile
+where
+    S: Iterator<Item = I>,
+    I: Iterator<Item = Event>,
+{
     // Static-variable ranges, sorted for binary search.
-    let mut ranges: Vec<(u32, u32)> = trace.meta.vars.iter().map(|v| (v.addr.0, v.size)).collect();
+    let mut ranges: Vec<(u32, u32)> = meta.vars.iter().map(|v| (v.addr.0, v.size)).collect();
     ranges.sort_unstable();
     let in_static = |a: u32| -> bool {
         match ranges.binary_search_by(|&(s, _)| s.cmp(&a)) {
@@ -102,13 +126,12 @@ pub fn profile_sharing(trace: &Trace) -> SharingProfile {
     let word = |a: u32| a & !(WORD_SIZE - 1);
 
     let mut p = SharingProfile::default();
-    for (cpu, stream) in trace.streams.iter().enumerate() {
+    for (cpu, stream) in streams.enumerate() {
         let cpu = cpu.min(MAX_CPUS - 1);
         let mut lock_depth = 0u32;
-        let events = stream.events();
-        let mut i = 0;
-        while i < events.len() {
-            match events[i] {
+        let mut it = stream.peekable();
+        while let Some(ev) = it.next() {
+            match ev {
                 Event::LockAcquire { lock, addr } => {
                     let e = p.locks.entry(lock.0).or_insert((0, addr));
                     e.0 += 1;
@@ -128,14 +151,14 @@ pub fn profile_sharing(trace: &Trace) -> SharingProfile {
                         st.locked += 1;
                     }
                     // Adjacent read+write of the same word = one update.
-                    if let Some(Event::Write { addr: wa, .. }) = events.get(i + 1) {
+                    if let Some(Event::Write { addr: wa, .. }) = it.peek() {
                         if word(wa.0) == w {
                             st.rmw[cpu] += 1;
                             st.total += 1;
                             if lock_depth > 0 {
                                 st.locked += 1;
                             }
-                            i += 2;
+                            it.next();
                             continue;
                         }
                     }
@@ -151,7 +174,6 @@ pub fn profile_sharing(trace: &Trace) -> SharingProfile {
                 }
                 _ => {}
             }
-            i += 1;
         }
     }
     p
@@ -311,12 +333,26 @@ pub struct ClassProfile {
 /// Counts reads/writes per [`DataClass`] across the whole trace
 /// (block-operation payload references included).
 pub fn class_profile(trace: &Trace) -> HashMap<DataClass, ClassProfile> {
+    class_profile_streams(trace.streams.iter().map(|s| s.events().iter().copied()))
+}
+
+/// [`class_profile`] over a chunked trace (see [`profile_sharing_chunked`]).
+pub fn class_profile_chunked(trace: &ChunkedTrace) -> HashMap<DataClass, ClassProfile> {
+    class_profile_streams(trace.streams.iter().map(|s| s.iter()))
+}
+
+/// The counting walk shared by the flat and chunked fronts.
+fn class_profile_streams<S, I>(streams: S) -> HashMap<DataClass, ClassProfile>
+where
+    S: Iterator<Item = I>,
+    I: Iterator<Item = Event>,
+{
     let mut map: HashMap<DataClass, ClassProfile> = HashMap::new();
-    for stream in &trace.streams {
-        for e in stream.events() {
+    for stream in streams {
+        for e in stream {
             match e {
-                Event::Read { class, .. } => map.entry(*class).or_default().reads += 1,
-                Event::Write { class, .. } => map.entry(*class).or_default().writes += 1,
+                Event::Read { class, .. } => map.entry(class).or_default().reads += 1,
+                Event::Write { class, .. } => map.entry(class).or_default().writes += 1,
                 Event::LockAcquire { .. } => {
                     let p = map.entry(DataClass::LockVar).or_default();
                     p.reads += 1;
@@ -551,6 +587,41 @@ mod tests {
         ];
         assert!(conflicts_are_diffuse(&diffuse, 0.25));
         assert!(conflicts_are_diffuse(&[], 0.25));
+    }
+
+    #[test]
+    fn chunked_profiles_match_flat_profiles() {
+        let t = build(
+            Workload::Trfd4,
+            BuildOptions {
+                scale: 0.1,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let ct = ChunkedTrace::from_trace(&t);
+        let flat = profile_sharing(&t);
+        let chunked = profile_sharing_chunked(&ct);
+        assert_eq!(flat.locks, chunked.locks);
+        assert_eq!(flat.barriers, chunked.barriers);
+        assert_eq!(flat.words.len(), chunked.words.len());
+        for (addr, a) in &flat.words {
+            let b = chunked.words.get(addr).expect("word missing from chunked");
+            assert_eq!(a.rmw, b.rmw, "rmw differs at {addr:#x}");
+            assert_eq!(a.reads, b.reads, "reads differ at {addr:#x}");
+            assert_eq!(a.writes, b.writes, "writes differ at {addr:#x}");
+            assert_eq!(a.locked, b.locked, "locked differs at {addr:#x}");
+            assert_eq!(a.total, b.total, "total differs at {addr:#x}");
+        }
+        // Downstream decisions agree exactly.
+        let privatized = find_privatizable(&flat);
+        assert_eq!(privatized, find_privatizable(&chunked));
+        let fset = find_update_set(&flat, &privatized);
+        let cset = find_update_set(&chunked, &privatized);
+        assert_eq!(fset.barriers, cset.barriers);
+        assert_eq!(fset.locks, cset.locks);
+        assert_eq!(fset.vars, cset.vars);
+        assert_eq!(class_profile(&t), class_profile_chunked(&ct));
     }
 
     #[test]

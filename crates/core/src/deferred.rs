@@ -7,7 +7,7 @@
 //! 9–44% of small copies, but eliminating them removes only 0.1–0.4% of
 //! primary-cache misses.
 
-use oscache_trace::{Addr, Event, Stream, Trace, PAGE_SIZE};
+use oscache_trace::{Addr, ChunkedStreamBuilder, ChunkedTrace, Event, Stream, Trace, PAGE_SIZE};
 
 /// Counts for Table 4.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -47,48 +47,76 @@ fn overlaps(op: &CopyOp, a: Addr) -> bool {
     (a.0 >= op.src.0 && a.0 < op.src.0 + op.len) || (a.0 >= op.dst.0 && a.0 < op.dst.0 + op.len)
 }
 
+/// Abstraction over the two trace backbones for the read-only analysis,
+/// which walks every stream twice: block-op discovery, then the global
+/// write check. Flat traces hand out slice iterators; chunked traces hand
+/// out decoding chunk iterators, so the walk never materializes a stream.
+trait EventStreams {
+    /// Number of per-CPU streams.
+    fn n_streams(&self) -> usize;
+    /// A fresh pass over one stream's events.
+    fn stream_events(&self, cpu: usize) -> Box<dyn Iterator<Item = Event> + '_>;
+}
+
+impl EventStreams for Trace {
+    fn n_streams(&self) -> usize {
+        self.streams.len()
+    }
+    fn stream_events(&self, cpu: usize) -> Box<dyn Iterator<Item = Event> + '_> {
+        Box::new(self.streams[cpu].events().iter().copied())
+    }
+}
+
+impl EventStreams for ChunkedTrace {
+    fn n_streams(&self) -> usize {
+        self.streams.len()
+    }
+    fn stream_events(&self, cpu: usize) -> Box<dyn Iterator<Item = Event> + '_> {
+        Box::new(self.streams[cpu].iter())
+    }
+}
+
 /// Finds every sub-page copy and decides which are read-only: neither
 /// block is written later in the issuing CPU's stream, nor written at all
 /// by any other CPU (a conservative global check, since cross-CPU order is
 /// not fixed).
-fn analyze_ops(trace: &Trace) -> (DeferredCounts, Vec<CopyOp>) {
+fn analyze_ops(trace: &(impl EventStreams + ?Sized)) -> (DeferredCounts, Vec<CopyOp>) {
     let mut counts = DeferredCounts::default();
     let mut small_ops: Vec<CopyOp> = Vec::new();
-    for (cpu, stream) in trace.streams.iter().enumerate() {
-        let events = stream.events();
-        let mut i = 0;
-        while i < events.len() {
-            if let Event::BlockOpBegin { op } = events[i] {
-                if op.kind == oscache_trace::BlockKind::Copy {
+    for cpu in 0..trace.n_streams() {
+        // A small copy pending its matching `BlockOpEnd`. Block ops never
+        // nest (validation rejects that), so one slot suffices.
+        let mut pending: Option<(Addr, Addr, u32)> = None;
+        for (idx, e) in trace.stream_events(cpu).enumerate() {
+            match e {
+                Event::BlockOpBegin { op } if op.kind == oscache_trace::BlockKind::Copy => {
                     counts.block_copies += 1;
                     if op.len < PAGE_SIZE {
                         counts.small_copies += 1;
-                        // find the matching end
-                        let mut j = i + 1;
-                        while !matches!(events[j], Event::BlockOpEnd) {
-                            j += 1;
-                        }
-                        small_ops.push(CopyOp {
-                            cpu,
-                            end_idx: j,
-                            src: op.src,
-                            dst: op.dst,
-                            len: op.len,
-                        });
-                        i = j;
+                        pending = Some((op.src, op.dst, op.len));
                     }
                 }
+                Event::BlockOpEnd => {
+                    if let Some((src, dst, len)) = pending.take() {
+                        small_ops.push(CopyOp {
+                            cpu,
+                            end_idx: idx,
+                            src,
+                            dst,
+                            len,
+                        });
+                    }
+                }
+                _ => {}
             }
-            i += 1;
         }
     }
     // Decide read-only status.
     let mut readonly = vec![true; small_ops.len()];
-    for (cpu, stream) in trace.streams.iter().enumerate() {
-        let events = stream.events();
+    for cpu in 0..trace.n_streams() {
         let mut in_op_of: Option<usize> = None;
-        for (idx, e) in events.iter().enumerate() {
-            match *e {
+        for (idx, e) in trace.stream_events(cpu).enumerate() {
+            match e {
                 Event::BlockOpBegin { .. } => {
                     in_op_of = small_ops.iter().position(|op| {
                         op.cpu == cpu && op.end_idx > idx && op.end_idx - idx < 4096
@@ -122,6 +150,12 @@ fn analyze_ops(trace: &Trace) -> (DeferredCounts, Vec<CopyOp>) {
 
 /// Computes the Table 4 counts for a trace.
 pub fn analyze(trace: &Trace) -> DeferredCounts {
+    analyze_ops(trace).0
+}
+
+/// [`analyze`] over a chunked trace: the same two-pass walk pulling
+/// events through each stream's chunk iterator.
+pub fn analyze_chunked(trace: &ChunkedTrace) -> DeferredCounts {
     analyze_ops(trace).0
 }
 
@@ -188,6 +222,66 @@ pub fn apply_deferred_copy(trace: &Trace) -> Trace {
     out
 }
 
+/// [`apply_deferred_copy`] over a chunked trace: the identical rewrite
+/// walk, decoding one chunk at a time and re-encoding into fresh chunks.
+pub fn apply_deferred_copy_chunked(trace: &ChunkedTrace) -> ChunkedTrace {
+    let (_, ro_ops) = analyze_ops(trace);
+    let mut out = ChunkedTrace::new(trace.n_cpus(), trace.meta.clone());
+    for (cpu, stream) in trace.streams.iter().enumerate() {
+        let ops: Vec<&CopyOp> = ro_ops.iter().filter(|o| o.cpu == cpu).collect();
+        let mut b = ChunkedStreamBuilder::new();
+        let mut skip_until: Option<usize> = None;
+        for (idx, e) in stream.iter().enumerate() {
+            if let Some(end) = skip_until {
+                if idx < end {
+                    continue;
+                }
+                if idx == end {
+                    skip_until = None;
+                    continue; // skip the BlockOpEnd itself
+                }
+            }
+            if let Event::BlockOpBegin { op } = e {
+                // Several identical copies may exist; match the one whose
+                // bracket closes soonest after this begin.
+                if let Some(ro) = ops
+                    .iter()
+                    .filter(|o| {
+                        o.src == op.src && o.dst == op.dst && o.len == op.len && o.end_idx > idx
+                    })
+                    .min_by_key(|o| o.end_idx)
+                {
+                    // Remap bookkeeping: a few kernel-stack-class writes.
+                    for k in 0..4u32 {
+                        b.push(Event::Write {
+                            addr: Addr(0x0104_0000 + cpu as u32 * 4096 + 512 + k * 4),
+                            class: oscache_trace::DataClass::KernelStack,
+                        });
+                    }
+                    skip_until = Some(ro.end_idx);
+                    continue;
+                }
+            }
+            // Remap reads of removed destinations to the source.
+            if let Event::Read { addr, class } = e {
+                if let Some(ro) = ops
+                    .iter()
+                    .find(|o| idx > o.end_idx && addr.0 >= o.dst.0 && addr.0 < o.dst.0 + o.len)
+                {
+                    b.push(Event::Read {
+                        addr: Addr(ro.src.0 + (addr.0 - ro.dst.0)),
+                        class,
+                    });
+                    continue;
+                }
+            }
+            b.push(e);
+        }
+        out.streams[cpu] = b.finish();
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +341,26 @@ mod tests {
             e,
             Event::Read { addr, class: DataClass::UserData } if addr.0 == 0x1000_0008
         )));
+    }
+
+    #[test]
+    fn chunked_analysis_and_apply_match_flat() {
+        let t = oscache_workloads::build(
+            oscache_workloads::Workload::Shell,
+            oscache_workloads::BuildOptions {
+                scale: 0.05,
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let ct = ChunkedTrace::from_trace(&t);
+        assert_eq!(analyze(&t), analyze_chunked(&ct));
+        let flat = apply_deferred_copy(&t);
+        let chunked = apply_deferred_copy_chunked(&ct).to_trace();
+        assert_eq!(flat.streams.len(), chunked.streams.len());
+        for (cpu, (a, b)) in flat.streams.iter().zip(&chunked.streams).enumerate() {
+            assert_eq!(a.events(), b.events(), "cpu{cpu} rewrite differs");
+        }
     }
 
     #[test]

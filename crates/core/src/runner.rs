@@ -30,14 +30,19 @@
 
 use crate::config::{Geometry, System, SystemSpec};
 use crate::experiments::{figure6_sweep, figure7_sweep};
-use crate::sim::{self, AnalysisPrefix, AnalyzedCell, PrepPhases, PreparedCell, RunResult};
+use crate::sim::{
+    self, AnalysisPrefix, AnalyzedCell, AnalyzedCellChunked, PrepPhases, PreparedCell,
+    PreparedCellChunked, RunResult,
+};
 use crate::supervise::{
     fnv1a, lock_tolerant, CellFailure, FailureCause, Journal, JournalRecord, OnceSlot, Overrun,
     RunPolicy, RunnerError, Watchdog,
 };
 use oscache_memsys::{AuditLevel, CancelToken, SimError};
-use oscache_trace::Trace;
-use oscache_workloads::{build_shared, BuildOptions, TraceBuildKey, Workload};
+use oscache_trace::{ChunkedTrace, Trace};
+use oscache_workloads::{
+    build_chunked_shared, build_shared, BuildOptions, TraceBuildKey, Workload,
+};
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -277,12 +282,19 @@ pub struct TraceCache {
     base: Mutex<HashMap<TraceBuildKey, Arc<OnceSlot<Arc<Trace>>>>>,
     analyzed: Mutex<AnalysisMap>,
     prepared: Mutex<HashMap<CellFingerprint, Weak<PreparedCell>>>,
+    base_chunked: Mutex<HashMap<TraceBuildKey, Arc<OnceSlot<Arc<ChunkedTrace>>>>>,
+    analyzed_chunked: Mutex<AnalysisMapChunked>,
+    prepared_chunked: Mutex<HashMap<CellFingerprint, Weak<PreparedCellChunked>>>,
     results: Mutex<HashMap<CellFingerprint, RunResult>>,
     builds: Mutex<Vec<BuildTiming>>,
 }
 
 /// Write-once analysis slots keyed by base trace and spec prefix.
 type AnalysisMap = HashMap<(TraceBuildKey, AnalysisPrefix), Arc<OnceSlot<Arc<AnalyzedCell>>>>;
+
+/// The streaming path's counterpart of [`AnalysisMap`].
+type AnalysisMapChunked =
+    HashMap<(TraceBuildKey, AnalysisPrefix), Arc<OnceSlot<Arc<AnalyzedCellChunked>>>>;
 
 impl TraceCache {
     /// An empty cache.
@@ -399,24 +411,110 @@ impl TraceCache {
         (analyzed, analyze_ms)
     }
 
+    /// The (shared) chunked base trace of `workload` under `opts`, built
+    /// on first use — the streaming path's counterpart of
+    /// [`TraceCache::base`]. Generation streams straight into sealed
+    /// chunks, so no materialized `Vec<Event>` per CPU ever exists.
+    pub fn base_chunked(&self, workload: Workload, opts: BuildOptions) -> Arc<ChunkedTrace> {
+        let key = opts.key(workload);
+        let slot = {
+            let mut map = lock_tolerant(&self.base_chunked);
+            map.entry(key).or_default().clone()
+        };
+        slot.get_or_build(|| {
+            let t0 = Instant::now();
+            let trace = build_chunked_shared(workload, opts);
+            lock_tolerant(&self.builds).push(BuildTiming {
+                key,
+                ms: 1e3 * t0.elapsed().as_secs_f64(),
+                events: trace.total_events() as u64,
+            });
+            trace
+        })
+    }
+
+    /// [`TraceCache::prepared_cancellable`] for the streaming path: the
+    /// prepared chunked input for `fp`, derived from `base` on first use.
+    pub fn prepared_chunked_cancellable(
+        &self,
+        base: &ChunkedTrace,
+        fp: CellFingerprint,
+        cancel: &CancelToken,
+    ) -> Result<(Arc<PreparedCellChunked>, PrepPhases), SimError> {
+        if let Some(p) = lock_tolerant(&self.prepared_chunked)
+            .get(&fp)
+            .and_then(Weak::upgrade)
+        {
+            return Ok((
+                p,
+                PrepPhases {
+                    cached: true,
+                    ..PrepPhases::default()
+                },
+            ));
+        }
+        let analyzed = self.analyzed_chunked_for(base, fp);
+        let (built, mut phases) = sim::prepare_from_analysis_chunked_cancellable(
+            base,
+            &analyzed.0,
+            fp.spec,
+            fp.geometry,
+            fp.audit,
+            cancel,
+        )?;
+        phases.analyze_ms = analyzed.1;
+        let built = Arc::new(built);
+        // First live writer wins, so concurrent preparers agree.
+        let mut map = lock_tolerant(&self.prepared_chunked);
+        Ok(match map.get(&fp).and_then(Weak::upgrade) {
+            Some(existing) => (existing, phases),
+            None => {
+                map.insert(fp, Arc::downgrade(&built));
+                (built, phases)
+            }
+        })
+    }
+
+    /// [`TraceCache::analyzed_for`] for the streaming path.
+    fn analyzed_chunked_for(
+        &self,
+        base: &ChunkedTrace,
+        fp: CellFingerprint,
+    ) -> (Arc<AnalyzedCellChunked>, f64) {
+        let key = (fp.base, AnalysisPrefix::of(fp.spec));
+        let slot = {
+            let mut map = lock_tolerant(&self.analyzed_chunked);
+            map.entry(key).or_default().clone()
+        };
+        let mut analyze_ms = 0.0;
+        let analyzed = slot.get_or_build(|| {
+            let t0 = Instant::now();
+            let a = Arc::new(sim::analyze_cell_chunked(base, fp.spec));
+            analyze_ms = 1e3 * t0.elapsed().as_secs_f64();
+            a
+        });
+        (analyzed, analyze_ms)
+    }
+
     /// Timings of every base-trace build so far, in build order.
     pub fn build_timings(&self) -> Vec<BuildTiming> {
         lock_tolerant(&self.builds).clone()
     }
 
-    /// Number of distinct base traces built.
+    /// Number of distinct base traces built (across both the materialized
+    /// and the streaming map; a process normally populates only one).
     pub fn base_len(&self) -> usize {
-        lock_tolerant(&self.base).len()
+        lock_tolerant(&self.base).len() + lock_tolerant(&self.base_chunked).len()
     }
 
     /// Number of distinct prepared cells cached.
     pub fn prepared_len(&self) -> usize {
-        lock_tolerant(&self.prepared).len()
+        lock_tolerant(&self.prepared).len() + lock_tolerant(&self.prepared_chunked).len()
     }
 
     /// Number of distinct geometry-independent analyses cached.
     pub fn analyzed_len(&self) -> usize {
-        lock_tolerant(&self.analyzed).len()
+        lock_tolerant(&self.analyzed).len() + lock_tolerant(&self.analyzed_chunked).len()
     }
 }
 
@@ -492,6 +590,9 @@ fn run_cell_inner(
     share_result: bool,
     cancel: &CancelToken,
 ) -> Result<CellOutcome, SimError> {
+    if sim::streaming_enabled() {
+        return run_cell_inner_chunked(cache, opts, cell, fp, share_result, cancel);
+    }
     let t0 = Instant::now();
     let base = cache.base(cell.workload, opts);
     let built = Instant::now();
@@ -517,6 +618,68 @@ fn run_cell_inner(
     let (prepared, phases) = cache.prepared_cancellable(&base, fp, cancel)?;
     let prep = Instant::now();
     let result = sim::run_prepared_cancellable(
+        &base,
+        &prepared,
+        cell.spec,
+        cell.geometry,
+        AuditLevel::Off,
+        cancel,
+    )?;
+    if share_result {
+        cache.store_result(fp, result.clone());
+    }
+    let done = Instant::now();
+    Ok(CellOutcome {
+        cell: cell.clone(),
+        result,
+        ms: 1e3 * (done - t0).as_secs_f64(),
+        build_ms: 1e3 * (built - t0).as_secs_f64(),
+        prepare_ms: 1e3 * (prep - built).as_secs_f64(),
+        sim_ms: 1e3 * (done - prep).as_secs_f64(),
+        phases,
+        attempt: 0,
+        journaled: false,
+    })
+}
+
+/// The streaming (chunked) body of [`run_cell_inner`]: identical phase
+/// structure and timing bookkeeping, but every stage — generation, the
+/// software passes, and the final machine run — consumes and produces the
+/// columnar chunked representation, so no stage ever materializes a
+/// per-CPU `Vec<Event>` of the whole trace.
+fn run_cell_inner_chunked(
+    cache: &TraceCache,
+    opts: BuildOptions,
+    cell: &Cell,
+    fp: CellFingerprint,
+    share_result: bool,
+    cancel: &CancelToken,
+) -> Result<CellOutcome, SimError> {
+    let t0 = Instant::now();
+    let base = cache.base_chunked(cell.workload, opts);
+    let built = Instant::now();
+    if share_result {
+        if let Some(result) = cache.shared_result(&fp) {
+            let done = Instant::now();
+            return Ok(CellOutcome {
+                cell: cell.clone(),
+                result,
+                ms: 1e3 * (done - t0).as_secs_f64(),
+                build_ms: 1e3 * (built - t0).as_secs_f64(),
+                prepare_ms: 0.0,
+                sim_ms: 1e3 * (done - built).as_secs_f64(),
+                phases: PrepPhases {
+                    cached: true,
+                    ..PrepPhases::default()
+                },
+                attempt: 0,
+                journaled: false,
+            });
+        }
+    }
+    let (prepared, phases) = cache.prepared_chunked_cancellable(&base, fp, cancel)?;
+    let prep = Instant::now();
+    let result = sim::run_prepared_chunked_cancellable(
         &base,
         &prepared,
         cell.spec,

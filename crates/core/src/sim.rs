@@ -5,10 +5,21 @@ use crate::analysis;
 use crate::config::{Geometry, System, SystemSpec, UpdatePolicy};
 use crate::transform;
 use oscache_memsys::{AuditLevel, CancelToken, Machine, PageSet, SimError, SimStats};
-use oscache_trace::Trace;
+use oscache_trace::{ChunkedTrace, Trace};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Instant;
+
+/// Whether the streaming chunked pipeline is active (the default). Setting
+/// `REPRO_NO_STREAMING` to any non-empty value other than `0` routes every
+/// run through the materialized flat-`Vec` path instead — the equivalence
+/// oracle CI pins goldens against. Mirrors the `REPRO_NO_SPECIALIZE` gate.
+pub fn streaming_enabled() -> bool {
+    match std::env::var_os("REPRO_NO_STREAMING") {
+        Some(v) => v.is_empty() || v == "0",
+        None => true,
+    }
+}
 
 /// The outcome of simulating one (workload, system, geometry) point.
 #[derive(Clone, Debug)]
@@ -428,6 +439,271 @@ pub fn run_prepared_cancellable(
     })
 }
 
+/// [`AnalyzedCell`] for the streaming pipeline: the same
+/// geometry-independent prefix state over the chunked backbone.
+#[derive(Debug, Default)]
+pub struct AnalyzedCellChunked {
+    /// Working trace after the prefix passes, or `None` (base is usable).
+    pub trace: Option<Arc<ChunkedTrace>>,
+    /// Pages mapped with the update protocol (§5.2).
+    pub update_pages: PageSet,
+    /// Per-site hot-spot insertion plan over the working trace.
+    hot_plan: OnceLock<transform::HotspotPlan>,
+    /// Materialized hot-spot rewrites keyed by the hot-site vector, held
+    /// weakly (same rationale as [`AnalyzedCell::hot`]).
+    hot: Mutex<HashMap<Vec<u16>, Weak<ChunkedTrace>>>,
+}
+
+/// [`PreparedCell`] for the streaming pipeline.
+#[derive(Clone, Debug)]
+pub struct PreparedCellChunked {
+    /// The rewritten trace, or `None` when no pass touched it.
+    pub trace: Option<Arc<ChunkedTrace>>,
+    /// Pages mapped with the update protocol (§5.2).
+    pub update_pages: PageSet,
+    /// Whether the working trace passed validation during preparation
+    /// (see [`PreparedCell::validated`]).
+    pub validated: bool,
+}
+
+/// [`analyze_cell`] over the chunked backbone: every pass streams
+/// chunk-by-chunk — deferred copy, coloring, profiling, and the fused
+/// privatize/relocate rewrite each hold one decode window plus one open
+/// output chunk per stream, never a materialized `Vec<Event>`. The plans
+/// themselves ([`transform::false_sharing_plan_meta`] etc.) read only the
+/// metadata. Produces rewrites event-identical to [`analyze_cell`] on the
+/// decoded trace (pinned by the streaming oracle tests).
+pub fn analyze_cell_chunked(trace: &ChunkedTrace, spec: SystemSpec) -> AnalyzedCellChunked {
+    let mut update_pages = PageSet::new();
+    let mut owned: Option<ChunkedTrace> = None;
+
+    if spec.deferred_copy {
+        owned = Some(crate::deferred::apply_deferred_copy_chunked(
+            owned.as_ref().unwrap_or(trace),
+        ));
+    }
+
+    if spec.page_coloring {
+        let l2_size = Geometry::default().machine_config(&spec).l2.size;
+        let working = owned.as_ref().unwrap_or(trace);
+        let colored = transform::TransformPipeline::new()
+            .coloring_chunked(working, l2_size)
+            .run_chunked(working);
+        owned = Some(colored);
+    }
+
+    if spec.privatize || spec.relocate || spec.update != UpdatePolicy::None {
+        let working = owned.as_ref().unwrap_or(trace);
+        let profile = analysis::profile_sharing_chunked(working);
+        let privatized = if spec.privatize {
+            analysis::find_privatizable(&profile)
+        } else {
+            Vec::new()
+        };
+        let mut plan = transform::RelocationMap::new();
+        let mut placed: HashSet<u32> = HashSet::new();
+        if spec.update == UpdatePolicy::Selective {
+            let set = analysis::find_update_set(&profile, &privatized);
+            let (upd_plan, pages) = transform::update_page_plan_meta(&working.meta, &set);
+            update_pages = pages.into_iter().collect();
+            for w in set.all_words() {
+                if let Some(v) = working.meta.var_at(w) {
+                    placed.insert(v.addr.0);
+                } else {
+                    placed.insert(w.0);
+                }
+            }
+            plan = upd_plan;
+        }
+        if spec.relocate {
+            let fs = transform::false_sharing_plan_meta(&working.meta, &placed);
+            for v in &working.meta.vars {
+                if v.false_shared_group.is_some()
+                    && !placed.contains(&v.addr.0)
+                    && plan.lookup(v.addr).is_none()
+                {
+                    if let Some(new) = fs.lookup(v.addr) {
+                        plan.add(v.addr, v.size, new);
+                    }
+                }
+            }
+        }
+        plan.finish();
+        let mut pipe = transform::TransformPipeline::new();
+        if spec.privatize && !privatized.is_empty() {
+            pipe = pipe.privatize(&privatized);
+        }
+        if !plan.is_empty() {
+            pipe = pipe.relocate(&plan);
+        }
+        let rewritten = pipe.run_chunked(working);
+        owned = Some(rewritten);
+    }
+
+    if spec.update == UpdatePolicy::Full {
+        let working = owned.as_ref().unwrap_or(trace);
+        update_pages = transform::full_update_pages_meta(&working.meta)
+            .into_iter()
+            .collect();
+    }
+
+    AnalyzedCellChunked {
+        trace: owned.map(Arc::new),
+        update_pages,
+        hot_plan: OnceLock::new(),
+        hot: Mutex::new(HashMap::new()),
+    }
+}
+
+/// [`prepare_from_analysis`] over the chunked backbone.
+pub fn prepare_from_analysis_chunked(
+    trace: &ChunkedTrace,
+    analyzed: &AnalyzedCellChunked,
+    spec: SystemSpec,
+    geometry: Geometry,
+    audit: AuditLevel,
+) -> Result<(PreparedCellChunked, PrepPhases), SimError> {
+    prepare_from_analysis_chunked_cancellable(
+        trace,
+        analyzed,
+        spec,
+        geometry,
+        audit,
+        &CancelToken::none(),
+    )
+}
+
+/// [`prepare_from_analysis_cancellable`] over the chunked backbone: the
+/// hot-spot profiling replay pulls events through the machine's per-CPU
+/// decode windows, and the prefetch-insertion rewrite is the forward merge
+/// of [`transform::HotspotPlan::materialize_chunked`].
+pub fn prepare_from_analysis_chunked_cancellable(
+    trace: &ChunkedTrace,
+    analyzed: &AnalyzedCellChunked,
+    spec: SystemSpec,
+    geometry: Geometry,
+    audit: AuditLevel,
+    cancel: &CancelToken,
+) -> Result<(PreparedCellChunked, PrepPhases), SimError> {
+    let mut phases = PrepPhases::default();
+    let mut out = analyzed.trace.clone();
+
+    if spec.hotspot_prefetch {
+        let working: &ChunkedTrace = analyzed.trace.as_deref().unwrap_or(trace);
+        let t0 = Instant::now();
+        let mut cfg = geometry.machine_config(&spec);
+        cfg.n_cpus = trace.n_cpus();
+        cfg.update_pages = analyzed.update_pages.clone();
+        cfg.cancel = cancel.clone();
+        let profile_stats = if audit == AuditLevel::Off {
+            oscache_memsys::profile_os_misses_chunked(cfg, working)?
+        } else {
+            cfg.audit = audit;
+            Machine::new_chunked(cfg, working)?.run()?
+        };
+        let hot = analysis::find_hot_spots(&profile_stats.total(), &working.meta.code);
+        phases.profile_ms = 1e3 * t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let hit = analyzed
+            .hot
+            .lock()
+            .expect("hot cache poisoned")
+            .get(&hot)
+            .and_then(Weak::upgrade);
+        let rewritten = match hit {
+            Some(t) => t,
+            None => {
+                let plan = analyzed
+                    .hot_plan
+                    .get_or_init(|| transform::HotspotPlan::build_chunked(working));
+                let t = Arc::new(plan.materialize_chunked(working, &hot));
+                // First live writer wins, so concurrent preparers agree.
+                let mut map = analyzed.hot.lock().expect("hot cache poisoned");
+                match map.get(&hot).and_then(Weak::upgrade) {
+                    Some(existing) => existing,
+                    None => {
+                        map.insert(hot, Arc::downgrade(&t));
+                        t
+                    }
+                }
+            }
+        };
+        out = Some(rewritten);
+        phases.rewrite_ms = 1e3 * t1.elapsed().as_secs_f64();
+    }
+
+    // Single validation point, as in the flat pipeline: the chunk walk
+    // decodes one window at a time.
+    let working: &ChunkedTrace = out.as_deref().unwrap_or(trace);
+    working
+        .validate_for_cpus(trace.n_cpus())
+        .map_err(SimError::from_trace)?;
+
+    Ok((
+        PreparedCellChunked {
+            trace: out,
+            update_pages: analyzed.update_pages.clone(),
+            validated: true,
+        },
+        phases,
+    ))
+}
+
+/// [`run_prepared`] over the chunked backbone.
+pub fn run_prepared_chunked(
+    trace: &ChunkedTrace,
+    prepared: &PreparedCellChunked,
+    spec: SystemSpec,
+    geometry: Geometry,
+    audit: AuditLevel,
+) -> Result<RunResult, SimError> {
+    run_prepared_chunked_cancellable(trace, prepared, spec, geometry, audit, &CancelToken::none())
+}
+
+/// [`run_prepared_cancellable`] over the chunked backbone: the machine
+/// pulls decoded events through small per-CPU windows, so the run's peak
+/// memory is the encoded chunks plus O(n_cpus) decode windows.
+pub fn run_prepared_chunked_cancellable(
+    trace: &ChunkedTrace,
+    prepared: &PreparedCellChunked,
+    spec: SystemSpec,
+    geometry: Geometry,
+    audit: AuditLevel,
+    cancel: &CancelToken,
+) -> Result<RunResult, SimError> {
+    let mut cfg = geometry.machine_config(&spec);
+    cfg.n_cpus = trace.n_cpus();
+    cfg.update_pages = prepared.update_pages.clone();
+    cfg.audit = audit;
+    cfg.cancel = cancel.clone();
+    let working = prepared.trace.as_deref().unwrap_or(trace);
+    let stats = if prepared.validated {
+        Machine::with_recording_prevalidated_chunked(cfg, working, true)?.run()?
+    } else {
+        Machine::new_chunked(cfg, working)?.run()?
+    };
+    Ok(RunResult {
+        stats,
+        spec,
+        geometry,
+    })
+}
+
+/// [`try_run_spec_audited`] over the chunked backbone: analyze, prepare,
+/// run — every phase streaming.
+pub fn try_run_spec_audited_chunked(
+    trace: &ChunkedTrace,
+    spec: SystemSpec,
+    geometry: Geometry,
+    audit: AuditLevel,
+) -> Result<RunResult, SimError> {
+    let analyzed = analyze_cell_chunked(trace, spec);
+    let (prepared, _phases) =
+        prepare_from_analysis_chunked(trace, &analyzed, spec, geometry, audit)?;
+    run_prepared_chunked(trace, &prepared, spec, geometry, audit)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,6 +789,28 @@ mod tests {
             tr(&relup),
             tr(&reloc)
         );
+    }
+
+    #[test]
+    fn chunked_pipeline_matches_flat_pipeline_end_to_end() {
+        let t = trace();
+        let ct = ChunkedTrace::from_trace(&t);
+        // BCPref exercises every pass: deferred block schemes aside, it
+        // colors nothing but privatizes, relocates, updates, and inserts
+        // hot-spot prefetches (a profiling replay inside preparation).
+        for system in [System::Base, System::BCohRelUp, System::BCPref] {
+            let flat =
+                try_run_spec_audited(&t, system.spec(), Geometry::default(), AuditLevel::Off)
+                    .expect("flat run");
+            let chunked = try_run_spec_audited_chunked(
+                &ct,
+                system.spec(),
+                Geometry::default(),
+                AuditLevel::Off,
+            )
+            .expect("chunked run");
+            assert_eq!(flat.stats, chunked.stats, "{system:?} stats diverge");
+        }
     }
 
     #[test]

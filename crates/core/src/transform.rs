@@ -18,7 +18,9 @@
 //! on verbatim in [`compat`] as the equivalence oracle.
 
 use crate::analysis::UpdateSet;
-use oscache_trace::{Addr, DataClass, Event, Stream, Trace, WORD_SIZE};
+use oscache_trace::{
+    Addr, ChunkedStreamBuilder, ChunkedTrace, DataClass, Event, Stream, Trace, TraceMeta, WORD_SIZE,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Base of the per-CPU private-counter area.
@@ -147,9 +149,15 @@ impl RelocationMap {
 /// Builds the §5.1 relocation plan: every variable in a false-sharing
 /// group moves to its own [`SLOT`]-aligned home.
 pub fn false_sharing_plan(trace: &Trace, skip: &HashSet<u32>) -> RelocationMap {
+    false_sharing_plan_meta(&trace.meta, skip)
+}
+
+/// [`false_sharing_plan`] from the metadata alone — the plan never reads
+/// the event streams, so chunked pipelines call this without decoding.
+pub fn false_sharing_plan_meta(meta: &TraceMeta, skip: &HashSet<u32>) -> RelocationMap {
     let mut map = RelocationMap::new();
     let mut next = RELOC_BASE;
-    for v in &trace.meta.vars {
+    for v in &meta.vars {
         if v.false_shared_group.is_none() || skip.contains(&v.addr.0) {
             continue;
         }
@@ -163,12 +171,18 @@ pub fn false_sharing_plan(trace: &Trace, skip: &HashSet<u32>) -> RelocationMap {
 /// Builds the §5.2 update-page plan: each update-set member gets its own
 /// line in the update page. Returns the plan and the update-mapped pages.
 pub fn update_page_plan(trace: &Trace, set: &UpdateSet) -> (RelocationMap, HashSet<u32>) {
+    update_page_plan_meta(&trace.meta, set)
+}
+
+/// [`update_page_plan`] from the metadata alone (see
+/// [`false_sharing_plan_meta`]).
+pub fn update_page_plan_meta(meta: &TraceMeta, set: &UpdateSet) -> (RelocationMap, HashSet<u32>) {
     let mut map = RelocationMap::new();
     let mut next = UPDATE_PAGE_BASE;
     let mut pages = HashSet::new();
     for w in set.all_words() {
         // Move the whole containing variable when known, else the word.
-        let (start, len) = match trace.meta.var_at(w) {
+        let (start, len) = match meta.var_at(w) {
             Some(v) => (v.addr, v.size),
             None => (Addr(w.0 & !(WORD_SIZE - 1)), WORD_SIZE),
         };
@@ -245,84 +259,99 @@ impl HotspotPlan {
         let streams = trace
             .streams
             .iter()
-            .map(|stream| {
-                let events = stream.events();
-                let mut ins: Vec<HotInsertion> = Vec::new();
-                let mut cur_site: Option<u16> = None;
-                let mut site_is_loop = false;
-                let mut in_blockop = false;
-                let mut recent_lines: Vec<u32> = Vec::new();
-                let mut window: VecDeque<(bool, u32)> = VecDeque::with_capacity(HOIST_LIMIT + 1);
-                for (i, &e) in events.iter().enumerate() {
-                    let i = i as u32;
-                    match e {
-                        Event::Exec { block } => {
-                            let bb = trace.meta.code.block(block);
-                            if cur_site != Some(bb.site.0) {
-                                cur_site = Some(bb.site.0);
-                                site_is_loop = trace.meta.code.site(bb.site).is_loop;
-                                recent_lines.clear();
-                            }
-                        }
-                        Event::BlockOpBegin { .. } => in_blockop = true,
-                        Event::BlockOpEnd => in_blockop = false,
-                        Event::Read { addr, class } if !in_blockop && cur_site.is_some() => {
-                            let site = cur_site.expect("guarded");
-                            let line = addr.0 & !15;
-                            if !recent_lines.contains(&line) {
-                                recent_lines.push(line);
-                                if recent_lines.len() > 16 {
-                                    recent_lines.remove(0);
-                                }
-                                if site_is_loop {
-                                    ins.push(HotInsertion {
-                                        before: i,
-                                        site,
-                                        first: Event::Prefetch {
-                                            addr: addr.offset(LOOP_AHEAD),
-                                            class,
-                                        },
-                                        second: Some(Event::Prefetch { addr, class }),
-                                    });
-                                } else {
-                                    let mut target = i;
-                                    for (hoisted, &(blocks, p)) in window.iter().rev().enumerate() {
-                                        if blocks || hoisted >= HOIST_LIMIT {
-                                            break;
-                                        }
-                                        target = p;
-                                    }
-                                    ins.push(HotInsertion {
-                                        before: target,
-                                        site,
-                                        first: Event::Prefetch { addr, class },
-                                        second: None,
-                                    });
-                                }
-                            }
-                        }
-                        _ => {}
-                    }
-                    let blocks = matches!(
-                        e,
-                        Event::LockAcquire { .. }
-                            | Event::LockRelease { .. }
-                            | Event::Barrier { .. }
-                            | Event::BlockOpBegin { .. }
-                            | Event::BlockOpEnd
-                            | Event::SetMode { .. }
-                            | Event::Idle { .. }
-                    );
-                    window.push_back((blocks, i));
-                    if window.len() > HOIST_LIMIT {
-                        window.pop_front();
-                    }
-                }
-                ins.sort_by_key(|it| it.before);
-                ins
-            })
+            .map(|stream| Self::build_stream(&trace.meta, stream.events().iter().copied()))
             .collect();
         HotspotPlan { streams }
+    }
+
+    /// [`HotspotPlan::build`] over a chunked trace: the identical one-pass
+    /// walk pulling events through each stream's chunk iterator, so the
+    /// plan is computed in O(decode window) memory.
+    pub fn build_chunked(trace: &ChunkedTrace) -> Self {
+        let streams = trace
+            .streams
+            .iter()
+            .map(|stream| Self::build_stream(&trace.meta, stream.iter()))
+            .collect();
+        HotspotPlan { streams }
+    }
+
+    /// One stream's plan: the per-site bookkeeping walk, generic over the
+    /// event source so flat slices and chunk iterators share it verbatim.
+    fn build_stream(meta: &TraceMeta, events: impl Iterator<Item = Event>) -> Vec<HotInsertion> {
+        let mut ins: Vec<HotInsertion> = Vec::new();
+        let mut cur_site: Option<u16> = None;
+        let mut site_is_loop = false;
+        let mut in_blockop = false;
+        let mut recent_lines: Vec<u32> = Vec::new();
+        let mut window: VecDeque<(bool, u32)> = VecDeque::with_capacity(HOIST_LIMIT + 1);
+        for (i, e) in events.enumerate() {
+            let i = i as u32;
+            match e {
+                Event::Exec { block } => {
+                    let bb = meta.code.block(block);
+                    if cur_site != Some(bb.site.0) {
+                        cur_site = Some(bb.site.0);
+                        site_is_loop = meta.code.site(bb.site).is_loop;
+                        recent_lines.clear();
+                    }
+                }
+                Event::BlockOpBegin { .. } => in_blockop = true,
+                Event::BlockOpEnd => in_blockop = false,
+                Event::Read { addr, class } if !in_blockop && cur_site.is_some() => {
+                    let site = cur_site.expect("guarded");
+                    let line = addr.0 & !15;
+                    if !recent_lines.contains(&line) {
+                        recent_lines.push(line);
+                        if recent_lines.len() > 16 {
+                            recent_lines.remove(0);
+                        }
+                        if site_is_loop {
+                            ins.push(HotInsertion {
+                                before: i,
+                                site,
+                                first: Event::Prefetch {
+                                    addr: addr.offset(LOOP_AHEAD),
+                                    class,
+                                },
+                                second: Some(Event::Prefetch { addr, class }),
+                            });
+                        } else {
+                            let mut target = i;
+                            for (hoisted, &(blocks, p)) in window.iter().rev().enumerate() {
+                                if blocks || hoisted >= HOIST_LIMIT {
+                                    break;
+                                }
+                                target = p;
+                            }
+                            ins.push(HotInsertion {
+                                before: target,
+                                site,
+                                first: Event::Prefetch { addr, class },
+                                second: None,
+                            });
+                        }
+                    }
+                }
+                _ => {}
+            }
+            let blocks = matches!(
+                e,
+                Event::LockAcquire { .. }
+                    | Event::LockRelease { .. }
+                    | Event::Barrier { .. }
+                    | Event::BlockOpBegin { .. }
+                    | Event::BlockOpEnd
+                    | Event::SetMode { .. }
+                    | Event::Idle { .. }
+            );
+            window.push_back((blocks, i));
+            if window.len() > HOIST_LIMIT {
+                window.pop_front();
+            }
+        }
+        ins.sort_by_key(|it| it.before);
+        ins
     }
 
     /// Emits the rewrite for `hot_sites` over the same `trace` the plan
@@ -360,6 +389,49 @@ impl HotspotPlan {
             }
             buf.extend_from_slice(&events[prev..]);
             out.streams[cpu] = Stream::from_events(buf);
+        }
+        out
+    }
+
+    /// [`HotspotPlan::materialize`] over a chunked trace: the same merge,
+    /// run as a forward pass over each stream's chunk iterator against the
+    /// `before`-sorted insertion list, re-encoding into fresh chunks. The
+    /// plan must have been built over an event-identical trace
+    /// ([`HotspotPlan::build_chunked`] on this trace, or
+    /// [`HotspotPlan::build`] on its decoded equivalent).
+    pub fn materialize_chunked(&self, trace: &ChunkedTrace, hot_sites: &[u16]) -> ChunkedTrace {
+        let mut hot = vec![false; 1 << 16];
+        for &s in hot_sites {
+            hot[usize::from(s)] = true;
+        }
+        let mut out = ChunkedTrace::new(trace.n_cpus(), trace.meta.clone());
+        for (cpu, stream) in trace.streams.iter().enumerate() {
+            let mut b = ChunkedStreamBuilder::new();
+            let mut ins = self.streams[cpu]
+                .iter()
+                .filter(|it| hot[usize::from(it.site)])
+                .peekable();
+            for (i, e) in stream.iter().enumerate() {
+                // Insertions sharing one boundary keep their plan order.
+                while let Some(it) = ins.peek() {
+                    if it.before as usize != i {
+                        break;
+                    }
+                    b.push(it.first);
+                    if let Some(second) = it.second {
+                        b.push(second);
+                    }
+                    ins.next();
+                }
+                b.push(e);
+            }
+            for it in ins {
+                b.push(it.first);
+                if let Some(second) = it.second {
+                    b.push(second);
+                }
+            }
+            out.streams[cpu] = b.finish();
         }
         out
     }
@@ -410,9 +482,13 @@ pub fn color_pages(trace: &Trace, l2_size: u32) -> Trace {
 /// Collects the pages of every static kernel variable (for the
 /// full-update ablation).
 pub fn static_pages(trace: &Trace) -> HashSet<u32> {
-    trace
-        .meta
-        .vars
+    static_pages_meta(&trace.meta)
+}
+
+/// [`static_pages`] from the metadata alone (see
+/// [`false_sharing_plan_meta`]).
+pub fn static_pages_meta(meta: &TraceMeta) -> HashSet<u32> {
+    meta.vars
         .iter()
         .flat_map(|v| {
             let first = v.addr.page();
@@ -426,8 +502,14 @@ pub fn static_pages(trace: &Trace) -> HashSet<u32> {
 /// plus the transformed areas (§5.2's comparison point — "a pure update
 /// protocol" over operating-system variables).
 pub fn full_update_pages(trace: &Trace) -> HashSet<u32> {
-    let mut pages = static_pages(trace);
-    for &(base, len) in &trace.meta.kernel_data {
+    full_update_pages_meta(&trace.meta)
+}
+
+/// [`full_update_pages`] from the metadata alone (see
+/// [`false_sharing_plan_meta`]).
+pub fn full_update_pages_meta(meta: &TraceMeta) -> HashSet<u32> {
+    let mut pages = static_pages_meta(meta);
+    for &(base, len) in &meta.kernel_data {
         let first = base.page();
         let last = Addr(base.0 + len.max(1) - 1).page();
         pages.extend(first..=last);
@@ -438,6 +520,53 @@ pub fn full_update_pages(trace: &Trace) -> HashSet<u32> {
         }
     }
     pages
+}
+
+/// Builds the coloring stage's first-touch page map: pages of colorable
+/// classes are assigned round-robin over `l2_size / PAGE_SIZE` colors in
+/// the order they first appear, walking streams in CPU order. Shared by
+/// the flat and chunked pipeline fronts so both produce the same map.
+fn first_touch_color_map<S, I>(streams: S, l2_size: u32) -> HashMap<u32, u32>
+where
+    S: Iterator<Item = I>,
+    I: Iterator<Item = Event>,
+{
+    let colors = (l2_size / oscache_trace::PAGE_SIZE).max(1);
+    let mut map: HashMap<u32, u32> = HashMap::new();
+    let mut next_color = 0u32;
+    let mut rounds = vec![0u32; colors as usize];
+    let mut assign = |map: &mut HashMap<u32, u32>, page: u32| {
+        map.entry(page).or_insert_with(|| {
+            let color = next_color % colors;
+            let round = rounds[color as usize];
+            rounds[color as usize] += 1;
+            next_color += 1;
+            COLOR_BASE_PAGE + round * colors + color
+        });
+    };
+    for stream in streams {
+        for e in stream {
+            match e {
+                Event::Read { addr, class }
+                | Event::Write { addr, class }
+                | Event::Prefetch { addr, class }
+                    if colorable(class) =>
+                {
+                    assign(&mut map, addr.page());
+                }
+                Event::BlockOpBegin { op } => {
+                    if colorable(op.src_class) {
+                        assign(&mut map, op.src.page());
+                    }
+                    if colorable(op.dst_class) {
+                        assign(&mut map, op.dst.page());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    map
 }
 
 /// A fused trace rewrite: any combination of the software passes applied
@@ -492,42 +621,21 @@ impl<'a> TransformPipeline<'a> {
     /// Enables page coloring. The first-touch page map is computed here,
     /// from `trace` — pass the same trace to [`TransformPipeline::run`].
     pub fn coloring(mut self, trace: &Trace, l2_size: u32) -> Self {
-        let colors = (l2_size / oscache_trace::PAGE_SIZE).max(1);
-        let mut map: HashMap<u32, u32> = HashMap::new();
-        let mut next_color = 0u32;
-        let mut rounds = vec![0u32; colors as usize];
-        let mut assign = |map: &mut HashMap<u32, u32>, page: u32| {
-            map.entry(page).or_insert_with(|| {
-                let color = next_color % colors;
-                let round = rounds[color as usize];
-                rounds[color as usize] += 1;
-                next_color += 1;
-                COLOR_BASE_PAGE + round * colors + color
-            });
-        };
-        for stream in &trace.streams {
-            for e in stream.events() {
-                match *e {
-                    Event::Read { addr, class }
-                    | Event::Write { addr, class }
-                    | Event::Prefetch { addr, class }
-                        if colorable(class) =>
-                    {
-                        assign(&mut map, addr.page());
-                    }
-                    Event::BlockOpBegin { op } => {
-                        if colorable(op.src_class) {
-                            assign(&mut map, op.src.page());
-                        }
-                        if colorable(op.dst_class) {
-                            assign(&mut map, op.dst.page());
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
-        self.color = Some(map);
+        self.color = Some(first_touch_color_map(
+            trace.streams.iter().map(|s| s.events().iter().copied()),
+            l2_size,
+        ));
+        self
+    }
+
+    /// [`TransformPipeline::coloring`] over a chunked trace: the same
+    /// first-touch map, built by streaming each chunk through one decode
+    /// window instead of walking materialized streams.
+    pub fn coloring_chunked(mut self, trace: &ChunkedTrace, l2_size: u32) -> Self {
+        self.color = Some(first_touch_color_map(
+            trace.streams.iter().map(|s| s.iter()),
+            l2_size,
+        ));
         self
     }
 
@@ -841,6 +949,116 @@ impl<'a> TransformPipeline<'a> {
                 i += 1;
             }
             out.streams[cpu] = Stream::from_events(buf);
+        }
+        out
+    }
+
+    /// Emits one post-privatization event through relocation and escape
+    /// instrumentation straight into a chunk builder. The chunked front
+    /// has no hot-spot stage ([`TransformPipeline::run_chunked`] asserts
+    /// it off), so emission never needs to reach back into sealed chunks.
+    fn emit_chunked(&self, meta: &TraceMeta, out: &mut ChunkedStreamBuilder, e: Event) {
+        let e = self.apply_reloc(e);
+        out.push(e);
+        if self.escapes {
+            if let Event::Exec { block } = e {
+                let bb = meta.code.block(block);
+                out.push(Event::Read {
+                    addr: Addr(bb.start.0 | 1),
+                    class: DataClass::KernelOther,
+                });
+            }
+        }
+    }
+
+    /// Runs the enabled stages over a chunked trace, decoding one chunk at
+    /// a time and re-encoding into fresh chunks: peak memory per stream is
+    /// one decode window plus one open output chunk, independent of trace
+    /// length. Event-for-event identical to decoding the whole trace and
+    /// running [`TransformPipeline::run`] (pinned by the `chunked_*`
+    /// tests): coloring and relocation are pure per-event maps, and
+    /// privatization's two-event peephole needs only a one-event lookahead,
+    /// which the peekable chunk iterator provides across chunk boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hot-spot stage is enabled: its backward hoisting
+    /// would have to rewrite already-sealed chunks. Chunked callers insert
+    /// prefetches through [`HotspotPlan::materialize_chunked`], whose
+    /// insertions are forward-merged.
+    pub fn run_chunked(&self, trace: &ChunkedTrace) -> ChunkedTrace {
+        assert!(
+            self.hot.is_none(),
+            "hot-spot insertion over chunked traces goes through HotspotPlan"
+        );
+        let n_cpus = trace.n_cpus();
+        let mut out = ChunkedTrace::new(n_cpus, trace.meta.clone());
+        for (cpu, stream) in trace.streams.iter().enumerate() {
+            let mut b = ChunkedStreamBuilder::new();
+            let mut it = stream.iter().peekable();
+            while let Some(e) = it.next() {
+                let e = self.apply_color(e);
+                if let Some(index) = &self.privatize {
+                    match e {
+                        Event::Read { addr, class } => {
+                            let w = addr.0 & !(WORD_SIZE - 1);
+                            if let Some(&idx) = index.get(&w) {
+                                // Update (read+write pair) → private copy.
+                                // As in `run`, the lookahead sees the
+                                // *colored* next event.
+                                let paired = it.peek().is_some_and(|&n| {
+                                    matches!(
+                                        self.apply_color(n),
+                                        Event::Write { addr: wa, .. }
+                                            if wa.0 & !(WORD_SIZE - 1) == w
+                                    )
+                                });
+                                if paired {
+                                    it.next();
+                                    let p = private_copy_addr(idx, cpu);
+                                    let meta = &trace.meta;
+                                    self.emit_chunked(meta, &mut b, Event::Read { addr: p, class });
+                                    self.emit_chunked(
+                                        meta,
+                                        &mut b,
+                                        Event::Write { addr: p, class },
+                                    );
+                                    continue;
+                                }
+                                // Aggregate use → read every CPU's copy.
+                                for c in 0..n_cpus {
+                                    self.emit_chunked(
+                                        &trace.meta,
+                                        &mut b,
+                                        Event::Read {
+                                            addr: private_copy_addr(idx, c),
+                                            class,
+                                        },
+                                    );
+                                }
+                                continue;
+                            }
+                        }
+                        Event::Write { addr, class } => {
+                            let w = addr.0 & !(WORD_SIZE - 1);
+                            if let Some(&idx) = index.get(&w) {
+                                self.emit_chunked(
+                                    &trace.meta,
+                                    &mut b,
+                                    Event::Write {
+                                        addr: private_copy_addr(idx, cpu),
+                                        class,
+                                    },
+                                );
+                                continue;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                self.emit_chunked(&trace.meta, &mut b, e);
+            }
+            out.streams[cpu] = b.finish();
         }
         out
     }
@@ -1509,6 +1727,77 @@ mod tests {
         let staged = compat::instrument_escapes(&staged);
         let staged = compat::insert_hotspot_prefetches(&staged, &sites);
         assert_traces_equal(&fused, &staged, "fused C+P+R+E+H");
+    }
+
+    #[test]
+    fn chunked_pipeline_matches_flat_pipeline() {
+        let t = workload_trace();
+        let ct = ChunkedTrace::from_trace(&t);
+        let p = crate::analysis::profile_sharing(&t);
+        let privatized = crate::analysis::find_privatizable(&p);
+        assert!(!privatized.is_empty(), "need privatization targets");
+        let mut plan = false_sharing_plan(&t, &HashSet::new());
+        plan.finish();
+
+        // Every stage except hot-spot, fused.
+        let flat = TransformPipeline::new()
+            .coloring(&t, 256 * 1024)
+            .privatize(&privatized)
+            .relocate(&plan)
+            .escapes()
+            .run(&t);
+        let chunked = TransformPipeline::new()
+            .coloring_chunked(&ct, 256 * 1024)
+            .privatize(&privatized)
+            .relocate(&plan)
+            .escapes()
+            .run_chunked(&ct);
+        assert_traces_equal(&flat, &chunked.to_trace(), "chunked C+P+R+E");
+        chunked.validate().expect("chunked output validates");
+
+        // The identity pipeline is a chunk-level copy.
+        let id = TransformPipeline::new().run_chunked(&ct);
+        assert_traces_equal(&t, &id.to_trace(), "chunked identity");
+    }
+
+    #[test]
+    fn chunked_hotspot_plan_matches_flat_insertion() {
+        let t = workload_trace();
+        let ct = ChunkedTrace::from_trace(&t);
+        let sites: Vec<u16> = t.meta.code.sites().map(|(id, _)| id.0).collect();
+        let plan = HotspotPlan::build_chunked(&ct);
+        assert_traces_equal(
+            &insert_hotspot_prefetches(&t, &sites),
+            &plan.materialize_chunked(&ct, &sites).to_trace(),
+            "chunked hotspot all sites",
+        );
+        // A subset and the empty set (identity merge).
+        let some: Vec<u16> = sites.iter().copied().take(sites.len() / 2).collect();
+        assert_traces_equal(
+            &insert_hotspot_prefetches(&t, &some),
+            &plan.materialize_chunked(&ct, &some).to_trace(),
+            "chunked hotspot subset",
+        );
+        assert_traces_equal(
+            &t,
+            &plan.materialize_chunked(&ct, &[]).to_trace(),
+            "chunked hotspot empty set",
+        );
+        // And the plan itself matches the flat-built plan's output.
+        let flat_plan = HotspotPlan::build(&t);
+        assert_traces_equal(
+            &flat_plan.materialize(&t, &sites),
+            &plan.materialize_chunked(&ct, &sites).to_trace(),
+            "chunked vs flat plan",
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "HotspotPlan")]
+    fn run_chunked_rejects_hotspot_stage() {
+        let t = workload_trace();
+        let ct = ChunkedTrace::from_trace(&t);
+        TransformPipeline::new().hotspot(&[0]).run_chunked(&ct);
     }
 
     #[test]

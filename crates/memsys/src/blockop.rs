@@ -444,10 +444,15 @@ impl Machine<'_> {
     /// bracket) is reported as a [`SimErrorKind::MalformedBlockOp`] naming
     /// the cycle, CPU, and offending event.
     pub(crate) fn skip_to_block_end(&mut self, i: usize) -> Result<(), SimError> {
-        let events = self.trace.streams[i].events();
+        let n = self.stream_len_of(i);
         let mut k = self.cpus[i].cursor + 1;
         loop {
-            match events.get(k) {
+            let e = if k < n {
+                Some(self.fetch_event(i, k))
+            } else {
+                None
+            };
+            match e {
                 Some(Event::BlockOpEnd) => {
                     self.cpus[i].cursor = k + 1;
                     return Ok(());

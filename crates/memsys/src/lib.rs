@@ -76,7 +76,7 @@ pub use error::{InvariantKind, SimError, SimErrorKind};
 pub use history::{BypassSet, Departure, HistoryMap};
 pub use machine::{Machine, CANCEL_POLL_STRIDE};
 pub use prefetch::{MshrSet, PrefetchBuffer};
-pub use profiler::profile_os_misses;
+pub use profiler::{profile_os_misses, profile_os_misses_chunked};
 pub use spec::SpecKey;
 pub use stats::{CpuStats, MissKind, ModeSplit, SimStats};
 pub use wbuf::WriteBuffer;

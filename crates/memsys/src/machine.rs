@@ -28,7 +28,9 @@ use crate::prefetch::{MshrSet, PrefetchBuffer};
 use crate::spec::{self, Gen, Spec, SpecKey, K};
 use crate::stats::{CpuStats, MissKind, SimStats};
 use crate::{AuditLevel, BlockOpScheme, Bus, BusOp, Cache, LineState, MachineConfig, WriteBuffer};
-use oscache_trace::{Addr, BasicBlock, BlockOp, DataClass, Event, LineAddr, Mode, Trace};
+use oscache_trace::{
+    Addr, BasicBlock, BlockOp, ChunkedTrace, DataClass, Event, LineAddr, Mode, Trace, TraceMeta,
+};
 
 /// Number of events between cancellation polls, shared by the generic and
 /// the specialized replay loops.
@@ -150,10 +152,40 @@ struct BarrierState {
     arrived: Vec<usize>,
 }
 
+/// Where the machine pulls its reference streams from: the historical
+/// materialized trace (events indexed directly from the flat `Vec`), or a
+/// chunked trace decoded on demand through per-CPU [`DecodeWindow`]s so
+/// the replay's decoded footprint is one chunk per CPU. Both sources feed
+/// the identical dispatch path; the streaming oracle pins them bitwise
+/// against each other.
+#[derive(Clone, Copy)]
+pub(crate) enum Source<'t> {
+    Flat(&'t Trace),
+    Chunked(&'t ChunkedTrace),
+}
+
+/// One CPU's decode window over a chunked stream: the single decoded
+/// chunk its cursor (or a bounded scan like the DMA bracket skip) is
+/// currently inside. Pure cache — never part of [`Machine::state_digest`].
+#[derive(Default)]
+struct DecodeWindow {
+    /// Decoded chunk index, or `usize::MAX` when nothing is decoded yet.
+    chunk: usize,
+    events: Vec<Event>,
+}
+
 /// The simulated multiprocessor.
 pub struct Machine<'t> {
     pub(crate) cfg: MachineConfig,
-    pub(crate) trace: &'t Trace,
+    src: Source<'t>,
+    /// The trace metadata (code layout for `Exec` resolution), shared by
+    /// both source representations.
+    pub(crate) meta: &'t TraceMeta,
+    /// Per-CPU stream lengths, hoisted so end-of-stream checks never
+    /// touch the source representation.
+    stream_len: Vec<usize>,
+    /// Per-CPU decode windows (used only with [`Source::Chunked`]).
+    windows: Vec<DecodeWindow>,
     pub(crate) cpus: Vec<Cpu>,
     pub(crate) bus: Bus,
     /// Dense lock table indexed by lock id (grown on first sight of an
@@ -213,7 +245,49 @@ impl<'t> Machine<'t> {
         trace
             .validate_for_cpus(cfg.n_cpus)
             .map_err(SimError::from_trace)?;
-        Self::assemble(cfg, trace, record)
+        Self::assemble(cfg, Source::Flat(trace), record)
+    }
+
+    /// [`Machine::new`] over a chunked trace: replay pulls decoded events
+    /// through per-CPU one-chunk decode windows instead of a flat event
+    /// vector, so peak decoded memory is O(chunk) per CPU. Identical
+    /// validation, replay semantics, statistics, and final state digest —
+    /// the streaming oracle pins this bitwise against the flat path.
+    pub fn new_chunked(cfg: MachineConfig, trace: &'t ChunkedTrace) -> Result<Self, SimError> {
+        Self::with_recording_chunked(cfg, trace, true)
+    }
+
+    /// [`Machine::with_recording`] over a chunked trace.
+    pub fn with_recording_chunked(
+        cfg: MachineConfig,
+        trace: &'t ChunkedTrace,
+        record: bool,
+    ) -> Result<Self, SimError> {
+        trace
+            .validate_for_cpus(cfg.n_cpus)
+            .map_err(SimError::from_trace)?;
+        Self::assemble(cfg, Source::Chunked(trace), record)
+    }
+
+    /// [`Machine::with_recording_prevalidated`] over a chunked trace.
+    pub fn with_recording_prevalidated_chunked(
+        cfg: MachineConfig,
+        trace: &'t ChunkedTrace,
+        record: bool,
+    ) -> Result<Self, SimError> {
+        if trace.n_cpus() != cfg.n_cpus {
+            return Err(SimError::from_trace(
+                oscache_trace::TraceError::CpuCountMismatch {
+                    expected: cfg.n_cpus,
+                    actual: trace.n_cpus(),
+                },
+            ));
+        }
+        debug_assert!(
+            trace.validate().is_ok(),
+            "with_recording_prevalidated_chunked requires a validated trace"
+        );
+        Self::assemble(cfg, Source::Chunked(trace), record)
     }
 
     /// [`Machine::with_recording`] minus the full-trace validation scan.
@@ -249,11 +323,15 @@ impl<'t> Machine<'t> {
             trace.validate().is_ok(),
             "with_recording_prevalidated requires a validated trace"
         );
-        Self::assemble(cfg, trace, record)
+        Self::assemble(cfg, Source::Flat(trace), record)
     }
 
-    fn assemble(cfg: MachineConfig, trace: &'t Trace, record: bool) -> Result<Self, SimError> {
+    fn assemble(cfg: MachineConfig, src: Source<'t>, record: bool) -> Result<Self, SimError> {
         cfg.validate();
+        let (meta, stream_len): (&'t TraceMeta, Vec<usize>) = match src {
+            Source::Flat(t) => (&t.meta, t.streams.iter().map(|s| s.len()).collect()),
+            Source::Chunked(t) => (&t.meta, t.streams.iter().map(|s| s.len()).collect()),
+        };
         let cpus = (0..cfg.n_cpus)
             .map(|_| Cpu {
                 time: 0,
@@ -277,7 +355,15 @@ impl<'t> Machine<'t> {
         let n_cpus = cfg.n_cpus;
         Ok(Machine {
             cfg,
-            trace,
+            src,
+            meta,
+            stream_len,
+            windows: (0..n_cpus)
+                .map(|_| DecodeWindow {
+                    chunk: usize::MAX,
+                    events: Vec::new(),
+                })
+                .collect(),
             cpus,
             bus: Bus::new(),
             locks: Vec::new(),
@@ -394,10 +480,12 @@ impl<'t> Machine<'t> {
     /// an event may have changed another CPU's clock or status, it blocks
     /// or finishes, or its clock passes the runner-up CPU's.
     fn run_loop_spec<S: Spec>(&mut self) -> Result<SimStats, SimError> {
-        // `self.trace` is a `&'t Trace`; copying the reference out lets the
+        let Source::Flat(trace) = self.src else {
+            return self.run_loop_spec_chunked::<S>();
+        };
+        // `trace` is a `&'t Trace` copied out of `self.src`; this lets the
         // batch hold the scheduled CPU's event slice without borrowing
         // `self`, saving the per-event stream re-dereference `step` pays.
-        let trace = self.trace;
         'schedule: while let Some((i, limit)) = self.pick_two() {
             let events = trace.streams[i].events();
             let n = events.len();
@@ -418,6 +506,40 @@ impl<'t> Machine<'t> {
                 if let Some((lt, lj)) = limit {
                     let t = self.cpus[i].time;
                     // Ties go to the lower index, exactly as in pick_next.
+                    let still_first = if lj < i { t < lt } else { t <= lt };
+                    if !still_first {
+                        continue 'schedule;
+                    }
+                }
+            }
+        }
+        self.finish::<S>()
+    }
+
+    /// The batched loop over a chunked source: identical scheduling and
+    /// dispatch to the flat body above, with the hoisted event slice
+    /// replaced by [`Machine::fetch_event`]'s per-CPU decode window. One
+    /// generic body serves all 16 specialized instantiations and the
+    /// generic witness — the representation is orthogonal to the
+    /// specialization key.
+    fn run_loop_spec_chunked<S: Spec>(&mut self) -> Result<SimStats, SimError> {
+        'schedule: while let Some((i, limit)) = self.pick_two() {
+            let n = self.stream_len[i];
+            loop {
+                self.poll_cancel::<S>(i)?;
+                self.steps += 1;
+                let cursor = self.cpus[i].cursor;
+                if cursor >= n {
+                    self.cpus[i].status = Status::Done;
+                    continue 'schedule;
+                }
+                let ev = self.fetch_event(i, cursor);
+                let resched = self.dispatch_ev::<S>(i, ev, n)?;
+                if resched || self.cpus[i].status != Status::Runnable {
+                    continue 'schedule;
+                }
+                if let Some((lt, lj)) = limit {
+                    let t = self.cpus[i].time;
                     let still_first = if lj < i { t < lt } else { t <= lt };
                     if !still_first {
                         continue 'schedule;
@@ -463,7 +585,7 @@ impl<'t> Machine<'t> {
                     kind: SimErrorKind::Deadlock {
                         waiting: format!("{:?}", c.status),
                         cursor: c.cursor,
-                        stream_len: self.trace.streams[i].len(),
+                        stream_len: self.stream_len[i],
                     },
                 });
             }
@@ -590,14 +712,47 @@ impl<'t> Machine<'t> {
     /// own schedulability) — the batched loop's signal to rescan.
     fn step<S: Spec>(&mut self, i: usize) -> Result<bool, SimError> {
         self.steps += 1;
-        let stream = &self.trace.streams[i];
-        let n = stream.len();
+        let n = self.stream_len[i];
         if self.cpus[i].cursor >= n {
             self.cpus[i].status = Status::Done;
             return Ok(true);
         }
-        let ev = stream.events()[self.cpus[i].cursor];
+        let ev = self.fetch_event(i, self.cpus[i].cursor);
         self.dispatch_ev::<S>(i, ev, n)
+    }
+
+    /// Returns event `idx` of CPU `i`'s stream from whichever source the
+    /// machine replays. Flat: a direct slice index. Chunked: decodes the
+    /// containing chunk into the CPU's window unless already resident —
+    /// cursors advance monotonically chunk by chunk, so the common case is
+    /// a window hit, and bounded scans (lock-retry re-fetch, the DMA
+    /// bracket skip) stay within one or two chunk decodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range — callers check against
+    /// `stream_len` first, as the flat slice-indexing path always has.
+    #[inline]
+    pub(crate) fn fetch_event(&mut self, i: usize, idx: usize) -> Event {
+        match self.src {
+            Source::Flat(t) => t.streams[i].events()[idx],
+            Source::Chunked(t) => {
+                let s = &t.streams[i];
+                let c = idx / s.capacity();
+                let w = &mut self.windows[i];
+                if w.chunk != c {
+                    s.decode_chunk(c, &mut w.events);
+                    w.chunk = c;
+                }
+                w.events[idx - c * s.capacity()]
+            }
+        }
+    }
+
+    /// CPU `i`'s stream length (hoisted at assembly).
+    #[inline]
+    pub(crate) fn stream_len_of(&self, i: usize) -> usize {
+        self.stream_len[i]
     }
 
     /// The per-event dispatch shared by [`Machine::step`] and the batched
@@ -630,7 +785,7 @@ impl<'t> Machine<'t> {
             Event::Exec { block } => {
                 // `Machine::new` validated every block id; re-check so a
                 // trace mutated after validation still cannot panic here.
-                let Some(&bb) = self.trace.meta.code.try_block(block) else {
+                let Some(&bb) = self.meta.code.try_block(block) else {
                     return Err(SimError {
                         cycle: self.cpus[i].time,
                         cpu: Some(i),

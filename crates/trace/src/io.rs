@@ -25,8 +25,8 @@
 //! ```
 
 use crate::{
-    Addr, BarrierId, BlockId, BlockKind, BlockOp, CodeLayout, DataClass, Event, KernelVar, LockId,
-    Mode, SiteId, Stream, Trace, TraceError, TraceMeta, VarRole,
+    Addr, BarrierId, BlockId, BlockKind, BlockOp, ChunkedStreamBuilder, ChunkedTrace, CodeLayout,
+    DataClass, Event, KernelVar, LockId, Mode, SiteId, Trace, TraceError, TraceMeta, VarRole,
 };
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -44,6 +44,14 @@ pub enum ReadTraceError {
         /// What went wrong on that line.
         msg: String,
     },
+    /// The input ended before the trailing `end` marker: the dump was cut
+    /// off mid-stream (partial copy, interrupted writer). Distinct from
+    /// [`ReadTraceError::Parse`] so callers can suggest re-dumping instead
+    /// of pointing at a malformed line.
+    Truncated {
+        /// 1-based line number where the input ended.
+        line: usize,
+    },
     /// The dump parsed, but the resulting trace violates a structural
     /// invariant (see [`TraceError`]).
     Invalid(TraceError),
@@ -56,6 +64,10 @@ impl fmt::Display for ReadTraceError {
             ReadTraceError::Parse { line, msg } => {
                 write!(f, "malformed trace dump: line {line}: {msg}")
             }
+            ReadTraceError::Truncated { line } => write!(
+                f,
+                "truncated trace dump: input ended at line {line} without the `end` marker"
+            ),
             ReadTraceError::Invalid(e) => write!(f, "invalid trace: {e}"),
         }
     }
@@ -65,7 +77,7 @@ impl std::error::Error for ReadTraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ReadTraceError::Io(e) => Some(e),
-            ReadTraceError::Parse { .. } => None,
+            ReadTraceError::Parse { .. } | ReadTraceError::Truncated { .. } => None,
             ReadTraceError::Invalid(e) => Some(e),
         }
     }
@@ -283,12 +295,31 @@ impl Parser {
 
 /// Reads a trace previously written by [`write_trace`].
 ///
+/// Decoding goes through [`read_trace_chunked`] and materializes at the
+/// end; callers that keep the trace chunked should use that function
+/// directly and skip the materialization entirely.
+///
 /// # Errors
 ///
 /// Returns [`ReadTraceError::Parse`] when the input deviates from the
-/// format (wrong magic, unknown event letter, missing fields) and
-/// [`ReadTraceError::Io`] on reader failures.
+/// format (wrong magic, unknown event letter, missing fields),
+/// [`ReadTraceError::Truncated`] when the input ends before the trailing
+/// `end` marker, and [`ReadTraceError::Io`] on reader failures.
 pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadTraceError> {
+    Ok(read_trace_chunked(r)?.to_trace())
+}
+
+/// Reads a trace dump directly into the chunked columnar representation.
+///
+/// Events decode straight into per-CPU [`ChunkedStreamBuilder`]s as lines
+/// are parsed — no intermediate per-CPU `Vec<Event>` of the whole trace
+/// ever exists, so peak memory while loading a dump is the finished
+/// compact encoding plus one open chunk per CPU.
+///
+/// # Errors
+///
+/// Same as [`read_trace`].
+pub fn read_trace_chunked<R: BufRead>(r: R) -> Result<ChunkedTrace, ReadTraceError> {
     let mut p = Parser { line_no: 0 };
     let mut lines = r.lines();
     let mut next = |p: &mut Parser| -> Result<Option<String>, ReadTraceError> {
@@ -311,7 +342,7 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadTraceError> {
     let mut code = CodeLayout::new();
     let mut n_cpus = 0usize;
     let mut cpus_declared = false;
-    let mut streams: Vec<Vec<Event>> = Vec::new();
+    let mut builders: Vec<ChunkedStreamBuilder> = Vec::new();
     let mut seen_streams: Vec<bool> = Vec::new();
     let mut cur: Option<usize> = None;
     let mut site_names: Vec<&'static str> = Vec::new();
@@ -337,7 +368,7 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadTraceError> {
                 }
                 cpus_declared = true;
                 n_cpus = p.num(arg(&p)?)?;
-                streams = vec![Vec::new(); n_cpus];
+                builders = (0..n_cpus).map(|_| ChunkedStreamBuilder::new()).collect();
                 seen_streams = vec![false; n_cpus];
             }
             "site" => {
@@ -477,19 +508,19 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ReadTraceError> {
                     },
                     other => return p.err(format!("unknown event tag {other:?}")),
                 };
-                streams[cpu].push(e);
+                builders[cpu].push(e);
             }
         }
     }
 
     if !saw_end {
-        return p.err("unexpected end of input: missing `end` (truncated dump?)");
+        return Err(ReadTraceError::Truncated { line: p.line_no });
     }
 
     meta.code = code;
-    let mut trace = Trace::new(n_cpus, meta);
-    for (cpu, events) in streams.into_iter().enumerate() {
-        trace.streams[cpu] = Stream::from_events(events);
+    let mut trace = ChunkedTrace::new(n_cpus, meta);
+    for (cpu, b) in builders.into_iter().enumerate() {
+        trace.streams[cpu] = b.finish();
     }
     trace.validate()?;
     Ok(trace)
@@ -584,15 +615,39 @@ mod tests {
 
     #[test]
     fn rejects_truncated_dump() {
-        // A full dump with the trailing `end` (and some events) cut off.
+        // A full dump with the trailing `end` (and some events) cut off
+        // must fail with the typed truncation error, not a generic parse
+        // error — callers distinguish "re-dump this" from "fix this line".
         let t = sample();
         let mut buf = Vec::new();
         write_trace(&t, &mut buf).unwrap();
         let cut = buf.len() - "end\n".len();
         assert!(buf[cut..].starts_with(b"end"));
         let err = read_trace(&buf[..cut]).unwrap_err();
-        assert!(matches!(err, ReadTraceError::Parse { .. }));
+        assert!(matches!(err, ReadTraceError::Truncated { .. }), "{err:?}");
         assert!(err.to_string().contains("truncated"), "{err}");
+        // Cutting mid-stream (not just the marker) reports the same way;
+        // cut at a line boundary so the failure is the missing `end`, not
+        // a half-written line.
+        let half = buf.len() / 2;
+        let cut = buf[..half].iter().rposition(|&b| b == b'\n').unwrap() + 1;
+        let err = read_trace(&buf[..cut]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn chunked_read_matches_materialized_read() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&t, &mut buf).unwrap();
+        let chunked = read_trace_chunked(&buf[..]).unwrap();
+        let flat = read_trace(&buf[..]).unwrap();
+        assert_eq!(chunked.n_cpus(), flat.n_cpus());
+        assert_eq!(chunked.total_events(), flat.total_events());
+        for cpu in 0..flat.n_cpus() {
+            let decoded: Vec<Event> = chunked.streams[cpu].iter().collect();
+            assert_eq!(decoded.as_slice(), flat.streams[cpu].events());
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod addr;
+pub mod chunk;
 mod class;
 mod code;
 mod event;
@@ -49,10 +50,11 @@ mod trace;
 mod validate;
 
 pub use addr::{Addr, CpuId, LineAddr, PAGE_SIZE, WORD_SIZE};
+pub use chunk::{ChunkedStream, ChunkedStreamBuilder, ChunkedTrace, CHUNK_EVENTS};
 pub use class::{CoherenceCategory, DataClass};
 pub use code::{BasicBlock, BlockId, CodeLayout, SiteId, SiteInfo};
 pub use event::{BarrierId, BlockKind, BlockOp, Event, LockId, Mode};
-pub use io::{read_trace, write_trace, ReadTraceError};
+pub use io::{read_trace, read_trace_chunked, write_trace, ReadTraceError};
 pub use stream::{Stream, StreamBuilder};
 pub use trace::{KernelVar, Trace, TraceMeta, VarRole};
 pub use validate::TraceError;

@@ -1,5 +1,6 @@
 //! Per-CPU event streams and their builder.
 
+use crate::chunk::{ChunkedStream, ChunkedStreamBuilder};
 use crate::{Addr, BarrierId, BlockId, BlockOp, DataClass, Event, LockId, Mode};
 
 /// The ordered sequence of [`Event`]s one processor issues.
@@ -94,18 +95,67 @@ impl<'a> IntoIterator for &'a Stream {
 /// let s = b.finish();
 /// assert_eq!(s.read_count(), 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct StreamBuilder {
-    events: Vec<Event>,
+    sink: Sink,
     mode: Mode,
     in_block_op: bool,
     held_locks: Vec<LockId>,
 }
 
+/// Where a [`StreamBuilder`] accumulates events: the historical flat
+/// vector, or a chunk encoder that seals fixed-capacity chunks as they
+/// fill so the builder never holds more than one chunk of decoded events.
+#[derive(Debug)]
+enum Sink {
+    Flat(Vec<Event>),
+    Chunked(ChunkedStreamBuilder),
+}
+
+impl Sink {
+    fn push(&mut self, e: Event) {
+        match self {
+            Sink::Flat(v) => v.push(e),
+            Sink::Chunked(b) => b.push(e),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Sink::Flat(v) => v.len(),
+            Sink::Chunked(b) => b.len(),
+        }
+    }
+}
+
+impl Default for StreamBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl StreamBuilder {
     /// Creates a builder; the initial mode is [`Mode::User`].
     pub fn new() -> Self {
-        Self::default()
+        StreamBuilder {
+            sink: Sink::Flat(Vec::new()),
+            mode: Mode::default(),
+            in_block_op: false,
+            held_locks: Vec::new(),
+        }
+    }
+
+    /// Creates a builder that encodes straight into chunks (finish with
+    /// [`StreamBuilder::finish_chunked`]). Event-for-event identical to a
+    /// flat build: both sinks receive the same pushes, so a chunked build
+    /// decoded back equals the flat build of the same calls.
+    pub fn new_chunked() -> Self {
+        StreamBuilder {
+            sink: Sink::Chunked(ChunkedStreamBuilder::new()),
+            mode: Mode::default(),
+            in_block_op: false,
+            held_locks: Vec::new(),
+        }
     }
 
     /// Current execution mode.
@@ -115,35 +165,35 @@ impl StreamBuilder {
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.sink.len()
     }
 
     /// True if no events are recorded yet.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.sink.len() == 0
     }
 
     /// Appends a mode switch if `mode` differs from the current mode.
     pub fn set_mode(&mut self, mode: Mode) {
         if self.mode != mode {
             self.mode = mode;
-            self.events.push(Event::SetMode { mode });
+            self.sink.push(Event::SetMode { mode });
         }
     }
 
     /// Appends a basic-block execution.
     pub fn exec(&mut self, block: BlockId) {
-        self.events.push(Event::Exec { block });
+        self.sink.push(Event::Exec { block });
     }
 
     /// Appends a scalar read.
     pub fn read(&mut self, addr: Addr, class: DataClass) {
-        self.events.push(Event::Read { addr, class });
+        self.sink.push(Event::Read { addr, class });
     }
 
     /// Appends a scalar write.
     pub fn write(&mut self, addr: Addr, class: DataClass) {
-        self.events.push(Event::Write { addr, class });
+        self.sink.push(Event::Write { addr, class });
     }
 
     /// Appends a read-modify-write (e.g. a counter increment).
@@ -155,7 +205,7 @@ impl StreamBuilder {
     /// Appends a software prefetch (normally inserted by the optimization
     /// passes, but exposed for hand-built traces and tests).
     pub fn prefetch(&mut self, addr: Addr, class: DataClass) {
-        self.events.push(Event::Prefetch { addr, class });
+        self.sink.push(Event::Prefetch { addr, class });
     }
 
     /// Appends a lock acquisition.
@@ -169,7 +219,7 @@ impl StreamBuilder {
             "lock {lock:?} acquired while already held"
         );
         self.held_locks.push(lock);
-        self.events.push(Event::LockAcquire { lock, addr });
+        self.sink.push(Event::LockAcquire { lock, addr });
     }
 
     /// Appends a lock release.
@@ -184,12 +234,12 @@ impl StreamBuilder {
             .position(|&l| l == lock)
             .unwrap_or_else(|| panic!("lock {lock:?} released while not held"));
         self.held_locks.remove(pos);
-        self.events.push(Event::LockRelease { lock, addr });
+        self.sink.push(Event::LockRelease { lock, addr });
     }
 
     /// Appends a barrier arrival.
     pub fn barrier(&mut self, barrier: BarrierId, addr: Addr, participants: u8) {
-        self.events.push(Event::Barrier {
+        self.sink.push(Event::Barrier {
             barrier,
             addr,
             participants,
@@ -244,7 +294,7 @@ impl StreamBuilder {
         assert!(!self.in_block_op, "block operations do not nest");
         assert!(op.len > 0, "zero-length block operation");
         self.in_block_op = true;
-        self.events.push(Event::BlockOpBegin { op });
+        self.sink.push(Event::BlockOpBegin { op });
     }
 
     /// Closes the open block-operation bracket.
@@ -255,7 +305,7 @@ impl StreamBuilder {
     pub fn end_block_op(&mut self) {
         assert!(self.in_block_op, "no open block operation");
         self.in_block_op = false;
-        self.events.push(Event::BlockOpEnd);
+        self.sink.push(Event::BlockOpEnd);
     }
 
     /// True while inside a block-operation bracket.
@@ -266,7 +316,7 @@ impl StreamBuilder {
     /// Appends idle time.
     pub fn idle(&mut self, cycles: u32) {
         if cycles > 0 {
-            self.events.push(Event::Idle { cycles });
+            self.sink.push(Event::Idle { cycles });
         }
     }
 
@@ -276,15 +326,32 @@ impl StreamBuilder {
     ///
     /// Panics if a block operation is still open or any lock is still held.
     pub fn finish(self) -> Stream {
+        self.check_finished();
+        match self.sink {
+            Sink::Flat(events) => Stream { events },
+            // A chunked builder can still finalize flat (decode); rare, but
+            // keeps the two constructors drop-in interchangeable.
+            Sink::Chunked(b) => b.finish().to_stream(),
+        }
+    }
+
+    /// Finalizes as a [`ChunkedStream`] (the streaming counterpart of
+    /// [`StreamBuilder::finish`], same invariant checks and panics).
+    pub fn finish_chunked(self) -> ChunkedStream {
+        self.check_finished();
+        match self.sink {
+            Sink::Flat(events) => ChunkedStream::from_events(events, crate::CHUNK_EVENTS),
+            Sink::Chunked(b) => b.finish(),
+        }
+    }
+
+    fn check_finished(&self) {
         assert!(!self.in_block_op, "unterminated block operation");
         assert!(
             self.held_locks.is_empty(),
             "locks still held at end of stream: {:?}",
             self.held_locks
         );
-        Stream {
-            events: self.events,
-        }
     }
 }
 
@@ -367,6 +434,43 @@ mod tests {
             }
             ref other => panic!("unexpected event {other:?}"),
         }
+    }
+
+    #[test]
+    fn chunked_builder_matches_flat_builder() {
+        let drive = |mut b: StreamBuilder| -> StreamBuilder {
+            b.set_mode(Mode::Os);
+            b.lock_acquire(LockId(2), Addr(0x80));
+            b.rmw(Addr(0x0100_0000), DataClass::InfreqCounter);
+            b.lock_release(LockId(2), Addr(0x80));
+            b.begin_block_zero(Addr(0x3000), 128, DataClass::PageFrame);
+            b.write(Addr(0x3000), DataClass::PageFrame);
+            b.end_block_op();
+            b.idle(9);
+            b.set_mode(Mode::User);
+            b
+        };
+        let flat = drive(StreamBuilder::new()).finish();
+        let chunked = drive(StreamBuilder::new_chunked()).finish_chunked();
+        assert_eq!(chunked.len(), flat.len());
+        let back: Vec<Event> = chunked.iter().collect();
+        assert_eq!(back, flat.events());
+        // Both finishers work from either sink.
+        let cross = drive(StreamBuilder::new_chunked()).finish();
+        assert_eq!(cross.events(), flat.events());
+        let cross: Vec<Event> = drive(StreamBuilder::new())
+            .finish_chunked()
+            .iter()
+            .collect();
+        assert_eq!(cross, flat.events());
+    }
+
+    #[test]
+    #[should_panic(expected = "locks still held")]
+    fn finish_chunked_with_held_lock_panics() {
+        let mut b = StreamBuilder::new_chunked();
+        b.lock_acquire(LockId(1), Addr(64));
+        let _ = b.finish_chunked();
     }
 
     #[test]

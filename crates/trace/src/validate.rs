@@ -11,7 +11,7 @@
 //! `Machine::new` both call it so malformed input is rejected with a precise
 //! error instead of a panic deep inside replay.
 
-use crate::{BarrierId, BlockId, Event, LockId, Trace};
+use crate::{BarrierId, BlockId, Event, LockId, Trace, TraceMeta};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -217,6 +217,174 @@ impl fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
+/// The shared per-event validation engine behind [`Trace::validate`] and
+/// `ChunkedTrace::validate`: both drive the same `step`/`finish_stream`
+/// state machine, so the chunked representation is checked against exactly
+/// the invariants the materialized one is — by construction, not by a
+/// parallel copy of the rules.
+pub(crate) struct TraceValidator {
+    n_cpus: usize,
+    n_blocks: usize,
+    barrier_sizes: HashMap<BarrierId, u8>,
+}
+
+/// Per-stream validator state (lock set and block-op bracket).
+pub(crate) struct StreamState {
+    held: Vec<LockId>,
+    in_block_op: bool,
+}
+
+impl TraceValidator {
+    /// Runs the metadata invariants and prepares a validator for a trace
+    /// with `n_cpus` streams.
+    pub(crate) fn new(meta: &TraceMeta, n_cpus: usize) -> Result<Self, TraceError> {
+        check_meta(meta)?;
+        Ok(TraceValidator {
+            n_cpus,
+            n_blocks: meta.code.block_count(),
+            barrier_sizes: HashMap::new(),
+        })
+    }
+
+    /// Fresh per-stream state; feed it to [`TraceValidator::step`] for each
+    /// event in order, then [`TraceValidator::finish_stream`].
+    pub(crate) fn stream_state(&self) -> StreamState {
+        StreamState {
+            held: Vec::new(),
+            in_block_op: false,
+        }
+    }
+
+    /// Checks one event at position `index` of stream `cpu`.
+    pub(crate) fn step(
+        &mut self,
+        st: &mut StreamState,
+        cpu: usize,
+        index: usize,
+        ev: &Event,
+    ) -> Result<(), TraceError> {
+        if st.in_block_op {
+            let foreign = match ev {
+                Event::Exec { .. }
+                | Event::Read { .. }
+                | Event::Write { .. }
+                | Event::Prefetch { .. }
+                | Event::BlockOpEnd => None,
+                Event::BlockOpBegin { .. } => return Err(TraceError::NestedBlockOp { cpu, index }),
+                Event::LockAcquire { .. } => Some("lock acquire"),
+                Event::LockRelease { .. } => Some("lock release"),
+                Event::Barrier { .. } => Some("barrier"),
+                Event::SetMode { .. } => Some("mode switch"),
+                Event::Idle { .. } => Some("idle"),
+            };
+            if let Some(kind) = foreign {
+                return Err(TraceError::ForeignEventInBlockOp { cpu, index, kind });
+            }
+        }
+        match *ev {
+            Event::Exec { block } if block.index() >= self.n_blocks => {
+                return Err(TraceError::UnknownBlock { cpu, index, block });
+            }
+            Event::LockAcquire { lock, .. } => {
+                if st.held.contains(&lock) {
+                    return Err(TraceError::LockAlreadyHeld { cpu, index, lock });
+                }
+                st.held.push(lock);
+            }
+            Event::LockRelease { lock, .. } => match st.held.iter().position(|&l| l == lock) {
+                Some(pos) => {
+                    st.held.remove(pos);
+                }
+                None => return Err(TraceError::LockNotHeld { cpu, index, lock }),
+            },
+            Event::Barrier {
+                barrier,
+                participants,
+                ..
+            } => {
+                if participants == 0 || participants as usize > self.n_cpus {
+                    return Err(TraceError::BarrierParticipants {
+                        cpu,
+                        index,
+                        participants,
+                        n_cpus: self.n_cpus,
+                    });
+                }
+                match self.barrier_sizes.get(&barrier) {
+                    Some(&p) if p != participants => {
+                        return Err(TraceError::InconsistentBarrier {
+                            cpu,
+                            index,
+                            barrier,
+                        })
+                    }
+                    Some(_) => {}
+                    None => {
+                        self.barrier_sizes.insert(barrier, participants);
+                    }
+                }
+            }
+            Event::BlockOpBegin { op } => {
+                if op.len == 0 {
+                    return Err(TraceError::EmptyBlockOp { cpu, index });
+                }
+                if op.src.0.checked_add(op.len).is_none() || op.dst.0.checked_add(op.len).is_none()
+                {
+                    return Err(TraceError::BlockOpOutOfRange { cpu, index });
+                }
+                st.in_block_op = true;
+            }
+            Event::BlockOpEnd => {
+                if !st.in_block_op {
+                    return Err(TraceError::UnmatchedBlockOpEnd { cpu, index });
+                }
+                st.in_block_op = false;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// End-of-stream invariants: no open block operation, no held locks.
+    pub(crate) fn finish_stream(&mut self, st: StreamState, cpu: usize) -> Result<(), TraceError> {
+        if st.in_block_op {
+            return Err(TraceError::UnterminatedBlockOp { cpu });
+        }
+        if let Some(&lock) = st.held.first() {
+            return Err(TraceError::LockHeldAtEnd { cpu, lock });
+        }
+        Ok(())
+    }
+}
+
+/// Metadata invariants: declared kernel variables sit inside the declared
+/// kernel data ranges (when any are declared) and nothing overflows the
+/// 32-bit address space.
+fn check_meta(meta: &TraceMeta) -> Result<(), TraceError> {
+    for v in &meta.vars {
+        let end = match v.addr.0.checked_add(v.size) {
+            Some(e) => e,
+            None => {
+                return Err(TraceError::VarOverflow {
+                    name: v.name.clone(),
+                })
+            }
+        };
+        if !meta.kernel_data.is_empty() {
+            let covered = meta
+                .kernel_data
+                .iter()
+                .any(|&(base, len)| v.addr.0 >= base.0 && end <= base.0.saturating_add(len));
+            if !covered {
+                return Err(TraceError::VarOutsideKernelData {
+                    name: v.name.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
 impl Trace {
     /// Checks every structural invariant a well-formed trace satisfies,
     /// returning the first violation.
@@ -225,103 +393,13 @@ impl Trace {
     /// call this so that malformed or adversarial traces are rejected with
     /// a typed error before simulation starts.
     pub fn validate(&self) -> Result<(), TraceError> {
-        self.validate_meta()?;
-        let n_cpus = self.n_cpus();
-        let n_blocks = self.meta.code.block_count();
-        let mut barrier_sizes: HashMap<BarrierId, u8> = HashMap::new();
+        let mut v = TraceValidator::new(&self.meta, self.n_cpus())?;
         for (cpu, stream) in self.streams.iter().enumerate() {
-            let mut held: Vec<LockId> = Vec::new();
-            let mut in_block_op = false;
+            let mut st = v.stream_state();
             for (index, ev) in stream.events().iter().enumerate() {
-                if in_block_op {
-                    let foreign = match ev {
-                        Event::Exec { .. }
-                        | Event::Read { .. }
-                        | Event::Write { .. }
-                        | Event::Prefetch { .. }
-                        | Event::BlockOpEnd => None,
-                        Event::BlockOpBegin { .. } => {
-                            return Err(TraceError::NestedBlockOp { cpu, index })
-                        }
-                        Event::LockAcquire { .. } => Some("lock acquire"),
-                        Event::LockRelease { .. } => Some("lock release"),
-                        Event::Barrier { .. } => Some("barrier"),
-                        Event::SetMode { .. } => Some("mode switch"),
-                        Event::Idle { .. } => Some("idle"),
-                    };
-                    if let Some(kind) = foreign {
-                        return Err(TraceError::ForeignEventInBlockOp { cpu, index, kind });
-                    }
-                }
-                match *ev {
-                    Event::Exec { block } if block.index() >= n_blocks => {
-                        return Err(TraceError::UnknownBlock { cpu, index, block });
-                    }
-                    Event::LockAcquire { lock, .. } => {
-                        if held.contains(&lock) {
-                            return Err(TraceError::LockAlreadyHeld { cpu, index, lock });
-                        }
-                        held.push(lock);
-                    }
-                    Event::LockRelease { lock, .. } => match held.iter().position(|&l| l == lock) {
-                        Some(pos) => {
-                            held.remove(pos);
-                        }
-                        None => return Err(TraceError::LockNotHeld { cpu, index, lock }),
-                    },
-                    Event::Barrier {
-                        barrier,
-                        participants,
-                        ..
-                    } => {
-                        if participants == 0 || participants as usize > n_cpus {
-                            return Err(TraceError::BarrierParticipants {
-                                cpu,
-                                index,
-                                participants,
-                                n_cpus,
-                            });
-                        }
-                        match barrier_sizes.get(&barrier) {
-                            Some(&p) if p != participants => {
-                                return Err(TraceError::InconsistentBarrier {
-                                    cpu,
-                                    index,
-                                    barrier,
-                                })
-                            }
-                            Some(_) => {}
-                            None => {
-                                barrier_sizes.insert(barrier, participants);
-                            }
-                        }
-                    }
-                    Event::BlockOpBegin { op } => {
-                        if op.len == 0 {
-                            return Err(TraceError::EmptyBlockOp { cpu, index });
-                        }
-                        if op.src.0.checked_add(op.len).is_none()
-                            || op.dst.0.checked_add(op.len).is_none()
-                        {
-                            return Err(TraceError::BlockOpOutOfRange { cpu, index });
-                        }
-                        in_block_op = true;
-                    }
-                    Event::BlockOpEnd => {
-                        if !in_block_op {
-                            return Err(TraceError::UnmatchedBlockOpEnd { cpu, index });
-                        }
-                        in_block_op = false;
-                    }
-                    _ => {}
-                }
+                v.step(&mut st, cpu, index, ev)?;
             }
-            if in_block_op {
-                return Err(TraceError::UnterminatedBlockOp { cpu });
-            }
-            if let Some(&lock) = held.first() {
-                return Err(TraceError::LockHeldAtEnd { cpu, lock });
-            }
+            v.finish_stream(st, cpu)?;
         }
         Ok(())
     }
@@ -336,34 +414,6 @@ impl Trace {
             });
         }
         self.validate()
-    }
-
-    /// Metadata invariants: declared kernel variables sit inside the
-    /// declared kernel data ranges (when any are declared) and nothing
-    /// overflows the 32-bit address space.
-    fn validate_meta(&self) -> Result<(), TraceError> {
-        for v in &self.meta.vars {
-            let end = match v.addr.0.checked_add(v.size) {
-                Some(e) => e,
-                None => {
-                    return Err(TraceError::VarOverflow {
-                        name: v.name.clone(),
-                    })
-                }
-            };
-            if !self.meta.kernel_data.is_empty() {
-                let covered =
-                    self.meta.kernel_data.iter().any(|&(base, len)| {
-                        v.addr.0 >= base.0 && end <= base.0.saturating_add(len)
-                    });
-                if !covered {
-                    return Err(TraceError::VarOutsideKernelData {
-                        name: v.name.clone(),
-                    });
-                }
-            }
-        }
-        Ok(())
     }
 }
 

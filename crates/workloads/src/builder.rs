@@ -10,7 +10,9 @@
 use crate::user::{UserProc, UserPrograms};
 use oscache_kernel::{Fill, Kernel, N_BARRIERS, N_BUFFERS, N_FRAMES};
 use oscache_trace::rng::{Rng, SmallRng};
-use oscache_trace::{BarrierId, CodeLayout, DataClass, Mode, StreamBuilder, Trace, TraceMeta};
+use oscache_trace::{
+    BarrierId, ChunkedTrace, CodeLayout, DataClass, Mode, StreamBuilder, Trace, TraceMeta,
+};
 
 /// Number of CPUs in every workload (the traced machine has 4).
 pub const N_CPUS: usize = 4;
@@ -247,7 +249,7 @@ impl Workload {
 
 /// Builds one of the paper's workload traces.
 pub fn build(workload: Workload, opts: BuildOptions) -> Trace {
-    Builder::new(workload, rates(workload), opts).run()
+    Builder::new(workload, rates(workload), opts, false).run()
 }
 
 /// Builds a trace behind an [`std::sync::Arc`] so it can be shared
@@ -255,6 +257,25 @@ pub fn build(workload: Workload, opts: BuildOptions) -> Trace {
 /// `oscache-core`'s trace cache).
 pub fn build_shared(workload: Workload, opts: BuildOptions) -> std::sync::Arc<Trace> {
     std::sync::Arc::new(build(workload, opts))
+}
+
+/// Builds the same trace [`build`] would, but encoded straight into the
+/// chunked representation: each per-CPU stream is sealed into fixed-size
+/// delta-encoded chunks as the generator emits events, so the peak decoded
+/// footprint during generation is one chunk per CPU instead of the whole
+/// event vector. Deterministic per [`TraceBuildKey`], exactly like the
+/// materialized build — decoding the result yields `build(workload, opts)`
+/// event for event (the streaming oracle pins this).
+pub fn build_chunked(workload: Workload, opts: BuildOptions) -> ChunkedTrace {
+    Builder::new(workload, rates(workload), opts, true).run_chunked()
+}
+
+/// [`build_chunked`] behind an [`std::sync::Arc`] for the trace cache.
+pub fn build_chunked_shared(
+    workload: Workload,
+    opts: BuildOptions,
+) -> std::sync::Arc<ChunkedTrace> {
+    std::sync::Arc::new(build_chunked(workload, opts))
 }
 
 /// The identity of a calibrated trace build: two equal keys always denote
@@ -314,7 +335,7 @@ impl BuildOptions {
 /// outside `1..=8`.
 pub fn build_with_mix(name: &str, base: Workload, mix: Mix, opts: BuildOptions) -> Trace {
     assert!(mix.segments >= 2, "need at least two segments per round");
-    let mut trace = Builder::new(base, mix, opts).run();
+    let mut trace = Builder::new(base, mix, opts, false).run();
     trace.meta.workload = name.to_string();
     trace
 }
@@ -340,7 +361,7 @@ struct Builder {
 }
 
 impl Builder {
-    fn new(workload: Workload, r: Mix, opts: BuildOptions) -> Self {
+    fn new(workload: Workload, r: Mix, opts: BuildOptions, chunked: bool) -> Self {
         assert!(opts.scale > 0.0, "scale must be positive");
         let n_cpus = opts.n_cpus;
         let mut code = CodeLayout::new();
@@ -352,7 +373,15 @@ impl Builder {
         let procs = (0..n_cpus)
             .map(|c| UserProc::new(&kernel, 4 + c as u32))
             .collect();
-        let mut streams: Vec<StreamBuilder> = (0..n_cpus).map(|_| StreamBuilder::new()).collect();
+        let mut streams: Vec<StreamBuilder> = (0..n_cpus)
+            .map(|_| {
+                if chunked {
+                    StreamBuilder::new_chunked()
+                } else {
+                    StreamBuilder::new()
+                }
+            })
+            .collect();
         for s in &mut streams {
             s.set_mode(Mode::User);
         }
@@ -763,10 +792,7 @@ impl Builder {
         }
     }
 
-    fn run(mut self) -> Trace {
-        for r in 0..self.rounds {
-            self.round(r);
-        }
+    fn take_meta(&mut self) -> TraceMeta {
         let l = &self.kernel.layout;
         let kernel_data = vec![
             (l.static_base, 4 * oscache_trace::PAGE_SIZE),
@@ -782,15 +808,34 @@ impl Builder {
             (l.runq_nodes, 16 * oscache_trace::PAGE_SIZE),
             (l.buffer_cache, N_BUFFERS * oscache_trace::PAGE_SIZE),
         ];
-        let meta = TraceMeta {
+        TraceMeta {
             workload: self.workload.name().to_string(),
-            code: self.code,
+            code: std::mem::take(&mut self.code),
             vars: self.kernel.layout.vars.clone(),
             kernel_data,
-        };
+        }
+    }
+
+    fn run(mut self) -> Trace {
+        for r in 0..self.rounds {
+            self.round(r);
+        }
+        let meta = self.take_meta();
         let mut trace = Trace::new(self.n_cpus, meta);
         for (k, s) in self.streams.into_iter().enumerate() {
             trace.streams[k] = s.finish();
+        }
+        trace
+    }
+
+    fn run_chunked(mut self) -> ChunkedTrace {
+        for r in 0..self.rounds {
+            self.round(r);
+        }
+        let meta = self.take_meta();
+        let mut trace = ChunkedTrace::new(self.n_cpus, meta);
+        for (k, s) in self.streams.into_iter().enumerate() {
+            trace.streams[k] = s.finish_chunked();
         }
         trace
     }
@@ -819,6 +864,29 @@ mod tests {
             assert_eq!(t.n_cpus(), 4);
             assert!(t.total_events() > 1000, "{w}: too few events");
             assert_eq!(t.meta.workload, w.name());
+        }
+    }
+
+    #[test]
+    fn chunked_build_decodes_to_flat_build() {
+        for w in [Workload::Trfd4, Workload::Shell] {
+            let opts = BuildOptions {
+                scale: 0.05,
+                seed: 1,
+                ..Default::default()
+            };
+            let flat = build(w, opts);
+            let chunked = build_chunked(w, opts);
+            assert_eq!(chunked.n_cpus(), flat.n_cpus());
+            assert_eq!(chunked.total_events(), flat.total_events());
+            assert_eq!(chunked.meta.workload, flat.meta.workload);
+            assert_eq!(chunked.meta.vars.len(), flat.meta.vars.len());
+            assert_eq!(chunked.meta.kernel_data, flat.meta.kernel_data);
+            for cpu in 0..flat.n_cpus() {
+                let decoded: Vec<Event> = chunked.streams[cpu].iter().collect();
+                assert_eq!(decoded, flat.streams[cpu].events(), "{w} cpu {cpu}");
+            }
+            assert_eq!(chunked.validate(), Ok(()));
         }
     }
 
