@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale S] [--jobs N] [--timings] [--keep-going] [--retries N]\n             [--deadline-ms N] [--deadline-action flag|cancel] [--deadline-grace-ms N]\n             [--journal <path> [--resume [--salvage]]] [--inject-cell-panic SPEC]\n             [table1..table5 | fig1..fig7 | headline | scorecard | all]\n                                                 cells run across N workers (default: all\n                                                 hardware threads); output is bitwise-identical\n                                                 for any N. `all` writes BENCH_repro.json.\n                                                 --keep-going renders every experiment whose cells\n                                                 completed and exits 6 if any cell failed;\n                                                 --retries N grants each failing cell N retries;\n                                                 --deadline-ms N flags cells running longer;\n                                                 --deadline-action cancel also cooperatively kills\n                                                 them --deadline-grace-ms (default 200) past the\n                                                 deadline; --journal records each completed cell\n                                                 crash-safely and --resume replays completed cells\n                                                 from it (--salvage drops a torn trailing record\n                                                 instead of rejecting the journal);\n                                                 --inject-cell-panic seed[:period[:attempts]]\n                                                 panics selected cells (testing the supervisor)\n                repro serve [--socket P|--tcp A] [--queue-limit N]\n                                                 resident service: accepts newline-JSON requests\n                                                 from concurrent clients on a Unix socket (default\n                                                 repro.sock) or TCP address, dedupes work via the\n                                                 shared cache and journal, drains on SIGTERM;\n                                                 honors --scale/--jobs/--journal/--resume/--salvage\n                                                 and the supervision flags above\n                repro submit [--socket P|--tcp A] [--client NAME]\n                            [--request-deadline-ms N] [experiments...]\n                                                 submit experiments to a running serve daemon and\n                                                 print the streamed report (byte-identical to\n                                                 running the same experiments locally)\n                repro golden <dir>               write each experiment's output to <dir>/<name>.txt\n                                                 (the golden-file corpus under tests/golden/)\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro simulate <workload> <system> [--scale S]\n                                                 build and run one cell, print counters and peak\n                                                 RSS; honors REPRO_NO_STREAMING=1 (materialized\n                                                 engine) — the CI memory-ceiling probe\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n                repro bench [--check]            perf smoke over 4 representative cells at reduced\n                                                 scale; without --check writes BENCH_smoke.json\n                                                 reference timings, with --check fails if any cell\n                                                 regressed more than 2x vs that reference\n       exit codes: 1 i/o, 2 usage/journal mismatch, 3 trace validation, 4 simulation invariant,\n                   5 perf regression, 6 partial (some cells failed under --keep-going, or a\n                   submitted request finished incomplete), 7 service overloaded (admission\n                   queue full), 8 service unavailable (daemon unreachable or shutting down)"
+        "usage: repro [--scale S] [--jobs N] [--timings] [--keep-going] [--retries N]\n             [--deadline-ms N] [--deadline-action flag|cancel] [--deadline-grace-ms N]\n             [--journal <path> [--resume [--salvage]]] [--inject-cell-panic SPEC]\n             [table1..table5 | fig1..fig7 | headline | scorecard | all]\n                                                 cells run across N workers (default: all\n                                                 hardware threads); output is bitwise-identical\n                                                 for any N. `all` writes BENCH_repro.json.\n                                                 --keep-going renders every experiment whose cells\n                                                 completed and exits 6 if any cell failed;\n                                                 --retries N grants each failing cell N retries;\n                                                 --deadline-ms N flags cells running longer;\n                                                 --deadline-action cancel also cooperatively kills\n                                                 them --deadline-grace-ms (default 200) past the\n                                                 deadline; --journal records each completed cell\n                                                 crash-safely and --resume replays completed cells\n                                                 from it (--salvage drops a torn trailing record\n                                                 instead of rejecting the journal);\n                                                 --inject-cell-panic seed[:period[:attempts]]\n                                                 panics selected cells (testing the supervisor)\n                repro serve [--socket P|--tcp A] [--queue-limit N]\n                                                 resident service: accepts newline-JSON requests\n                                                 from concurrent clients on a Unix socket (default\n                                                 repro.sock) or TCP address, dedupes work via the\n                                                 shared cache and journal, drains on SIGTERM;\n                                                 honors --scale/--jobs/--journal/--resume/--salvage\n                                                 and the supervision flags above\n                repro submit [--socket P|--tcp A] [--client NAME]\n                            [--request-deadline-ms N] [experiments...]\n                                                 submit experiments to a running serve daemon and\n                                                 print the streamed report (byte-identical to\n                                                 running the same experiments locally)\n                repro golden <dir>               write each experiment's output to <dir>/<name>.txt\n                                                 (the golden-file corpus under tests/golden/)\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro simulate <workload> <system> [--scale S]\n                                                 build and run one cell, print counters and peak\n                                                 RSS; honors REPRO_NO_STREAMING=1 (materialized\n                                                 engine) — the CI memory-ceiling probe\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n                repro bench [--check]            perf smoke over representative cells at reduced\n                                                 scale (plus a chunk-codec microcell and a jobs-4\n                                                 mini-matrix); without --check writes\n                                                 BENCH_smoke.json reference timings, with --check\n                                                 fails if any cell regressed more than 2x vs that\n                                                 reference\n       exit codes: 1 i/o, 2 usage/journal mismatch, 3 trace validation, 4 simulation invariant,\n                   5 perf regression, 6 partial (some cells failed under --keep-going, or a\n                   submitted request finished incomplete), 7 service overloaded (admission\n                   queue full), 8 service unavailable (daemon unreachable or shutting down)"
     );
     std::process::exit(2);
 }
@@ -916,12 +916,23 @@ fn print_timings(r: &Repro, warm: &WarmStats) {
         );
     }
     println!(
-        "{:<46} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10}",
-        "", "total", "build", "prepare", "analyze", "profile", "rewrite", "sim", "OS misses"
+        "{:<46} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>6} {:>10}",
+        "",
+        "total",
+        "build",
+        "prepare",
+        "analyze",
+        "profile",
+        "rewrite",
+        "sim",
+        "decode",
+        "pf hits",
+        "order",
+        "OS misses"
     );
     for t in r.timings() {
         println!(
-            "cell  {:<40} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>10}{}",
+            "cell  {:<40} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>8.1} {:>8} {:>6} {:>10}{}",
             compact_key(&t.key),
             t.ms,
             t.build_ms,
@@ -930,6 +941,9 @@ fn print_timings(r: &Repro, warm: &WarmStats) {
             t.profile_ms,
             t.rewrite_ms,
             t.sim_ms,
+            t.decode_ms,
+            t.prefetch_hits,
+            t.sched_order,
             t.os_misses,
             if t.journaled {
                 "  (journal)"
@@ -952,12 +966,54 @@ fn print_timings(r: &Repro, warm: &WarmStats) {
     }
 }
 
+/// The chunk-codec microcell: encodes a seeded synthetic event stream
+/// into the chunked delta format and decodes every chunk back, returning
+/// `(encode_ms, decode_ms, encode_mb_s, decode_mb_s)` over decoded-event
+/// megabytes. The streaming replay pays exactly this decode cost at each
+/// chunk swap-in, so a codec regression shows up here before it shows up
+/// as wall time in the matrix.
+fn codec_microcell() -> (f64, f64, f64, f64) {
+    use oscache_trace::rng::{Rng, SmallRng};
+    use oscache_trace::{Addr, ChunkedStream, DataClass, StreamBuilder, CHUNK_EVENTS};
+    const EVENTS: usize = 1 << 19;
+    let mut rng = SmallRng::seed_from_u64(0x5eed_c0de);
+    let mut b = StreamBuilder::new();
+    for _ in 0..EVENTS {
+        let addr = Addr(0x0200_0000 + rng.gen_range(0u32..0x8000) * 8);
+        if rng.gen_bool(0.3) {
+            b.write(addr, DataClass::ProcTable);
+        } else {
+            b.read(addr, DataClass::RunQueue);
+        }
+    }
+    let events = b.finish().into_events();
+    assert_eq!(events.len(), EVENTS);
+    let mb = std::mem::size_of_val(events.as_slice()) as f64 / (1024.0 * 1024.0);
+    let t0 = std::time::Instant::now();
+    let stream = ChunkedStream::from_events(events, CHUNK_EVENTS);
+    let encode_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut out = Vec::new();
+    let mut decoded = 0usize;
+    let t1 = std::time::Instant::now();
+    for c in 0..stream.n_chunks() {
+        stream.decode_chunk(c, &mut out);
+        decoded += out.len();
+    }
+    let decode_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(decoded, EVENTS);
+    let per_sec = |ms: f64| mb / (ms.max(1e-6) / 1e3);
+    (encode_ms, decode_ms, per_sec(encode_ms), per_sec(decode_ms))
+}
+
 /// The `bench` perf smoke: four representative TRFD_4 cells — the cheap
 /// baseline, the transform-heavy relocate+update cell, the full ladder
 /// top (hot-spot profiling simulation + prefetch insertion), and the
 /// ladder top again at a second line size, whose preparation re-profiles
 /// and re-rewrites against a warm analysis cache — run serially at a
-/// reduced scale with per-phase timings.
+/// reduced scale with per-phase timings. Two structural cells ride along:
+/// the chunk-codec microcell ([`codec_microcell`]) and a jobs-4
+/// mini-matrix fan-out over Fig5, which times the LPT dispatch order end
+/// to end.
 ///
 /// Without `--check`, writes the measured timings to [`SMOKE_REF`] as the
 /// committed reference. With `--check`, compares against that reference
@@ -1014,7 +1070,24 @@ fn bench(check: bool) {
         println!("peak RSS after streaming cell: {mb:.1} MB");
     }
     rss_after.push(rss2);
-    let cells: Vec<gate::GateCell> = r
+    // The chunk-codec microcell: encode+decode throughput of the delta
+    // codec on a seeded synthetic stream — the per-chunk cost the
+    // decode-ahead helper hides from the replay loop.
+    let (enc_ms, dec_ms, enc_mbs, dec_mbs) = codec_microcell();
+    println!(
+        "chunk codec: encode {enc_ms:.1} ms ({enc_mbs:.0} MB/s), decode {dec_ms:.1} ms ({dec_mbs:.0} MB/s)"
+    );
+    // The jobs-4 mini-matrix cell: a fresh fan-out over Fig5's 16 cells
+    // (4 workloads x {Base, Blk_Dma, BCoh_RelUp, BCPref}) at 4 workers —
+    // the wall clock the LPT dispatch order is meant to shrink.
+    let mut r4 = Repro::with_jobs(SMOKE_SCALE, 4);
+    let warm4 = r4.warm(&[Experiment::Fig5]);
+    println!(
+        "jobs-4 mini-matrix (Fig5): {:.1} ms wall, {} cells",
+        warm4.wall_ms,
+        warm4.cells.len()
+    );
+    let mut cells: Vec<gate::GateCell> = r
         .timings()
         .iter()
         .chain(r2.timings())
@@ -1025,6 +1098,16 @@ fn bench(check: bool) {
             peak_rss_mb: *rss,
         })
         .collect();
+    cells.push(gate::GateCell {
+        key: "codec/chunk".to_string(),
+        work_ms: enc_ms + dec_ms,
+        peak_rss_mb: None,
+    });
+    cells.push(gate::GateCell {
+        key: "matrix/jobs4".to_string(),
+        work_ms: warm4.wall_ms,
+        peak_rss_mb: peak_rss_mb(),
+    });
     if !check {
         if let Err(e) = std::fs::write(SMOKE_REF, gate::render_reference(SMOKE_SCALE, &cells)) {
             fail("io", &format!("{SMOKE_REF}: {e}"), EXIT_IO);
@@ -1093,7 +1176,7 @@ fn write_bench_json(path: &str, scale: f64, r: &Repro, warm: &WarmStats) {
     let cells = r.timings();
     for (i, t) in cells.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"key\": \"{}\", \"ms\": {:.1}, \"build_ms\": {:.1}, \"prepare_ms\": {:.1}, \"analyze_ms\": {:.1}, \"profile_ms\": {:.1}, \"rewrite_ms\": {:.1}, \"cached\": {}, \"sim_ms\": {:.1}, \"os_misses\": {}}}{}\n",
+            "    {{\"key\": \"{}\", \"ms\": {:.1}, \"build_ms\": {:.1}, \"prepare_ms\": {:.1}, \"analyze_ms\": {:.1}, \"profile_ms\": {:.1}, \"rewrite_ms\": {:.1}, \"cached\": {}, \"sim_ms\": {:.1}, \"decode_ms\": {:.1}, \"prefetch_hits\": {}, \"sched_order\": {}, \"os_misses\": {}}}{}\n",
             compact_key(&t.key),
             t.ms,
             t.build_ms,
@@ -1103,6 +1186,9 @@ fn write_bench_json(path: &str, scale: f64, r: &Repro, warm: &WarmStats) {
             t.rewrite_ms,
             t.cached,
             t.sim_ms,
+            t.decode_ms,
+            t.prefetch_hits,
+            t.sched_order,
             t.os_misses,
             if i + 1 < cells.len() { "," } else { "" }
         ));

@@ -72,6 +72,14 @@ pub struct CellTiming {
     pub cached: bool,
     /// Milliseconds in the final machine run.
     pub sim_ms: f64,
+    /// Milliseconds of `sim_ms` spent decoding chunks synchronously (zero
+    /// when the decode-ahead helper absorbed every decode, or for flat
+    /// replays, which have no chunk decodes at all).
+    pub decode_ms: f64,
+    /// Chunk swap-ins served by the decode-ahead helper's ready slot.
+    pub prefetch_hits: u64,
+    /// Position at which the scheduler dispatched this cell (0 = first).
+    pub sched_order: usize,
     /// OS read misses the cell observed (a cheap cross-run sanity metric).
     pub os_misses: u64,
     /// Whether the result was replayed from a run journal (`--resume`)
@@ -280,6 +288,9 @@ impl Repro {
             rewrite_ms: outcome.phases.rewrite_ms,
             cached: outcome.phases.cached,
             sim_ms: outcome.sim_ms,
+            decode_ms: outcome.decode_ms,
+            prefetch_hits: outcome.prefetch_hits,
+            sched_order: outcome.sched_order,
             os_misses: outcome.result.stats.total().os_read_misses(),
             journaled: outcome.journaled,
         };

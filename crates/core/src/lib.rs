@@ -31,16 +31,16 @@ pub use metrics::{
     BlockOpOverhead, CoherenceBreakdown, MissBreakdown, OsTimeBreakdown, WorkloadMetrics,
 };
 pub use runner::{
-    default_jobs, run_cells_supervised, run_plan_supervised, Cell, CellFingerprint, Experiment,
-    PlannedCell, RequestPlan, SupervisedReport, TraceCache,
+    cell_cost, default_jobs, dispatch_order, run_cells_supervised, run_plan_supervised, Cell,
+    CellFingerprint, Experiment, PlannedCell, RequestPlan, SupervisedReport, TraceCache,
 };
 pub use scorecard::{Check, Scorecard};
 pub use sim::{
     analyze_cell, analyze_cell_chunked, prepare_cell, prepare_from_analysis,
-    prepare_from_analysis_chunked, run_prepared, run_prepared_chunked, run_spec, run_system,
-    streaming_enabled, try_run_spec, try_run_spec_audited, try_run_spec_audited_chunked,
-    try_run_system, AnalysisPrefix, AnalyzedCell, AnalyzedCellChunked, PrepPhases, PreparedCell,
-    PreparedCellChunked, RunResult,
+    prepare_from_analysis_chunked, run_prepared, run_prepared_chunked, run_prepared_chunked_timed,
+    run_prepared_timed, run_spec, run_system, streaming_enabled, try_run_spec,
+    try_run_spec_audited, try_run_spec_audited_chunked, try_run_system, AnalysisPrefix,
+    AnalyzedCell, AnalyzedCellChunked, PrepPhases, PreparedCell, PreparedCellChunked, RunResult,
 };
 pub use supervise::{
     CellFailure, Escalation, FailureCause, Journal, JournalError, JournalHeader, JournalRecord,

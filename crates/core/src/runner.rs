@@ -28,7 +28,7 @@
 // name exactly what failed; they only exist on the cold path.
 #![allow(clippy::result_large_err)]
 
-use crate::config::{Geometry, System, SystemSpec};
+use crate::config::{Geometry, System, SystemSpec, UpdatePolicy};
 use crate::experiments::{figure6_sweep, figure7_sweep};
 use crate::sim::{
     self, AnalysisPrefix, AnalyzedCell, AnalyzedCellChunked, PrepPhases, PreparedCell,
@@ -540,6 +540,18 @@ pub struct CellOutcome {
     /// Breakdown of `prepare_ms` by phase (analysis / profiling replay /
     /// prefetch rewrite), with `cached: true` on a whole-fingerprint hit.
     pub phases: PrepPhases,
+    /// Milliseconds of `sim_ms` the final machine run spent in
+    /// *synchronous* chunk decode (the stall decode-ahead hides; zero on
+    /// the materialized path and on cached/journaled outcomes).
+    pub decode_ms: f64,
+    /// Chunk swap-ins the final run served from a ready decode-ahead
+    /// buffer (DESIGN.md §17).
+    pub prefetch_hits: u64,
+    /// Position at which the scheduler dispatched this cell (0-based rank
+    /// in the cost-model LPT order; 0 for serial single-cell runs).
+    /// Observability only — results are always returned in cell-index
+    /// order regardless of dispatch order.
+    pub sched_order: usize,
     /// Attempt index that produced this outcome (0 unless a supervised run
     /// retried the cell).
     pub attempt: u32,
@@ -610,6 +622,9 @@ fn run_cell_inner(
                     cached: true,
                     ..PrepPhases::default()
                 },
+                decode_ms: 0.0,
+                prefetch_hits: 0,
+                sched_order: 0,
                 attempt: 0,
                 journaled: false,
             });
@@ -617,7 +632,7 @@ fn run_cell_inner(
     }
     let (prepared, phases) = cache.prepared_cancellable(&base, fp, cancel)?;
     let prep = Instant::now();
-    let result = sim::run_prepared_cancellable(
+    let (result, overlap) = sim::run_prepared_timed(
         &base,
         &prepared,
         cell.spec,
@@ -637,6 +652,9 @@ fn run_cell_inner(
         prepare_ms: 1e3 * (prep - built).as_secs_f64(),
         sim_ms: 1e3 * (done - prep).as_secs_f64(),
         phases,
+        decode_ms: overlap.decode_ms,
+        prefetch_hits: overlap.prefetch_hits,
+        sched_order: 0,
         attempt: 0,
         journaled: false,
     })
@@ -672,6 +690,9 @@ fn run_cell_inner_chunked(
                     cached: true,
                     ..PrepPhases::default()
                 },
+                decode_ms: 0.0,
+                prefetch_hits: 0,
+                sched_order: 0,
                 attempt: 0,
                 journaled: false,
             });
@@ -679,7 +700,7 @@ fn run_cell_inner_chunked(
     }
     let (prepared, phases) = cache.prepared_chunked_cancellable(&base, fp, cancel)?;
     let prep = Instant::now();
-    let result = sim::run_prepared_chunked_cancellable(
+    let (result, overlap) = sim::run_prepared_chunked_timed(
         &base,
         &prepared,
         cell.spec,
@@ -699,6 +720,9 @@ fn run_cell_inner_chunked(
         prepare_ms: 1e3 * (prep - built).as_secs_f64(),
         sim_ms: 1e3 * (done - prep).as_secs_f64(),
         phases,
+        decode_ms: overlap.decode_ms,
+        prefetch_hits: overlap.prefetch_hits,
+        sched_order: 0,
         attempt: 0,
         journaled: false,
     })
@@ -821,6 +845,63 @@ pub fn run_cells_supervised(
     )
 }
 
+/// Static cost estimate of one cell, in arbitrary units (DESIGN.md §17).
+///
+/// The model is seeded from the measured shape of `BENCH_smoke.json` /
+/// `BENCH_repro.json`: hot-spot prefetch cells (`BCPref*`) cost ~3× a
+/// `Base` cell (their preparation replays the whole trace once more for
+/// profiling), coherence-ladder rewrites (`privatize`/`relocate`/update
+/// mapping) sit in between, and the block-op schemes add a little bus
+/// work each. Trace scale multiplies everything uniformly. Only the
+/// *relative* order matters: the scheduler uses these costs to dispatch
+/// longest-first, and a wrong estimate costs only makespan, never
+/// correctness — results are returned in cell-index order regardless.
+pub fn cell_cost(cell: &Cell, scale: f64) -> u64 {
+    let mut units: u64 = 100;
+    if cell.spec.hotspot_prefetch {
+        units += 180;
+    }
+    if cell.spec.privatize {
+        units += 20;
+    }
+    if cell.spec.relocate {
+        units += 20;
+    }
+    if cell.spec.update != UpdatePolicy::None {
+        units += 25;
+    }
+    if cell.spec.deferred_copy {
+        units += 10;
+    }
+    if cell.spec.page_coloring {
+        units += 10;
+    }
+    units += match cell.spec.block_scheme {
+        oscache_memsys::BlockOpScheme::Cached => 0,
+        oscache_memsys::BlockOpScheme::Pref => 10,
+        oscache_memsys::BlockOpScheme::Bypass => 5,
+        oscache_memsys::BlockOpScheme::ByPref => 10,
+        oscache_memsys::BlockOpScheme::Dma => 5,
+    };
+    // Smaller caches miss more and simulate slower; sweeps below the
+    // default 32 KB L1D lean long.
+    if cell.geometry.l1d_size < 32 * 1024 {
+        units += 20;
+    }
+    ((units as f64) * scale.max(1e-3) * 10.0) as u64
+}
+
+/// The deterministic longest-processing-time-first dispatch permutation
+/// for `cells`: indices sorted by descending [`cell_cost`], ties broken
+/// by ascending cell index. Workers claim cells in this order; the
+/// result slots stay in cell-index order, so the permutation is invisible
+/// in every output byte at any `--jobs` (pinned by `tests/schedule.rs`).
+pub fn dispatch_order(cells: &[PlannedCell], scale: f64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..cells.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(cell_cost(&cells[i].cell, scale)), i));
+    order
+}
+
 /// [`run_cells_supervised`] over a pre-built [`RequestPlan`], with a
 /// request-level [`CancelToken`]: tripping it makes every still-running
 /// and not-yet-started cell of the fan-out fail as
@@ -843,6 +924,12 @@ pub fn run_plan_supervised(
     // Fingerprints appearing more than once (e.g. a sweep point that
     // coincides with the default geometry) share one simulation result.
     let recurring = plan.recurring();
+    // Longest-first dispatch: workers claim cells through this static
+    // permutation so the heaviest cells (BCPref profiling+run) start
+    // first and never serialize the tail of the fan-out. Result slots
+    // below stay in cell-index order, so the reordering cannot change a
+    // single output byte (DESIGN.md §17).
+    let order = dispatch_order(cells, opts.scale);
     let next = AtomicUsize::new(0);
     let retries = AtomicU64::new(0);
     let journal_hits = AtomicUsize::new(0);
@@ -857,12 +944,13 @@ pub fn run_plan_supervised(
         let workers: Vec<_> = (0..jobs)
             .map(|_| {
                 s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= cells.len() {
+                    let rank = next.fetch_add(1, Ordering::Relaxed);
+                    if rank >= order.len() {
                         break;
                     }
+                    let i = order[rank];
                     let pc = &cells[i];
-                    let out = supervise_one(
+                    let mut out = supervise_one(
                         SuperviseCtx {
                             cache,
                             opts,
@@ -877,6 +965,9 @@ pub fn run_plan_supervised(
                         },
                         pc,
                     );
+                    if let Ok(o) = &mut out {
+                        o.sched_order = rank;
+                    }
                     *lock_tolerant(&slots[i]) = Some(out);
                 })
             })
@@ -972,6 +1063,9 @@ pub(crate) fn supervise_one(
                     cached: true,
                     ..PrepPhases::default()
                 },
+                decode_ms: 0.0,
+                prefetch_hits: 0,
+                sched_order: 0,
                 attempt: 0,
                 journaled: true,
             });

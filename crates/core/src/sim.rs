@@ -4,7 +4,7 @@
 use crate::analysis;
 use crate::config::{Geometry, System, SystemSpec, UpdatePolicy};
 use crate::transform;
-use oscache_memsys::{AuditLevel, CancelToken, Machine, PageSet, SimError, SimStats};
+use oscache_memsys::{AuditLevel, CancelToken, Machine, OverlapStats, PageSet, SimError, SimStats};
 use oscache_trace::{ChunkedTrace, Trace};
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock, Weak};
@@ -419,6 +419,21 @@ pub fn run_prepared_cancellable(
     audit: AuditLevel,
     cancel: &CancelToken,
 ) -> Result<RunResult, SimError> {
+    run_prepared_timed(trace, prepared, spec, geometry, audit, cancel).map(|(r, _)| r)
+}
+
+/// [`run_prepared_cancellable`] that also reports the machine's
+/// decode-overlap telemetry ([`OverlapStats`]). On the materialized flat
+/// path there is nothing to decode, so the telemetry is all zeros — the
+/// variant exists so the runner threads one shape through both engines.
+pub fn run_prepared_timed(
+    trace: &Trace,
+    prepared: &PreparedCell,
+    spec: SystemSpec,
+    geometry: Geometry,
+    audit: AuditLevel,
+    cancel: &CancelToken,
+) -> Result<(RunResult, OverlapStats), SimError> {
     let mut cfg = geometry.machine_config(&spec);
     cfg.n_cpus = trace.n_cpus();
     cfg.update_pages = prepared.update_pages.clone();
@@ -427,16 +442,20 @@ pub fn run_prepared_cancellable(
     let working = prepared.trace.as_deref().unwrap_or(trace);
     // Preparation already validated the working trace (see
     // [`PreparedCell::validated`]); don't re-scan it in the timed run.
-    let stats = if prepared.validated {
-        Machine::with_recording_prevalidated(cfg, working, true)?.run()?
+    let mut machine = if prepared.validated {
+        Machine::with_recording_prevalidated(cfg, working, true)?
     } else {
-        Machine::new(cfg, working)?.run()?
+        Machine::new(cfg, working)?
     };
-    Ok(RunResult {
-        stats,
-        spec,
-        geometry,
-    })
+    let stats = machine.run_mut()?;
+    Ok((
+        RunResult {
+            stats,
+            spec,
+            geometry,
+        },
+        machine.overlap_stats(),
+    ))
 }
 
 /// [`AnalyzedCell`] for the streaming pipeline: the same
@@ -672,22 +691,41 @@ pub fn run_prepared_chunked_cancellable(
     audit: AuditLevel,
     cancel: &CancelToken,
 ) -> Result<RunResult, SimError> {
+    run_prepared_chunked_timed(trace, prepared, spec, geometry, audit, cancel).map(|(r, _)| r)
+}
+
+/// [`run_prepared_chunked_cancellable`] that also reports the machine's
+/// decode-overlap telemetry: residual synchronous-decode milliseconds and
+/// decode-ahead hit counts (DESIGN.md §17). The telemetry is pure
+/// observability — it never feeds back into the statistics.
+pub fn run_prepared_chunked_timed(
+    trace: &ChunkedTrace,
+    prepared: &PreparedCellChunked,
+    spec: SystemSpec,
+    geometry: Geometry,
+    audit: AuditLevel,
+    cancel: &CancelToken,
+) -> Result<(RunResult, OverlapStats), SimError> {
     let mut cfg = geometry.machine_config(&spec);
     cfg.n_cpus = trace.n_cpus();
     cfg.update_pages = prepared.update_pages.clone();
     cfg.audit = audit;
     cfg.cancel = cancel.clone();
     let working = prepared.trace.as_deref().unwrap_or(trace);
-    let stats = if prepared.validated {
-        Machine::with_recording_prevalidated_chunked(cfg, working, true)?.run()?
+    let mut machine = if prepared.validated {
+        Machine::with_recording_prevalidated_chunked(cfg, working, true)?
     } else {
-        Machine::new_chunked(cfg, working)?.run()?
+        Machine::new_chunked(cfg, working)?
     };
-    Ok(RunResult {
-        stats,
-        spec,
-        geometry,
-    })
+    let stats = machine.run_mut()?;
+    Ok((
+        RunResult {
+            stats,
+            spec,
+            geometry,
+        },
+        machine.overlap_stats(),
+    ))
 }
 
 /// [`try_run_spec_audited`] over the chunked backbone: analyze, prepare,

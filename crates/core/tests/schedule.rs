@@ -1,0 +1,280 @@
+//! Cost-model scheduling guarantees (DESIGN.md §17): workers claim cells
+//! through a deterministic longest-processing-time-first permutation, and
+//! that permutation is invisible in every output byte — results stay in
+//! cell-index order at any `--jobs`, across repeats, and when the
+//! reordered dispatch interleaves with supervised retries and journal
+//! resume.
+
+use oscache_core::runner::{run_cells_supervised, Cell, RequestPlan, TraceCache};
+use oscache_core::supervise::{Journal, JournalHeader};
+use oscache_core::{cell_cost, dispatch_order, RunPolicy, RunResult, System};
+use oscache_memsys::faults::CellFault;
+use oscache_workloads::{BuildOptions, Workload};
+use std::path::PathBuf;
+
+const SCALE: f64 = 0.02;
+
+fn opts() -> BuildOptions {
+    BuildOptions {
+        scale: SCALE,
+        ..Default::default()
+    }
+}
+
+/// A cost-heterogeneous cell set: the cheap baseline, a block-op scheme,
+/// the coherence ladder, and the profiling-heavy ladder top, on two
+/// workloads — so LPT dispatch genuinely reorders the claim sequence.
+fn subset() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for w in [Workload::Trfd4, Workload::Shell] {
+        for sys in [
+            System::Base,
+            System::BlkDma,
+            System::BCohRelUp,
+            System::BCPref,
+        ] {
+            cells.push(Cell::system(w, sys));
+        }
+    }
+    cells
+}
+
+/// A stable bytewise report of one result (hash-map-free, same idea as
+/// tests/runner.rs).
+fn report(r: &RunResult) -> String {
+    let t = r.stats.total();
+    format!(
+        "spec={:?} geom={:?} osm={} blk={} coh={:?} other={} idle={} user={} os={} bus={}\n",
+        r.spec,
+        r.geometry,
+        t.os_read_misses(),
+        t.os_miss_blockop,
+        t.os_miss_coherence,
+        t.os_miss_other,
+        t.idle_cycles,
+        t.exec_cycles.user,
+        t.exec_cycles.os,
+        r.stats.bus.busy_cycles,
+    )
+}
+
+fn tmp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "oscache-schedule-{}-{name}.jsonl",
+        std::process::id()
+    ))
+}
+
+/// The dispatch permutation is a deterministic function of the plan: a
+/// valid permutation, identical across calls, costs non-increasing along
+/// it, and the profiling-heavy `BCPref` cells claimed before every `Base`
+/// cell.
+#[test]
+fn dispatch_order_is_deterministic_longest_first() {
+    let cells = subset();
+    let plan = RequestPlan::from_cells(&cells, opts());
+    let order = dispatch_order(&plan.cells, SCALE);
+    assert_eq!(order, dispatch_order(&plan.cells, SCALE), "order unstable");
+    let mut seen = order.clone();
+    seen.sort_unstable();
+    assert_eq!(
+        seen,
+        (0..cells.len()).collect::<Vec<_>>(),
+        "not a permutation"
+    );
+    let costs: Vec<u64> = order.iter().map(|&i| cell_cost(&cells[i], SCALE)).collect();
+    assert!(
+        costs.windows(2).all(|w| w[0] >= w[1]),
+        "dispatch order is not longest-first: {costs:?}"
+    );
+    // Ties break toward the lower cell index, so equal-cost cells keep
+    // their enumeration order.
+    for w in order.windows(2) {
+        if cell_cost(&cells[w[0]], SCALE) == cell_cost(&cells[w[1]], SCALE) {
+            assert!(w[0] < w[1], "tie broken away from cell order: {order:?}");
+        }
+    }
+    let rank = |sys: System| {
+        cells
+            .iter()
+            .position(|c| c.tag == sys.label() && c.workload == Workload::Trfd4)
+            .map(|i| order.iter().position(|&o| o == i).unwrap())
+            .unwrap()
+    };
+    assert!(
+        rank(System::BCPref) < rank(System::Base),
+        "the profiling-heavy cell must be claimed before the baseline"
+    );
+}
+
+/// LPT dispatch is invisible in results: one worker, four workers, and a
+/// four-worker repeat produce byte-identical reports in cell-index order,
+/// and the claimed `sched_order` ranks are exactly the LPT permutation's
+/// ranks (pinned at jobs=1, where claim order is sequential).
+#[test]
+fn lpt_dispatch_never_changes_output_bytes() {
+    let cells = subset();
+    let run = |jobs: usize| {
+        let rep = run_cells_supervised(
+            &TraceCache::new(),
+            opts(),
+            &cells,
+            jobs,
+            &RunPolicy::fail_fast(),
+            None,
+        );
+        assert_eq!(rep.completed(), cells.len());
+        for (cell, slot) in cells.iter().zip(&rep.outcomes) {
+            assert_eq!(
+                cell.key(),
+                slot.as_ref().unwrap().cell.key(),
+                "slots left cell-index order"
+            );
+        }
+        rep
+    };
+    let serial = run(1);
+    let par_a = run(4);
+    let par_b = run(4);
+    let render = |rep: &oscache_core::SupervisedReport| -> String {
+        rep.outcomes
+            .iter()
+            .map(|s| report(&s.as_ref().unwrap().result))
+            .collect()
+    };
+    assert_eq!(render(&serial), render(&par_a), "--jobs 4 diverged");
+    assert_eq!(render(&par_a), render(&par_b), "--jobs 4 not reproducible");
+    // At one worker the claim sequence IS the LPT permutation.
+    let plan = RequestPlan::from_cells(&cells, opts());
+    let order = dispatch_order(&plan.cells, SCALE);
+    for (rank, &i) in order.iter().enumerate() {
+        assert_eq!(
+            serial.outcomes[i].as_ref().unwrap().sched_order,
+            rank,
+            "serial claim order is not the LPT permutation"
+        );
+    }
+    // At any worker count every rank is claimed exactly once.
+    let mut ranks: Vec<usize> = par_a
+        .outcomes
+        .iter()
+        .map(|s| s.as_ref().unwrap().sched_order)
+        .collect();
+    ranks.sort_unstable();
+    assert_eq!(ranks, (0..cells.len()).collect::<Vec<_>>());
+}
+
+/// Supervised retries ride the reordered dispatch unchanged: a transient
+/// fault heals within its retry budget and the healed results are
+/// byte-identical at one and four workers.
+#[test]
+fn retries_interleave_with_lpt_dispatch() {
+    let cells = subset();
+    let keys: Vec<String> = cells.iter().map(|c| c.key()).collect();
+    // Transient: targeted cells panic on attempt 0, succeed on attempt 1.
+    let fault = (0..10_000)
+        .map(|seed| CellFault {
+            seed,
+            period: 2,
+            attempts: 1,
+        })
+        .find(|f| {
+            let hits = keys.iter().filter(|k| f.targets(k)).count();
+            hits > 0 && hits < keys.len()
+        })
+        .expect("some seed under 10000 must split the cell set");
+    let policy = RunPolicy {
+        max_retries: 2,
+        backoff_ms: 0,
+        inject: Some(fault),
+        ..RunPolicy::default()
+    };
+    let run =
+        |jobs: usize| run_cells_supervised(&TraceCache::new(), opts(), &cells, jobs, &policy, None);
+    let serial = run(1);
+    let par = run(4);
+    assert_eq!(serial.completed(), cells.len(), "transient fault must heal");
+    assert_eq!(par.completed(), cells.len());
+    for (a, b) in serial.outcomes.iter().zip(&par.outcomes) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(report(&a.result), report(&b.result));
+        assert_eq!(a.attempt, b.attempt, "retry counts depend on jobs");
+    }
+}
+
+/// Journal resume replays its cells out of the middle of the LPT
+/// permutation without perturbing anything: a journal truncated to any
+/// boundary resumes to byte-identical results at four workers, journaled
+/// cells keep their slots, and fresh cells still carry claim ranks.
+#[test]
+fn journal_resume_interleaves_with_lpt_dispatch() {
+    let cells = subset();
+    let path = tmp_path("lpt-resume");
+    let _ = std::fs::remove_file(&path);
+    let header = JournalHeader::new(&opts());
+    let reference: String = {
+        let j = Journal::create(&path, header).expect("create journal");
+        let rep = run_cells_supervised(
+            &TraceCache::new(),
+            opts(),
+            &cells,
+            1,
+            &RunPolicy::fail_fast(),
+            Some(&j),
+        );
+        assert_eq!(rep.completed(), cells.len());
+        rep.outcomes
+            .iter()
+            .map(|s| report(&s.as_ref().unwrap().result))
+            .collect()
+    };
+    let full = std::fs::read_to_string(&path).expect("read journal");
+    for k in [1, cells.len() / 2, cells.len() - 1] {
+        std::fs::write(&path, &full).expect("restore journal");
+        let j = Journal::resume(&path, header).expect("reopen journal");
+        j.truncate(k).expect("truncate journal");
+        drop(j);
+        let j = Journal::resume(&path, header).expect("resume journal");
+        let rep = run_cells_supervised(
+            &TraceCache::new(),
+            opts(),
+            &cells,
+            4,
+            &RunPolicy::fail_fast(),
+            Some(&j),
+        );
+        assert_eq!(rep.completed(), cells.len(), "boundary {k}");
+        assert_eq!(rep.journal_hits, k, "boundary {k}: wrong replay count");
+        let rendered: String = rep
+            .outcomes
+            .iter()
+            .map(|s| report(&s.as_ref().unwrap().result))
+            .collect();
+        assert_eq!(rendered, reference, "boundary {k}: results diverged");
+        // Journal hits and fresh simulations both went through the claim
+        // loop, so the rank set is still exactly 0..n.
+        let mut ranks: Vec<usize> = rep
+            .outcomes
+            .iter()
+            .map(|s| s.as_ref().unwrap().sched_order)
+            .collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..cells.len()).collect::<Vec<_>>(), "boundary {k}");
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The cost model's load-bearing relative claims, pinned so a future
+/// tweak that flattens them (and silently serializes the fan-out tail)
+/// fails loudly: prefetch cells dominate, coherence cells beat the
+/// baseline, and scale stretches costs monotonically.
+#[test]
+fn cost_model_preserves_the_measured_shape() {
+    let cost = |sys: System| cell_cost(&Cell::system(Workload::Trfd4, sys), SCALE);
+    assert!(cost(System::BCPref) > cost(System::BCohRelUp));
+    assert!(cost(System::BCohRelUp) > cost(System::BCohReloc));
+    assert!(cost(System::BCohReloc) > cost(System::Base));
+    assert!(cost(System::BlkDma) > cost(System::Base));
+    let base = Cell::system(Workload::Trfd4, System::Base);
+    assert!(cell_cost(&base, 1.0) > cell_cost(&base, 0.1));
+}

@@ -29,8 +29,12 @@ use crate::spec::{self, Gen, Spec, SpecKey, K};
 use crate::stats::{CpuStats, MissKind, SimStats};
 use crate::{AuditLevel, BlockOpScheme, Bus, BusOp, Cache, LineState, MachineConfig, WriteBuffer};
 use oscache_trace::{
-    Addr, BasicBlock, BlockOp, ChunkedTrace, DataClass, Event, LineAddr, Mode, Trace, TraceMeta,
+    Addr, BasicBlock, BlockOp, ChunkedStream, ChunkedTrace, DataClass, Event, LineAddr, Mode,
+    Trace, TraceMeta,
 };
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Instant;
 
 /// Number of events between cancellation polls, shared by the generic and
 /// the specialized replay loops.
@@ -167,11 +171,141 @@ pub(crate) enum Source<'t> {
 /// One CPU's decode window over a chunked stream: the single decoded
 /// chunk its cursor (or a bounded scan like the DMA bracket skip) is
 /// currently inside. Pure cache — never part of [`Machine::state_digest`].
-#[derive(Default)]
 struct DecodeWindow {
     /// Decoded chunk index, or `usize::MAX` when nothing is decoded yet.
     chunk: usize,
     events: Vec<Event>,
+    /// Highest chunk index handed to the decode-ahead helper for this CPU
+    /// (`usize::MAX` = none), bounding the request queue to at most one
+    /// outstanding request per swap-in.
+    requested: usize,
+}
+
+impl Default for DecodeWindow {
+    fn default() -> Self {
+        DecodeWindow {
+            chunk: usize::MAX,
+            events: Vec::new(),
+            requested: usize::MAX,
+        }
+    }
+}
+
+/// Whether decode-ahead chunk prefetching is switched off for the process.
+/// `REPRO_NO_PREFETCH` set to any non-empty value other than `0` routes
+/// every chunked replay through purely synchronous decode — the escape
+/// hatch the schedule-oracle CI job pins goldens against. Mirrors the
+/// `REPRO_NO_SPECIALIZE` / `REPRO_NO_STREAMING` gates.
+pub(crate) fn prefetch_disabled_by_env() -> bool {
+    match std::env::var_os("REPRO_NO_PREFETCH") {
+        Some(v) => !v.is_empty() && v != "0",
+        None => false,
+    }
+}
+
+/// Whether decode-ahead chunk prefetching is active by default for this
+/// process (i.e. `REPRO_NO_PREFETCH` is unset/`0`/empty). Per-machine
+/// overrides go through [`Machine::set_decode_prefetch`].
+pub fn decode_prefetch_enabled() -> bool {
+    !prefetch_disabled_by_env()
+}
+
+/// Decode-overlap telemetry of one replay (DESIGN.md §17). Pure
+/// observability: none of these feed back into simulated state, timing, or
+/// [`Machine::state_digest`] — a replay with prefetching on and one with it
+/// off produce identical statistics and digests by construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OverlapStats {
+    /// Wall milliseconds the event loop spent in *synchronous*
+    /// `decode_chunk` calls — the decode stall the prefetch stage exists
+    /// to hide. With prefetching on, this is the residual (cold first
+    /// chunks, backward scans, helper outruns).
+    pub decode_ms: f64,
+    /// Chunk swap-ins satisfied by a ready decode-ahead buffer.
+    pub prefetch_hits: u64,
+    /// Chunk swap-ins that fell back to synchronous decode.
+    pub sync_decodes: u64,
+}
+
+/// The decode-ahead mailbox shared between the event loop and the
+/// per-machine decoder helper thread (DESIGN.md §17).
+///
+/// Protocol: on swapping chunk `c` into CPU `i`'s window, the event loop
+/// enqueues a request for chunk `c+1` and marks it in
+/// `DecodeWindow::requested`. The helper pops requests, decodes into a
+/// recycled spare buffer *outside* the lock (decode is a pure function of
+/// the chunk bytes), and publishes into the per-CPU `ready` slot. The next
+/// swap-in consumes a matching ready buffer by pointer swap; a stale one
+/// (backward scan, or the consumer outran the helper and decoded
+/// synchronously) is recycled into `spares`. Memory is bounded: one
+/// window plus at most one ready buffer per CPU, with the recycled
+/// spares swapping between those two populations — O(2·chunk) per CPU.
+struct PrefetchShared {
+    state: Mutex<PrefetchState>,
+    cv: Condvar,
+}
+
+struct PrefetchState {
+    /// FIFO of (cpu, chunk) decode requests; ≤ 1 in flight per CPU.
+    requests: VecDeque<(usize, usize)>,
+    /// Per-CPU ready slot: a decoded (chunk, events) buffer.
+    ready: Vec<Option<(usize, Vec<Event>)>>,
+    /// Recycled buffers, reused so steady state allocates nothing.
+    spares: Vec<Vec<Event>>,
+    /// Set once by the event loop when the replay is over.
+    shutdown: bool,
+}
+
+impl PrefetchShared {
+    fn new(n_cpus: usize) -> Self {
+        PrefetchShared {
+            state: Mutex::new(PrefetchState {
+                requests: VecDeque::new(),
+                ready: (0..n_cpus).map(|_| None).collect(),
+                spares: Vec::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PrefetchState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn shutdown(&self) {
+        self.lock().shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The decoder helper's run loop: pop a request, decode the chunk into a
+/// recycled buffer with the lock released, publish it into the CPU's ready
+/// slot. Decode purity makes the helper invisible to replay semantics —
+/// it only ever produces the same bytes→events mapping `fetch_event`
+/// would have computed synchronously.
+fn decode_helper(trace: &ChunkedTrace, shared: &PrefetchShared) {
+    loop {
+        let (cpu, chunk, mut buf) = {
+            let mut st = shared.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if let Some((cpu, chunk)) = st.requests.pop_front() {
+                    let buf = st.spares.pop().unwrap_or_default();
+                    break (cpu, chunk, buf);
+                }
+                st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        trace.streams[cpu].decode_chunk(chunk, &mut buf);
+        let mut st = shared.lock();
+        if let Some((_, old)) = st.ready[cpu].replace((chunk, buf)) {
+            // A stale ready entry the consumer never took (backward scan).
+            st.spares.push(old);
+        }
+    }
 }
 
 /// The simulated multiprocessor.
@@ -210,6 +344,21 @@ pub struct Machine<'t> {
     /// total, are preserved exactly by construction.
     pub(crate) record: bool,
     steps: u64,
+    /// Whether the chunked replay may run a decode-ahead helper thread
+    /// (DESIGN.md §17). Initialized from the `REPRO_NO_PREFETCH` gate;
+    /// [`Machine::set_decode_prefetch`] overrides it programmatically
+    /// (differential tests flip it without racing on process env).
+    decode_prefetch: bool,
+    /// The live decode-ahead mailbox, present only while the specialized
+    /// chunked loop runs with its helper thread attached.
+    prefetch: Option<Arc<PrefetchShared>>,
+    /// Nanoseconds spent in synchronous `decode_chunk` calls (observability
+    /// only — never part of simulated time or `state_digest`).
+    decode_ns: u64,
+    /// Chunk swap-ins served from a ready decode-ahead buffer.
+    prefetch_hits: u64,
+    /// Chunk swap-ins that decoded synchronously.
+    sync_decodes: u64,
 }
 
 impl<'t> Machine<'t> {
@@ -358,12 +507,7 @@ impl<'t> Machine<'t> {
             src,
             meta,
             stream_len,
-            windows: (0..n_cpus)
-                .map(|_| DecodeWindow {
-                    chunk: usize::MAX,
-                    events: Vec::new(),
-                })
-                .collect(),
+            windows: (0..n_cpus).map(|_| DecodeWindow::default()).collect(),
             cpus,
             bus: Bus::new(),
             locks: Vec::new(),
@@ -374,7 +518,30 @@ impl<'t> Machine<'t> {
             incl_exempt: vec![Vec::new(); n_cpus],
             record,
             steps: 0,
+            decode_prefetch: !prefetch_disabled_by_env(),
+            prefetch: None,
+            decode_ns: 0,
+            prefetch_hits: 0,
+            sync_decodes: 0,
         })
+    }
+
+    /// Overrides the decode-ahead gate for this machine (the process-wide
+    /// default follows `REPRO_NO_PREFETCH`). Tests flip this explicitly
+    /// instead of mutating env vars, which race across test threads.
+    /// Changing it cannot change any replay output — only whether chunk
+    /// decode overlaps the event loop (see [`Machine::overlap_stats`]).
+    pub fn set_decode_prefetch(&mut self, on: bool) {
+        self.decode_prefetch = on;
+    }
+
+    /// Decode-overlap telemetry of the replay so far (see [`OverlapStats`]).
+    pub fn overlap_stats(&self) -> OverlapStats {
+        OverlapStats {
+            decode_ms: self.decode_ns as f64 / 1e6,
+            prefetch_hits: self.prefetch_hits,
+            sync_decodes: self.sync_decodes,
+        }
     }
 
     /// The specialization key this machine's replay dispatches on
@@ -522,7 +689,46 @@ impl<'t> Machine<'t> {
     /// generic body serves all 16 specialized instantiations and the
     /// generic witness — the representation is orthogonal to the
     /// specialization key.
+    ///
+    /// When decode-ahead is enabled and the trace is big enough to
+    /// matter (some stream has more than one chunk), the loop body runs
+    /// with a scoped decoder helper thread attached (DESIGN.md §17):
+    /// `fetch_event` requests the next chunk as it enters the current
+    /// one, and swap-ins consume ready buffers instead of stalling on
+    /// `decode_chunk`. Decode is pure, so the helper cannot change the
+    /// event sequence — statistics, goldens, and `state_digest()` are
+    /// identical with the helper on or off (pinned by
+    /// `tests/decode_ahead.rs` and the schedule-oracle CI job).
     fn run_loop_spec_chunked<S: Spec>(&mut self) -> Result<SimStats, SimError> {
+        let Source::Chunked(trace) = self.src else {
+            unreachable!("run_loop_spec_chunked requires a chunked source");
+        };
+        let overlap = self.decode_prefetch
+            && self.cfg.n_cpus > 0
+            && trace.streams.iter().any(|s| s.n_chunks() > 1);
+        if !overlap {
+            return self.chunked_loop_body::<S>();
+        }
+        let shared = Arc::new(PrefetchShared::new(self.cfg.n_cpus));
+        self.prefetch = Some(Arc::clone(&shared));
+        let result = std::thread::scope(|scope| {
+            let helper = {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || decode_helper(trace, &shared))
+            };
+            let r = self.chunked_loop_body::<S>();
+            shared.shutdown();
+            let _ = helper.join();
+            r
+        });
+        self.prefetch = None;
+        result
+    }
+
+    /// The chunked batched loop proper (shared by the synchronous and the
+    /// decode-ahead paths — the only difference is whether `fetch_event`
+    /// finds a live mailbox in `self.prefetch`).
+    fn chunked_loop_body<S: Spec>(&mut self) -> Result<SimStats, SimError> {
         'schedule: while let Some((i, limit)) = self.pick_two() {
             let n = self.stream_len[i];
             loop {
@@ -726,7 +932,10 @@ impl<'t> Machine<'t> {
     /// containing chunk into the CPU's window unless already resident —
     /// cursors advance monotonically chunk by chunk, so the common case is
     /// a window hit, and bounded scans (lock-retry re-fetch, the DMA
-    /// bracket skip) stay within one or two chunk decodes.
+    /// bracket skip) stay within one or two chunk decodes. With the
+    /// decode-ahead helper attached, the cold swap-in consumes a ready
+    /// buffer when the helper got there first (see
+    /// [`Machine::swap_in_chunk`]).
     ///
     /// # Panics
     ///
@@ -739,13 +948,55 @@ impl<'t> Machine<'t> {
             Source::Chunked(t) => {
                 let s = &t.streams[i];
                 let c = idx / s.capacity();
-                let w = &mut self.windows[i];
-                if w.chunk != c {
-                    s.decode_chunk(c, &mut w.events);
-                    w.chunk = c;
+                if self.windows[i].chunk != c {
+                    self.swap_in_chunk(s, i, c);
                 }
-                w.events[idx - c * s.capacity()]
+                self.windows[i].events[idx - c * s.capacity()]
             }
+        }
+    }
+
+    /// The cold half of the chunked [`Machine::fetch_event`]: makes chunk
+    /// `c` resident in CPU `i`'s decode window.
+    ///
+    /// With the decode-ahead mailbox live, first consume the CPU's ready
+    /// slot — a matching buffer swaps in by pointer exchange (the old
+    /// window buffer is recycled as a spare), a stale one is recycled —
+    /// and request the *next* chunk so the helper stays one chunk ahead of
+    /// the cursor. Any miss (cold first chunk, backward scan, helper
+    /// outrun) falls back to a synchronous, timed `decode_chunk`. Either
+    /// way the window ends up holding exactly `decode_chunk(c)` — decode
+    /// purity is what keeps the two paths indistinguishable to the replay.
+    #[cold]
+    fn swap_in_chunk(&mut self, s: &ChunkedStream, i: usize, c: usize) {
+        let w = &mut self.windows[i];
+        let mut resident = false;
+        if let Some(pf) = &self.prefetch {
+            let mut st = pf.lock();
+            if let Some((rc, buf)) = st.ready[i].take() {
+                if rc == c {
+                    let old = std::mem::replace(&mut w.events, buf);
+                    st.spares.push(old);
+                    w.chunk = c;
+                    resident = true;
+                    self.prefetch_hits += 1;
+                } else {
+                    st.spares.push(buf);
+                }
+            }
+            let next = c + 1;
+            if next < s.n_chunks() && w.requested != next {
+                st.requests.push_back((i, next));
+                w.requested = next;
+                pf.cv.notify_one();
+            }
+        }
+        if !resident {
+            let t0 = Instant::now();
+            s.decode_chunk(c, &mut w.events);
+            w.chunk = c;
+            self.decode_ns += t0.elapsed().as_nanos() as u64;
+            self.sync_decodes += 1;
         }
     }
 

@@ -438,7 +438,12 @@ mod tests {
 
     #[test]
     fn chunked_builder_matches_flat_builder() {
-        let drive = |mut b: StreamBuilder| -> StreamBuilder {
+        // A named fn, not a closure: with rustc 1.95.0 at opt-level >= 2 the
+        // closure form of this helper — one closure passing StreamBuilder by
+        // value, called with both Sink variants — miscompiles into a double
+        // free (SIGABRT) in the release test binary. Single-call closures and
+        // this named fn compile correctly; debug builds are unaffected.
+        fn drive(mut b: StreamBuilder) -> StreamBuilder {
             b.set_mode(Mode::Os);
             b.lock_acquire(LockId(2), Addr(0x80));
             b.rmw(Addr(0x0100_0000), DataClass::InfreqCounter);
@@ -449,7 +454,7 @@ mod tests {
             b.idle(9);
             b.set_mode(Mode::User);
             b
-        };
+        }
         let flat = drive(StreamBuilder::new()).finish();
         let chunked = drive(StreamBuilder::new_chunked()).finish_chunked();
         assert_eq!(chunked.len(), flat.len());
