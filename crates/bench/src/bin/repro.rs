@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale S] [--jobs N] [--timings] [--keep-going] [--retries N]\n             [--deadline-ms N] [--deadline-action flag|cancel] [--deadline-grace-ms N]\n             [--journal <path> [--resume [--salvage]]] [--inject-cell-panic SPEC]\n             [table1..table5 | fig1..fig7 | headline | scorecard | all]\n                                                 cells run across N workers (default: all\n                                                 hardware threads); output is bitwise-identical\n                                                 for any N. `all` writes BENCH_repro.json.\n                                                 --keep-going renders every experiment whose cells\n                                                 completed and exits 6 if any cell failed;\n                                                 --retries N grants each failing cell N retries;\n                                                 --deadline-ms N flags cells running longer;\n                                                 --deadline-action cancel also cooperatively kills\n                                                 them --deadline-grace-ms (default 200) past the\n                                                 deadline; --journal records each completed cell\n                                                 crash-safely and --resume replays completed cells\n                                                 from it (--salvage drops a torn trailing record\n                                                 instead of rejecting the journal);\n                                                 --inject-cell-panic seed[:period[:attempts]]\n                                                 panics selected cells (testing the supervisor)\n                repro serve [--socket P|--tcp A] [--queue-limit N]\n                                                 resident service: accepts newline-JSON requests\n                                                 from concurrent clients on a Unix socket (default\n                                                 repro.sock) or TCP address, dedupes work via the\n                                                 shared cache and journal, drains on SIGTERM;\n                                                 honors --scale/--jobs/--journal/--resume/--salvage\n                                                 and the supervision flags above\n                repro submit [--socket P|--tcp A] [--client NAME]\n                            [--request-deadline-ms N] [experiments...]\n                                                 submit experiments to a running serve daemon and\n                                                 print the streamed report (byte-identical to\n                                                 running the same experiments locally)\n                repro golden <dir>               write each experiment's output to <dir>/<name>.txt\n                                                 (the golden-file corpus under tests/golden/)\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro simulate <workload> <system> [--scale S]\n                                                 build and run one cell, print counters and peak\n                                                 RSS; honors REPRO_NO_STREAMING=1 (materialized\n                                                 engine) — the CI memory-ceiling probe\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n                repro bench [--check]            perf smoke over representative cells at reduced\n                                                 scale (plus a chunk-codec microcell and a jobs-4\n                                                 mini-matrix); without --check writes\n                                                 BENCH_smoke.json reference timings, with --check\n                                                 fails if any cell regressed more than 2x vs that\n                                                 reference\n       exit codes: 1 i/o, 2 usage/journal mismatch, 3 trace validation, 4 simulation invariant,\n                   5 perf regression, 6 partial (some cells failed under --keep-going, or a\n                   submitted request finished incomplete), 7 service overloaded (admission\n                   queue full), 8 service unavailable (daemon unreachable or shutting down)"
+        "usage: repro [--scale S] [--jobs N] [--timings] [--keep-going] [--retries N]\n             [--deadline-ms N] [--deadline-action flag|cancel] [--deadline-grace-ms N]\n             [--journal <path> [--resume [--salvage]]] [--inject-cell-panic SPEC]\n             [--mem-budget-mb N] [--inject-io seed[:class]]\n             [table1..table5 | fig1..fig7 | headline | scorecard | all]\n                                                 cells run across N workers (default: all\n                                                 hardware threads); output is bitwise-identical\n                                                 for any N. `all` writes BENCH_repro.json.\n                                                 --keep-going renders every experiment whose cells\n                                                 completed and exits 6 if any cell failed;\n                                                 --retries N grants each failing cell N retries;\n                                                 --deadline-ms N flags cells running longer;\n                                                 --deadline-action cancel also cooperatively kills\n                                                 them --deadline-grace-ms (default 200) past the\n                                                 deadline; --journal records each completed cell\n                                                 crash-safely and --resume replays completed cells\n                                                 from it (--salvage drops a torn trailing record\n                                                 instead of rejecting the journal);\n                                                 --inject-cell-panic seed[:period[:attempts]]\n                                                 panics selected cells (testing the supervisor)\n                                                 --mem-budget-mb N arms the spill governor: sealed\n                                                 trace chunks spill to disk under pressure and the\n                                                 run answers overloaded (exit 7) over dying when\n                                                 the budget cannot be met; --inject-io injects\n                                                 seeded disk faults at the spill write path\n                                                 (classes: short-write, bit-flip, enospc)\n                repro serve [--socket P|--tcp A] [--queue-limit N]\n                                                 resident service: accepts newline-JSON requests\n                                                 from concurrent clients on a Unix socket (default\n                                                 repro.sock) or TCP address, dedupes work via the\n                                                 shared cache and journal, drains on SIGTERM;\n                                                 honors --scale/--jobs/--journal/--resume/--salvage,\n                                                 --mem-budget-mb/--inject-io, and the supervision\n                                                 flags above\n                repro submit [--socket P|--tcp A] [--client NAME]\n                            [--request-deadline-ms N] [experiments...]\n                                                 submit experiments to a running serve daemon and\n                                                 print the streamed report (byte-identical to\n                                                 running the same experiments locally)\n                repro golden <dir>               write each experiment's output to <dir>/<name>.txt\n                                                 (the golden-file corpus under tests/golden/)\n                repro dump <workload> <path>     write a trace dump\n                repro replay <path> <system> [--inject <fault> [--seed N]]\n                                                 simulate a dumped trace (audited);\n                                                 faults: drop duplicate swap bitflip truncate blocklen\n                repro simulate <workload> <system> [--scale S] [--mem-budget-mb N]\n                            [--inject-io seed[:class]]\n                                                 build and run one cell, print counters and peak\n                                                 RSS; honors REPRO_NO_STREAMING=1 (materialized\n                                                 engine) — the CI memory-ceiling probe\n                repro conflicts <workload>       the paper's S6 conflict-pair analysis\n                repro classes <workload>         per-structure reference profile (S3)\n                repro csv <dir>                  write every experiment as CSV\n                repro perturb <workload>         the S2.2 instrumentation-perturbation study\n                repro bench [--check]            perf smoke over representative cells at reduced\n                                                 scale (plus a chunk-codec microcell and a jobs-4\n                                                 mini-matrix); without --check writes\n                                                 BENCH_smoke.json reference timings, with --check\n                                                 fails if any cell regressed more than 2x vs that\n                                                 reference\n       exit codes: 1 i/o, 2 usage/journal mismatch, 3 trace validation, 4 simulation invariant,\n                   5 perf regression, 6 partial (some cells failed under --keep-going, or a\n                   submitted request finished incomplete), 7 overloaded (admission queue full,\n                   or the memory budget could not be met), 8 service unavailable (daemon unreachable or shutting down)"
     );
     std::process::exit(2);
 }
@@ -64,6 +64,20 @@ const SMOKE_REF: &str = "BENCH_smoke.json";
 /// of its reference work time fails the smoke. Generous on purpose — the
 /// gate exists to catch gross (algorithmic) regressions, not CI jitter.
 const SMOKE_LIMIT: f64 = 2.0;
+/// Regression threshold for peak RSS: tighter than the time limit
+/// because memory is far less jittery than wall time, and the spill
+/// cell's whole point is its memory ceiling.
+const SMOKE_RSS_LIMIT: f64 = 1.5;
+/// Scale of the smoke's spill cell: the paper's full-size traces at the
+/// acceptance scale (DESIGN.md §18), run under [`SMOKE_SPILL_BUDGET_MB`]
+/// so the governor must spill sealed chunks to disk to fit.
+const SMOKE_SCALE_SPILL: f64 = 10.0;
+/// The spill cell's memory budget — far under the 419 MB the ungoverned
+/// streaming engine peaks at for this cell (measured ~179 MB peak RSS
+/// governed), so staying in memory is not an option and the RSS gate
+/// guards the spill machinery. The CI spill-oracle job runs the same
+/// cell under `ulimit -v` at 256 MB, where the ungoverned engine dies.
+const SMOKE_SPILL_BUDGET_MB: u64 = 64;
 
 /// Reports a structured error on stderr and exits with `code`.
 fn fail(class: &str, msg: &str, code: i32) -> ! {
@@ -95,6 +109,11 @@ struct Supervision {
     deadline_cancel: bool,
     deadline_grace_ms: Option<u64>,
     inject: Option<CellFault>,
+    /// `--mem-budget-mb N`: arm the spill-under-pressure governor.
+    mem_budget_mb: Option<u64>,
+    /// `--inject-io seed[:class]`: deterministic disk faults at the spill
+    /// write path.
+    inject_io: Option<oscache_trace::IoFaultPlan>,
 }
 
 impl Supervision {
@@ -220,9 +239,18 @@ fn report_supervision(sup: &SupervisedWarmStats, journal: Option<&Journal>) -> b
     !sup.failures.is_empty()
 }
 
-/// The exit code a failed fail-fast run reports: 3 when every failure is
-/// a trace-validation rejection, 4 otherwise (invariants, panics).
+/// The exit code a failed fail-fast run reports: 7 when every failure is
+/// a memory-budget rejection (the governor answered *overloaded* — the
+/// same taxonomy as the service's full admission queue), 3 when every
+/// failure is a trace-validation rejection, 4 otherwise (invariants,
+/// panics).
 fn failure_exit(failures: &[CellFailure]) -> i32 {
+    let all_overloaded = failures
+        .iter()
+        .all(|f| matches!(&f.cause, FailureCause::Sim(e) if e.is_overloaded()));
+    if all_overloaded && !failures.is_empty() {
+        return EXIT_OVERLOADED;
+    }
     let all_trace = failures
         .iter()
         .all(|f| matches!(&f.cause, FailureCause::Sim(e) if e.is_trace_error()));
@@ -231,6 +259,29 @@ fn failure_exit(failures: &[CellFailure]) -> i32 {
     } else {
         EXIT_SIM_FAILED
     }
+}
+
+/// Arms the memory-budget governor on a driver per `--mem-budget-mb` /
+/// `--inject-io`. A no-op without the flag.
+fn arm_budget(r: &Repro, sup: &Supervision) {
+    if let Some(mb) = sup.mem_budget_mb {
+        r.set_mem_budget(mb, sup.inject_io);
+    }
+}
+
+/// After a budgeted run: one structured `class=spill` stderr line with
+/// what the governor actually did (bytes spilled, write time, salvages),
+/// so CI and operators can grep for it. Silent when no budget was armed.
+fn report_spill(r: &Repro, sup: &Supervision) {
+    let Some(budget_mb) = sup.mem_budget_mb else {
+        return;
+    };
+    eprintln!(
+        "spill: class=spill budget_mb={} spilled_mb={:.1} peak_rss_mb={:.1}",
+        budget_mb,
+        r.cache().spilled_mb(),
+        peak_rss_mb().unwrap_or(-1.0),
+    );
 }
 
 /// The §2.2 perturbation study: instrument every basic block with an
@@ -457,7 +508,7 @@ fn conflicts(workload: &str, scale: f64) {
 /// `--scale 10` under `ulimit -v`, where the streaming engine completes
 /// inside the ceiling and the materialized path (`REPRO_NO_STREAMING=1`)
 /// must die trying to hold the whole trace.
-fn simulate(workload: &str, system: &str, scale: f64) {
+fn simulate(workload: &str, system: &str, scale: f64, sup_opts: &Supervision) {
     use oscache_workloads::Workload;
     let w = Workload::all()
         .into_iter()
@@ -474,7 +525,20 @@ fn simulate(workload: &str, system: &str, scale: f64) {
     };
     let t0 = std::time::Instant::now();
     let mut r = Repro::new(scale);
-    let t = r.run(w, sys).stats.total();
+    arm_budget(&r, sup_opts);
+    let t = match r.try_run_spec(
+        w,
+        sys.spec(),
+        oscache_core::Geometry::default(),
+        sys.label(),
+    ) {
+        Ok(res) => res.stats.total(),
+        Err(e) if e.is_overloaded() => fail("overloaded", &e.to_string(), EXIT_OVERLOADED),
+        Err(e) if e.is_trace_error() => {
+            fail("trace-validation", &e.to_string(), EXIT_TRACE_INVALID)
+        }
+        Err(e) => fail("simulation", &e.to_string(), EXIT_SIM_FAILED),
+    };
     let wall = 1e3 * t0.elapsed().as_secs_f64();
     let events: u64 = r.cache().build_timings().iter().map(|b| b.events).sum();
     println!(
@@ -483,6 +547,7 @@ fn simulate(workload: &str, system: &str, scale: f64) {
         w.name(),
         t.os_read_misses(),
     );
+    report_spill(&r, sup_opts);
     println!("peak_rss_mb {:.1}", peak_rss_mb().unwrap_or(-1.0));
 }
 
@@ -625,6 +690,21 @@ fn main() {
                 let spec = args.next().unwrap_or_else(|| usage());
                 sup_opts.inject = Some(CellFault::parse(&spec).unwrap_or_else(|| usage()));
             }
+            "--mem-budget-mb" => {
+                sup_opts.mem_budget_mb = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage())
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                );
+            }
+            "--inject-io" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                sup_opts.inject_io = Some(
+                    oscache_trace::IoFaultPlan::parse(&spec)
+                        .unwrap_or_else(|e| fail("usage", &e, EXIT_USAGE)),
+                );
+            }
             "serve" => {
                 let mut socket = "repro.sock".to_string();
                 let mut tcp: Option<String> = None;
@@ -725,10 +805,25 @@ fn main() {
                                 .parse()
                                 .unwrap_or_else(|_| usage());
                         }
+                        "--mem-budget-mb" => {
+                            sup_opts.mem_budget_mb = Some(
+                                args.next()
+                                    .unwrap_or_else(|| usage())
+                                    .parse()
+                                    .unwrap_or_else(|_| usage()),
+                            );
+                        }
+                        "--inject-io" => {
+                            let spec = args.next().unwrap_or_else(|| usage());
+                            sup_opts.inject_io = Some(
+                                oscache_trace::IoFaultPlan::parse(&spec)
+                                    .unwrap_or_else(|e| fail("usage", &e, EXIT_USAGE)),
+                            );
+                        }
                         _ => usage(),
                     }
                 }
-                simulate(&w, &sys, scale);
+                simulate(&w, &sys, scale, &sup_opts);
                 return;
             }
             "conflicts" => {
@@ -780,9 +875,11 @@ fn main() {
         }
     }
     let mut r = Repro::with_jobs(scale, jobs);
+    arm_budget(&r, &sup_opts);
     let journal = sup_opts.open_journal(scale);
     let sup = r.warm_supervised(&exps, &sup_opts.policy(), journal.as_ref());
     let partial = report_supervision(&sup, journal.as_ref());
+    report_spill(&r, &sup_opts);
     if partial && !sup_opts.keep_going {
         fail(
             "cell-failure",
@@ -860,9 +957,11 @@ fn golden(dir: &str, scale: f64, jobs: usize, sup_opts: &Supervision) {
     std::fs::create_dir_all(dir).expect("create golden dir");
     let exps = golden_experiments();
     let mut r = Repro::with_jobs(scale, jobs);
+    arm_budget(&r, sup_opts);
     let journal = sup_opts.open_journal(scale);
     let warm = r.warm_supervised(&exps, &sup_opts.policy(), journal.as_ref());
     let partial = report_supervision(&warm, journal.as_ref());
+    report_spill(&r, sup_opts);
     if partial && !sup_opts.keep_going {
         fail(
             "cell-failure",
@@ -916,7 +1015,7 @@ fn print_timings(r: &Repro, warm: &WarmStats) {
         );
     }
     println!(
-        "{:<46} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>6} {:>10}",
+        "{:<46} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8} {:>8} {:>8} {:>6} {:>10}",
         "",
         "total",
         "build",
@@ -926,13 +1025,15 @@ fn print_timings(r: &Repro, warm: &WarmStats) {
         "rewrite",
         "sim",
         "decode",
+        "spill",
+        "sp MB",
         "pf hits",
         "order",
         "OS misses"
     );
     for t in r.timings() {
         println!(
-            "cell  {:<40} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>8.1} {:>8} {:>6} {:>10}{}",
+            "cell  {:<40} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>8.1} {:>8.1} {:>8.1} {:>8} {:>6} {:>10}{}",
             compact_key(&t.key),
             t.ms,
             t.build_ms,
@@ -942,6 +1043,8 @@ fn print_timings(r: &Repro, warm: &WarmStats) {
             t.rewrite_ms,
             t.sim_ms,
             t.decode_ms,
+            t.spill_ms,
+            t.spilled_mb,
             t.prefetch_hits,
             t.sched_order,
             t.os_misses,
@@ -1052,11 +1155,28 @@ fn bench(check: bool) {
         "Base@scale2",
     );
     let rss2 = peak_rss_mb();
+    // The spill cell: full acceptance scale under a budget too tight to
+    // stay in memory, so the governor must spill sealed chunks to disk.
+    // Its peak RSS is the reading the (tighter) RSS gate guards — a
+    // regression that re-materializes or stops spilling shows up here.
+    let mut r10 = Repro::with_jobs(SMOKE_SCALE_SPILL, 1);
+    r10.set_mem_budget(SMOKE_SPILL_BUDGET_MB, None);
+    r10.run_spec(
+        Workload::Trfd4,
+        System::Base.spec(),
+        oscache_core::Geometry::default(),
+        "Base@spill10",
+    );
+    let rss10 = peak_rss_mb();
+    println!(
+        "spill cell: {:.1} MB spilled under the {SMOKE_SPILL_BUDGET_MB} MB budget",
+        r10.cache().spilled_mb()
+    );
     println!(
         "{:<24} {:>9} {:>9} {:>9} {:>9}",
         "cell", "total", "build", "prepare", "sim"
     );
-    for t in r.timings().iter().chain(r2.timings()) {
+    for t in r.timings().iter().chain(r2.timings()).chain(r10.timings()) {
         println!(
             "{:<24} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
             compact_key(&t.key),
@@ -1070,6 +1190,7 @@ fn bench(check: bool) {
         println!("peak RSS after streaming cell: {mb:.1} MB");
     }
     rss_after.push(rss2);
+    rss_after.push(rss10);
     // The chunk-codec microcell: encode+decode throughput of the delta
     // codec on a seeded synthetic stream — the per-chunk cost the
     // decode-ahead helper hides from the replay loop.
@@ -1091,6 +1212,7 @@ fn bench(check: bool) {
         .timings()
         .iter()
         .chain(r2.timings())
+        .chain(r10.timings())
         .zip(&rss_after)
         .map(|(t, rss)| gate::GateCell {
             key: compact_key(&t.key),
@@ -1122,7 +1244,7 @@ fn bench(check: bool) {
             EXIT_IO,
         )
     });
-    let report = gate::check(&cells, &reference, SMOKE_LIMIT, SMOKE_REF);
+    let report = gate::check(&cells, &reference, SMOKE_LIMIT, SMOKE_RSS_LIMIT, SMOKE_REF);
     for row in &report.rows {
         let (Some(ref_ms), Some(ratio)) = (row.ref_ms, row.ratio) else {
             eprintln!("warning: {} not in {SMOKE_REF}; skipping", row.key);
@@ -1133,12 +1255,24 @@ fn bench(check: bool) {
             "check {:<24} work {:>8.1} ms vs reference {ref_ms:>8.1} ms ({ratio:>4.2}x) {verdict}",
             row.key, row.work_ms
         );
+        if let (Some(mb), Some(ref_mb), Some(rss_ratio)) =
+            (row.rss_mb, row.ref_rss_mb, row.rss_ratio)
+        {
+            let verdict = if row.rss_regressed { "REGRESSED" } else { "ok" };
+            println!(
+                "check {:<24} rss  {:>8.1} MB vs reference {ref_mb:>8.1} MB ({rss_ratio:>4.2}x) {verdict}",
+                row.key, mb
+            );
+        }
     }
     if report.failed() {
         eprintln!("{}", report.stderr_line());
         std::process::exit(report.exit_code());
     }
-    println!("perf smoke passed: no tracked cell regressed more than {SMOKE_LIMIT}x");
+    println!(
+        "perf smoke passed: no tracked cell regressed more than {SMOKE_LIMIT}x \
+         (rss {SMOKE_RSS_LIMIT}x)"
+    );
 }
 
 /// Shortens a run key for display: the full geometry debug suffix is only
@@ -1176,7 +1310,7 @@ fn write_bench_json(path: &str, scale: f64, r: &Repro, warm: &WarmStats) {
     let cells = r.timings();
     for (i, t) in cells.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"key\": \"{}\", \"ms\": {:.1}, \"build_ms\": {:.1}, \"prepare_ms\": {:.1}, \"analyze_ms\": {:.1}, \"profile_ms\": {:.1}, \"rewrite_ms\": {:.1}, \"cached\": {}, \"sim_ms\": {:.1}, \"decode_ms\": {:.1}, \"prefetch_hits\": {}, \"sched_order\": {}, \"os_misses\": {}}}{}\n",
+            "    {{\"key\": \"{}\", \"ms\": {:.1}, \"build_ms\": {:.1}, \"prepare_ms\": {:.1}, \"analyze_ms\": {:.1}, \"profile_ms\": {:.1}, \"rewrite_ms\": {:.1}, \"cached\": {}, \"sim_ms\": {:.1}, \"decode_ms\": {:.1}, \"spill_ms\": {:.1}, \"spilled_mb\": {:.1}, \"prefetch_hits\": {}, \"sched_order\": {}, \"os_misses\": {}}}{}\n",
             compact_key(&t.key),
             t.ms,
             t.build_ms,
@@ -1187,6 +1321,8 @@ fn write_bench_json(path: &str, scale: f64, r: &Repro, warm: &WarmStats) {
             t.cached,
             t.sim_ms,
             t.decode_ms,
+            t.spill_ms,
+            t.spilled_mb,
             t.prefetch_hits,
             t.sched_order,
             t.os_misses,
@@ -1248,6 +1384,8 @@ fn serve(
             jobs,
             queue_limit,
             policy: sup_opts.policy(),
+            mem_budget_mb: sup_opts.mem_budget_mb,
+            fault_plan: sup_opts.inject_io,
         },
         journal,
     );

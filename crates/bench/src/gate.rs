@@ -18,8 +18,10 @@ pub struct GateCell {
     /// Measured work time in milliseconds.
     pub work_ms: f64,
     /// Process peak RSS (MB) observed right after this cell completed, if
-    /// the platform exposes it. Informational: recorded in the reference
-    /// file for the memory trajectory, never part of the gate verdict.
+    /// the platform exposes it. The kernel high-water mark is monotone
+    /// over the process, so this is comparable run-to-run only because
+    /// `bench` measures cells in a fixed order; cells whose reference
+    /// records an RSS are gated against it at the (tighter) RSS limit.
     pub peak_rss_mb: Option<f64>,
 }
 
@@ -38,6 +40,16 @@ pub struct GateRow {
     pub ratio: Option<f64>,
     /// True when the ratio exceeds the limit.
     pub regressed: bool,
+    /// Measured peak RSS, when the platform exposes it.
+    pub rss_mb: Option<f64>,
+    /// Reference peak RSS, when the reference file records one.
+    pub ref_rss_mb: Option<f64>,
+    /// `rss_mb / ref_rss_mb` (reference floored at 1 MB); `None` unless
+    /// both sides have a reading.
+    pub rss_ratio: Option<f64>,
+    /// True when the RSS ratio exceeds the RSS limit — a memory
+    /// regression fails the gate exactly like a time regression.
+    pub rss_regressed: bool,
 }
 
 /// The gate's full verdict over one `bench --check` run.
@@ -52,9 +64,10 @@ pub struct GateReport {
 }
 
 impl GateReport {
-    /// True when any tracked cell regressed past the limit.
+    /// True when any tracked cell regressed past the limit (work time or
+    /// peak RSS).
     pub fn failed(&self) -> bool {
-        self.rows.iter().any(|r| r.regressed)
+        self.rows.iter().any(|r| r.regressed || r.rss_regressed)
     }
 
     /// The process exit code the verdict calls for: 0 on pass,
@@ -102,13 +115,14 @@ pub fn render_reference(scale: f64, cells: &[GateCell]) -> String {
     s
 }
 
-/// Extracts `work_ms` for `key` from the reference file's one-cell-per-line
-/// JSON (the exact shape [`render_reference`] writes).
-pub fn reference_ms(reference: &str, key: &str) -> Option<f64> {
+/// Extracts a numeric field for `key` from the reference file's
+/// one-cell-per-line JSON (the exact shape [`render_reference`] writes).
+fn reference_field(reference: &str, key: &str, field: &str) -> Option<f64> {
     let needle = format!("\"key\": \"{key}\"");
+    let marker = format!("\"{field}\": ");
     for line in reference.lines() {
         if line.contains(&needle) {
-            let rest = line.split("\"work_ms\": ").nth(1)?;
+            let rest = line.split(marker.as_str()).nth(1)?;
             let num: String = rest
                 .chars()
                 .take_while(|c| c.is_ascii_digit() || *c == '.')
@@ -119,21 +133,48 @@ pub fn reference_ms(reference: &str, key: &str) -> Option<f64> {
     None
 }
 
-/// Judges measured cells against a reference file at `limit`. Cells the
-/// reference does not track get a `ref_ms: None` row — the caller warns;
-/// only tracked cells can fail the gate.
-pub fn check(cells: &[GateCell], reference: &str, limit: f64, reference_name: &str) -> GateReport {
+/// Extracts `work_ms` for `key` from the reference file.
+pub fn reference_ms(reference: &str, key: &str) -> Option<f64> {
+    reference_field(reference, key, "work_ms")
+}
+
+/// Extracts `peak_rss_mb` for `key` from the reference file (absent for
+/// cells whose reference run had no RSS reading).
+pub fn reference_rss_mb(reference: &str, key: &str) -> Option<f64> {
+    reference_field(reference, key, "peak_rss_mb")
+}
+
+/// Judges measured cells against a reference file: work time at `limit`,
+/// peak RSS at `rss_limit` (tighter — memory is far less jittery than
+/// wall time). Cells the reference does not track get a `ref_ms: None`
+/// row — the caller warns; only tracked cells can fail the gate.
+pub fn check(
+    cells: &[GateCell],
+    reference: &str,
+    limit: f64,
+    rss_limit: f64,
+    reference_name: &str,
+) -> GateReport {
     let rows = cells
         .iter()
         .map(|c| {
             let ref_ms = reference_ms(reference, &c.key);
             let ratio = ref_ms.map(|r| c.work_ms / r.max(0.1));
+            let ref_rss_mb = reference_rss_mb(reference, &c.key);
+            let rss_ratio = match (c.peak_rss_mb, ref_rss_mb) {
+                (Some(m), Some(r)) => Some(m / r.max(1.0)),
+                _ => None,
+            };
             GateRow {
                 key: c.key.clone(),
                 work_ms: c.work_ms,
                 ref_ms,
                 ratio,
                 regressed: ratio.is_some_and(|x| x > limit),
+                rss_mb: c.peak_rss_mb,
+                ref_rss_mb,
+                rss_ratio,
+                rss_regressed: rss_ratio.is_some_and(|x| x > rss_limit),
             }
         })
         .collect();
@@ -183,7 +224,7 @@ mod tests {
             cell("TRFD_4/BCoh_Reloc(RelUp)", 120.0), // exactly 2.0x: not over
             cell("TRFD_4/BCPref", 40.0),             // an improvement
         ];
-        let report = check(&measured, &reference(), 2.0, "BENCH_smoke.json");
+        let report = check(&measured, &reference(), 2.0, 1.5, "BENCH_smoke.json");
         assert!(!report.failed());
         assert_eq!(report.exit_code(), 0);
         assert!(report.rows.iter().all(|r| !r.regressed));
@@ -198,7 +239,7 @@ mod tests {
             cell("TRFD_4/Base", 21.0),
             cell("TRFD_4/BCPref", 170.0), // 2.125x
         ];
-        let report = check(&measured, &reference(), 2.0, "BENCH_smoke.json");
+        let report = check(&measured, &reference(), 2.0, 1.5, "BENCH_smoke.json");
         assert!(report.failed());
         assert_eq!(report.exit_code(), EXIT_PERF_REGRESSION);
         assert_eq!(report.exit_code(), 5);
@@ -220,7 +261,7 @@ mod tests {
     #[test]
     fn untracked_cells_are_skipped_not_failed() {
         let measured = [cell("TRFD_4/NewCell", 1000.0)];
-        let report = check(&measured, &reference(), 2.0, "BENCH_smoke.json");
+        let report = check(&measured, &reference(), 2.0, 1.5, "BENCH_smoke.json");
         assert!(!report.failed());
         assert_eq!(report.rows[0].ref_ms, None);
         assert_eq!(report.rows[0].ratio, None);
@@ -233,12 +274,50 @@ mod tests {
         let r = render_reference(2.0, &[c]);
         assert!(r.contains("\"peak_rss_mb\": 87.5"), "{r}");
         assert_eq!(reference_ms(&r, "TRFD_4/Base@scale2"), Some(120.0));
+        assert_eq!(reference_rss_mb(&r, "TRFD_4/Base@scale2"), Some(87.5));
+    }
+
+    #[test]
+    fn rss_regression_fails_the_gate_even_when_time_is_fine() {
+        let mut reference_cell = cell("TRFD_4/Base@spill", 100.0);
+        reference_cell.peak_rss_mb = Some(200.0);
+        let r = render_reference(10.0, &[reference_cell]);
+        // Same work time, 2x the memory: a re-materializing regression.
+        let mut measured = cell("TRFD_4/Base@spill", 100.0);
+        measured.peak_rss_mb = Some(400.0);
+        let report = check(&[measured.clone()], &r, 2.0, 1.5, "ref");
+        assert!(!report.rows[0].regressed);
+        assert!(report.rows[0].rss_regressed);
+        assert_eq!(report.rows[0].rss_ratio, Some(2.0));
+        assert!(report.failed());
+        assert_eq!(report.exit_code(), EXIT_PERF_REGRESSION);
+        // Within the RSS limit: passes.
+        measured.peak_rss_mb = Some(260.0);
+        let report = check(&[measured], &r, 2.0, 1.5, "ref");
+        assert!(!report.failed());
+    }
+
+    #[test]
+    fn missing_rss_on_either_side_never_gates() {
+        // Reference has RSS, measurement does not (non-Linux): no verdict.
+        let mut reference_cell = cell("TRFD_4/Base@spill", 100.0);
+        reference_cell.peak_rss_mb = Some(200.0);
+        let r = render_reference(10.0, &[reference_cell]);
+        let report = check(&[cell("TRFD_4/Base@spill", 100.0)], &r, 2.0, 1.5, "ref");
+        assert!(!report.failed());
+        assert_eq!(report.rows[0].rss_ratio, None);
+        // Measurement has RSS, reference does not (older file): no verdict.
+        let r = render_reference(10.0, &[cell("TRFD_4/Base@spill", 100.0)]);
+        let mut measured = cell("TRFD_4/Base@spill", 100.0);
+        measured.peak_rss_mb = Some(400.0);
+        let report = check(&[measured], &r, 2.0, 1.5, "ref");
+        assert!(!report.failed());
     }
 
     #[test]
     fn degenerate_reference_cannot_divide_to_infinity() {
         let r = render_reference(0.2, &[cell("TRFD_4/Base", 0.0)]);
-        let report = check(&[cell("TRFD_4/Base", 1.0)], &r, 2.0, "ref");
+        let report = check(&[cell("TRFD_4/Base", 1.0)], &r, 2.0, 1.5, "ref");
         // 1.0 / max(0.0, 0.1) = 10x: finite, and over the limit.
         assert!(report.rows[0].ratio.unwrap().is_finite());
         assert!(report.failed());

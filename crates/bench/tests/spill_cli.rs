@@ -1,0 +1,113 @@
+//! Restart safety of the spill store (DESIGN.md §18): a budget-governed
+//! run SIGKILLed mid-spill leaves only crash debris — a spill root named
+//! after a now-dead PID — and a restarted process resumes from its
+//! journal, re-spills what it needs, renders output byte-identical to an
+//! ungoverned run, and garbage-collects the dead root.
+
+use std::path::Path;
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const SCALE: &str = "0.15";
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn stdout_of(out: &Output) -> &str {
+    std::str::from_utf8(&out.stdout).expect("utf8 stdout")
+}
+
+fn governed_args(journal: &Path) -> Vec<String> {
+    [
+        "--scale",
+        SCALE,
+        "--jobs",
+        "1",
+        "--mem-budget-mb",
+        "1",
+        "--journal",
+        journal.to_str().unwrap(),
+        "--resume",
+        "table2",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+#[test]
+fn kill9_mid_spill_restart_renders_identically() {
+    let journal =
+        std::env::temp_dir().join(format!("oscache-spill-kill-{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+    // The reference: the same experiment ungoverned, no journal.
+    let reference = repro()
+        .args(["--scale", SCALE, "table2"])
+        .output()
+        .expect("run reference");
+    assert!(reference.status.success(), "reference run failed");
+    // A governed, journaled run, SIGKILLed while the first cells are
+    // building (and therefore spilling — a 1 MiB budget at this scale
+    // forces essentially every sealed chunk to disk).
+    let mut victim = repro()
+        .args(governed_args(&journal))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim");
+    let victim_pid = victim.id();
+    let start = Instant::now();
+    while !journal.exists() {
+        if victim.try_wait().expect("poll victim").is_some() {
+            break; // finished before we could kill it: resume still covers the diff
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "victim never created its journal"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    if victim.try_wait().expect("poll victim").is_none() {
+        let ok = Command::new("kill")
+            .args(["-KILL", &victim_pid.to_string()])
+            .status()
+            .expect("send SIGKILL");
+        assert!(ok.success(), "kill -KILL failed");
+    }
+    let _ = victim.wait();
+    // Restart with identical flags: the journal replays completed cells,
+    // the rest re-run under the budget, and the rendered report must be
+    // byte-identical to the ungoverned reference.
+    let resumed = repro()
+        .args(governed_args(&journal))
+        .output()
+        .expect("run resumed");
+    assert!(
+        resumed.status.success(),
+        "resumed run failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        stdout_of(&resumed),
+        stdout_of(&reference),
+        "resumed governed output diverges from the ungoverned reference"
+    );
+    // The victim's spill root is crash debris named after a dead PID; the
+    // resumed process's first store creation sweeps such roots. It must
+    // be gone once the resumed run finished (the resumed run spilled, so
+    // the sweep ran).
+    let dead_root = std::env::temp_dir().join(format!("oscache-spill-{victim_pid}"));
+    assert!(
+        !dead_root.exists(),
+        "dead spill root {} survived the restart sweep",
+        dead_root.display()
+    );
+    // The live process's own root is removed on clean store drop.
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("class=spill"),
+        "resumed run never reported its spill summary: {stderr}"
+    );
+    let _ = std::fs::remove_file(&journal);
+}

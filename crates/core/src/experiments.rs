@@ -78,6 +78,12 @@ pub struct CellTiming {
     pub decode_ms: f64,
     /// Chunk swap-ins served by the decode-ahead helper's ready slot.
     pub prefetch_hits: u64,
+    /// MiB of sealed chunks this cell's phases spilled to disk under the
+    /// memory-budget governor (zero without `--mem-budget-mb`; attributed
+    /// to whichever cell built the trace, like `build_ms`).
+    pub spilled_mb: f64,
+    /// Milliseconds spent writing those spill frames.
+    pub spill_ms: f64,
     /// Position at which the scheduler dispatched this cell (0 = first).
     pub sched_order: usize,
     /// OS read misses the cell observed (a cheap cross-run sanity metric).
@@ -161,6 +167,14 @@ impl Repro {
     /// The shared trace cache.
     pub fn cache(&self) -> &Arc<TraceCache> {
         &self.cache
+    }
+
+    /// Arms the spill-under-pressure governor on this driver's cache
+    /// (`--mem-budget-mb`): see [`TraceCache::set_spill`]. Must be called
+    /// before the first trace builds — traces already cached stay
+    /// resident and ungoverned.
+    pub fn set_mem_budget(&self, budget_mb: u64, faults: Option<oscache_trace::IoFaultPlan>) {
+        self.cache.set_spill(budget_mb, faults);
     }
 
     /// Per-cell timings of every simulation this driver ran so far.
@@ -290,6 +304,8 @@ impl Repro {
             sim_ms: outcome.sim_ms,
             decode_ms: outcome.decode_ms,
             prefetch_hits: outcome.prefetch_hits,
+            spilled_mb: outcome.spilled_mb,
+            spill_ms: outcome.spill_ms,
             sched_order: outcome.sched_order,
             os_misses: outcome.result.stats.total().os_read_misses(),
             journaled: outcome.journaled,
@@ -312,6 +328,21 @@ impl Repro {
         geometry: Geometry,
         tag: &str,
     ) -> &RunResult {
+        self.try_run_spec(w, spec, geometry, tag)
+            .unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    }
+
+    /// [`Repro::run_spec`] surfacing the error instead of panicking.
+    /// Callers running under a memory budget use this so an *overloaded*
+    /// rejection ([`oscache_memsys::SimError::is_overloaded`]) reaches the
+    /// CLI as a structured exit code, not a panic.
+    pub fn try_run_spec(
+        &mut self,
+        w: Workload,
+        spec: SystemSpec,
+        geometry: Geometry,
+        tag: &str,
+    ) -> Result<&RunResult, oscache_memsys::SimError> {
         let key = run_key(w, tag, geometry);
         if !self.runs.contains_key(&key) {
             let cell = Cell {
@@ -320,12 +351,11 @@ impl Repro {
                 geometry,
                 tag: tag.to_string(),
             };
-            let outcome = run_cell(&self.cache, self.build_options(), &cell)
-                .unwrap_or_else(|e| panic!("simulation failed: {e}"));
+            let outcome = run_cell(&self.cache, self.build_options(), &cell)?;
             let timing = self.absorb(outcome);
             self.timings.push(timing);
         }
-        &self.runs[&key]
+        Ok(&self.runs[&key])
     }
 
     // ---- tables ----------------------------------------------------------

@@ -39,15 +39,18 @@ use crate::supervise::{
     RunPolicy, RunnerError, Watchdog,
 };
 use oscache_memsys::{AuditLevel, CancelToken, SimError};
-use oscache_trace::{ChunkedTrace, Trace};
+use oscache_trace::{
+    spill_enabled, ChunkedTrace, IoFaultPlan, MemBudget, SpillStore, StoreIdentity, Trace,
+};
 use oscache_workloads::{
-    build_chunked_shared, build_shared, BuildOptions, TraceBuildKey, Workload,
+    build_chunked, build_chunked_shared, build_chunked_spilled, build_shared, BuildOptions,
+    TraceBuildKey, Workload,
 };
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, Weak};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, Weak};
 use std::time::{Duration, Instant};
 
 /// The default worker count: every hardware thread the OS grants us.
@@ -239,6 +242,20 @@ impl RequestPlan {
     }
 }
 
+/// Spill-under-pressure configuration shared by every governed build in
+/// one [`TraceCache`]: the process-wide memory budget (`--mem-budget-mb`)
+/// plus the optional write-path fault-injection plan (`--inject-io`).
+pub struct SpillConfig {
+    /// The budget every governed trace byte is charged against; sealed
+    /// chunks spill to disk once keeping them resident would cross half
+    /// of it (the other half is headroom for decode windows and machine
+    /// state).
+    pub budget: Arc<MemBudget>,
+    /// Deterministic disk-fault injection armed for every spill store
+    /// created under this configuration.
+    pub faults: Option<IoFaultPlan>,
+}
+
 /// Timing of one trace build inside the cache.
 #[derive(Clone, Debug)]
 pub struct BuildTiming {
@@ -287,6 +304,7 @@ pub struct TraceCache {
     prepared_chunked: Mutex<HashMap<CellFingerprint, Weak<PreparedCellChunked>>>,
     results: Mutex<HashMap<CellFingerprint, RunResult>>,
     builds: Mutex<Vec<BuildTiming>>,
+    spill: Mutex<Option<Arc<SpillConfig>>>,
 }
 
 /// Write-once analysis slots keyed by base trace and spec prefix.
@@ -300,6 +318,35 @@ impl TraceCache {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Arms the spill-under-pressure governor: chunked base traces and
+    /// analysis rewrites built after this call are charged to a fresh
+    /// `budget_mb`-MiB [`MemBudget`], and sealed chunks the budget refuses
+    /// to keep resident move to per-CPU segment files. `faults` arms
+    /// deterministic write-path fault injection (`--inject-io`).
+    pub fn set_spill(&self, budget_mb: u64, faults: Option<IoFaultPlan>) {
+        *lock_tolerant(&self.spill) = Some(Arc::new(SpillConfig {
+            budget: MemBudget::new_mb(budget_mb),
+            faults,
+        }));
+    }
+
+    /// The active spill configuration — `None` when no budget was armed
+    /// or `REPRO_NO_SPILL` pins the in-memory path as oracle.
+    pub fn spill_config(&self) -> Option<Arc<SpillConfig>> {
+        if !spill_enabled() {
+            return None;
+        }
+        lock_tolerant(&self.spill).clone()
+    }
+
+    /// MiB of sealed chunks moved to disk by the governor so far (zero
+    /// without an armed budget).
+    pub fn spilled_mb(&self) -> f64 {
+        self.spill_config()
+            .map(|c| c.budget.spilled_bytes() as f64 / (1024.0 * 1024.0))
+            .unwrap_or(0.0)
     }
 
     /// The (shared) base trace of `workload` under `opts`, built on first
@@ -423,7 +470,10 @@ impl TraceCache {
         };
         slot.get_or_build(|| {
             let t0 = Instant::now();
-            let trace = build_chunked_shared(workload, opts);
+            let trace = match self.spill_config() {
+                Some(cfg) => build_base_governed(workload, opts, key, &cfg),
+                None => build_chunked_shared(workload, opts),
+            };
             lock_tolerant(&self.builds).push(BuildTiming {
                 key,
                 ms: 1e3 * t0.elapsed().as_secs_f64(),
@@ -489,9 +539,12 @@ impl TraceCache {
         let mut analyze_ms = 0.0;
         let analyzed = slot.get_or_build(|| {
             let t0 = Instant::now();
-            let a = Arc::new(sim::analyze_cell_chunked(base, fp.spec));
+            let mut a = sim::analyze_cell_chunked(base, fp.spec);
+            if let Some(cfg) = self.spill_config() {
+                spill_analysis(&mut a, fp, &cfg);
+            }
             analyze_ms = 1e3 * t0.elapsed().as_secs_f64();
-            a
+            Arc::new(a)
         });
         (analyzed, analyze_ms)
     }
@@ -516,6 +569,109 @@ impl TraceCache {
     pub fn analyzed_len(&self) -> usize {
         lock_tolerant(&self.analyzed).len() + lock_tolerant(&self.analyzed_chunked).len()
     }
+}
+
+/// The on-disk identity a spill store binds for `key`'s trace build.
+fn identity_of(key: TraceBuildKey) -> StoreIdentity {
+    StoreIdentity {
+        scale_bits: key.scale_bits,
+        seed: key.seed,
+        n_cpus: key.n_cpus as u32,
+    }
+}
+
+/// Builds a chunked base trace under the spill governor: sealed chunks
+/// the budget refuses to keep resident stream straight into per-CPU
+/// segment files as they are encoded, so peak residency stays O(chunk)
+/// regardless of trace scale. A rebuilder is installed so a frame that
+/// later fails CRC verification is quarantined and re-derived from the
+/// (fully deterministic) generator — one full rebuild per corrupted
+/// trace, memoized, then every bad frame salvages from it.
+///
+/// If the store itself cannot be created (unwritable TMPDIR), the build
+/// falls back to the ungoverned in-memory path with the budget flagged
+/// degraded, so enforcement still answers *overloaded* rather than the
+/// process dying later.
+fn build_base_governed(
+    workload: Workload,
+    opts: BuildOptions,
+    key: TraceBuildKey,
+    cfg: &SpillConfig,
+) -> Arc<ChunkedTrace> {
+    let label = format!("base-{}", workload.name());
+    let store = match SpillStore::create(&label, identity_of(key), key.n_cpus, cfg.faults) {
+        Ok(s) => s,
+        Err(e) => {
+            cfg.budget.note_degraded();
+            eprintln!(
+                "warning: class=spill msg={:?}",
+                format!("spill store unavailable, staying in memory: {e}")
+            );
+            let trace = build_chunked_shared(workload, opts);
+            cfg.budget.charge_inline(trace.byte_len());
+            return trace;
+        }
+    };
+    let rebuilt: OnceLock<ChunkedTrace> = OnceLock::new();
+    store.set_rebuilder(Box::new(move |cpu, chunk| {
+        let t = rebuilt.get_or_init(|| build_chunked(workload, opts));
+        t.streams.get(cpu)?.chunk_bytes(chunk)
+    }));
+    Arc::new(build_chunked_spilled(workload, opts, &store, &cfg.budget))
+}
+
+/// Pushes a freshly-computed analysis rewrite under the budget: resident
+/// chunks the governor refuses to keep move to a dedicated store, with a
+/// rebuilder that re-derives the rewrite from scratch (generation and
+/// every analysis pass are deterministic, so the re-derived bytes match
+/// the recorded CRC exactly). Called only on the path that just built
+/// `a`, where its trace `Arc` is fresh — `get_mut` cannot fail there.
+fn spill_analysis(a: &mut AnalyzedCellChunked, fp: CellFingerprint, cfg: &SpillConfig) {
+    let Some(trace) = a.trace.as_mut() else {
+        return;
+    };
+    let Some(t) = Arc::get_mut(trace) else {
+        return;
+    };
+    let label = format!("analysis-{}", fp.base.workload.name());
+    let store = match SpillStore::create(&label, identity_of(fp.base), t.n_cpus(), cfg.faults) {
+        Ok(s) => s,
+        Err(e) => {
+            cfg.budget.note_degraded();
+            eprintln!(
+                "warning: class=spill msg={:?}",
+                format!("spill store unavailable, rewrite stays in memory: {e}")
+            );
+            cfg.budget.charge_inline(t.byte_len());
+            return;
+        }
+    };
+    let (key, spec) = (fp.base, fp.spec);
+    let rebuilt: OnceLock<Option<Arc<ChunkedTrace>>> = OnceLock::new();
+    store.set_rebuilder(Box::new(move |cpu, chunk| {
+        let t = rebuilt.get_or_init(|| {
+            let base = build_chunked(key.workload, key.options());
+            sim::analyze_cell_chunked(&base, spec).trace
+        });
+        t.as_ref()?.streams.get(cpu)?.chunk_bytes(chunk)
+    }));
+    t.spill_residents(&store, &cfg.budget);
+}
+
+/// Fails the current cell as *overloaded* when the governor is both
+/// degraded (disk full or persistently failing) and over budget — the
+/// one situation where neither keeping bytes resident nor spilling them
+/// can satisfy the configured ceiling.
+fn check_budget(cache: &TraceCache) -> Result<(), SimError> {
+    if let Some(cfg) = cache.spill_config() {
+        if cfg.budget.exhausted() {
+            return Err(SimError::mem_budget_exceeded(
+                cfg.budget.resident_bytes() >> 20,
+                cfg.budget.budget_bytes() >> 20,
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// The outcome of one cell, with its wall-clock cost broken down by phase.
@@ -547,6 +703,14 @@ pub struct CellOutcome {
     /// Chunk swap-ins the final run served from a ready decode-ahead
     /// buffer (DESIGN.md §17).
     pub prefetch_hits: u64,
+    /// MiB of sealed chunks this cell's phases moved to the spill store
+    /// (delta of the governor's counter across the cell; zero without
+    /// `--mem-budget-mb`, and zero for cells whose traces were already
+    /// built — spill cost is attributed to whichever cell built first,
+    /// like `build_ms`).
+    pub spilled_mb: f64,
+    /// Milliseconds spent writing those spill frames.
+    pub spill_ms: f64,
     /// Position at which the scheduler dispatched this cell (0-based rank
     /// in the cost-model LPT order; 0 for serial single-cell runs).
     /// Observability only — results are always returned in cell-index
@@ -624,6 +788,8 @@ fn run_cell_inner(
                 },
                 decode_ms: 0.0,
                 prefetch_hits: 0,
+                spilled_mb: 0.0,
+                spill_ms: 0.0,
                 sched_order: 0,
                 attempt: 0,
                 journaled: false,
@@ -654,6 +820,8 @@ fn run_cell_inner(
         phases,
         decode_ms: overlap.decode_ms,
         prefetch_hits: overlap.prefetch_hits,
+        spilled_mb: 0.0,
+        spill_ms: 0.0,
         sched_order: 0,
         attempt: 0,
         journaled: false,
@@ -674,7 +842,11 @@ fn run_cell_inner_chunked(
     cancel: &CancelToken,
 ) -> Result<CellOutcome, SimError> {
     let t0 = Instant::now();
+    let spill0 = cache
+        .spill_config()
+        .map(|c| (c.budget.spilled_bytes(), c.budget.spill_ms()));
     let base = cache.base_chunked(cell.workload, opts);
+    check_budget(cache)?;
     let built = Instant::now();
     if share_result {
         if let Some(result) = cache.shared_result(&fp) {
@@ -692,6 +864,8 @@ fn run_cell_inner_chunked(
                 },
                 decode_ms: 0.0,
                 prefetch_hits: 0,
+                spilled_mb: 0.0,
+                spill_ms: 0.0,
                 sched_order: 0,
                 attempt: 0,
                 journaled: false,
@@ -699,6 +873,7 @@ fn run_cell_inner_chunked(
         }
     }
     let (prepared, phases) = cache.prepared_chunked_cancellable(&base, fp, cancel)?;
+    check_budget(cache)?;
     let prep = Instant::now();
     let (result, overlap) = sim::run_prepared_chunked_timed(
         &base,
@@ -712,6 +887,13 @@ fn run_cell_inner_chunked(
         cache.store_result(fp, result.clone());
     }
     let done = Instant::now();
+    let (spilled_mb, spill_ms) = match (spill0, cache.spill_config()) {
+        (Some((b0, ms0)), Some(cfg)) => (
+            cfg.budget.spilled_bytes().saturating_sub(b0) as f64 / (1024.0 * 1024.0),
+            (cfg.budget.spill_ms() - ms0).max(0.0),
+        ),
+        _ => (0.0, 0.0),
+    };
     Ok(CellOutcome {
         cell: cell.clone(),
         result,
@@ -722,6 +904,8 @@ fn run_cell_inner_chunked(
         phases,
         decode_ms: overlap.decode_ms,
         prefetch_hits: overlap.prefetch_hits,
+        spilled_mb,
+        spill_ms,
         sched_order: 0,
         attempt: 0,
         journaled: false,
@@ -1065,6 +1249,8 @@ pub(crate) fn supervise_one(
                 },
                 decode_ms: 0.0,
                 prefetch_hits: 0,
+                spilled_mb: 0.0,
+                spill_ms: 0.0,
                 sched_order: 0,
                 attempt: 0,
                 journaled: true,
@@ -1112,6 +1298,17 @@ pub(crate) fn supervise_one(
                     cell: cell.clone(),
                     attempt,
                     cause: FailureCause::Timeout,
+                });
+            }
+            Ok(Err(e)) if e.is_overloaded() => {
+                // The governor is process-wide and its degradation sticky
+                // (disk full stays full): retrying the same cell can only
+                // reproduce the same rejection. Fail it immediately so
+                // callers surface *overloaded* without burning retries.
+                break Err(CellFailure {
+                    cell: cell.clone(),
+                    attempt,
+                    cause: FailureCause::Sim(e),
                 });
             }
             Ok(Err(e)) => FailureCause::Sim(e),

@@ -67,6 +67,12 @@ pub struct ServiceConfig {
     pub queue_limit: usize,
     /// Per-cell supervision policy (retries, soft deadline, escalation).
     pub policy: RunPolicy,
+    /// Memory budget for the spill-under-pressure governor, in MiB
+    /// (`--mem-budget-mb`). `None` keeps every trace resident.
+    pub mem_budget_mb: Option<u64>,
+    /// Deterministic disk-fault injection for the spill write path
+    /// (`--inject-io`); only meaningful with `mem_budget_mb` set.
+    pub fault_plan: Option<oscache_trace::IoFaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +82,8 @@ impl Default for ServiceConfig {
             jobs: 0,
             queue_limit: 256,
             policy: RunPolicy::fail_fast(),
+            mem_budget_mb: None,
+            fault_plan: None,
         }
     }
 }
@@ -218,6 +226,22 @@ pub struct ServiceStats {
     pub base_traces: usize,
     /// Distinct prepared (transformed) traces resident in the cache.
     pub prepared_cells: usize,
+    /// The daemon's peak resident set size in MiB (`VmHWM` from
+    /// `/proc/self/status`; 0 where /proc is unavailable).
+    pub peak_rss_mb: f64,
+    /// MiB of sealed chunks the memory-budget governor has spilled to
+    /// disk (zero without `mem_budget_mb`).
+    pub spilled_mb: f64,
+}
+
+/// The process's peak resident set size in MiB, read from
+/// `/proc/self/status` `VmHWM` (the kernel's monotone high-water mark).
+/// `None` where `/proc` is unavailable.
+pub fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
 }
 
 /// One outcome slot of a request: `None` until the cell is processed.
@@ -329,7 +353,13 @@ impl Server {
             },
             queue_limit: cfg.queue_limit,
             policy: cfg.policy,
-            cache: Arc::new(TraceCache::new()),
+            cache: {
+                let cache = Arc::new(TraceCache::new());
+                if let Some(mb) = cfg.mem_budget_mb {
+                    cache.set_spill(mb, cfg.fault_plan);
+                }
+                cache
+            },
             journal,
             watchdog,
             sched: Mutex::new(Sched {
@@ -516,6 +546,8 @@ impl Server {
             trace_builds: inner.cache.build_timings().len(),
             base_traces: inner.cache.base_len(),
             prepared_cells: inner.cache.prepared_len(),
+            peak_rss_mb: peak_rss_mb().unwrap_or(0.0),
+            spilled_mb: inner.cache.spilled_mb(),
         }
     }
 
@@ -932,7 +964,7 @@ pub fn reply_line(r: &Reply) -> String {
             )
         }
         Reply::Stats(st) => format!(
-            "{{\"status\":\"stats\",\"submitted\":{},\"accepted\":{},\"rejected_overloaded\":{},\"rejected_shutdown\":{},\"finished\":{},\"cells_completed\":{},\"cells_failed\":{},\"journal_replays\":{},\"retries\":{},\"overruns\":{},\"active_requests\":{},\"queued_cells\":{},\"draining\":{},\"trace_builds\":{},\"base_traces\":{},\"prepared_cells\":{}}}",
+            "{{\"status\":\"stats\",\"submitted\":{},\"accepted\":{},\"rejected_overloaded\":{},\"rejected_shutdown\":{},\"finished\":{},\"cells_completed\":{},\"cells_failed\":{},\"journal_replays\":{},\"retries\":{},\"overruns\":{},\"active_requests\":{},\"queued_cells\":{},\"draining\":{},\"trace_builds\":{},\"base_traces\":{},\"prepared_cells\":{},\"peak_rss_mb\":{:.1},\"spilled_mb\":{:.1}}}",
             st.submitted,
             st.accepted,
             st.rejected_overloaded,
@@ -948,7 +980,9 @@ pub fn reply_line(r: &Reply) -> String {
             st.draining,
             st.trace_builds,
             st.base_traces,
-            st.prepared_cells
+            st.prepared_cells,
+            st.peak_rss_mb,
+            st.spilled_mb
         ),
         Reply::Error(msg) => format!("{{\"status\":\"error\",\"msg\":\"{}\"}}", json_escape(msg)),
     }
@@ -1013,6 +1047,10 @@ pub fn parse_reply(line: &str) -> Result<Reply, String> {
             trace_builds: v.field_u64("trace_builds")? as usize,
             base_traces: v.field_u64("base_traces")? as usize,
             prepared_cells: v.field_u64("prepared_cells")? as usize,
+            // Absent in replies from pre-spill daemons: default to zero
+            // rather than failing the whole stats line.
+            peak_rss_mb: v.field("peak_rss_mb").and_then(|f| f.f64()).unwrap_or(0.0),
+            spilled_mb: v.field("spilled_mb").and_then(|f| f.f64()).unwrap_or(0.0),
         })),
         "error" => Ok(Reply::Error(v.field("msg")?.str()?.to_string())),
         other => Err(format!("unknown reply status {other:?}")),

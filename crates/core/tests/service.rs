@@ -25,6 +25,8 @@ fn config(jobs: usize) -> ServiceConfig {
         jobs,
         queue_limit: 256,
         policy: RunPolicy::fail_fast(),
+        mem_budget_mb: None,
+        fault_plan: None,
     }
 }
 
@@ -293,6 +295,8 @@ fn wire_protocol_round_trips_requests_and_replies() {
         trace_builds: 4,
         base_traces: 4,
         draining: true,
+        peak_rss_mb: 321.5,
+        spilled_mb: 87.3,
         ..Default::default()
     };
     match parse_reply(&reply_line(&Reply::Stats(stats.clone()))).unwrap() {
@@ -301,6 +305,8 @@ fn wire_protocol_round_trips_requests_and_replies() {
             assert_eq!(s.journal_replays, 12);
             assert_eq!(s.trace_builds, 4);
             assert!(s.draining);
+            assert_eq!(s.peak_rss_mb, 321.5);
+            assert_eq!(s.spilled_mb, 87.3);
         }
         _ => panic!("expected stats"),
     }

@@ -1,0 +1,286 @@
+//! Spill-to-disk guarantees (DESIGN.md §18).
+//!
+//! The spill store is a transparency seam: a chunk whose payload lives in
+//! a segment file must be indistinguishable — statistics, final machine
+//! state, step counts — from the same chunk resident in memory, for both
+//! dispatch tiers and with the decode-ahead helper on or off. On top of
+//! that transparency bar sit the robustness bars: a corrupted frame is
+//! detected per-frame (CRC) and salvaged through the deterministic
+//! rebuilder, and when spill cannot absorb memory pressure (ENOSPC with
+//! the budget already exceeded) the run answers a typed *overloaded*
+//! error instead of dying.
+
+use oscache_core::{Geometry, Repro, System};
+use oscache_memsys::{Machine, MachineConfig};
+use oscache_trace::rng::{Rng, SmallRng};
+use oscache_trace::{
+    Addr, ChunkedStream, ChunkedTrace, DataClass, IoFaultClass, IoFaultPlan, LockId, MemBudget,
+    Mode, SpillStore, StoreIdentity, StreamBuilder, Trace, TraceMeta,
+};
+use oscache_workloads::Workload;
+use std::sync::Arc;
+
+/// Chunk capacities the oracle runs at: 1 (every event is its own frame),
+/// a small prime that misaligns with any event pattern, the default.
+const CAPACITIES: [usize; 3] = [1, 7, 4096];
+const SEEDS: std::ops::Range<u64> = 0..8;
+
+/// An arbitrary identity for hand-built traces (the identity only binds
+/// a store to a generator configuration for rebuild purposes; these
+/// tests supply their own rebuilders or none).
+fn identity(seed: u64) -> StoreIdentity {
+    StoreIdentity {
+        scale_bits: 1.0f64.to_bits(),
+        seed,
+        n_cpus: 4,
+    }
+}
+
+/// A random valid multi-CPU trace exercising the full event vocabulary —
+/// the same generator shape the streaming oracle uses, so failures
+/// reproduce from the seed alone.
+fn random_trace(rng: &mut SmallRng) -> Trace {
+    let n_cpus = 4;
+    let mut meta = TraceMeta::default();
+    let site = meta.code.add_site("sm", true);
+    let bb = meta.code.add_block(Addr(0x2000), 4, site);
+    let mut t = Trace::new(n_cpus, meta);
+    for cpu in 0..n_cpus {
+        let mut b = StreamBuilder::new();
+        b.set_mode(Mode::Os);
+        for _ in 0..rng.gen_range(10..80usize) {
+            match rng.gen_range(0..10u32) {
+                0..=3 => {
+                    b.exec(bb);
+                    let a = Addr((0x0300_0000 + rng.gen_range(0..0x4000u32)) & !3);
+                    if rng.gen_bool(0.4) {
+                        b.write(a, DataClass::RunQueue);
+                    } else {
+                        b.read(a, DataClass::RunQueue);
+                    }
+                }
+                4..=5 => {
+                    let a =
+                        Addr(0x0400_0000 + cpu as u32 * 0x10_0000 + rng.gen_range(0..0x2000u32));
+                    b.read(a, DataClass::ProcTable);
+                }
+                6 => {
+                    let lock = rng.gen_range(0..3u32);
+                    b.lock_acquire(LockId(lock as u16), Addr(0x0500_0000 + lock * 64));
+                    b.write(Addr(0x0300_0000), DataClass::RunQueue);
+                    b.lock_release(LockId(lock as u16), Addr(0x0500_0000 + lock * 64));
+                }
+                7 => {
+                    let base = Addr(0x0600_0000 + rng.gen_range(0..8u32) * 0x1000);
+                    let len = rng.gen_range(1..16u32) * 32;
+                    b.begin_block_zero(base, len, DataClass::PageFrame);
+                    let mut off = 0;
+                    while off < len {
+                        b.write(base.offset(off), DataClass::PageFrame);
+                        off += 8;
+                    }
+                    b.end_block_op();
+                }
+                8 => b.idle(rng.gen_range(1..40u32)),
+                _ => {
+                    b.set_mode(Mode::User);
+                    b.read(
+                        Addr(0x0700_0000 + cpu as u32 * 0x10_0000),
+                        DataClass::UserData,
+                    );
+                    b.set_mode(Mode::Os);
+                }
+            }
+        }
+        t.streams[cpu] = b.finish();
+    }
+    t
+}
+
+/// Re-encodes a materialized trace chunk-by-chunk at an explicit
+/// capacity.
+fn chunk_with_capacity(t: &Trace, capacity: usize) -> ChunkedTrace {
+    let mut ct = ChunkedTrace::new(t.n_cpus(), t.meta.clone());
+    for (cpu, s) in t.streams.iter().enumerate() {
+        ct.streams[cpu] = ChunkedStream::from_events(s.events().iter().copied(), capacity);
+    }
+    ct
+}
+
+/// Spills every chunk of `ct` to a fresh store (a zero budget refuses to
+/// keep anything resident), returning the store.
+fn spill_fully(
+    ct: &mut ChunkedTrace,
+    label: &str,
+    seed: u64,
+    faults: Option<IoFaultPlan>,
+) -> Arc<SpillStore> {
+    let store =
+        SpillStore::create(label, identity(seed), ct.n_cpus(), faults).expect("create spill store");
+    let budget = MemBudget::new_mb(0);
+    ct.spill_residents(&store, &budget);
+    store
+}
+
+/// The transparency oracle: seeded random traces, spilled wholesale to
+/// disk, replay bitwise-identically to their in-memory twins at every
+/// chunk capacity, on both dispatch tiers, with decode-ahead on and off.
+#[test]
+fn spilled_replay_matches_in_memory_across_capacities() {
+    for seed in SEEDS {
+        let mut rng = SmallRng::seed_from_u64(0x5B11_0000 ^ seed);
+        let t = random_trace(&mut rng);
+        t.validate().expect("generator must emit valid traces");
+        for capacity in CAPACITIES {
+            let inmem = chunk_with_capacity(&t, capacity);
+            let mut spilled = chunk_with_capacity(&t, capacity);
+            let _store = spill_fully(&mut spilled, "oracle", seed, None);
+            assert!(
+                spilled.spilled_chunks() > 0,
+                "seed {seed} capacity {capacity}: nothing spilled — the oracle is vacuous"
+            );
+            for prefetch in [false, true] {
+                let what = format!("seed {seed} capacity {capacity} prefetch {prefetch}");
+                let mut m0 = Machine::with_recording_chunked(MachineConfig::base(), &inmem, true)
+                    .unwrap_or_else(|e| panic!("{what}: {e}"));
+                let mut m1 = Machine::with_recording_chunked(MachineConfig::base(), &spilled, true)
+                    .unwrap_or_else(|e| panic!("{what}: {e}"));
+                m0.set_decode_prefetch(prefetch);
+                m1.set_decode_prefetch(prefetch);
+                assert_eq!(m0.run_mut(), m1.run_mut(), "{what}: results diverge");
+                assert_eq!(
+                    m0.state_digest(),
+                    m1.state_digest(),
+                    "{what}: final machine states diverge"
+                );
+                assert_eq!(m0.steps(), m1.steps(), "{what}: event counts diverge");
+                let mut g0 =
+                    Machine::with_recording_chunked(MachineConfig::base(), &inmem, true).unwrap();
+                let mut g1 =
+                    Machine::with_recording_chunked(MachineConfig::base(), &spilled, true).unwrap();
+                g0.set_decode_prefetch(prefetch);
+                g1.set_decode_prefetch(prefetch);
+                assert_eq!(
+                    g0.run_generic_mut(),
+                    g1.run_generic_mut(),
+                    "{what}: generic results diverge"
+                );
+                assert_eq!(
+                    g0.state_digest(),
+                    g1.state_digest(),
+                    "{what}: generic final states diverge"
+                );
+            }
+        }
+    }
+}
+
+/// Injected bit flips corrupt frames on the way to disk; every read of a
+/// corrupted frame must detect the CRC mismatch, quarantine the frame,
+/// and rebuild it through the registered rebuilder — yielding a decode
+/// identical to the pristine in-memory stream.
+#[test]
+fn bit_flipped_frames_salvage_to_identical_decode() {
+    let mut rng = SmallRng::seed_from_u64(0xB17F_11F0);
+    let t = random_trace(&mut rng);
+    let inmem = chunk_with_capacity(&t, 5);
+    let mut spilled = chunk_with_capacity(&t, 5);
+    // The pristine chunk bytes, captured before any spill write: the
+    // rebuilder serves exactly what a deterministic regeneration would.
+    let pristine: Vec<Vec<Option<Vec<u8>>>> = inmem
+        .streams
+        .iter()
+        .map(|s| (0..s.n_chunks()).map(|c| s.chunk_bytes(c)).collect())
+        .collect();
+    let plan = IoFaultPlan {
+        seed: 0xF00D,
+        class: Some(IoFaultClass::BitFlip),
+    };
+    let store = SpillStore::create("salvage", identity(0), spilled.n_cpus(), Some(plan))
+        .expect("create spill store");
+    store.set_rebuilder(Box::new(move |cpu, chunk| {
+        pristine.get(cpu)?.get(chunk)?.clone()
+    }));
+    let budget = MemBudget::new_mb(0);
+    spilled.spill_residents(&store, &budget);
+    assert!(spilled.spilled_chunks() > 0);
+    for cpu in 0..t.n_cpus() {
+        let a: Vec<_> = inmem.streams[cpu].iter().collect();
+        let b: Vec<_> = spilled.streams[cpu].iter().collect();
+        assert_eq!(a, b, "cpu {cpu}: salvaged decode diverges");
+    }
+    assert!(
+        store.salvage_count() > 0,
+        "the fault plan never fired — the salvage path went untested"
+    );
+}
+
+/// A budget-governed pipeline run — base generation spilling at seal,
+/// analysis intermediates spilling post-hoc, the replay decoding frames
+/// back from disk — produces statistics bitwise-identical to the same
+/// cell ungoverned. BCPref sits at the top of the ladder, so this
+/// crosses every phase: analysis, transforms, profiling, rewrite, replay.
+#[test]
+fn governed_pipeline_matches_ungoverned() {
+    let mut plain = Repro::new(0.2);
+    let mut governed = Repro::new(0.2);
+    // A 1 MiB budget at scale 0.2: far below the trace's encoded size,
+    // so essentially every sealed chunk must take the disk path.
+    governed.set_mem_budget(1, None);
+    for sys in [System::Base, System::BCPref] {
+        let a = plain.run(Workload::Trfd4, sys).stats.clone();
+        let b = governed.run(Workload::Trfd4, sys).stats.clone();
+        assert_eq!(a, b, "{}: governed stats diverge", sys.label());
+    }
+    assert!(
+        governed.cache().spilled_mb() > 0.0,
+        "the governed run never spilled — the oracle is vacuous"
+    );
+}
+
+/// ENOSPC injection with a budget the resident set already exceeds: the
+/// run must answer the typed *overloaded* error (exit 7 at the CLI),
+/// never panic or silently keep everything in memory.
+#[test]
+fn enospc_with_exhausted_budget_answers_overloaded() {
+    let mut r = Repro::new(0.3);
+    r.set_mem_budget(
+        2,
+        Some(IoFaultPlan {
+            seed: 42,
+            class: Some(IoFaultClass::NoSpace),
+        }),
+    );
+    let err = r
+        .try_run_spec(
+            Workload::Trfd4,
+            System::Base.spec(),
+            Geometry::default(),
+            System::Base.label(),
+        )
+        .expect_err("a 2 MiB budget with every spill write failing ENOSPC cannot be met");
+    assert!(err.is_overloaded(), "wrong error class: {err}");
+    assert!(
+        err.to_string().contains("memory budget exceeded"),
+        "unexpected message: {err}"
+    );
+}
+
+/// A generous budget with ENOSPC injection degrades gracefully: spill
+/// stops, everything stays resident under the budget, and the run
+/// completes with correct statistics.
+#[test]
+fn enospc_under_budget_degrades_to_in_memory() {
+    let mut plain = Repro::new(0.05);
+    let mut faulty = Repro::new(0.05);
+    faulty.set_mem_budget(
+        4096,
+        Some(IoFaultPlan {
+            seed: 42,
+            class: Some(IoFaultClass::NoSpace),
+        }),
+    );
+    let a = plain.run(Workload::Trfd4, System::Base).stats.clone();
+    let b = faulty.run(Workload::Trfd4, System::Base).stats.clone();
+    assert_eq!(a, b, "degraded-run stats diverge");
+}

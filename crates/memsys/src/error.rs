@@ -49,6 +49,28 @@ impl SimError {
     pub fn is_cancelled(&self) -> bool {
         matches!(self.kind, SimErrorKind::Cancelled { .. })
     }
+
+    /// True when the cell could not be run within its memory budget. Not a
+    /// property of the trace or configuration either: the same cell re-run
+    /// with a larger (or no) budget completes normally, so callers report
+    /// this as *overloaded* rather than as a cell failure.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self.kind, SimErrorKind::MemBudgetExceeded { .. })
+    }
+
+    /// Builds the overloaded error (no simulated state is involved; the
+    /// rejection happens while materializing the cell's trace).
+    pub fn mem_budget_exceeded(resident_mb: u64, budget_mb: u64) -> Self {
+        SimError {
+            cycle: 0,
+            cpu: None,
+            line: None,
+            kind: SimErrorKind::MemBudgetExceeded {
+                resident_mb,
+                budget_mb,
+            },
+        }
+    }
 }
 
 /// The category of a [`SimError`].
@@ -101,6 +123,17 @@ pub enum SimErrorKind {
         /// for a given trace, configuration, and poll schedule — the
         /// specialized and generic loops report the same index.
         step: u64,
+    },
+    /// The cell's traces could not be held (or spilled) within the
+    /// configured memory budget: the spill store degraded (out of disk
+    /// space or persistent write failure) while resident bytes already
+    /// exceed the budget. Supervisors map this to their *overloaded*
+    /// taxonomy — the cell is retryable once pressure clears.
+    MemBudgetExceeded {
+        /// Governed resident bytes at rejection, in MiB.
+        resident_mb: u64,
+        /// The configured budget, in MiB.
+        budget_mb: u64,
     },
 }
 
@@ -196,6 +229,14 @@ impl fmt::Display for SimErrorKind {
             SimErrorKind::Cancelled { step } => {
                 write!(f, "replay cancelled cooperatively at event {step}")
             }
+            SimErrorKind::MemBudgetExceeded {
+                resident_mb,
+                budget_mb,
+            } => write!(
+                f,
+                "memory budget exceeded: {resident_mb} MiB resident with spill \
+                 degraded (budget {budget_mb} MiB)"
+            ),
         }
     }
 }

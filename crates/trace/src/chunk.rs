@@ -23,11 +23,14 @@
 //!   `decode(encode(e)) == e` for every event, which is the ground the
 //!   bitwise simulation-equivalence guarantee stands on.
 
+use crate::spill::{FrameRef, MemBudget, SpillStore, SpillTarget};
 use crate::validate::TraceValidator;
 use crate::{
     Addr, BarrierId, BlockId, BlockKind, BlockOp, DataClass, Event, LockId, Mode, Stream, Trace,
     TraceError, TraceMeta,
 };
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Default events per chunk. 4096 events decode to a 64 KiB window —
 /// small enough to live in L2 while a per-CPU cursor replays it, large
@@ -267,12 +270,32 @@ fn decode_event(bytes: &[u8], pos: &mut usize, last: &mut u32) -> Event {
 // ---- chunk / stream / trace types ------------------------------------------
 
 /// One independently-decodable run of byte-packed events.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// The payload lives either in memory or in a [`SpillStore`] segment
+/// frame — the *chunk source* seam: every consumer decodes through
+/// [`EncodedChunk::decode_into`], which is source-agnostic, so the
+/// generators, the transform pipeline, and the replay loops never know
+/// (or care) whether a chunk was spilled.
+#[derive(Clone, Debug)]
 pub struct EncodedChunk {
     /// Number of events in this chunk.
     n_events: u32,
-    /// The packed event bytes.
-    bytes: Vec<u8>,
+    /// Where the packed event bytes live.
+    payload: ChunkPayload,
+}
+
+/// Where a chunk's encoded bytes are held.
+#[derive(Clone, Debug)]
+enum ChunkPayload {
+    /// Resident in memory (the historical representation).
+    Inline(Vec<u8>),
+    /// On disk, as a CRC-checked frame in a spill segment.
+    Spilled {
+        /// The owning store (keeps the segment files alive).
+        store: Arc<SpillStore>,
+        /// Which frame.
+        frame: FrameRef,
+    },
 }
 
 impl EncodedChunk {
@@ -288,20 +311,62 @@ impl EncodedChunk {
 
     /// Encoded size in bytes.
     pub fn byte_len(&self) -> usize {
-        self.bytes.len()
+        match &self.payload {
+            ChunkPayload::Inline(b) => b.len(),
+            ChunkPayload::Spilled { frame, .. } => frame.len as usize,
+        }
+    }
+
+    /// True when the payload lives on disk.
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.payload, ChunkPayload::Spilled { .. })
+    }
+
+    /// Runs `f` over the encoded bytes, fetching (and, on corruption,
+    /// salvaging) them from the spill store when the chunk is spilled.
+    fn with_bytes<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        match &self.payload {
+            ChunkPayload::Inline(b) => f(b),
+            ChunkPayload::Spilled { store, frame } => f(&store.frame_bytes(frame)),
+        }
+    }
+
+    /// The encoded bytes, materialized (reading through the spill store
+    /// when needed). Rebuild and conversion paths use this; decoding goes
+    /// through [`EncodedChunk::decode_into`] without the copy.
+    pub fn encoded_bytes(&self) -> Vec<u8> {
+        self.with_bytes(<[u8]>::to_vec)
     }
 
     /// Appends this chunk's decoded events to `out`.
     pub fn decode_into(&self, out: &mut Vec<Event>) {
         out.reserve(self.len());
-        let mut pos = 0usize;
-        let mut last = 0u32;
-        for _ in 0..self.n_events {
-            out.push(decode_event(&self.bytes, &mut pos, &mut last));
-        }
-        debug_assert_eq!(pos, self.bytes.len(), "trailing bytes in chunk");
+        self.with_bytes(|bytes| {
+            let mut pos = 0usize;
+            let mut last = 0u32;
+            for _ in 0..self.n_events {
+                out.push(decode_event(bytes, &mut pos, &mut last));
+            }
+            debug_assert_eq!(pos, bytes.len(), "trailing bytes in chunk");
+        });
     }
 }
+
+impl PartialEq for EncodedChunk {
+    fn eq(&self, other: &Self) -> bool {
+        if self.n_events != other.n_events {
+            return false;
+        }
+        match (&self.payload, &other.payload) {
+            (ChunkPayload::Inline(a), ChunkPayload::Inline(b)) => a == b,
+            // At least one side is spilled: compare materialized bytes
+            // (test/oracle territory — the hot paths never compare chunks).
+            _ => self.encoded_bytes() == other.encoded_bytes(),
+        }
+    }
+}
+
+impl Eq for EncodedChunk {}
 
 /// Incremental chunk encoder: push events, get a [`ChunkedStream`].
 ///
@@ -316,6 +381,7 @@ pub struct ChunkedStreamBuilder {
     cur_events: u32,
     last_addr: u32,
     len: usize,
+    spill: Option<SpillTarget>,
 }
 
 impl ChunkedStreamBuilder {
@@ -339,7 +405,20 @@ impl ChunkedStreamBuilder {
             cur_events: 0,
             last_addr: 0,
             len: 0,
+            spill: None,
         }
+    }
+
+    /// A default-capacity builder that consults `target`'s budget at
+    /// every seal: chunks the budget refuses to keep resident are written
+    /// to the target's segment as they seal, so a governed build's peak
+    /// memory stays O(chunk) rather than O(trace). A failed spill write
+    /// degrades to keeping that chunk resident (and flags the budget) —
+    /// the built stream is identical either way.
+    pub fn with_spill(target: SpillTarget) -> Self {
+        let mut b = Self::with_capacity(CHUNK_EVENTS);
+        b.spill = Some(target);
+        b
     }
 
     /// Appends one event.
@@ -353,9 +432,11 @@ impl ChunkedStreamBuilder {
     }
 
     fn seal(&mut self) {
+        let bytes = std::mem::take(&mut self.cur);
+        let payload = seal_payload(bytes, self.chunks.len(), self.spill.as_ref());
         self.chunks.push(EncodedChunk {
             n_events: self.cur_events,
-            bytes: std::mem::take(&mut self.cur),
+            payload,
         });
         self.cur_events = 0;
         // Each chunk decodes independently: the delta base resets.
@@ -373,9 +454,14 @@ impl ChunkedStreamBuilder {
     }
 
     /// Seals the trailing partial chunk and returns the finished stream.
+    /// A spilling builder also seals its segment (temp-then-rename); a
+    /// failed seal degrades to rebuild-on-read, never to an error here.
     pub fn finish(mut self) -> ChunkedStream {
         if self.cur_events > 0 {
             self.seal();
+        }
+        if let Some(t) = &self.spill {
+            let _ = t.store.seal(t.cpu);
         }
         ChunkedStream {
             chunks: self.chunks,
@@ -383,6 +469,31 @@ impl ChunkedStreamBuilder {
             capacity: self.capacity,
         }
     }
+}
+
+/// Decides where a freshly-sealed chunk's bytes live: spilled to the
+/// target's segment when the budget wants it (and the write succeeds),
+/// resident otherwise.
+fn seal_payload(bytes: Vec<u8>, chunk_idx: usize, spill: Option<&SpillTarget>) -> ChunkPayload {
+    let Some(t) = spill else {
+        return ChunkPayload::Inline(bytes);
+    };
+    if t.budget.wants_spill(bytes.len()) {
+        let t0 = Instant::now();
+        match t.store.append_frame(t.cpu, chunk_idx, &bytes) {
+            Ok(frame) => {
+                t.budget
+                    .note_spilled(bytes.len(), t0.elapsed().as_nanos() as u64);
+                return ChunkPayload::Spilled {
+                    store: t.store.clone(),
+                    frame,
+                };
+            }
+            Err(_) => t.budget.note_degraded(),
+        }
+    }
+    t.budget.charge_inline(bytes.len());
+    ChunkPayload::Inline(bytes)
 }
 
 impl Default for ChunkedStreamBuilder {
@@ -462,6 +573,60 @@ impl ChunkedStream {
     pub fn decode_chunk(&self, c: usize, out: &mut Vec<Event>) {
         out.clear();
         self.chunks[c].decode_into(out);
+    }
+
+    /// The encoded bytes of chunk `c`, materialized — the extraction hook
+    /// spill rebuilders use to re-derive a frame from a freshly-rebuilt
+    /// stream. `None` when `c` is out of range.
+    pub fn chunk_bytes(&self, c: usize) -> Option<Vec<u8>> {
+        self.chunks.get(c).map(EncodedChunk::encoded_bytes)
+    }
+
+    /// Number of chunks whose payload lives on disk.
+    pub fn spilled_chunks(&self) -> usize {
+        self.chunks.iter().filter(|c| c.is_spilled()).count()
+    }
+
+    /// Converts resident chunks the budget refuses to keep into spilled
+    /// frames of `cpu`'s segment, freeing each chunk's bytes as it lands
+    /// on disk (the conversion itself is O(chunk) extra memory). A failed
+    /// write degrades: the budget is flagged, the remaining chunks stay
+    /// resident and are charged to it. Returns bytes spilled.
+    pub fn spill_residents(
+        &mut self,
+        store: &Arc<SpillStore>,
+        cpu: usize,
+        budget: &Arc<MemBudget>,
+    ) -> u64 {
+        let mut spilled = 0u64;
+        let mut degraded = false;
+        for (idx, chunk) in self.chunks.iter_mut().enumerate() {
+            let ChunkPayload::Inline(bytes) = &chunk.payload else {
+                continue;
+            };
+            if degraded || !budget.wants_spill(bytes.len()) {
+                budget.charge_inline(bytes.len());
+                continue;
+            }
+            let t0 = Instant::now();
+            match store.append_frame(cpu, idx, bytes) {
+                Ok(frame) => {
+                    budget.note_spilled(bytes.len(), t0.elapsed().as_nanos() as u64);
+                    spilled += bytes.len() as u64;
+                    chunk.payload = ChunkPayload::Spilled {
+                        store: store.clone(),
+                        frame,
+                    };
+                }
+                Err(_) => {
+                    budget.note_degraded();
+                    budget.charge_inline(bytes.len());
+                    degraded = true;
+                }
+            }
+        }
+        let _ = store.seal(cpu);
+        spilled
     }
 
     /// An iterator over all decoded events, one chunk in memory at a time.
@@ -583,6 +748,23 @@ impl ChunkedTrace {
     /// Encoded size in bytes across all streams.
     pub fn byte_len(&self) -> usize {
         self.streams.iter().map(ChunkedStream::byte_len).sum()
+    }
+
+    /// Chunks whose payload lives on disk, across all streams.
+    pub fn spilled_chunks(&self) -> usize {
+        self.streams.iter().map(ChunkedStream::spilled_chunks).sum()
+    }
+
+    /// [`ChunkedStream::spill_residents`] over every stream: stream `k`
+    /// spills into `store`'s CPU-`k` segment. Used to push analysis
+    /// intermediates (transform outputs built without a spill target)
+    /// under the budget after the fact. Returns bytes spilled.
+    pub fn spill_residents(&mut self, store: &Arc<SpillStore>, budget: &Arc<MemBudget>) -> u64 {
+        self.streams
+            .iter_mut()
+            .enumerate()
+            .map(|(cpu, s)| s.spill_residents(store, cpu, budget))
+            .sum()
     }
 
     /// Checks every structural invariant [`Trace::validate`] checks,
@@ -806,6 +988,95 @@ mod tests {
         for cpu in 0..2 {
             assert_eq!(back.streams[cpu].events(), t.streams[cpu].events());
         }
+    }
+
+    fn tiny_budget() -> Arc<MemBudget> {
+        // 0 MB budget: every sealed chunk wants to spill.
+        MemBudget::new_mb(0)
+    }
+
+    fn test_store(label: &str, n_cpus: usize) -> Arc<SpillStore> {
+        SpillStore::create(
+            label,
+            crate::spill::StoreIdentity {
+                scale_bits: 1.0f64.to_bits(),
+                seed: 1,
+                n_cpus: n_cpus as u32,
+            },
+            n_cpus,
+            None,
+        )
+        .expect("spill store")
+    }
+
+    #[test]
+    fn spilled_stream_round_trips_identically() {
+        let store = test_store("chunk-spill", 1);
+        let budget = tiny_budget();
+        let mut b = ChunkedStreamBuilder::with_spill(SpillTarget {
+            store: store.clone(),
+            cpu: 0,
+            budget: budget.clone(),
+        });
+        // Force tiny chunks to exercise many frames.
+        b.capacity = 3;
+        let events: Vec<Event> = all_kinds();
+        for e in &events {
+            b.push(*e);
+        }
+        let spilled = b.finish();
+        assert!(spilled.spilled_chunks() > 0, "nothing spilled");
+        assert_eq!(budget.spilled_bytes(), spilled.byte_len() as u64);
+        let inline = ChunkedStream::from_events(events.clone(), 3);
+        assert_eq!(spilled, inline, "spilled != inline stream");
+        let back: Vec<Event> = spilled.iter().collect();
+        assert_eq!(back, events);
+        // Random chunk access decodes through the store too.
+        let mut buf = Vec::new();
+        spilled.decode_chunk(1, &mut buf);
+        assert_eq!(buf, &events[3..6]);
+        // chunk_bytes materializes spilled frames for rebuilders.
+        assert_eq!(
+            spilled.chunk_bytes(1),
+            inline.chunk_bytes(1),
+            "extracted bytes differ"
+        );
+    }
+
+    #[test]
+    fn post_hoc_spill_conversion_is_transparent() {
+        let events: Vec<Event> = (0..100).map(|k| Event::Idle { cycles: k + 1 }).collect();
+        let inline = ChunkedStream::from_events(events.clone(), 8);
+        let mut t = ChunkedTrace {
+            streams: vec![inline.clone()],
+            meta: TraceMeta::default(),
+        };
+        let store = test_store("chunk-posthoc", 1);
+        let budget = tiny_budget();
+        let spilled_bytes = t.spill_residents(&store, &budget);
+        assert_eq!(spilled_bytes, inline.byte_len() as u64);
+        assert_eq!(t.spilled_chunks(), inline.n_chunks());
+        assert_eq!(t.streams[0], inline);
+        let back: Vec<Event> = t.streams[0].iter().collect();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn generous_budget_keeps_chunks_resident() {
+        let store = test_store("chunk-resident", 1);
+        let budget = MemBudget::new_mb(64);
+        let mut b = ChunkedStreamBuilder::with_spill(SpillTarget {
+            store,
+            cpu: 0,
+            budget: budget.clone(),
+        });
+        for e in all_kinds() {
+            b.push(e);
+        }
+        let s = b.finish();
+        assert_eq!(s.spilled_chunks(), 0);
+        assert_eq!(budget.spilled_bytes(), 0);
+        assert_eq!(budget.resident_bytes(), s.byte_len() as u64);
     }
 
     #[test]

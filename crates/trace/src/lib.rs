@@ -45,6 +45,7 @@ mod code;
 mod event;
 pub mod io;
 pub mod rng;
+pub mod spill;
 mod stream;
 mod trace;
 mod validate;
@@ -55,6 +56,10 @@ pub use class::{CoherenceCategory, DataClass};
 pub use code::{BasicBlock, BlockId, CodeLayout, SiteId, SiteInfo};
 pub use event::{BarrierId, BlockKind, BlockOp, Event, LockId, Mode};
 pub use io::{read_trace, read_trace_chunked, write_trace, ReadTraceError};
+pub use spill::{
+    spill_enabled, IoFaultClass, IoFaultPlan, MemBudget, SpillError, SpillErrorKind, SpillStore,
+    SpillTarget, StoreIdentity,
+};
 pub use stream::{Stream, StreamBuilder};
 pub use trace::{KernelVar, Trace, TraceMeta, VarRole};
 pub use validate::TraceError;

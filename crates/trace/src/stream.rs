@@ -158,6 +158,19 @@ impl StreamBuilder {
         }
     }
 
+    /// [`StreamBuilder::new_chunked`] with a spill target: sealed chunks
+    /// the target's budget refuses to keep resident are written to its
+    /// segment as the stream is built. The produced events are identical;
+    /// only where the encoded bytes live differs.
+    pub fn new_chunked_spilling(target: crate::spill::SpillTarget) -> Self {
+        StreamBuilder {
+            sink: Sink::Chunked(ChunkedStreamBuilder::with_spill(target)),
+            mode: Mode::default(),
+            in_block_op: false,
+            held_locks: Vec::new(),
+        }
+    }
+
     /// Current execution mode.
     pub fn mode(&self) -> Mode {
         self.mode

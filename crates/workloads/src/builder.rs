@@ -270,6 +270,41 @@ pub fn build_chunked(workload: Workload, opts: BuildOptions) -> ChunkedTrace {
     Builder::new(workload, rates(workload), opts, true).run_chunked()
 }
 
+/// [`build_chunked`] under a memory budget: each per-CPU stream seals its
+/// chunks straight into `store`'s segment for that CPU whenever `budget`
+/// refuses to keep them resident, so the build's peak memory is O(chunk)
+/// even when the encoded trace exceeds the budget. The produced trace
+/// decodes event-for-event identical to [`build_chunked`] — only where
+/// the encoded bytes live differs (the spill oracle pins this).
+pub fn build_chunked_spilled(
+    workload: Workload,
+    opts: BuildOptions,
+    store: &std::sync::Arc<oscache_trace::SpillStore>,
+    budget: &std::sync::Arc<oscache_trace::MemBudget>,
+) -> ChunkedTrace {
+    let mut b = Builder::new(workload, rates(workload), opts, true);
+    for (cpu, s) in b.streams.iter_mut().enumerate() {
+        *s = spilling_stream(cpu, store, budget);
+    }
+    b.run_chunked()
+}
+
+/// A fresh spilling stream builder with the initial `Mode::User` switch
+/// the generator expects (matching `Builder::new`'s stream setup).
+fn spilling_stream(
+    cpu: usize,
+    store: &std::sync::Arc<oscache_trace::SpillStore>,
+    budget: &std::sync::Arc<oscache_trace::MemBudget>,
+) -> StreamBuilder {
+    let mut s = StreamBuilder::new_chunked_spilling(oscache_trace::SpillTarget {
+        store: store.clone(),
+        cpu,
+        budget: budget.clone(),
+    });
+    s.set_mode(Mode::User);
+    s
+}
+
 /// [`build_chunked`] behind an [`std::sync::Arc`] for the trace cache.
 pub fn build_chunked_shared(
     workload: Workload,
@@ -301,6 +336,19 @@ impl BuildOptions {
         TraceBuildKey {
             workload,
             scale_bits: self.scale.to_bits(),
+            seed: self.seed,
+            n_cpus: self.n_cpus,
+        }
+    }
+}
+
+impl TraceBuildKey {
+    /// The build options this key denotes — the exact inverse of
+    /// [`BuildOptions::key`], which is what lets a spill rebuilder
+    /// re-derive a trace from nothing but the key.
+    pub fn options(&self) -> BuildOptions {
+        BuildOptions {
+            scale: f64::from_bits(self.scale_bits),
             seed: self.seed,
             n_cpus: self.n_cpus,
         }
@@ -865,6 +913,42 @@ mod tests {
             assert!(t.total_events() > 1000, "{w}: too few events");
             assert_eq!(t.meta.workload, w.name());
         }
+    }
+
+    #[test]
+    fn spilled_build_equals_in_memory_build() {
+        let opts = BuildOptions {
+            scale: 0.05,
+            seed: 1,
+            ..Default::default()
+        };
+        let w = Workload::Trfd4;
+        let key = opts.key(w);
+        assert_eq!(
+            key.options().key(w),
+            key,
+            "TraceBuildKey::options must invert key"
+        );
+        let inline = build_chunked(w, opts);
+        let store = oscache_trace::SpillStore::create(
+            "workload-spill-test",
+            oscache_trace::StoreIdentity {
+                scale_bits: key.scale_bits,
+                seed: key.seed,
+                n_cpus: key.n_cpus as u32,
+            },
+            opts.n_cpus,
+            None,
+        )
+        .expect("spill store");
+        let budget = oscache_trace::MemBudget::new_mb(0);
+        let spilled = build_chunked_spilled(w, opts, &store, &budget);
+        assert!(spilled.spilled_chunks() > 0, "nothing spilled at 0 budget");
+        assert_eq!(spilled.total_events(), inline.total_events());
+        for cpu in 0..opts.n_cpus {
+            assert_eq!(spilled.streams[cpu], inline.streams[cpu], "cpu {cpu}");
+        }
+        assert_eq!(budget.spilled_bytes(), inline.byte_len() as u64);
     }
 
     #[test]
